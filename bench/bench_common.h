@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table regeneration harnesses: suite
+ * iteration, a process-wide SimDriver, and mean helpers. Pass "fast"
+ * as the first argument to any harness to run a reduced workload
+ * subset (one benchmark per suite).
+ */
+
+#ifndef REDSOC_BENCH_BENCH_COMMON_H
+#define REDSOC_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/driver.h"
+
+namespace redsoc {
+namespace bench {
+
+inline bool
+fastMode(int argc, char **argv)
+{
+    return argc > 1 && std::strcmp(argv[1], "fast") == 0;
+}
+
+/** Workloads to sweep, honoring fast mode. */
+inline std::vector<std::string>
+suiteWorkloads(Suite suite, bool fast)
+{
+    std::vector<std::string> names = workloadNames(suite);
+    if (fast)
+        names.resize(1);
+    return names;
+}
+
+inline const std::vector<Suite> &
+allSuites()
+{
+    static const std::vector<Suite> suites = {Suite::Spec,
+                                              Suite::MiBench, Suite::Ml};
+    return suites;
+}
+
+inline const std::vector<std::string> &
+allCores()
+{
+    static const std::vector<std::string> cores = {"big", "medium",
+                                                   "small"};
+    return cores;
+}
+
+/** Mean of a per-workload metric over a suite. */
+template <typename Fn>
+double
+suiteMean(Suite suite, bool fast, Fn &&metric)
+{
+    std::vector<double> values;
+    for (const std::string &name : suiteWorkloads(suite, fast))
+        values.push_back(metric(name));
+    return SimDriver::mean(values);
+}
+
+inline void
+printHeader(const char *title, const char *paper_ref)
+{
+    std::printf("=== %s ===\n(reproduces %s)\n\n", title, paper_ref);
+}
+
+/**
+ * Sec.VI-C methodology: the slack threshold is tuned via a design
+ * sweep per application set (suite) and core. The driver's run cache
+ * makes the sweep cheap across harnesses in the same process.
+ */
+inline Tick
+tunedThreshold(SimDriver &driver, Suite suite, const std::string &core,
+               bool fast)
+{
+    Tick best = 6;
+    double best_mean = -1e9;
+    for (Tick thr : {Tick{2}, Tick{4}, Tick{6}, Tick{8}}) {
+        const CoreConfig base = configFor(core, SchedMode::Baseline);
+        const double mean =
+            suiteMean(suite, fast, [&](const std::string &name) {
+                CoreConfig red = configFor(core, SchedMode::ReDSOC);
+                red.slack_threshold_ticks = thr;
+                return driver.speedup(name, base, red);
+            });
+        if (mean > best_mean) {
+            best_mean = mean;
+            best = thr;
+        }
+    }
+    return best;
+}
+
+/** The ReDSOC configuration with the suite-tuned slack threshold. */
+inline CoreConfig
+tunedRedsoc(SimDriver &driver, Suite suite, const std::string &core,
+            bool fast)
+{
+    CoreConfig red = configFor(core, SchedMode::ReDSOC);
+    red.slack_threshold_ticks = tunedThreshold(driver, suite, core, fast);
+    return red;
+}
+
+} // namespace bench
+} // namespace redsoc
+
+#endif // REDSOC_BENCH_BENCH_COMMON_H

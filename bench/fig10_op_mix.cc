@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig.10: benchmark operation-distribution characteristics —
+ * high/low-latency memory, SIMD, other multi-cycle, and high/low
+ * slack single-cycle ALU fractions, per benchmark and per suite.
+ */
+
+#include "bench_common.h"
+#include "workloads/op_mix.h"
+
+using namespace redsoc;
+
+int
+main(int argc, char **argv)
+{
+    const bool fast = bench::fastMode(argc, argv);
+    bench::printHeader("benchmark operation characteristics", "Fig.10");
+
+    SimDriver driver;
+    const TimingModel timing;
+    Table t({"benchmark", "MEM-HL", "MEM-LL", "SIMD", "OtherMulti",
+             "ALU-LS", "ALU-HS"});
+
+    auto add_row = [&](const std::string &label, const OpMix &mix) {
+        t.addRow({label, Table::pct(mix.mem_hl), Table::pct(mix.mem_ll),
+                  Table::pct(mix.simd), Table::pct(mix.other_multi),
+                  Table::pct(mix.alu_ls), Table::pct(mix.alu_hs)});
+    };
+
+    for (Suite suite : bench::allSuites()) {
+        OpMix mean{};
+        const auto names = bench::suiteWorkloads(suite, fast);
+        for (const std::string &name : names) {
+            const OpMix mix = computeOpMix(driver.trace(name), timing);
+            add_row(name, mix);
+            mean.mem_hl += mix.mem_hl / names.size();
+            mean.mem_ll += mix.mem_ll / names.size();
+            mean.simd += mix.simd / names.size();
+            mean.other_multi += mix.other_multi / names.size();
+            mean.alu_ls += mix.alu_ls / names.size();
+            mean.alu_hs += mix.alu_hs / names.size();
+        }
+        add_row(std::string(suiteName(suite)) + "-MEAN", mean);
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper shape: MiBench averages ~60%% high-slack ALU "
+                "ops vs ~30%%\nfor SPEC; ML kernels carry large SIMD "
+                "fractions; bitcnt has <5%%\nmemory ops.\n");
+    return 0;
+}

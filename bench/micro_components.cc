@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * predictors, cache accesses, select arbitration, the functional
+ * interpreter and the full core loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ooo_core.h"
+#include "func/interpreter.h"
+#include "isa/builder.h"
+#include "mem/hierarchy.h"
+#include "predictors/width_predictor.h"
+#include "redsoc/skewed_select.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace redsoc;
+
+void
+BM_WidthPredictor(benchmark::State &state)
+{
+    WidthPredictor wp;
+    u64 pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wp.predict(pc));
+        wp.update(pc, WidthClass::W16);
+        pc = (pc + 17) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_WidthPredictor);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemHierarchy mem{HierarchyConfig{}};
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(3, addr, false).latency);
+        addr = (addr + 64) & 0xFFFFF;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SkewedSelect(benchmark::State &state)
+{
+    SkewedSelectArbiter arb(64);
+    std::vector<unsigned> ages(64);
+    for (unsigned i = 0; i < 64; ++i)
+        ages[i] = (i * 37) % 64;
+    arb.setAgeOrder(ages);
+    u64 wake = 0x0F0F0F0F0F0F0F0Full;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            arb.arbitrateSkewed(wake, wake & 0x3333333333333333ull, 6));
+        wake = (wake << 1) | (wake >> 63);
+    }
+}
+BENCHMARK(BM_SkewedSelect);
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    ProgramBuilder b("spin");
+    b.movImm(x(1), 1000);
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.alui(Opcode::EOR, x(2), x(2), 0x35);
+    b.alui(Opcode::ADD, x(3), x(3), 7);
+    b.alui(Opcode::SUB, x(1), x(1), 1);
+    b.bnez(x(1), loop);
+    b.halt();
+    auto program = std::make_shared<const Program>(b.build());
+    for (auto _ : state) {
+        MemoryImage mem;
+        Interpreter interp(program, mem);
+        benchmark::DoNotOptimize(interp.run().size());
+    }
+    state.SetItemsProcessed(state.iterations() * 4002);
+}
+BENCHMARK(BM_Interpreter);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    // Full crc run (~100k dynamic ops) as a representative trace.
+    const Trace trace = traceWorkload("crc");
+    const auto mode = static_cast<SchedMode>(state.range(0));
+    CoreConfig cfg = mediumCore();
+    cfg.mode = mode;
+    for (auto _ : state) {
+        OooCore core(cfg);
+        benchmark::DoNotOptimize(core.run(trace).cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_CoreSimulation)
+    ->Arg(static_cast<int>(SchedMode::Baseline))
+    ->Arg(static_cast<int>(SchedMode::ReDSOC))
+    ->Arg(static_cast<int>(SchedMode::MOS));
+
+} // namespace
+
+BENCHMARK_MAIN();

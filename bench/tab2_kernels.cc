@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table II: the machine-learning kernels (plus the rest of the
+ * workload suite with dynamic trace sizes).
+ */
+
+#include "bench_common.h"
+
+using namespace redsoc;
+
+int
+main(int argc, char **argv)
+{
+    const bool fast = bench::fastMode(argc, argv);
+    bench::printHeader("workload suite", "Table II + Sec.V benchmarks");
+    SimDriver driver;
+    Table t({"kernel", "suite", "description", "dynamic ops"});
+    for (const Workload &w : allWorkloads()) {
+        if (fast && w.name != "crc" && w.suite != Suite::Ml)
+            continue;
+        t.addRow({w.name, suiteName(w.suite), w.description,
+                  std::to_string(driver.trace(w.name).size())});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep the ReDSOC
+ * design knobs (slack threshold, CI precision, EGPW, skewed select,
+ * RSE design) on one workload and report where the paper's defaults
+ * sit. This is the ablation companion to Sec.IV.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/driver.h"
+
+using namespace redsoc;
+
+namespace {
+
+double
+speedupOf(SimDriver &driver, const std::string &workload,
+          const CoreConfig &variant)
+{
+    return driver.speedup(workload,
+                          configFor(variant.name, SchedMode::Baseline),
+                          variant);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "crc";
+    SimDriver driver;
+
+    std::printf("design-space sweep on '%s' (medium core)\n\n",
+                workload.c_str());
+
+    // 1. Slack threshold (Sec.IV-C step 10).
+    Table thr({"threshold (ticks/8)", "speedup", "recycled ops",
+               "EGPW wasted"});
+    for (Tick t = 0; t <= 8; t += 2) {
+        CoreConfig cfg = configFor("medium", SchedMode::ReDSOC);
+        cfg.slack_threshold_ticks = t;
+        const CoreStats &stats = driver.run(workload, cfg);
+        thr.addRow({std::to_string(t),
+                    Table::num(speedupOf(driver, workload, cfg), 3),
+                    std::to_string(stats.recycled_ops),
+                    std::to_string(stats.egpw_wasted)});
+    }
+    std::printf("slack threshold:\n%s\n", thr.render().c_str());
+
+    // 2. CI precision (Sec.V: saturates at 3 bits).
+    Table prec({"CI bits", "speedup"});
+    for (unsigned bits = 1; bits <= 8; ++bits) {
+        CoreConfig cfg = configFor("medium", SchedMode::ReDSOC);
+        cfg.ci_precision_bits = bits;
+        cfg.slack_threshold_ticks = (Tick{1} << bits) * 3 / 4;
+        prec.addRow({std::to_string(bits),
+                     Table::num(speedupOf(driver, workload, cfg), 3)});
+    }
+    std::printf("CI precision:\n%s\n", prec.render().c_str());
+
+    // 3. Mechanism ablations.
+    Table abl({"configuration", "speedup"});
+    {
+        CoreConfig full = configFor("medium", SchedMode::ReDSOC);
+        abl.addRow({"full ReDSOC",
+                    Table::num(speedupOf(driver, workload, full), 3)});
+        CoreConfig no_egpw = full;
+        no_egpw.egpw = false;
+        abl.addRow({"- eager grandparent wakeup",
+                    Table::num(speedupOf(driver, workload, no_egpw), 3)});
+        CoreConfig no_skew = full;
+        no_skew.skewed_select = false;
+        abl.addRow({"- skewed selection",
+                    Table::num(speedupOf(driver, workload, no_skew), 3)});
+        CoreConfig illus = full;
+        illus.rs_design = RsDesign::Illustrative;
+        abl.addRow({"illustrative RSE (full tags)",
+                    Table::num(speedupOf(driver, workload, illus), 3)});
+    }
+    std::printf("ablations:\n%s", abl.render().c_str());
+    return 0;
+}

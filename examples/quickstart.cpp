@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: run one bundled workload on a baseline core and on the
+ * same core with ReDSOC slack recycling, and print the speedup.
+ *
+ *   ./quickstart [workload] [core]
+ *   e.g. ./quickstart crc big
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "sim/driver.h"
+
+using namespace redsoc;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "crc";
+    const std::string core = argc > 2 ? argv[2] : "big";
+
+    SimDriver driver;
+    std::printf("Tracing workload '%s'...\n", workload.c_str());
+    const Trace &trace = driver.trace(workload);
+    std::printf("  %llu dynamic ops from program '%s'\n",
+                static_cast<unsigned long long>(trace.size()),
+                trace.program().name().c_str());
+
+    const CoreConfig base = configFor(core, SchedMode::Baseline);
+    const CoreConfig red = configFor(core, SchedMode::ReDSOC);
+
+    const CoreStats &b = driver.run(workload, base);
+    const CoreStats &r = driver.run(workload, red);
+
+    Table t({"metric", "baseline", "redsoc"});
+    t.addRow({"cycles", std::to_string(b.cycles),
+              std::to_string(r.cycles)});
+    t.addRow({"IPC", Table::num(b.ipc()), Table::num(r.ipc())});
+    t.addRow({"recycled ops", std::to_string(b.recycled_ops),
+              std::to_string(r.recycled_ops)});
+    t.addRow({"E[transparent seq len]", Table::num(
+                  b.expected_chain_length),
+              Table::num(r.expected_chain_length)});
+    t.addRow({"FU stall rate", Table::pct(b.fuStallRate()),
+              Table::pct(r.fuStallRate())});
+    std::printf("\n%s\n", t.render().c_str());
+
+    const double speedup =
+        static_cast<double>(b.cycles) / static_cast<double>(r.cycles);
+    std::printf("ReDSOC speedup on %s core: %.1f%%\n", core.c_str(),
+                (speedup - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "baselines/fusion.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+FusionOpportunity
+analyzeFusionOpportunity(const Trace &trace, const SlackLut &lut)
+{
+    FusionOpportunity result;
+    const Tick tpc = lut.clock().ticksPerCycle();
+
+    // Youngest producer of each architectural register, plus its
+    // estimated computation time.
+    std::array<Tick, kNumRegs> producer_est{};
+    std::array<bool, kNumRegs> producer_eligible{};
+    producer_eligible.fill(false);
+
+    for (SeqNum s = 0; s < trace.size(); ++s) {
+        const Inst &inst = trace.inst(s);
+        const bool eligible = TimingModel::isSlackEligible(inst.op);
+
+        if (eligible) {
+            const WidthClass wc =
+                classifyWidth(trace.op(s).eff_width);
+            const Tick est = lut.lookupTicks(inst, wc);
+
+            // Does this op consume a slack-eligible producer?
+            for (RegIdx r : inst.sources()) {
+                if (r == kNoReg || !producer_eligible[r])
+                    continue;
+                ++result.eligible_pairs;
+                if (producer_est[r] + est <= tpc)
+                    ++result.fusable_pairs;
+                break; // count each consumer once
+            }
+
+            const RegIdx dst = inst.destination();
+            if (dst != kNoReg) {
+                producer_est[dst] = est;
+                producer_eligible[dst] = true;
+            }
+        } else {
+            const RegIdx dst = inst.destination();
+            if (dst != kNoReg)
+                producer_eligible[dst] = false;
+        }
+    }
+    return result;
+}
+
+} // namespace redsoc

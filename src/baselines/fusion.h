@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MOS (Multiple Operations in a Single cycle) support. The fusion
+ * scheduler itself lives in the core (SchedMode::MOS); this module
+ * provides the static opportunity analysis — how many dependent
+ * operation pairs could ever fit in one cycle — which explains why
+ * MOS opportunity is limited on most applications (Sec.VI-D).
+ */
+
+#ifndef REDSOC_BASELINES_FUSION_H
+#define REDSOC_BASELINES_FUSION_H
+
+#include "func/trace.h"
+#include "timing/slack_lut.h"
+
+namespace redsoc {
+
+struct FusionOpportunity
+{
+    u64 eligible_pairs = 0;  ///< adjacent dependent single-cycle pairs
+    u64 fusable_pairs = 0;   ///< pairs whose summed estimate fits
+    double
+    fusableFraction() const
+    {
+        return eligible_pairs == 0
+                   ? 0.0
+                   : static_cast<double>(fusable_pairs) /
+                         static_cast<double>(eligible_pairs);
+    }
+};
+
+/**
+ * Scan @p trace for producer→consumer pairs of slack-eligible ops
+ * (consumer directly reads the producer's destination) and count how
+ * many could fuse into a single cycle under @p lut estimates using
+ * exact operand widths (an upper bound on dynamic MOS opportunity).
+ */
+FusionOpportunity analyzeFusionOpportunity(const Trace &trace,
+                                           const SlackLut &lut);
+
+} // namespace redsoc
+
+#endif // REDSOC_BASELINES_FUSION_H

@@ -1,0 +1,80 @@
+#include "baselines/timing_speculation.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+TimingSpeculation::TimingSpeculation(TimingSpeculationConfig config)
+    : config_(config)
+{
+    fatal_if(config_.max_error_rate < config_.min_error_rate,
+             "inverted TS error band");
+}
+
+double
+TimingSpeculation::errorRate(const Trace &trace, const TimingModel &model,
+                             Picos period_ps) const
+{
+    u64 total = 0;
+    u64 errors = 0;
+    for (SeqNum s = 0; s < trace.size(); ++s) {
+        const Inst &inst = trace.inst(s);
+        if (inst.op == Opcode::HALT)
+            continue;
+        ++total;
+        const Picos path =
+            TimingModel::isSlackEligible(inst.op)
+                ? model.trueDelayPs(inst, trace.op(s).eff_width)
+                : config_.worst_stage_ps;
+        if (path > period_ps)
+            ++errors;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(errors) /
+                            static_cast<double>(total);
+}
+
+Picos
+TimingSpeculation::choosePeriod(const Trace &trace,
+                                const TimingModel &model) const
+{
+    const Picos nominal = model.clockPeriodPs();
+    Picos best = nominal;
+    for (Picos p = nominal; p >= config_.min_period_ps;
+         p -= config_.period_step_ps) {
+        if (errorRate(trace, model, p) <= config_.max_error_rate)
+            best = p;
+        else
+            break; // error rate is monotone as the period shrinks
+    }
+    return best;
+}
+
+TimingSpeculation::RunResult
+TimingSpeculation::run(const Trace &trace, CoreConfig config,
+                       Cycle baseline_cycles) const
+{
+    const TimingModel model(config.timing);
+    RunResult result;
+    result.period_ps = choosePeriod(trace, model);
+    result.error_rate = errorRate(trace, model, result.period_ps);
+
+    const double nominal =
+        static_cast<double>(config.timing.clock_period_ps);
+
+    config.mode = SchedMode::Baseline;
+    config.memory.offcore_latency_scale =
+        nominal / static_cast<double>(result.period_ps);
+
+    OooCore core(config);
+    result.cycles = core.run(trace).cycles;
+
+    const double base_time =
+        static_cast<double>(baseline_cycles) * nominal;
+    const double ts_time = static_cast<double>(result.cycles) *
+                           static_cast<double>(result.period_ps);
+    result.speedup = ts_time == 0.0 ? 1.0 : base_time / ts_time;
+    return result;
+}
+
+} // namespace redsoc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The timing-speculation (TS) comparator of Sec.VI-D: a Razor-like
+ * scheme that statically overclocks the core to the fastest period
+ * keeping the timing-error rate within [0.01%, 1%] for the
+ * application, with no recovery cost modeled (optimistic, as in the
+ * paper). Off-core memory latency is fixed in wall-clock time, so it
+ * inflates in core cycles when the clock speeds up.
+ */
+
+#ifndef REDSOC_BASELINES_TIMING_SPECULATION_H
+#define REDSOC_BASELINES_TIMING_SPECULATION_H
+
+#include "core/ooo_core.h"
+
+namespace redsoc {
+
+struct TimingSpeculationConfig
+{
+    double max_error_rate = 0.01;   ///< 1%
+    double min_error_rate = 0.0001; ///< 0.01%
+    Picos period_step_ps = 10;      ///< DVFS grid granularity
+    Picos min_period_ps = 250;      ///< never overclock beyond 2x
+
+    /**
+     * Stage critical path of non-recyclable operations (multi-cycle
+     * units, memory pipeline, front-end stages): these datapaths are
+     * engineered close to the cycle time, so TS is "bounded by the
+     * possibility of timing errors from every computation, in every
+     * synchronous EU/op-stage" (Sec.I). Overclocking past this point
+     * makes every such op a potential error.
+     */
+    Picos worst_stage_ps = 480;
+};
+
+class TimingSpeculation
+{
+  public:
+    explicit TimingSpeculation(TimingSpeculationConfig config = {});
+
+    /**
+     * Fraction of slack-eligible operations in @p trace whose true
+     * circuit delay exceeds @p period_ps (the timing-error rate if
+     * the core were clocked at that period).
+     */
+    double errorRate(const Trace &trace, const TimingModel &model,
+                     Picos period_ps) const;
+
+    /**
+     * Fastest period on the grid whose error rate stays within the
+     * configured band (monotone in the period, so this is the
+     * smallest period with rate <= max_error_rate).
+     */
+    Picos choosePeriod(const Trace &trace,
+                       const TimingModel &model) const;
+
+    struct RunResult
+    {
+        Picos period_ps = 0;
+        double error_rate = 0.0;
+        Cycle cycles = 0;
+        /** Wall-clock speedup over the nominal-period baseline. */
+        double speedup = 1.0;
+    };
+
+    /**
+     * Run the TS configuration: baseline scheduling at the chosen
+     * period with off-core latencies rescaled.
+     * @param baseline_cycles cycle count of the nominal-period
+     *        baseline run of the same trace on the same core.
+     */
+    RunResult run(const Trace &trace, CoreConfig config,
+                  Cycle baseline_cycles) const;
+
+  private:
+    TimingSpeculationConfig config_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_BASELINES_TIMING_SPECULATION_H

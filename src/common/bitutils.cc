@@ -1,0 +1,21 @@
+#include "common/bitutils.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+unsigned
+ceilLog2(u64 value)
+{
+    panic_if(value == 0, "ceilLog2(0) is undefined");
+    return value == 1 ? 0 : 64 - std::countl_zero(value - 1);
+}
+
+unsigned
+floorLog2(u64 value)
+{
+    panic_if(value == 0, "floorLog2(0) is undefined");
+    return 63 - std::countl_zero(value);
+}
+
+} // namespace redsoc

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace redsoc {
+
+namespace {
+
+/**
+ * Tests want panic()/fatal() to be catchable; standalone binaries want
+ * them to terminate. We throw: gtest's EXPECT_THROW can observe it and
+ * an uncaught throw still terminates with a useful message.
+ */
+[[noreturn]] void
+raise(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string(kind) + ": " + msg + " @ " + file + ":" +
+                       std::to_string(line);
+    throw std::logic_error(full);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    raise("panic", file, line, msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    raise("fatal", file, line, msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace redsoc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Error/status reporting in the gem5 style: panic() for internal
+ * invariant violations (aborts), fatal() for user/configuration
+ * errors (clean exit), warn()/inform() for status.
+ */
+
+#ifndef REDSOC_COMMON_LOGGING_H
+#define REDSOC_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace redsoc {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    detail::formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMsg(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace redsoc
+
+/** Abort: an internal simulator bug (something that must never happen). */
+#define panic(...) \
+    ::redsoc::panicImpl(__FILE__, __LINE__, \
+                        ::redsoc::detail::formatMsg(__VA_ARGS__))
+
+/** Abort if @a cond holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** Exit(1): a user error (bad configuration or arguments). */
+#define fatal(...) \
+    ::redsoc::fatalImpl(__FILE__, __LINE__, \
+                        ::redsoc::detail::formatMsg(__VA_ARGS__))
+
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#define warn(...) \
+    ::redsoc::warnImpl(::redsoc::detail::formatMsg(__VA_ARGS__))
+
+#define inform(...) \
+    ::redsoc::informImpl(::redsoc::detail::formatMsg(__VA_ARGS__))
+
+#endif // REDSOC_COMMON_LOGGING_H

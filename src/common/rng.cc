@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+namespace {
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::below(u64 bound)
+{
+    panic_if(bound == 0, "Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+u64
+Rng::range(u64 lo, u64 hi)
+{
+    panic_if(lo > hi, "Rng::range with lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+u64
+Rng::narrowValue(unsigned max_width)
+{
+    panic_if(max_width == 0 || max_width > 64, "bad narrowValue width");
+    // Pick a width with probability decaying geometrically, then a
+    // uniform value of exactly that width.
+    unsigned width = 1;
+    while (width < max_width && chance(0.7))
+        ++width;
+    if (width == 1)
+        return below(2);
+    const u64 lo = u64{1} << (width - 1);
+    return lo | below(lo);
+}
+
+} // namespace redsoc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ * Every stochastic element of the workload suite draws from a seeded
+ * Rng so that simulations are bit-reproducible run to run.
+ */
+
+#ifndef REDSOC_COMMON_RNG_H
+#define REDSOC_COMMON_RNG_H
+
+#include <array>
+
+#include "common/types.h"
+
+namespace redsoc {
+
+/**
+ * xoshiro256** generator. Small, fast and high quality; state is
+ * seeded through splitmix64 so any 64-bit seed gives a good stream.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed5eed5eedULL);
+
+    /** Next raw 64-bit draw. */
+    u64 next();
+
+    /** Uniform integer in [0, bound) ; bound must be nonzero. */
+    u64 below(u64 bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64 range(u64 lo, u64 hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /**
+     * A draw with geometric-ish bias toward small effective widths:
+     * used by workload input generators to produce narrow-operand
+     * distributions like those measured in ML weights.
+     */
+    u64 narrowValue(unsigned max_width);
+
+  private:
+    std::array<u64, 4> s_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_COMMON_RNG_H

@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+Histogram::Histogram(u64 max_sample)
+    : max_sample_(max_sample), buckets_(max_sample + 1, 0)
+{
+}
+
+void
+Histogram::sample(u64 value, u64 weight)
+{
+    const u64 idx = value > max_sample_ ? max_sample_ : value;
+    buckets_[idx] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+    sum_sq_ += value * value * weight;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double
+Histogram::weightedMean() const
+{
+    if (sum_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_sq_) / static_cast<double>(sum_);
+}
+
+u64
+Histogram::bucket(u64 value) const
+{
+    const u64 idx = value > max_sample_ ? max_sample_ : value;
+    return buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    buckets_.assign(max_sample_ + 1, 0);
+    count_ = sum_ = sum_sq_ = 0;
+}
+
+void
+StatGroup::recordScalar(const std::string &stat, double value)
+{
+    scalars_[stat] = value;
+}
+
+void
+StatGroup::addScalar(const std::string &stat, double delta)
+{
+    scalars_[stat] += delta;
+}
+
+double
+StatGroup::scalar(const std::string &stat) const
+{
+    auto it = scalars_.find(stat);
+    panic_if(it == scalars_.end(), "unknown stat ", name_, ".", stat);
+    return it->second;
+}
+
+bool
+StatGroup::has(const std::string &stat) const
+{
+    return scalars_.count(stat) != 0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[stat, value] : scalars_)
+        os << name_ << "." << stat << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace redsoc

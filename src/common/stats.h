@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's: scalar counters,
+ * ratios and histograms, grouped and dumpable by name. Every pipeline
+ * structure exposes its statistics through a StatGroup so benches can
+ * report them uniformly.
+ */
+
+#ifndef REDSOC_COMMON_STATS_H
+#define REDSOC_COMMON_STATS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace redsoc {
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(u64 n) { value_ += n; return *this; }
+    u64 value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/**
+ * A bucketed distribution over non-negative integer samples, with
+ * exact mean tracking. Samples beyond the configured max land in an
+ * overflow bucket but still contribute to the mean.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(u64 max_sample = 64);
+
+    void sample(u64 value, u64 weight = 1);
+
+    u64 count() const { return count_; }
+    u64 total() const { return sum_; }
+
+    /** Arithmetic mean of all samples (0 if empty). */
+    double mean() const;
+
+    /**
+     * Weighted mean where each sample of value v carries weight v:
+     * E[V^2]/E[V]. This is the "expected value of sequence length"
+     * statistic of Fig.11 — the expected length of the sequence a
+     * uniformly chosen *operation* belongs to.
+     */
+    double weightedMean() const;
+
+    /** Number of samples equal to @p value (values > max collapse). */
+    u64 bucket(u64 value) const;
+
+    u64 maxSample() const { return max_sample_; }
+
+    void reset();
+
+  private:
+    u64 max_sample_;
+    std::vector<u64> buckets_;
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 sum_sq_ = 0;
+};
+
+/**
+ * A named collection of statistics. Structures register their
+ * counters under stable names; dump() renders "name value" lines.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void recordScalar(const std::string &stat, double value);
+    void addScalar(const std::string &stat, double delta);
+
+    double scalar(const std::string &stat) const;
+    bool has(const std::string &stat) const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, double> &scalars() const { return scalars_; }
+
+    /** Render all scalars as "group.stat value" lines. */
+    std::string dump() const;
+
+    void reset() { scalars_.clear(); }
+
+  private:
+    std::string name_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_COMMON_STATS_H

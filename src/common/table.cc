@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "table with no columns");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "row arity ", cells.size(), " != header arity ",
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](std::ostringstream &os,
+                    const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit(os, headers_);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(os, row);
+    return os.str();
+}
+
+} // namespace redsoc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Each bench
+ * regenerates a paper figure/table as rows of aligned columns so the
+ * output can be eyeballed against the paper or scraped by scripts.
+ */
+
+#ifndef REDSOC_COMMON_TABLE_H
+#define REDSOC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace redsoc {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string num(double value, int digits = 2);
+
+    /** Convenience: format a fraction as a percentage string. */
+    static std::string pct(double fraction, int digits = 1);
+
+    /** Render with single-space-padded columns and a rule line. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_COMMON_TABLE_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every redsoc subsystem.
+ */
+
+#ifndef REDSOC_COMMON_TYPES_H
+#define REDSOC_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace redsoc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** A simulated memory address (byte granular, 64-bit space). */
+using Addr = u64;
+
+/** A clock-cycle count. */
+using Cycle = u64;
+
+/**
+ * A sub-cycle timestamp in "ticks". The whole simulator quantizes a
+ * clock cycle into kTicksPerCycle ticks; the paper's 3-bit Completion
+ * Instant is a tick count with 8 ticks per cycle. We keep the tick
+ * resolution a compile-time constant at the finest precision the
+ * precision-sweep experiment needs (8 bits = 256 ticks) and quantize
+ * down when modelling coarser CI fields.
+ */
+using Tick = u64;
+
+/** Physical time in picoseconds (used by the circuit timing model). */
+using Picos = u32;
+
+/** Architectural register index. */
+using RegIdx = u8;
+
+/** Dynamic-instruction sequence number (program order). */
+using SeqNum = u64;
+
+/** Invalid/none marker for sequence numbers. */
+inline constexpr SeqNum kNoSeq = ~SeqNum{0};
+
+} // namespace redsoc
+
+#endif // REDSOC_COMMON_TYPES_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Core configuration: the three processor baselines of Table I
+ * (Small / Medium / Big) plus the scheduler-mode and slack-recycling
+ * knobs of Secs. III-IV.
+ */
+
+#ifndef REDSOC_CORE_CORE_CONFIG_H
+#define REDSOC_CORE_CORE_CONFIG_H
+
+#include <string>
+
+#include "mem/hierarchy.h"
+#include "predictors/branch_predictor.h"
+#include "predictors/last_arrival_predictor.h"
+#include "predictors/width_predictor.h"
+#include "timing/timing_model.h"
+
+namespace redsoc {
+
+/** Instruction scheduling mode. */
+enum class SchedMode : u8 {
+    Baseline, ///< conventional boundary-clocked OOO scheduling
+    ReDSOC,   ///< slack recycling via transparent dataflow (the paper)
+    MOS,      ///< Multiple-Operations-in-Single-cycle fusion comparator
+};
+
+const char *schedModeName(SchedMode mode);
+
+/** Reservation-station design for slack-aware scheduling (Sec.IV-C). */
+enum class RsDesign : u8 {
+    /** Full tag set: 2 parent + 4 grandparent tags, max trees. */
+    Illustrative,
+    /** Predicted last-arriving parent/grandparent tag only. */
+    Operational,
+};
+
+const char *rsDesignName(RsDesign design);
+
+struct CoreConfig
+{
+    std::string name = "medium";
+
+    // --- Table I parameters -----------------------------------------
+    unsigned frontend_width = 4;   ///< fetch/rename/dispatch per cycle
+    unsigned commit_width = 4;
+    unsigned rob_entries = 80;
+    unsigned lsq_entries = 32;
+    unsigned rs_entries = 64;
+    unsigned alu_units = 4;
+    unsigned simd_units = 3;
+    unsigned fp_units = 3;
+    unsigned mem_ports = 2;
+
+    /** Pipeline refill penalty on a branch mispredict (cycles from
+     *  resolve to first new op entering rename). */
+    Cycle redirect_penalty = 10;
+
+    HierarchyConfig memory{};
+    TimingConfig timing{};
+    BranchPredictorConfig branch_pred{};
+    WidthPredictorConfig width_pred{};
+    LastArrivalConfig last_arrival{};
+
+    // --- Scheduling / ReDSOC knobs ----------------------------------
+    SchedMode mode = SchedMode::Baseline;
+    RsDesign rs_design = RsDesign::Operational;
+
+    /** CI field precision in bits (paper: 3; Sec.V sweep 1..8). */
+    unsigned ci_precision_bits = 3;
+
+    /**
+     * Slack threshold (Sec.IV-C step 10) in ticks: a consumer is
+     * issued into its producer's completion cycle only if the
+     * producer's CI is <= this value, balancing recycling opportunity
+     * against 2-cycle FU over-allocation. Expressed at the configured
+     * CI precision.
+     */
+    Tick slack_threshold_ticks = 6;
+
+    /**
+     * The paper's proposed extension (Sec.IV-C): "a simple but
+     * intelligent dynamic mechanism can be used to increase or
+     * decrease this threshold based on overall observed benefits."
+     * When enabled, the core hill-climbs the threshold once per
+     * epoch on observed commit throughput, starting from
+     * slack_threshold_ticks.
+     */
+    bool dynamic_threshold = false;
+
+    /** Adaptation epoch in cycles (Tribeca-style fine-grained
+     *  adaptation granularity). */
+    Cycle threshold_epoch = 2000;
+
+    /** Enable eager grandparent wakeup (required for same-cycle
+     *  parent/child issue; disabling it is an ablation). */
+    bool egpw = true;
+
+    /** Enable skewed selection (ablation: plain oldest-first treats
+     *  speculative and conventional requests equally). */
+    bool skewed_select = true;
+};
+
+/** Table I presets. */
+CoreConfig smallCore();
+CoreConfig mediumCore();
+CoreConfig bigCore();
+
+/** Preset by name ("small"/"medium"/"big"). */
+CoreConfig coreByName(const std::string &name);
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_CORE_CONFIG_H

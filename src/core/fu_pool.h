@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional-unit pools with per-cycle occupancy accounting. Slack
+ * recycling allocates an execution unit for *two* cycles when an
+ * operation's transparent execution window crosses a clock boundary
+ * (IT3, Sec.III), so availability is tracked per future cycle.
+ */
+
+#ifndef REDSOC_CORE_FU_POOL_H
+#define REDSOC_CORE_FU_POOL_H
+
+#include <array>
+#include <vector>
+
+#include "core/core_config.h"
+#include "isa/opcode.h"
+
+namespace redsoc {
+
+/** Physical execution-port pool an FuClass maps onto. */
+enum class FuPoolKind : u8 { Alu, Simd, Fp, Mem, NUM };
+
+FuPoolKind fuPoolKind(FuClass fc);
+
+class FuPool
+{
+  public:
+    explicit FuPool(const CoreConfig &config);
+
+    /** Units of @p kind free during @p cycle. */
+    unsigned freeUnits(FuPoolKind kind, Cycle cycle) const;
+
+    /** Book one unit of @p kind for cycles [cycle, cycle+span). */
+    void book(FuPoolKind kind, Cycle cycle, unsigned span = 1);
+
+    /** Release one unit booked in error (misprediction cancel). */
+    void release(FuPoolKind kind, Cycle cycle, unsigned span = 1);
+
+    unsigned capacity(FuPoolKind kind) const;
+
+    /**
+     * Busy-unit count during @p cycle (for the FU-stall statistic of
+     * Fig.14).
+     */
+    unsigned busyUnits(FuPoolKind kind, Cycle cycle) const;
+
+    /** Drop accounting for cycles before @p cycle (ring advance). */
+    void retireBefore(Cycle cycle);
+
+  private:
+    static constexpr unsigned kHorizon = 64; ///< booking look-ahead
+
+    unsigned &slot(FuPoolKind kind, Cycle cycle);
+    unsigned slotConst(FuPoolKind kind, Cycle cycle) const;
+
+    std::array<unsigned, static_cast<size_t>(FuPoolKind::NUM)> capacity_;
+    /** booked_[kind][cycle % kHorizon] with cycle tags. */
+    std::array<std::array<unsigned, kHorizon>,
+               static_cast<size_t>(FuPoolKind::NUM)> booked_{};
+    std::array<Cycle, kHorizon> cycle_tag_{};
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_FU_POOL_H

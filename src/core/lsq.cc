@@ -1,0 +1,96 @@
+#include "core/lsq.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+Lsq::Lsq(unsigned capacity) : capacity_(capacity)
+{
+    fatal_if(capacity == 0, "zero-entry LSQ");
+}
+
+void
+Lsq::dispatch(SeqNum seq, bool is_store)
+{
+    panic_if(full(), "dispatch into full LSQ");
+    panic_if(!entries_.empty() && seq <= entries_.back().seq,
+             "out-of-order LSQ dispatch");
+    entries_.push_back(Entry{seq, is_store});
+}
+
+Lsq::Entry *
+Lsq::find(SeqNum seq)
+{
+    for (Entry &e : entries_)
+        if (e.seq == seq)
+            return &e;
+    return nullptr;
+}
+
+const Lsq::Entry *
+Lsq::find(SeqNum seq) const
+{
+    return const_cast<Lsq *>(this)->find(seq);
+}
+
+void
+Lsq::resolve(SeqNum seq, Addr addr, unsigned size, Tick complete)
+{
+    Entry *e = find(seq);
+    panic_if(!e, "resolve of op not in LSQ");
+    e->resolved = true;
+    e->addr = addr;
+    e->size = size;
+    e->complete = complete;
+}
+
+void
+Lsq::setComplete(SeqNum seq, Tick complete)
+{
+    Entry *e = find(seq);
+    panic_if(!e, "setComplete of op not in LSQ");
+    e->complete = complete;
+}
+
+bool
+Lsq::olderStoreUnresolved(SeqNum seq) const
+{
+    for (const Entry &e : entries_) {
+        if (e.seq >= seq)
+            break;
+        if (e.is_store && !e.resolved)
+            return true;
+    }
+    return false;
+}
+
+std::optional<Lsq::ForwardResult>
+Lsq::forwardFrom(SeqNum load_seq, Addr addr, unsigned size) const
+{
+    // Scan youngest-older-store first so the latest producer wins.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        const Entry &e = *it;
+        if (e.seq >= load_seq || !e.is_store || !e.resolved)
+            continue;
+        const Addr lo = std::max(e.addr, addr);
+        const Addr hi = std::min(e.addr + e.size, addr + size);
+        if (lo >= hi)
+            continue; // no overlap
+        ForwardResult result;
+        result.store_complete = e.complete;
+        result.full_cover = e.addr <= addr && e.addr + e.size >= addr + size;
+        result.partial = !result.full_cover;
+        return result;
+    }
+    return std::nullopt;
+}
+
+void
+Lsq::commit(SeqNum seq)
+{
+    panic_if(entries_.empty() || entries_.front().seq != seq,
+             "out-of-order LSQ commit");
+    entries_.pop_front();
+}
+
+} // namespace redsoc

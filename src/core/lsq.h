@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unified load/store queue: occupancy, conservative load ordering
+ * (loads issue only after all older store addresses are resolved)
+ * and store-to-load forwarding.
+ */
+
+#ifndef REDSOC_CORE_LSQ_H
+#define REDSOC_CORE_LSQ_H
+
+#include <deque>
+#include <optional>
+
+#include "common/types.h"
+
+namespace redsoc {
+
+class Lsq
+{
+  public:
+    explicit Lsq(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    size_t size() const { return entries_.size(); }
+
+    /** Allocate an entry at dispatch (program order). */
+    void dispatch(SeqNum seq, bool is_store);
+
+    /** Record the resolved address/size at issue. */
+    void resolve(SeqNum seq, Addr addr, unsigned size, Tick complete);
+
+    /** Update a resolved entry's completion time. */
+    void setComplete(SeqNum seq, Tick complete);
+
+    /**
+     * True if any store older than @p seq has an unresolved address
+     * (the conservative ordering gate for load issue).
+     */
+    bool olderStoreUnresolved(SeqNum seq) const;
+
+    struct ForwardResult
+    {
+        bool full_cover = false; ///< store data fully covers the load
+        bool partial = false;    ///< overlap without full cover
+        Tick store_complete = 0; ///< producing store's completion
+    };
+
+    /**
+     * Search older stores (youngest first) for one overlapping
+     * [addr, addr+size). Empty result if none overlap.
+     */
+    std::optional<ForwardResult>
+    forwardFrom(SeqNum load_seq, Addr addr, unsigned size) const;
+
+    /** Release the entry at commit. */
+    void commit(SeqNum seq);
+
+    u64 forwards() const { return forwards_; }
+    void noteForward() { ++forwards_; }
+
+  private:
+    struct Entry
+    {
+        SeqNum seq;
+        bool is_store;
+        bool resolved = false;
+        Addr addr = 0;
+        unsigned size = 0;
+        Tick complete = 0;
+    };
+
+    const Entry *find(SeqNum seq) const;
+    Entry *find(SeqNum seq);
+
+    unsigned capacity_;
+    std::deque<Entry> entries_; ///< program order
+    u64 forwards_ = 0;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_LSQ_H

@@ -1,0 +1,791 @@
+#include "core/ooo_core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+StatGroup
+toStatGroup(const CoreStats &stats, const std::string &name)
+{
+    StatGroup group(name);
+    group.recordScalar("cycles", static_cast<double>(stats.cycles));
+    group.recordScalar("committed",
+                       static_cast<double>(stats.committed));
+    group.recordScalar("ipc", stats.ipc());
+    group.recordScalar("fu_stall_rate", stats.fuStallRate());
+    group.recordScalar("recycled_ops",
+                       static_cast<double>(stats.recycled_ops));
+    group.recordScalar("two_cycle_holds",
+                       static_cast<double>(stats.two_cycle_holds));
+    group.recordScalar("slack_recycled_ticks",
+                       static_cast<double>(stats.slack_recycled_ticks));
+    group.recordScalar("egpw_requests",
+                       static_cast<double>(stats.egpw_requests));
+    group.recordScalar("egpw_grants",
+                       static_cast<double>(stats.egpw_grants));
+    group.recordScalar("egpw_wasted",
+                       static_cast<double>(stats.egpw_wasted));
+    group.recordScalar("fused_ops",
+                       static_cast<double>(stats.fused_ops));
+    group.recordScalar("la_mispredict_rate", stats.laMispredictRate());
+    group.recordScalar("width_aggressive_rate",
+                       stats.widthAggressiveRate());
+    group.recordScalar("branch_mispredict_rate",
+                       stats.branchMispredictRate());
+    group.recordScalar("loads", static_cast<double>(stats.loads));
+    group.recordScalar("stores", static_cast<double>(stats.stores));
+    group.recordScalar("l1_load_misses",
+                       static_cast<double>(stats.l1_load_misses));
+    group.recordScalar("store_forwards",
+                       static_cast<double>(stats.store_forwards));
+    group.recordScalar("expected_chain_length",
+                       stats.expected_chain_length);
+    group.recordScalar("threshold_final",
+                       static_cast<double>(stats.threshold_final));
+    return group;
+}
+
+OooCore::OooCore(CoreConfig config)
+    : config_(std::move(config)),
+      clock_(config_.ci_precision_bits, config_.timing.clock_period_ps),
+      timing_(config_.timing),
+      lut_(timing_, clock_),
+      memory_(config_.memory),
+      branch_pred_(config_.branch_pred),
+      width_pred_(config_.width_pred),
+      la_pred_(config_.last_arrival),
+      rob_(config_.rob_entries),
+      lsq_(config_.lsq_entries),
+      rs_(config_.rs_entries),
+      fu_(config_)
+{
+    fatal_if(config_.slack_threshold_ticks > clock_.ticksPerCycle(),
+             "slack threshold exceeds a full cycle");
+}
+
+bool
+OooCore::widthSensitive(const Inst &inst) const
+{
+    // Only carry-chain (arithmetic) operations have width-dependent
+    // delay; logic and move/shift rows of the LUT collapse widths.
+    return aluKind(inst.op) == AluKind::Arith;
+}
+
+SeqNum
+OooCore::lastProducer(const OpState &op) const
+{
+    SeqNum last = kNoSeq;
+    Tick best = 0;
+    for (unsigned i = 0; i < op.nprod; ++i) {
+        const OpState &ps = ops_[op.prod[i]];
+        if (last == kNoSeq || ps.complete_tick >= best) {
+            best = ps.complete_tick;
+            last = op.prod[i];
+        }
+    }
+    return last;
+}
+
+Tick
+OooCore::producersComplete(const OpState &op) const
+{
+    Tick t = 0;
+    for (unsigned i = 0; i < op.nprod; ++i)
+        t = std::max(t, ops_[op.prod[i]].complete_tick);
+    return t;
+}
+
+Cycle
+OooCore::selGate(const OpState &op) const
+{
+    Cycle gate = op.dispatch_cycle + 1;
+    for (unsigned i = 0; i < op.nprod; ++i)
+        gate = std::max(gate, ops_[op.prod[i]].select_cycle + 1);
+    return gate;
+}
+
+void
+OooCore::dispatchPhase(const Trace &trace)
+{
+    if (fetch_blocked_on_ != kNoSeq) {
+        const OpState &blocker = ops_[fetch_blocked_on_];
+        if (blocker.st == OpState::St::InRs ||
+            blocker.st == OpState::St::Fetched) {
+            return; // mispredicted branch not resolved yet
+        }
+        // The redirect starts at the clock edge after the cycle in
+        // which resolution finished (a boundary-tick completion
+        // belongs to the cycle it ends, hence the -1).
+        fetch_stall_until_ = clock_.cycleOf(blocker.complete_tick - 1) +
+                             1 + config_.redirect_penalty;
+        fetch_blocked_on_ = kNoSeq;
+    }
+    if (cycle_ < fetch_stall_until_)
+        return;
+
+    for (unsigned w = 0; w < config_.frontend_width; ++w) {
+        if (next_fetch_ >= trace.size())
+            return;
+        const DynOp &dyn = trace.op(next_fetch_);
+        const Inst &inst = trace.inst(next_fetch_);
+        const bool is_mem = isMem(inst.op);
+        const bool is_halt = inst.op == Opcode::HALT;
+        const bool needs_rs = !is_halt && inst.op != Opcode::B &&
+                              inst.op != Opcode::BL &&
+                              inst.op != Opcode::RET;
+
+        if (rob_.full())
+            return;
+        if (needs_rs && rs_.full())
+            return;
+        if (is_mem && lsq_.full())
+            return;
+
+        const SeqNum seq = next_fetch_++;
+        OpState &op = ops_[seq];
+        op.dispatch_cycle = cycle_;
+        rob_.push(seq);
+
+        // Direct unconditional control flow is resolved entirely in
+        // the front end (target known at decode, RAS for returns):
+        // it occupies a ROB slot but no RS entry or execution port.
+        if (!needs_rs) {
+            op.fu = FuClass::None;
+            op.st = OpState::St::Done;
+            op.select_cycle = cycle_;
+            op.start_tick = clock_.cycleStart(cycle_ + 1);
+            op.complete_tick = op.start_tick;
+            op.is_branch = isBranch(inst.op);
+            if (op.is_branch) {
+                // Rename the link register and predict as usual.
+                const RegIdx dst = inst.destination();
+                if (dst != kNoReg)
+                    rat_.setWriter(dst, seq);
+                ++stats_.branch_lookups;
+                op.predicted_next =
+                    branch_pred_.predict(dyn.pc, inst, dyn.pc + 1);
+                op.branch_mispredicted = op.predicted_next != dyn.next_pc;
+                if (op.branch_mispredicted) {
+                    fetch_blocked_on_ = seq;
+                    return;
+                }
+            }
+            continue;
+        }
+
+        op.fu = fuClass(inst.op);
+        op.pool = fuPoolKind(op.fu);
+        op.eligible = TimingModel::isSlackEligible(inst.op);
+        op.is_load = isLoad(inst.op);
+        op.is_store = isStore(inst.op);
+        op.is_branch = isBranch(inst.op);
+
+        // Rename: derive true dependencies and claim the destination.
+        for (RegIdx r : inst.sources()) {
+            if (r == kNoReg)
+                continue;
+            const SeqNum writer = rat_.writer(r);
+            if (writer != kNoSeq)
+                op.prod[op.nprod++] = writer;
+        }
+        const RegIdx dst = inst.destination();
+        if (dst != kNoReg)
+            rat_.setWriter(dst, seq);
+
+        // EX-TIME estimate (Sec.IV-C step 5): LUT at decode, using
+        // the predicted width class for width-sensitive scalar ops.
+        if (op.eligible) {
+            if (!isSimd(inst.op) && widthSensitive(inst)) {
+                op.pred_wc = width_pred_.predict(dyn.pc);
+                op.actual_wc = classifyWidth(dyn.eff_width);
+                op.width_predicted = true;
+                ++stats_.width_predictions;
+            }
+            op.est_ticks = lut_.lookupTicks(inst, op.pred_wc);
+        }
+
+        // Operational design: predict the last-arriving parent for
+        // two-source slack-eligible ops.
+        if (config_.rs_design == RsDesign::Operational && op.eligible &&
+            op.nprod == 2) {
+            op.pred_last_slot =
+                static_cast<u8>(la_pred_.predict(dyn.pc));
+            ++stats_.la_predictions;
+        }
+
+        if (op.is_branch) {
+            ++stats_.branch_lookups;
+            op.predicted_next =
+                branch_pred_.predict(dyn.pc, inst, dyn.pc + 1);
+            op.branch_mispredicted = op.predicted_next != dyn.next_pc;
+        }
+
+        op.st = OpState::St::InRs;
+        rs_.insert(seq);
+        if (is_mem) {
+            lsq_.dispatch(seq, op.is_store);
+            op.in_lsq = true;
+        }
+
+        if (op.is_branch && op.branch_mispredicted) {
+            // Everything younger is wrong-path until this resolves.
+            fetch_blocked_on_ = seq;
+            return;
+        }
+    }
+}
+
+bool
+OooCore::evalConventional(SeqNum seq, Candidate &cand)
+{
+    OpState &op = ops_[seq];
+    if (op.st != OpState::St::InRs)
+        return false;
+    if (cycle_ < op.dispatch_cycle + 1 || cycle_ < op.retry_cycle)
+        return false;
+
+    for (unsigned i = 0; i < op.nprod; ++i) {
+        if (ops_[op.prod[i]].st == OpState::St::InRs ||
+            ops_[op.prod[i]].st == OpState::St::Fetched) {
+            return false; // a producer is not yet scheduled
+        }
+    }
+
+    // Operational design: validate the last-arrival prediction once
+    // all producers are scheduled. A wrong prediction means the entry
+    // woke on the wrong tag and replays (Sec.IV-C).
+    if (!op.la_checked && op.pred_last_slot != 0xff) {
+        op.la_checked = true;
+        auto gate_of = [&](SeqNum p) {
+            const OpState &ps = ops_[p];
+            const Cycle structural = ps.select_cycle + 1;
+            const Cycle data_cycle =
+                clock_.cycleOf(clock_.ceilToBoundary(ps.complete_tick));
+            return std::max(structural,
+                            data_cycle == 0 ? 0 : data_cycle - 1);
+        };
+        Cycle pred_ready = std::max(op.dispatch_cycle + 1,
+                                    gate_of(op.prod[op.pred_last_slot]));
+        Cycle true_ready = op.dispatch_cycle + 1;
+        for (unsigned i = 0; i < op.nprod; ++i)
+            true_ready = std::max(true_ready, gate_of(op.prod[i]));
+        // The scoreboard validation (Sec.IV-C): the prediction is
+        // correct iff the other operand was already available when
+        // the predicted-last tag woke the entry.
+        const bool correct = pred_ready >= true_ready;
+        la_pred_.recordOutcome(correct);
+        if (!correct) {
+            ++stats_.la_mispredictions;
+            // Woke early on the wrong tag: replay penalty.
+            static constexpr Cycle kLaReplayPenalty = 2;
+            op.retry_cycle = true_ready + kLaReplayPenalty;
+            return false;
+        }
+    }
+
+    if (cycle_ < selGate(op))
+        return false;
+
+    const Tick arrival = clock_.cycleStart(cycle_ + 1);
+    const Tick producers_t = producersComplete(op);
+
+    bool transparent = false;
+    Tick start = arrival;
+    if (producers_t <= arrival) {
+        start = arrival;
+    } else if (config_.mode == SchedMode::ReDSOC && op.eligible &&
+               canRecycle(producers_t, arrival, clock_,
+                          cur_threshold_)) {
+        start = producers_t;
+        transparent = true;
+    } else {
+        return false; // data not available (or not recyclable)
+    }
+
+    if (op.is_load && lsq_.olderStoreUnresolved(seq))
+        return false;
+
+    cand.seq = seq;
+    cand.speculative = false;
+    cand.recycle_ok = true;
+    fillCompletion(cand, op, arrival, start, transparent);
+    return true;
+}
+
+void
+OooCore::fillCompletion(Candidate &cand, OpState &op, Tick arrival,
+                        Tick start, bool transparent)
+{
+    const Tick tpc = clock_.ticksPerCycle();
+    cand.start = start;
+    cand.transparent = transparent;
+
+    if (op.is_load || op.is_store) {
+        // Real completion computed at issue (cache side effects).
+        cand.start = arrival;
+        cand.transparent = false;
+        cand.complete = arrival; // placeholder
+        cand.span = 1;
+        return;
+    }
+
+    if (!op.eligible) {
+        const unsigned lat = fuLatency(op.fu);
+        cand.start = arrival;
+        cand.transparent = false;
+        cand.complete = arrival + Tick{lat} * tpc;
+        cand.span = fuPipelined(op.fu) ? 1 : lat;
+        return;
+    }
+
+    // Slack-eligible single-cycle operation.
+    if (config_.mode != SchedMode::ReDSOC) {
+        cand.start = arrival;
+        cand.transparent = false;
+        cand.complete = arrival + tpc;
+        cand.span = 1;
+        return;
+    }
+
+    const Inst &inst = trace_->inst(cand.seq);
+    if (op.width_predicted && op.actual_wc > op.pred_wc) {
+        // Aggressive width misprediction, detected at execute:
+        // conservative re-execution from the next boundary
+        // (selective-reissue recovery, Sec.II-B).
+        const Tick est = lut_.lookupTicks(inst, op.actual_wc);
+        cand.start = arrival;
+        cand.transparent = false;
+        cand.complete = arrival + tpc + est;
+        cand.span = 2;
+        op.width_replayed = true;
+        return;
+    }
+
+    cand.complete = start + op.est_ticks;
+    cand.span = clock_.crossesBoundary(start, cand.complete) ? 2 : 1;
+}
+
+bool
+OooCore::evalEager(SeqNum seq, Candidate &cand)
+{
+    OpState &op = ops_[seq];
+    if (op.st != OpState::St::InRs || !op.eligible)
+        return false;
+    if (cycle_ < op.dispatch_cycle + 1 || cycle_ < op.retry_cycle)
+        return false;
+    if (op.nprod == 0)
+        return false;
+    if (op.is_load || op.is_store)
+        return false;
+
+    for (unsigned i = 0; i < op.nprod; ++i) {
+        const auto st = ops_[op.prod[i]].st;
+        if (st == OpState::St::InRs || st == OpState::St::Fetched)
+            return false;
+    }
+
+    const SeqNum parent = lastProducer(op);
+    const OpState &ps = ops_[parent];
+
+    // The EGPW window: the (last-arriving) parent was granted this
+    // very cycle, so the child's conventional wakeup is one cycle
+    // away, but the grandparent broadcast (last cycle) can wake it.
+    if (ps.select_cycle != cycle_ || ps.st != OpState::St::Done)
+        return false;
+    if (ps.nprod == 0)
+        return false; // no grandparent tags ever broadcast
+    for (unsigned i = 0; i < ps.nprod; ++i) {
+        // Grandparents must have broadcast in an earlier cycle.
+        if (ops_[ps.prod[i]].select_cycle >= cycle_)
+            return false;
+    }
+    // Other parents must have been scheduled before this cycle too
+    // (their tags cannot have woken the entry yet otherwise).
+    for (unsigned i = 0; i < op.nprod; ++i) {
+        if (op.prod[i] != parent &&
+            ops_[op.prod[i]].select_cycle >= cycle_)
+            return false;
+    }
+
+    if (config_.rs_design == RsDesign::Operational) {
+        // The single tracked parent tag must be the actual last
+        // arriver, and the grandparent tag (the parent's predicted
+        // last parent) must be the parent's actual last producer.
+        if (op.pred_last_slot != 0xff &&
+            op.prod[op.pred_last_slot] != parent)
+            return false;
+        if (ps.nprod >= 2) {
+            const SeqNum actual_gp = lastProducer(ps);
+            const SeqNum predicted_gp =
+                ps.pred_last_slot != 0xff ? ps.prod[ps.pred_last_slot]
+                                          : actual_gp;
+            if (predicted_gp != actual_gp)
+                return false;
+        }
+    }
+
+    const Tick arrival = clock_.cycleStart(cycle_ + 1);
+    const Tick producers_t = producersComplete(op);
+
+    cand.seq = seq;
+    cand.speculative = true;
+    cand.recycle_ok = canRecycle(producers_t, arrival, clock_,
+                                 cur_threshold_);
+    if (cand.recycle_ok)
+        fillCompletion(cand, op, arrival, producers_t, true);
+    else
+        cand.span = 1;
+    return true;
+}
+
+void
+OooCore::issueOp(const Candidate &cand)
+{
+    OpState &op = ops_[cand.seq];
+    op.st = OpState::St::Done;
+    op.select_cycle = cycle_;
+    op.start_tick = cand.start;
+    op.complete_tick = cand.complete;
+    op.transparent = cand.transparent;
+    rs_.remove(cand.seq);
+
+    if (op.is_load || op.is_store)
+        op.complete_tick = memCompleteTick(cand.seq, cand.start);
+
+    // Predictors train at execute, where operand values (and the
+    // actual arrival order) become visible.
+    if (op.width_predicted) {
+        if (op.actual_wc > op.pred_wc)
+            ++stats_.width_aggressive;
+        else if (op.actual_wc < op.pred_wc)
+            ++stats_.width_conservative;
+        width_pred_.update(trace_->op(cand.seq).pc, op.actual_wc);
+    }
+    if (op.pred_last_slot != 0xff) {
+        const Tick t0 = ops_[op.prod[0]].complete_tick;
+        const Tick t1 = ops_[op.prod[1]].complete_tick;
+        la_pred_.update(trace_->op(cand.seq).pc, t1 > t0 ? 1 : 0);
+        if (!op.la_checked) {
+            // EGPW-issued: the tracked tag was verified to be the
+            // actual last arriver on the eager path.
+            op.la_checked = true;
+            la_pred_.recordOutcome(true);
+        }
+    }
+
+    if (op.in_lsq) {
+        const DynOp &dyn = trace_->op(cand.seq);
+        lsq_.resolve(cand.seq, dyn.mem_addr,
+                     memAccessSize(trace_->inst(cand.seq).op),
+                     op.complete_tick);
+    }
+
+    if (cand.transparent) {
+        ++stats_.recycled_ops;
+        stats_.slack_recycled_ticks +=
+            clock_.ceilToBoundary(cand.start) - cand.start;
+        chains_.onExtend(lastProducer(op), cand.seq);
+    } else if (op.eligible && config_.mode == SchedMode::ReDSOC) {
+        chains_.onRoot(cand.seq);
+    }
+    if (cand.span == 2 && op.eligible && !op.width_replayed)
+        ++stats_.two_cycle_holds;
+}
+
+Tick
+OooCore::memCompleteTick(SeqNum seq, Tick arrival)
+{
+    const Tick tpc = clock_.ticksPerCycle();
+    const DynOp &dyn = trace_->op(seq);
+    const Inst &inst = trace_->inst(seq);
+    OpState &op = ops_[seq];
+
+    if (op.is_store) {
+        ++stats_.stores;
+        memory_.access(dyn.pc, dyn.mem_addr, true);
+        return arrival + tpc;
+    }
+
+    ++stats_.loads;
+    const unsigned size = memAccessSize(inst.op);
+    const auto fwd = lsq_.forwardFrom(seq, dyn.mem_addr, size);
+    if (fwd && fwd->full_cover) {
+        ++stats_.store_forwards;
+        lsq_.noteForward();
+        const Tick ready =
+            std::max(arrival, clock_.ceilToBoundary(fwd->store_complete));
+        return ready + Tick{config_.memory.l1_latency} * tpc;
+    }
+
+    Tick ready = arrival;
+    if (fwd && fwd->partial)
+        ready = std::max(arrival,
+                         clock_.ceilToBoundary(fwd->store_complete));
+    const auto result = memory_.access(dyn.pc, dyn.mem_addr, false);
+    if (!result.l1_hit)
+        ++stats_.l1_load_misses;
+    return ready + Tick{result.latency} * tpc;
+}
+
+void
+OooCore::issuePhase()
+{
+    bool fu_denied = false;
+    std::vector<Candidate> conv_grants;
+    const bool redsoc = config_.mode == SchedMode::ReDSOC;
+    const bool interleave_spec = redsoc && config_.egpw &&
+                                 !config_.skewed_select;
+
+    // Phase A: conventional (parent-woken) requests, oldest first.
+    // With skewed selection disabled (ablation), speculative EGPW
+    // requests compete purely by age and are interleaved here.
+    const std::vector<SeqNum> entries = rs_.entries();
+    for (SeqNum seq : entries) {
+        Candidate cand;
+        bool is_req = evalConventional(seq, cand);
+        if (!is_req && interleave_spec) {
+            is_req = evalEager(seq, cand);
+            if (is_req)
+                ++stats_.egpw_requests;
+        }
+        if (!is_req)
+            continue;
+
+        const FuPoolKind pool = ops_[seq].pool;
+        if (cand.speculative) {
+            if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
+                fu_denied = true;
+                continue;
+            }
+            ++stats_.egpw_grants;
+            if (!cand.recycle_ok) {
+                fu_.book(pool, cycle_ + 1, 1);
+                ++stats_.egpw_wasted;
+                continue;
+            }
+        }
+        bool free = true;
+        for (unsigned i = 0; i < cand.span; ++i)
+            if (fu_.freeUnits(pool, cycle_ + 1 + i) == 0)
+                free = false;
+        if (!free) {
+            if (cand.speculative) {
+                fu_.book(pool, cycle_ + 1, 1);
+                ++stats_.egpw_wasted;
+            } else {
+                fu_denied = true;
+            }
+            continue;
+        }
+        fu_.book(pool, cycle_ + 1, cand.span);
+        issueOp(cand);
+        if (!cand.speculative)
+            conv_grants.push_back(cand);
+    }
+
+    // Phase B: EGPW speculative requests from leftover units (the
+    // skewed-select ordering: conventional grants always first).
+    if (redsoc && config_.egpw && !interleave_spec) {
+        const std::vector<SeqNum> entries_b = rs_.entries();
+        for (SeqNum seq : entries_b) {
+            Candidate cand;
+            if (!evalEager(seq, cand))
+                continue;
+            ++stats_.egpw_requests;
+            const FuPoolKind pool = ops_[seq].pool;
+            if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
+                // Not granted (no conventional op was displaced), but
+                // a ready request stalled on busy units all the same.
+                fu_denied = true;
+                continue;
+            }
+            ++stats_.egpw_grants;
+            if (!cand.recycle_ok) {
+                // Granted, but there is no slack to recycle this
+                // cycle: the reserved unit idles (Fig.7 grant AND
+                // recycle gating).
+                fu_.book(pool, cycle_ + 1, 1);
+                ++stats_.egpw_wasted;
+                continue;
+            }
+            bool free = true;
+            for (unsigned i = 0; i < cand.span; ++i)
+                if (fu_.freeUnits(pool, cycle_ + 1 + i) == 0)
+                    free = false;
+            if (!free) {
+                fu_.book(pool, cycle_ + 1, 1);
+                ++stats_.egpw_wasted;
+                continue;
+            }
+            fu_.book(pool, cycle_ + 1, cand.span);
+            issueOp(cand);
+        }
+    }
+
+    // MOS: dynamic operation fusion. A granted producer may pull one
+    // ready consumer into its own cycle when both computations fit.
+    if (config_.mode == SchedMode::MOS) {
+        const Tick tpc = clock_.ticksPerCycle();
+        const Tick arrival = clock_.cycleStart(cycle_ + 1);
+        for (const Candidate &pg : conv_grants) {
+            OpState &pop = ops_[pg.seq];
+            if (!pop.eligible || pop.est_ticks == 0)
+                continue;
+            const std::vector<SeqNum> rs_now = rs_.entries();
+            for (SeqNum cseq : rs_now) {
+                OpState &cop = ops_[cseq];
+                if (cop.st != OpState::St::InRs || !cop.eligible)
+                    continue;
+                if (cycle_ < cop.dispatch_cycle + 1 ||
+                    cycle_ < cop.retry_cycle)
+                    continue;
+                if (cop.pool != pop.pool)
+                    continue;
+                bool all_sched = true;
+                bool parent_is_last = false;
+                Tick others = 0;
+                for (unsigned i = 0; i < cop.nprod; ++i) {
+                    const OpState &xs = ops_[cop.prod[i]];
+                    if (xs.st == OpState::St::InRs ||
+                        xs.st == OpState::St::Fetched) {
+                        all_sched = false;
+                        break;
+                    }
+                    if (cop.prod[i] == pg.seq)
+                        parent_is_last = true;
+                    else
+                        others = std::max(others, xs.complete_tick);
+                }
+                if (!all_sched || !parent_is_last || others > arrival)
+                    continue;
+                if (pop.est_ticks + cop.est_ticks > tpc)
+                    continue;
+
+                Candidate fc;
+                fc.seq = cseq;
+                fc.speculative = false;
+                fc.recycle_ok = true;
+                fc.start = arrival + pop.est_ticks;
+                fc.complete = arrival + tpc;
+                fc.span = 0;
+                fc.transparent = false;
+                issueOp(fc);
+                ops_[cseq].fused = true;
+                ++stats_.fused_ops;
+                break; // one fusion per producer
+            }
+        }
+    }
+
+    if (fu_denied)
+        ++stats_.fu_stall_cycles;
+}
+
+void
+OooCore::adaptThreshold()
+{
+    // The Sec.IV-C dynamic-threshold extension: hill-climb on
+    // observed commit throughput. If the last epoch's change hurt,
+    // reverse direction; otherwise keep walking, clamped to
+    // [0, ticksPerCycle].
+    const SeqNum committed_this = commit_ptr_ - epoch_start_commits_;
+    if (committed_this < last_epoch_commits_)
+        adapt_direction_ = -adapt_direction_;
+    last_epoch_commits_ = committed_this;
+    epoch_start_commits_ = commit_ptr_;
+
+    s64 next = static_cast<s64>(cur_threshold_) + adapt_direction_;
+    const s64 tpc = static_cast<s64>(clock_.ticksPerCycle());
+    if (next < 0) {
+        next = 0;
+        adapt_direction_ = 1;
+    } else if (next > tpc) {
+        next = tpc;
+        adapt_direction_ = -1;
+    }
+    cur_threshold_ = static_cast<Tick>(next);
+    stats_.threshold_min = std::min(stats_.threshold_min, cur_threshold_);
+    stats_.threshold_max = std::max(stats_.threshold_max, cur_threshold_);
+}
+
+void
+OooCore::commitPhase()
+{
+    unsigned committed = 0;
+    const Tick now = clock_.cycleStart(cycle_);
+    while (committed < config_.commit_width && !rob_.empty()) {
+        const SeqNum seq = rob_.head();
+        OpState &op = ops_[seq];
+        if (op.st != OpState::St::Done || op.complete_tick > now)
+            break;
+
+        rob_.pop(seq);
+        if (op.in_lsq)
+            lsq_.commit(seq);
+        op.st = OpState::St::Committed;
+
+        const DynOp &dyn = trace_->op(seq);
+        const Inst &inst = trace_->inst(seq);
+
+        if (op.is_branch) {
+            if (branch_pred_.resolve(dyn.pc, inst, dyn.taken,
+                                     dyn.next_pc, op.predicted_next))
+                ++stats_.branch_mispredicts;
+        }
+
+        chains_.onRetire(seq);
+        ++commit_ptr_;
+        ++committed;
+        last_commit_cycle_ = cycle_;
+    }
+}
+
+CoreStats
+OooCore::run(const Trace &trace)
+{
+    // Reset all run state so a core object can be reused.
+    trace_ = &trace;
+    ops_.assign(trace.size(), OpState{});
+    next_fetch_ = 0;
+    commit_ptr_ = 0;
+    cycle_ = 0;
+    fetch_stall_until_ = 0;
+    fetch_blocked_on_ = kNoSeq;
+    last_commit_cycle_ = 0;
+    rat_.reset();
+    stats_ = CoreStats{};
+    chains_ = TransparentTracker{};
+    cur_threshold_ = config_.slack_threshold_ticks;
+    adapt_direction_ = 1;
+    epoch_start_commits_ = 0;
+    last_epoch_commits_ = 0;
+    stats_.threshold_min = cur_threshold_;
+    stats_.threshold_max = cur_threshold_;
+
+    const bool adapting = config_.dynamic_threshold &&
+                          config_.mode == SchedMode::ReDSOC;
+
+    const SeqNum total = trace.size();
+    while (commit_ptr_ < total) {
+        commitPhase();
+        issuePhase();
+        dispatchPhase(trace);
+        ++cycle_;
+        if (adapting && cycle_ % config_.threshold_epoch == 0)
+            adaptThreshold();
+        panic_if(cycle_ - last_commit_cycle_ > 50'000,
+                 "no commit for 50k cycles at cycle ", cycle_,
+                 " (commit_ptr ", commit_ptr_, "/", total, ")");
+    }
+
+    stats_.threshold_final = cur_threshold_;
+    stats_.cycles = cycle_;
+    stats_.committed = total;
+    stats_.chain_lengths = chains_.lengths();
+    stats_.expected_chain_length = chains_.expectedRecycledLength();
+    return stats_;
+}
+
+} // namespace redsoc

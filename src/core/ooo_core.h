@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The out-of-order core timing model. Replays a functional trace
+ * through fetch/dispatch, slack-aware wakeup+select, execution-unit
+ * and memory timing, and in-order commit, at sub-cycle (tick)
+ * resolution. Three scheduler modes share the pipeline:
+ *
+ *  - Baseline: conventional boundary-clocked scheduling;
+ *  - ReDSOC:   transparent-dataflow slack recycling with eager
+ *              grandparent wakeup and skewed selection (the paper);
+ *  - MOS:      dynamic operation fusion (multiple ops per cycle on
+ *              one FU) as the Sec.VI-D comparator.
+ */
+
+#ifndef REDSOC_CORE_OOO_CORE_H
+#define REDSOC_CORE_OOO_CORE_H
+
+#include <memory>
+#include <vector>
+
+#include "core/core_config.h"
+#include "core/fu_pool.h"
+#include "core/lsq.h"
+#include "core/rat.h"
+#include "core/rob.h"
+#include "core/rs.h"
+#include "func/trace.h"
+#include "predictors/branch_predictor.h"
+#include "redsoc/transparent.h"
+#include "timing/slack_lut.h"
+
+namespace redsoc {
+
+/** Result statistics of one core run. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    u64 committed = 0;
+
+    u64 fu_stall_cycles = 0;      ///< cycles with a ready op denied a unit
+    u64 recycled_ops = 0;         ///< transparent (mid-cycle) starts
+    u64 two_cycle_holds = 0;      ///< IT3 boundary-crossing allocations
+    Tick slack_recycled_ticks = 0;
+
+    u64 egpw_requests = 0;
+    u64 egpw_grants = 0;
+    u64 egpw_wasted = 0;          ///< granted but recycle condition failed
+    u64 fused_ops = 0;            ///< MOS fusions
+
+    u64 la_predictions = 0;       ///< last-arrival (P/GP tag) predictions
+    u64 la_mispredictions = 0;
+    u64 width_predictions = 0;
+    u64 width_aggressive = 0;
+    u64 width_conservative = 0;
+    u64 branch_lookups = 0;
+    u64 branch_mispredicts = 0;
+
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 l1_load_misses = 0;
+    u64 store_forwards = 0;
+
+    /** Dynamic-threshold adaptation trace (min/max/final value). */
+    Tick threshold_min = 0;
+    Tick threshold_max = 0;
+    Tick threshold_final = 0;
+
+    Histogram chain_lengths{64};  ///< final transparent-sequence lengths
+    double expected_chain_length = 0.0; ///< Fig.11 statistic
+
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(committed) / cycles;
+    }
+    double fuStallRate() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(fu_stall_cycles) / cycles;
+    }
+    double laMispredictRate() const
+    {
+        return la_predictions == 0
+                   ? 0.0
+                   : static_cast<double>(la_mispredictions) /
+                         la_predictions;
+    }
+    double widthAggressiveRate() const
+    {
+        return width_predictions == 0
+                   ? 0.0
+                   : static_cast<double>(width_aggressive) /
+                         width_predictions;
+    }
+    double branchMispredictRate() const
+    {
+        return branch_lookups == 0
+                   ? 0.0
+                   : static_cast<double>(branch_mispredicts) /
+                         branch_lookups;
+    }
+};
+
+/** Export run statistics as a named StatGroup (gem5-style dump). */
+StatGroup toStatGroup(const CoreStats &stats, const std::string &name);
+
+class OooCore
+{
+  public:
+    explicit OooCore(CoreConfig config);
+
+    /** Simulate the trace to completion and return the statistics. */
+    CoreStats run(const Trace &trace);
+
+    const CoreConfig &config() const { return config_; }
+
+  private:
+    /** Per-dynamic-op scheduling state. */
+    struct OpState
+    {
+        enum class St : u8 { Fetched, InRs, Done, Committed };
+
+        St st = St::Fetched;
+        FuClass fu = FuClass::None;
+        FuPoolKind pool = FuPoolKind::Alu;
+        bool eligible = false;   ///< slack-recycling eligible
+        bool is_load = false;
+        bool is_store = false;
+        bool is_branch = false;
+        bool in_lsq = false;
+
+        std::array<SeqNum, 3> prod{kNoSeq, kNoSeq, kNoSeq};
+        u8 nprod = 0;
+
+        Tick est_ticks = 0;      ///< LUT estimate (predicted bucket)
+        WidthClass pred_wc = WidthClass::W64;
+        WidthClass actual_wc = WidthClass::W64;
+        bool width_predicted = false;
+
+        /** Operational design: predicted last-arriving producer slot
+         *  (index into prod), 0xff = no prediction needed. */
+        u8 pred_last_slot = 0xff;
+        bool la_checked = false;
+
+        Cycle dispatch_cycle = 0;
+        Cycle select_cycle = 0;
+        Cycle retry_cycle = 0;   ///< replay gate after mispredicts
+        Tick start_tick = 0;
+        Tick complete_tick = 0;
+        bool transparent = false;
+        bool fused = false;
+        bool width_replayed = false;
+
+        u32 predicted_next = 0;  ///< branch predictor outcome
+        bool branch_mispredicted = false;
+    };
+
+    /** A select-stage request assembled during issue. */
+    struct Candidate
+    {
+        SeqNum seq;
+        bool speculative;   ///< EGPW (grandparent-woken) request
+        Tick start;
+        Tick complete;
+        unsigned span;      ///< FU booking cycles
+        bool transparent;
+        bool recycle_ok;    ///< speculative only: conditions hold
+    };
+
+    void commitPhase();
+    void dispatchPhase(const Trace &trace);
+    void issuePhase();
+    /** Epoch boundary: hill-climb the slack threshold (Sec.IV-C
+     *  dynamic-threshold extension). */
+    void adaptThreshold();
+
+    /** Evaluate a conventional (parent-woken) candidate. */
+    bool evalConventional(SeqNum seq, Candidate &cand);
+    /** Evaluate an EGPW (grandparent-woken) candidate. */
+    bool evalEager(SeqNum seq, Candidate &cand);
+    /** Fill a candidate's start/complete/span per mode and op class. */
+    void fillCompletion(Candidate &cand, OpState &op, Tick arrival,
+                        Tick start, bool transparent);
+
+    void issueOp(const Candidate &cand);
+    Tick memCompleteTick(SeqNum seq, Tick arrival);
+
+    /** Last-completing producer of @p op (kNoSeq if none). */
+    SeqNum lastProducer(const OpState &op) const;
+    /** Max producer completion tick (0 if no producers). */
+    Tick producersComplete(const OpState &op) const;
+    /** Cycle from which conventional wakeup permits selection. */
+    Cycle selGate(const OpState &op) const;
+
+    bool widthSensitive(const Inst &inst) const;
+
+    CoreConfig config_;
+    SubCycleClock clock_;
+    TimingModel timing_;
+    SlackLut lut_;
+    MemHierarchy memory_;
+    BranchPredictor branch_pred_;
+    WidthPredictor width_pred_;
+    LastArrivalPredictor la_pred_;
+
+    Rob rob_;
+    Lsq lsq_;
+    ReservationStations rs_;
+    FuPool fu_;
+    Rat rat_;
+    TransparentTracker chains_;
+
+    const Trace *trace_ = nullptr;
+    std::vector<OpState> ops_;
+    SeqNum next_fetch_ = 0;
+    SeqNum commit_ptr_ = 0;
+    Cycle cycle_ = 0;
+    Cycle fetch_stall_until_ = 0;
+    SeqNum fetch_blocked_on_ = kNoSeq;
+    Cycle last_commit_cycle_ = 0;
+
+    // Dynamic-threshold adaptation state.
+    Tick cur_threshold_ = 0;
+    int adapt_direction_ = 1;
+    SeqNum epoch_start_commits_ = 0;
+    SeqNum last_epoch_commits_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_OOO_CORE_H

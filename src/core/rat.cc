@@ -1,0 +1,33 @@
+#include "core/rat.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+Rat::Rat()
+{
+    reset();
+}
+
+SeqNum
+Rat::writer(RegIdx reg) const
+{
+    panic_if(reg >= kNumRegs, "RAT index out of range");
+    return writer_[reg];
+}
+
+void
+Rat::setWriter(RegIdx reg, SeqNum seq)
+{
+    panic_if(reg >= kNumRegs, "RAT index out of range");
+    panic_if(reg == kZeroReg, "renaming the zero register");
+    writer_[reg] = seq;
+}
+
+void
+Rat::reset()
+{
+    writer_.fill(kNoSeq);
+}
+
+} // namespace redsoc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Register alias table. Besides the usual youngest-writer mapping
+ * used to derive true dependencies, the RAT carries the slack-aware
+ * metadata of Sec.IV-C: each rename reads its parents' EX-TIME and
+ * (in the Operational design) the parents' own predicted-last-parent,
+ * which becomes the child's predicted last *grandparent* tag.
+ */
+
+#ifndef REDSOC_CORE_RAT_H
+#define REDSOC_CORE_RAT_H
+
+#include <array>
+
+#include "isa/inst.h"
+
+namespace redsoc {
+
+class Rat
+{
+  public:
+    Rat();
+
+    /** Youngest in-flight writer of @p reg, or kNoSeq. */
+    SeqNum writer(RegIdx reg) const;
+
+    /** Record @p seq as the writer of @p reg (rename). */
+    void setWriter(RegIdx reg, SeqNum seq);
+
+    /** Forget writers (used between independent runs). */
+    void reset();
+
+  private:
+    std::array<SeqNum, kNumRegs> writer_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_RAT_H

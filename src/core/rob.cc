@@ -1,0 +1,36 @@
+#include "core/rob.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+Rob::Rob(unsigned capacity) : capacity_(capacity)
+{
+    fatal_if(capacity == 0, "zero-entry ROB");
+}
+
+void
+Rob::push(SeqNum seq)
+{
+    panic_if(full(), "push into full ROB");
+    panic_if(!entries_.empty() && seq <= entries_.back(),
+             "out-of-order ROB dispatch");
+    entries_.push_back(seq);
+}
+
+SeqNum
+Rob::head() const
+{
+    panic_if(entries_.empty(), "head of empty ROB");
+    return entries_.front();
+}
+
+void
+Rob::pop(SeqNum seq)
+{
+    panic_if(entries_.empty() || entries_.front() != seq,
+             "out-of-order ROB commit");
+    entries_.pop_front();
+}
+
+} // namespace redsoc

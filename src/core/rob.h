@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reorder buffer: in-order dispatch/commit window bookkeeping.
+ * The trace supplies program order, so the ROB tracks occupancy and
+ * the commit frontier.
+ */
+
+#ifndef REDSOC_CORE_ROB_H
+#define REDSOC_CORE_ROB_H
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.h"
+
+namespace redsoc {
+
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Dispatch @p seq (must be the next program-order op). */
+    void push(SeqNum seq);
+
+    /** Oldest in-flight op. */
+    SeqNum head() const;
+
+    /** Commit the head (must equal @p seq). */
+    void pop(SeqNum seq);
+
+  private:
+    unsigned capacity_;
+    std::deque<SeqNum> entries_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_ROB_H

@@ -1,0 +1,32 @@
+#include "core/rs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+ReservationStations::ReservationStations(unsigned capacity)
+    : capacity_(capacity)
+{
+    fatal_if(capacity == 0, "zero-entry reservation stations");
+}
+
+void
+ReservationStations::insert(SeqNum seq)
+{
+    panic_if(full(), "insert into full RS");
+    panic_if(!entries_.empty() && seq <= entries_.back(),
+             "RS inserts must be in program order");
+    entries_.push_back(seq);
+}
+
+void
+ReservationStations::remove(SeqNum seq)
+{
+    auto it = std::find(entries_.begin(), entries_.end(), seq);
+    panic_if(it == entries_.end(), "remove of op not in RS");
+    entries_.erase(it);
+}
+
+} // namespace redsoc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reservation-station pool: capacity-bounded, age-ordered container
+ * of waiting operations. Entries are allocated at dispatch and freed
+ * at issue. The slack-aware RSE fields of Figs.7-8 (parent/
+ * grandparent tags, EX-TIME, COMP-INST) live in the core's per-op
+ * scheduling state; this class owns occupancy and ordering.
+ */
+
+#ifndef REDSOC_CORE_RS_H
+#define REDSOC_CORE_RS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace redsoc {
+
+class ReservationStations
+{
+  public:
+    explicit ReservationStations(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Allocate an entry (program order = age order). */
+    void insert(SeqNum seq);
+
+    /** Free an entry at issue. */
+    void remove(SeqNum seq);
+
+    /** Waiting ops, oldest first. */
+    const std::vector<SeqNum> &entries() const { return entries_; }
+
+  private:
+    unsigned capacity_;
+    std::vector<SeqNum> entries_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_RS_H

@@ -1,0 +1,61 @@
+#include "core/select_logic.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+SelectArbiter::SelectArbiter(unsigned entries)
+    : entries_(entries), masks_(entries, 0)
+{
+    fatal_if(entries == 0 || entries > 64,
+             "select arbiter supports 1..64 entries");
+}
+
+void
+SelectArbiter::setMask(unsigned idx, u64 older_mask)
+{
+    panic_if(idx >= entries_, "mask index out of range");
+    masks_[idx] = older_mask;
+}
+
+void
+SelectArbiter::setAgeOrder(const std::vector<unsigned> &age_rank)
+{
+    panic_if(age_rank.size() != entries_, "age rank arity mismatch");
+    for (unsigned i = 0; i < entries_; ++i) {
+        u64 mask = 0;
+        for (unsigned j = 0; j < entries_; ++j)
+            if (j != i && age_rank[j] < age_rank[i])
+                mask |= u64{1} << j;
+        masks_[i] = mask;
+    }
+}
+
+int
+SelectArbiter::grantOne(u64 wakeup, const std::vector<u64> &masks) const
+{
+    for (unsigned i = 0; i < entries_; ++i) {
+        if (!(wakeup & (u64{1} << i)))
+            continue;
+        // Granted iff no higher-priority entry is also awake.
+        if ((masks[i] & wakeup) == 0)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::vector<unsigned>
+SelectArbiter::arbitrate(u64 wakeup, unsigned max_grants) const
+{
+    std::vector<unsigned> grants;
+    while (grants.size() < max_grants) {
+        const int g = grantOne(wakeup, masks_);
+        if (g < 0)
+            break;
+        grants.push_back(static_cast<unsigned>(g));
+        wakeup &= ~(u64{1} << g);
+    }
+    return grants;
+}
+
+} // namespace redsoc

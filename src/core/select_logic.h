@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Conventional N:M select arbitration (Fig.9.a): each entry carries a
+ * priority mask whose bit i indicates "entry i is older than me"; an
+ * awake entry is granted when no older entry is also awake. M grants
+ * are produced by repeated arbitration with granted entries removed
+ * from the wake-up array.
+ */
+
+#ifndef REDSOC_CORE_SELECT_LOGIC_H
+#define REDSOC_CORE_SELECT_LOGIC_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace redsoc {
+
+class SelectArbiter
+{
+  public:
+    /** @param entries table size (<= 64). */
+    explicit SelectArbiter(unsigned entries);
+
+    /**
+     * Install an entry's priority mask. Bit i of @p older_mask set
+     * means entry i has priority over this entry.
+     */
+    void setMask(unsigned idx, u64 older_mask);
+
+    /**
+     * Build masks for age order: @p age_rank[i] is entry i's age
+     * (0 = oldest = highest priority).
+     */
+    void setAgeOrder(const std::vector<unsigned> &age_rank);
+
+    /**
+     * Arbitrate: grant up to @p max_grants awake entries in priority
+     * order. @p wakeup bit i = entry i requests.
+     * @return granted entry indices, highest priority first.
+     */
+    std::vector<unsigned> arbitrate(u64 wakeup,
+                                    unsigned max_grants) const;
+
+    unsigned entries() const { return entries_; }
+
+  protected:
+    /** One arbitration round: highest-priority awake entry or -1. */
+    int grantOne(u64 wakeup, const std::vector<u64> &masks) const;
+
+    unsigned entries_;
+    std::vector<u64> masks_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_CORE_SELECT_LOGIC_H

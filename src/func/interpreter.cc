@@ -1,0 +1,400 @@
+#include "func/interpreter.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "isa/disasm.h"
+
+namespace redsoc {
+
+namespace {
+
+double
+asDouble(u64 raw)
+{
+    double v;
+    std::memcpy(&v, &raw, sizeof(v));
+    return v;
+}
+
+u64
+asRaw(double v)
+{
+    u64 raw;
+    std::memcpy(&raw, &v, sizeof(raw));
+    return raw;
+}
+
+} // namespace
+
+Interpreter::Interpreter(std::shared_ptr<const Program> program,
+                         MemoryImage &memory)
+    : program_(std::move(program)), memory_(memory)
+{
+    panic_if(!program_, "interpreter without program");
+}
+
+u64
+Interpreter::reg(RegIdx r) const
+{
+    panic_if(r >= kNumIntRegs, "scalar reg index out of range");
+    return r == kZeroReg ? 0 : xregs_[r];
+}
+
+void
+Interpreter::setReg(RegIdx r, u64 value)
+{
+    panic_if(r >= kNumIntRegs, "scalar reg index out of range");
+    if (r != kZeroReg)
+        xregs_[r] = value;
+}
+
+u64
+Interpreter::shiftedValue(u64 value, ShiftKind kind, unsigned amount) const
+{
+    amount &= 63;
+    switch (kind) {
+      case ShiftKind::None: return value;
+      case ShiftKind::Lsl: return value << amount;
+      case ShiftKind::Lsr: return value >> amount;
+      case ShiftKind::Asr:
+        return static_cast<u64>(static_cast<s64>(value) >> amount);
+      case ShiftKind::Ror:
+        return amount == 0 ? value
+                           : (value >> amount) | (value << (64 - amount));
+      default: panic("bad shift kind");
+    }
+}
+
+u64
+Interpreter::readOperand2(const Inst &inst) const
+{
+    u64 value = 0;
+    if (inst.use_imm)
+        value = static_cast<u64>(inst.imm);
+    else if (inst.src2 != kNoReg)
+        value = reg(inst.src2);
+    return shiftedValue(value, inst.op2_shift, inst.shamt);
+}
+
+Addr
+Interpreter::effectiveAddress(const Inst &inst) const
+{
+    Addr base = reg(inst.src1);
+    if (inst.use_imm)
+        return base + static_cast<u64>(inst.imm);
+    if (inst.src2 != kNoReg)
+        return base + (reg(inst.src2) << inst.shamt);
+    return base;
+}
+
+u16
+Interpreter::intAluEffWidth(const Inst &inst, u64 op2) const
+{
+    // Width-slack analysis: the carry/propagation chain is bounded by
+    // the widest participating operand value.
+    unsigned width = 1;
+    if (inst.src1 != kNoReg)
+        width = std::max(width, effectiveWidth(reg(inst.src1)));
+    switch (inst.op) {
+      case Opcode::MVN: case Opcode::MOV:
+        // Single-operand data movement: op2 only matters when used.
+        if (inst.use_imm || inst.src2 != kNoReg)
+            width = std::max(width, effectiveWidth(op2));
+        break;
+      default:
+        if (inst.use_imm || inst.src2 != kNoReg)
+            width = std::max(width, effectiveWidth(op2));
+        break;
+    }
+    return static_cast<u16>(width);
+}
+
+DynOp
+Interpreter::step()
+{
+    const Inst &inst = program_->inst(pc_);
+    DynOp dyn;
+    dyn.pc = pc_;
+    u32 next = pc_ + 1;
+
+    const Opcode op = inst.op;
+
+    if (isIntAlu(op) && !isBranch(op)) {
+        const u64 a = inst.src1 != kNoReg ? reg(inst.src1) : 0;
+        const u64 b = readOperand2(inst);
+        u64 result = 0;
+        switch (op) {
+          case Opcode::AND: result = a & b; break;
+          case Opcode::BIC: result = a & ~b; break;
+          case Opcode::ORR: result = a | b; break;
+          case Opcode::EOR: result = a ^ b; break;
+          case Opcode::MVN: result = ~(inst.use_imm || inst.src2 != kNoReg
+                                           ? b : a); break;
+          case Opcode::TST: result = (a & b) != 0; break;
+          case Opcode::TEQ: result = (a ^ b) != 0; break;
+          case Opcode::MOV: result = (inst.use_imm || inst.src2 != kNoReg)
+                                         ? b : a; break;
+          case Opcode::LSL: result = a << (b & 63); break;
+          case Opcode::LSR: result = a >> (b & 63); break;
+          case Opcode::ASR:
+            result = static_cast<u64>(static_cast<s64>(a) >> (b & 63));
+            break;
+          case Opcode::ROR:
+            result = shiftedValue(a, ShiftKind::Ror, b & 63);
+            break;
+          case Opcode::RRX:
+            result = shiftedValue(a, ShiftKind::Ror, 1);
+            break;
+          case Opcode::ADD: result = a + b; break;
+          case Opcode::ADC: result = a + b + 1; break;
+          case Opcode::SUB: result = a - b; break;
+          case Opcode::SBC: result = a - b - 1; break;
+          case Opcode::RSB: result = b - a; break;
+          case Opcode::RSC: result = b - a - 1; break;
+          case Opcode::CMP: {
+            const s64 sa = static_cast<s64>(a), sb = static_cast<s64>(b);
+            result = sa < sb ? static_cast<u64>(-1) : (sa > sb ? 1 : 0);
+            break;
+          }
+          case Opcode::CMN: {
+            const s64 sum = static_cast<s64>(a + b);
+            result = sum < 0 ? static_cast<u64>(-1) : (sum > 0 ? 1 : 0);
+            break;
+          }
+          default: panic("unhandled ALU op ", opcodeName(op));
+        }
+        if (inst.dst != kNoReg)
+            setReg(inst.dst, result);
+        dyn.result = result;
+        dyn.eff_width = intAluEffWidth(inst, b);
+    } else if (op == Opcode::MUL || op == Opcode::MLA ||
+               op == Opcode::SDIV || op == Opcode::UDIV) {
+        const u64 a = reg(inst.src1);
+        const u64 b = reg(inst.src2);
+        u64 result = 0;
+        switch (op) {
+          case Opcode::MUL: result = a * b; break;
+          case Opcode::MLA: result = a * b + reg(inst.src3); break;
+          case Opcode::SDIV:
+            if (b == 0) {
+                result = 0; // ARM semantics: divide by zero gives 0
+            } else if (static_cast<s64>(a) ==
+                           std::numeric_limits<s64>::min() &&
+                       static_cast<s64>(b) == -1) {
+                result = a; // overflow wraps (ARM), avoid native trap
+            } else {
+                result = static_cast<u64>(static_cast<s64>(a) /
+                                          static_cast<s64>(b));
+            }
+            break;
+          case Opcode::UDIV: result = b == 0 ? 0 : a / b; break;
+          default: panic("unreachable");
+        }
+        setReg(inst.dst, result);
+        dyn.result = result;
+        dyn.eff_width = static_cast<u16>(
+            std::max(effectiveWidth(a), effectiveWidth(b)));
+    } else if (isFp(op)) {
+        u64 result = 0;
+        switch (op) {
+          case Opcode::FADD:
+            result = asRaw(asDouble(reg(inst.src1)) +
+                           asDouble(reg(inst.src2)));
+            break;
+          case Opcode::FSUB:
+            result = asRaw(asDouble(reg(inst.src1)) -
+                           asDouble(reg(inst.src2)));
+            break;
+          case Opcode::FMUL:
+            result = asRaw(asDouble(reg(inst.src1)) *
+                           asDouble(reg(inst.src2)));
+            break;
+          case Opcode::FDIV:
+            result = asRaw(asDouble(reg(inst.src1)) /
+                           asDouble(reg(inst.src2)));
+            break;
+          case Opcode::FMIN:
+            result = asRaw(std::fmin(asDouble(reg(inst.src1)),
+                                     asDouble(reg(inst.src2))));
+            break;
+          case Opcode::FMAX:
+            result = asRaw(std::fmax(asDouble(reg(inst.src1)),
+                                     asDouble(reg(inst.src2))));
+            break;
+          case Opcode::FCVTZS:
+            result = static_cast<u64>(
+                static_cast<s64>(asDouble(reg(inst.src1))));
+            break;
+          case Opcode::SCVTF:
+            result = asRaw(
+                static_cast<double>(static_cast<s64>(reg(inst.src1))));
+            break;
+          default: panic("unhandled FP op");
+        }
+        setReg(inst.dst, result);
+        dyn.result = result;
+    } else if (isMem(op)) {
+        const Addr addr = effectiveAddress(inst);
+        dyn.mem_addr = addr;
+        if (op == Opcode::VLDR) {
+            vregs_[inst.dst - kVecRegBase] = memory_.readVec(addr);
+            dyn.result = vregs_[inst.dst - kVecRegBase].lo;
+        } else if (op == Opcode::VSTR) {
+            memory_.writeVec(addr, vregs_[inst.src3 - kVecRegBase]);
+        } else if (isLoad(op)) {
+            const u64 value = memory_.read(addr, memAccessSize(op));
+            setReg(inst.dst, value);
+            dyn.result = value;
+        } else {
+            memory_.write(addr, reg(inst.src3), memAccessSize(op));
+        }
+    } else if (isSimd(op)) {
+        const VecType vt = inst.vtype;
+        const unsigned lanes = vecLanes(vt);
+        Vec128 result;
+        auto va = [&] { return vregs_[inst.src1 - kVecRegBase]; };
+        auto vb = [&] { return vregs_[inst.src2 - kVecRegBase]; };
+        switch (op) {
+          case Opcode::VADD:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l, va().lane(vt, l) + vb().lane(vt, l));
+            break;
+          case Opcode::VSUB:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l, va().lane(vt, l) - vb().lane(vt, l));
+            break;
+          case Opcode::VAND:
+            result = Vec128{va().lo & vb().lo, va().hi & vb().hi};
+            break;
+          case Opcode::VORR:
+            result = Vec128{va().lo | vb().lo, va().hi | vb().hi};
+            break;
+          case Opcode::VEOR:
+            result = Vec128{va().lo ^ vb().lo, va().hi ^ vb().hi};
+            break;
+          case Opcode::VMAX:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l, static_cast<u64>(
+                    std::max(va().laneSigned(vt, l),
+                             vb().laneSigned(vt, l))));
+            break;
+          case Opcode::VMIN:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l, static_cast<u64>(
+                    std::min(va().laneSigned(vt, l),
+                             vb().laneSigned(vt, l))));
+            break;
+          case Opcode::VSHL:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l,
+                               va().lane(vt, l)
+                                   << (inst.imm & (vecElemBits(vt) - 1)));
+            break;
+          case Opcode::VSHR:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l,
+                               va().lane(vt, l) >>
+                                   (inst.imm & (vecElemBits(vt) - 1)));
+            break;
+          case Opcode::VDUP:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l, reg(inst.src1));
+            break;
+          case Opcode::VMOV:
+            result = va();
+            break;
+          case Opcode::VMUL:
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l, va().lane(vt, l) * vb().lane(vt, l));
+            break;
+          case Opcode::VMLA: {
+            const Vec128 acc = vregs_[inst.src3 - kVecRegBase];
+            for (unsigned l = 0; l < lanes; ++l)
+                result.setLane(vt, l,
+                               acc.lane(vt, l) +
+                                   va().lane(vt, l) * vb().lane(vt, l));
+            break;
+          }
+          case Opcode::VREDSUM: {
+            u64 sum = 0;
+            for (unsigned l = 0; l < lanes; ++l)
+                sum += va().lane(vt, l);
+            setReg(inst.dst, sum);
+            dyn.result = sum;
+            dyn.eff_width = static_cast<u16>(vecElemBits(vt));
+            pc_ = next;
+            dyn.next_pc = next;
+            return dyn;
+          }
+          default: panic("unhandled SIMD op ", opcodeName(op));
+        }
+        if (isVecReg(inst.dst))
+            vregs_[inst.dst - kVecRegBase] = result;
+        dyn.result = result.lo;
+        // Type-Slack: the datapath precision comes from the ISA.
+        dyn.eff_width = static_cast<u16>(vecElemBits(vt));
+    } else if (isBranch(op)) {
+        const s64 test =
+            inst.src1 != kNoReg ? static_cast<s64>(reg(inst.src1)) : 0;
+        bool taken = false;
+        switch (op) {
+          case Opcode::B: taken = true; break;
+          case Opcode::BEQZ: taken = test == 0; break;
+          case Opcode::BNEZ: taken = test != 0; break;
+          case Opcode::BLTZ: taken = test < 0; break;
+          case Opcode::BGEZ: taken = test >= 0; break;
+          case Opcode::BGTZ: taken = test > 0; break;
+          case Opcode::BLEZ: taken = test <= 0; break;
+          case Opcode::BL:
+            setReg(kLinkReg, pc_ + 1);
+            taken = true;
+            break;
+          case Opcode::RET: taken = true; break;
+          default: panic("unhandled branch");
+        }
+        dyn.taken = taken;
+        dyn.eff_width = static_cast<u16>(
+            effectiveWidth(static_cast<u64>(test)));
+        if (taken)
+            next = op == Opcode::RET
+                       ? static_cast<u32>(reg(kLinkReg))
+                       : inst.target;
+    } else if (op == Opcode::HALT) {
+        halted_ = true;
+        next = pc_;
+    } else {
+        panic("unhandled opcode ", opcodeName(op), " in ",
+              disassemble(inst));
+    }
+
+    pc_ = next;
+    dyn.next_pc = next;
+    return dyn;
+}
+
+Trace
+Interpreter::run(SeqNum max_ops)
+{
+    std::vector<DynOp> ops;
+    ops.reserve(std::min<SeqNum>(max_ops, 1 << 20));
+    while (!halted_ && ops.size() < max_ops) {
+        fatal_if(pc_ >= program_->size(),
+                 "pc ", pc_, " fell off program '", program_->name(), "'");
+        ops.push_back(step());
+    }
+    return Trace(program_, std::move(ops));
+}
+
+Trace
+traceProgram(std::shared_ptr<const Program> program, MemoryImage &memory,
+             SeqNum max_ops)
+{
+    Interpreter interp(std::move(program), memory);
+    return interp.run(max_ops);
+}
+
+} // namespace redsoc

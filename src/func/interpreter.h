@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional (architecturally exact) execution of µISA programs,
+ * producing dynamic traces for the timing models.
+ */
+
+#ifndef REDSOC_FUNC_INTERPRETER_H
+#define REDSOC_FUNC_INTERPRETER_H
+
+#include <array>
+#include <memory>
+
+#include "func/memory_image.h"
+#include "func/trace.h"
+
+namespace redsoc {
+
+class Interpreter
+{
+  public:
+    /**
+     * @param program The program to run (shared with emitted traces).
+     * @param memory  The memory image; mutated in place, so the same
+     *                image can be inspected after the run.
+     */
+    Interpreter(std::shared_ptr<const Program> program,
+                MemoryImage &memory);
+
+    /**
+     * Run until HALT / RET-to-nowhere or until @p max_ops dynamic
+     * instructions retire, recording every retired op.
+     */
+    Trace run(SeqNum max_ops = 100'000'000);
+
+    /** Scalar register readout (post-run inspection). */
+    u64 reg(RegIdx r) const;
+    void setReg(RegIdx r, u64 value);
+    Vec128 vecReg(unsigned idx) const { return vregs_[idx]; }
+
+    bool halted() const { return halted_; }
+
+  private:
+    /** Execute the instruction at pc_; returns the retired DynOp. */
+    DynOp step();
+
+    u64 readOperand2(const Inst &inst) const;
+    u64 shiftedValue(u64 value, ShiftKind kind, unsigned amount) const;
+    Addr effectiveAddress(const Inst &inst) const;
+    u16 intAluEffWidth(const Inst &inst, u64 op2) const;
+
+    std::shared_ptr<const Program> program_;
+    MemoryImage &memory_;
+    std::array<u64, kNumIntRegs> xregs_{};
+    std::array<Vec128, kNumVecRegs> vregs_{};
+    u32 pc_ = 0;
+    bool halted_ = false;
+};
+
+/** Convenience: build a trace from a program and a prepared memory. */
+Trace traceProgram(std::shared_ptr<const Program> program,
+                   MemoryImage &memory, SeqNum max_ops = 100'000'000);
+
+} // namespace redsoc
+
+#endif // REDSOC_FUNC_INTERPRETER_H

@@ -1,0 +1,95 @@
+#include "func/memory_image.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+u8
+MemoryImage::readByte(Addr addr) const
+{
+    const Page *page = pageForConst(addr);
+    if (!page)
+        return 0;
+    return (*page)[addr & (kPageSize - 1)];
+}
+
+void
+MemoryImage::writeByte(Addr addr, u8 value)
+{
+    pageFor(addr)[addr & (kPageSize - 1)] = value;
+}
+
+u64
+MemoryImage::read(Addr addr, unsigned size) const
+{
+    panic_if(size == 0 || size > 8, "bad scalar read size ", size);
+    u64 value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= u64{readByte(addr + i)} << (8 * i);
+    return value;
+}
+
+void
+MemoryImage::write(Addr addr, u64 value, unsigned size)
+{
+    panic_if(size == 0 || size > 8, "bad scalar write size ", size);
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<u8>(value >> (8 * i)));
+}
+
+Vec128
+MemoryImage::readVec(Addr addr) const
+{
+    return Vec128{read(addr, 8), read(addr + 8, 8)};
+}
+
+void
+MemoryImage::writeVec(Addr addr, const Vec128 &value)
+{
+    write(addr, value.lo, 8);
+    write(addr + 8, value.hi, 8);
+}
+
+void
+MemoryImage::fill(Addr addr, std::span<const u8> data)
+{
+    for (size_t i = 0; i < data.size(); ++i)
+        writeByte(addr + i, data[i]);
+}
+
+void
+MemoryImage::pokeF64(Addr addr, double v)
+{
+    u64 raw;
+    std::memcpy(&raw, &v, sizeof(raw));
+    poke64(addr, raw);
+}
+
+double
+MemoryImage::peekF64(Addr addr) const
+{
+    u64 raw = peek64(addr);
+    double v;
+    std::memcpy(&v, &raw, sizeof(v));
+    return v;
+}
+
+MemoryImage::Page &
+MemoryImage::pageFor(Addr addr)
+{
+    auto [it, inserted] = pages_.try_emplace(addr >> kPageShift);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+const MemoryImage::Page *
+MemoryImage::pageForConst(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+} // namespace redsoc

@@ -1,0 +1,17 @@
+#include "func/trace.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+Trace::Trace(std::shared_ptr<const Program> program, std::vector<DynOp> ops)
+    : program_(std::move(program)), ops_(std::move(ops))
+{
+    panic_if(!program_, "trace without a program");
+    fatal_if(ops_.empty(), "empty trace for program '",
+             program_->name(), "'");
+    for (const DynOp &op : ops_)
+        panic_if(op.pc >= program_->size(), "trace pc out of range");
+}
+
+} // namespace redsoc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dynamic µop traces. The functional interpreter executes a Program
+ * and emits one DynOp per retired instruction carrying the dynamic
+ * facts the timing models need: resolved memory address, branch
+ * outcome, and the effective operand width that drives Width-Slack
+ * (Sec.II-A of the paper). All core models replay the same trace, so
+ * architectural behaviour is identical across scheduler modes by
+ * construction and only timing differs.
+ */
+
+#ifndef REDSOC_FUNC_TRACE_H
+#define REDSOC_FUNC_TRACE_H
+
+#include <memory>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace redsoc {
+
+/** One retired dynamic instruction. */
+struct DynOp
+{
+    u32 pc = 0;        ///< static instruction index
+    u32 next_pc = 0;   ///< dynamic successor (branch-resolved)
+    Addr mem_addr = 0; ///< effective address (memory ops)
+    u64 result = 0;    ///< scalar result / vector low word (debug)
+    u16 eff_width = 64; ///< max effective source-operand width, bits
+    bool taken = false; ///< branch outcome
+};
+
+class Trace
+{
+  public:
+    Trace(std::shared_ptr<const Program> program, std::vector<DynOp> ops);
+
+    const Program &program() const { return *program_; }
+    std::shared_ptr<const Program> programPtr() const { return program_; }
+    const std::vector<DynOp> &ops() const { return ops_; }
+    const DynOp &op(SeqNum seq) const { return ops_[seq]; }
+    const Inst &inst(SeqNum seq) const
+    {
+        return program_->inst(ops_[seq].pc);
+    }
+    SeqNum size() const { return ops_.size(); }
+
+  private:
+    std::shared_ptr<const Program> program_;
+    std::vector<DynOp> ops_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_FUNC_TRACE_H

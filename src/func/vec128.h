@@ -1,0 +1,57 @@
+/**
+ * @file
+ * 128-bit SIMD register value with lane accessors, used by the
+ * functional interpreter's NEON-like operations.
+ */
+
+#ifndef REDSOC_FUNC_VEC128_H
+#define REDSOC_FUNC_VEC128_H
+
+#include "common/bitutils.h"
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace redsoc {
+
+struct Vec128
+{
+    u64 lo = 0;
+    u64 hi = 0;
+
+    bool operator==(const Vec128 &) const = default;
+
+    /** Read lane @p idx of element type @p vt (zero-extended). */
+    u64
+    lane(VecType vt, unsigned idx) const
+    {
+        const unsigned bits_per = vecElemBits(vt);
+        const unsigned lanes_per_word = 64 / bits_per;
+        const u64 word = idx < lanes_per_word ? lo : hi;
+        const unsigned sub = idx % lanes_per_word;
+        return bits(word, sub * bits_per, bits_per);
+    }
+
+    /** Read lane @p idx sign-extended to 64 bits. */
+    s64
+    laneSigned(VecType vt, unsigned idx) const
+    {
+        return signExtend(lane(vt, idx), vecElemBits(vt));
+    }
+
+    /** Write lane @p idx (value truncated to the element width). */
+    void
+    setLane(VecType vt, unsigned idx, u64 value)
+    {
+        const unsigned bits_per = vecElemBits(vt);
+        const unsigned lanes_per_word = 64 / bits_per;
+        u64 &word = idx < lanes_per_word ? lo : hi;
+        const unsigned shift = (idx % lanes_per_word) * bits_per;
+        const u64 mask = bits_per >= 64 ? ~u64{0}
+                                        : ((u64{1} << bits_per) - 1);
+        word = (word & ~(mask << shift)) | ((value & mask) << shift);
+    }
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_FUNC_VEC128_H

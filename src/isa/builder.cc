@@ -1,0 +1,435 @@
+#include "isa/builder.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name))
+{
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    label_addr_.push_back(-1);
+    return Label{static_cast<u32>(label_addr_.size() - 1)};
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    panic_if(l.id >= label_addr_.size(), "bind of unknown label");
+    panic_if(label_addr_[l.id] >= 0, "label bound twice");
+    label_addr_[l.id] = static_cast<s64>(insts_.size());
+}
+
+void
+ProgramBuilder::emit(Inst inst)
+{
+    panic_if(built_, "builder reused after build()");
+    insts_.push_back(inst);
+}
+
+void
+ProgramBuilder::emitBranchTo(Inst inst, Label l)
+{
+    panic_if(l.id >= label_addr_.size(), "branch to unknown label");
+    fixups_.emplace_back(static_cast<u32>(insts_.size()), l.id);
+    emit(inst);
+}
+
+void
+ProgramBuilder::alu(Opcode op, RegIdx dst, RegIdx a, RegIdx b)
+{
+    Inst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = a;
+    i.src2 = b;
+    emit(i);
+}
+
+void
+ProgramBuilder::alui(Opcode op, RegIdx dst, RegIdx a, s64 imm)
+{
+    Inst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = a;
+    i.use_imm = true;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+ProgramBuilder::aluShifted(Opcode op, RegIdx dst, RegIdx a, RegIdx b,
+                           ShiftKind kind, u8 amount)
+{
+    // µISA rule: the shifted second operand is an *arithmetic*
+    // datapath feature (the ARM-flavoured shift-and-add of Sec.II-A);
+    // logical ops take plain operands. This keeps the logic+shift
+    // LUT row anchored to the pure shift opcodes.
+    panic_if(aluKind(op) != AluKind::Arith,
+             "shifted op2 only on arithmetic ops");
+    Inst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = a;
+    i.src2 = b;
+    i.op2_shift = kind;
+    i.shamt = amount;
+    emit(i);
+}
+
+void
+ProgramBuilder::movImm(RegIdx dst, s64 imm)
+{
+    Inst i;
+    i.op = Opcode::MOV;
+    i.dst = dst;
+    i.src1 = kZeroReg;
+    i.use_imm = true;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+ProgramBuilder::mov(RegIdx dst, RegIdx src)
+{
+    Inst i;
+    i.op = Opcode::MOV;
+    i.dst = dst;
+    i.src1 = src;
+    emit(i);
+}
+
+void
+ProgramBuilder::mvn(RegIdx dst, RegIdx src)
+{
+    Inst i;
+    i.op = Opcode::MVN;
+    i.dst = dst;
+    i.src1 = src;
+    emit(i);
+}
+
+void
+ProgramBuilder::lslImm(RegIdx dst, RegIdx src, u8 amount)
+{
+    alui(Opcode::LSL, dst, src, amount);
+}
+
+void
+ProgramBuilder::lsrImm(RegIdx dst, RegIdx src, u8 amount)
+{
+    alui(Opcode::LSR, dst, src, amount);
+}
+
+void
+ProgramBuilder::asrImm(RegIdx dst, RegIdx src, u8 amount)
+{
+    alui(Opcode::ASR, dst, src, amount);
+}
+
+void
+ProgramBuilder::rorImm(RegIdx dst, RegIdx src, u8 amount)
+{
+    alui(Opcode::ROR, dst, src, amount);
+}
+
+void
+ProgramBuilder::lsl(RegIdx dst, RegIdx src, RegIdx amount)
+{
+    alu(Opcode::LSL, dst, src, amount);
+}
+
+void
+ProgramBuilder::lsr(RegIdx dst, RegIdx src, RegIdx amount)
+{
+    alu(Opcode::LSR, dst, src, amount);
+}
+
+void
+ProgramBuilder::mul(RegIdx dst, RegIdx a, RegIdx b)
+{
+    alu(Opcode::MUL, dst, a, b);
+}
+
+void
+ProgramBuilder::mla(RegIdx dst, RegIdx a, RegIdx b, RegIdx acc)
+{
+    Inst i;
+    i.op = Opcode::MLA;
+    i.dst = dst;
+    i.src1 = a;
+    i.src2 = b;
+    i.src3 = acc;
+    emit(i);
+}
+
+void
+ProgramBuilder::sdiv(RegIdx dst, RegIdx a, RegIdx b)
+{
+    alu(Opcode::SDIV, dst, a, b);
+}
+
+void
+ProgramBuilder::udiv(RegIdx dst, RegIdx a, RegIdx b)
+{
+    alu(Opcode::UDIV, dst, a, b);
+}
+
+void
+ProgramBuilder::fop(Opcode op, RegIdx dst, RegIdx a, RegIdx b)
+{
+    panic_if(!isFp(op), "fop with non-FP opcode");
+    alu(op, dst, a, b);
+}
+
+void
+ProgramBuilder::fmovImm(RegIdx dst, double value)
+{
+    s64 raw;
+    static_assert(sizeof(raw) == sizeof(value));
+    std::memcpy(&raw, &value, sizeof(raw));
+    movImm(dst, raw);
+}
+
+void
+ProgramBuilder::fcvtzs(RegIdx dst, RegIdx src)
+{
+    Inst i;
+    i.op = Opcode::FCVTZS;
+    i.dst = dst;
+    i.src1 = src;
+    emit(i);
+}
+
+void
+ProgramBuilder::scvtf(RegIdx dst, RegIdx src)
+{
+    Inst i;
+    i.op = Opcode::SCVTF;
+    i.dst = dst;
+    i.src1 = src;
+    emit(i);
+}
+
+void
+ProgramBuilder::load(Opcode op, RegIdx dst, RegIdx base, s64 offset)
+{
+    panic_if(!isLoad(op), "load with non-load opcode");
+    Inst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = base;
+    i.use_imm = true;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+ProgramBuilder::loadIdx(Opcode op, RegIdx dst, RegIdx base, RegIdx index,
+                        u8 scale_shift)
+{
+    panic_if(!isLoad(op), "loadIdx with non-load opcode");
+    Inst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = base;
+    i.src2 = index;
+    i.op2_shift = ShiftKind::Lsl;
+    i.shamt = scale_shift;
+    emit(i);
+}
+
+void
+ProgramBuilder::store(Opcode op, RegIdx data, RegIdx base, s64 offset)
+{
+    panic_if(!isStore(op), "store with non-store opcode");
+    Inst i;
+    i.op = op;
+    i.src3 = data;
+    i.src1 = base;
+    i.use_imm = true;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+ProgramBuilder::storeIdx(Opcode op, RegIdx data, RegIdx base, RegIdx index,
+                         u8 scale_shift)
+{
+    panic_if(!isStore(op), "storeIdx with non-store opcode");
+    Inst i;
+    i.op = op;
+    i.src3 = data;
+    i.src1 = base;
+    i.src2 = index;
+    i.op2_shift = ShiftKind::Lsl;
+    i.shamt = scale_shift;
+    emit(i);
+}
+
+void
+ProgramBuilder::vop(Opcode op, RegIdx vd, RegIdx va, RegIdx vb, VecType vt)
+{
+    panic_if(!isSimd(op), "vop with non-SIMD opcode");
+    Inst i;
+    i.op = op;
+    i.dst = vd;
+    i.src1 = va;
+    i.src2 = vb;
+    i.vtype = vt;
+    emit(i);
+}
+
+void
+ProgramBuilder::vshiftImm(Opcode op, RegIdx vd, RegIdx va, u8 amount,
+                          VecType vt)
+{
+    Inst i;
+    i.op = op;
+    i.dst = vd;
+    i.src1 = va;
+    i.use_imm = true;
+    i.imm = amount;
+    i.vtype = vt;
+    emit(i);
+}
+
+void
+ProgramBuilder::vdup(RegIdx vd, RegIdx scalar, VecType vt)
+{
+    Inst i;
+    i.op = Opcode::VDUP;
+    i.dst = vd;
+    i.src1 = scalar;
+    i.vtype = vt;
+    emit(i);
+}
+
+void
+ProgramBuilder::vmov(RegIdx vd, RegIdx va)
+{
+    Inst i;
+    i.op = Opcode::VMOV;
+    i.dst = vd;
+    i.src1 = va;
+    emit(i);
+}
+
+void
+ProgramBuilder::vmla(RegIdx vd, RegIdx va, RegIdx vb, VecType vt)
+{
+    Inst i;
+    i.op = Opcode::VMLA;
+    i.dst = vd;
+    i.src1 = va;
+    i.src2 = vb;
+    i.src3 = vd; // accumulate input
+    i.vtype = vt;
+    emit(i);
+}
+
+void
+ProgramBuilder::vmul(RegIdx vd, RegIdx va, RegIdx vb, VecType vt)
+{
+    vop(Opcode::VMUL, vd, va, vb, vt);
+}
+
+void
+ProgramBuilder::vldr(RegIdx vd, RegIdx base, s64 offset)
+{
+    Inst i;
+    i.op = Opcode::VLDR;
+    i.dst = vd;
+    i.src1 = base;
+    i.use_imm = true;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+ProgramBuilder::vstr(RegIdx vs, RegIdx base, s64 offset)
+{
+    Inst i;
+    i.op = Opcode::VSTR;
+    i.src3 = vs;
+    i.src1 = base;
+    i.use_imm = true;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+ProgramBuilder::vredsum(RegIdx dst, RegIdx va, VecType vt)
+{
+    Inst i;
+    i.op = Opcode::VREDSUM;
+    i.dst = dst;
+    i.src1 = va;
+    i.vtype = vt;
+    emit(i);
+}
+
+void
+ProgramBuilder::b(Label l)
+{
+    Inst i;
+    i.op = Opcode::B;
+    emitBranchTo(i, l);
+}
+
+void
+ProgramBuilder::branch(Opcode op, RegIdx test, Label l)
+{
+    panic_if(!isCondBranch(op), "branch() with non-conditional opcode");
+    Inst i;
+    i.op = op;
+    i.src1 = test;
+    emitBranchTo(i, l);
+}
+
+void
+ProgramBuilder::bl(Label l)
+{
+    Inst i;
+    i.op = Opcode::BL;
+    i.dst = kLinkReg;
+    emitBranchTo(i, l);
+}
+
+void
+ProgramBuilder::ret()
+{
+    Inst i;
+    i.op = Opcode::RET;
+    i.src1 = kLinkReg;
+    emit(i);
+}
+
+void
+ProgramBuilder::halt()
+{
+    Inst i;
+    i.op = Opcode::HALT;
+    emit(i);
+}
+
+Program
+ProgramBuilder::build()
+{
+    panic_if(built_, "build() called twice");
+    built_ = true;
+    for (auto [inst_idx, label_id] : fixups_) {
+        fatal_if(label_addr_[label_id] < 0,
+                 "program '", name_, "': unbound label ", label_id);
+        insts_[inst_idx].target = static_cast<u32>(label_addr_[label_id]);
+    }
+    return Program(name_, std::move(insts_));
+}
+
+} // namespace redsoc

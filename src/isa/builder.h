@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ProgramBuilder: a fluent in-C++ assembler for the µISA with
+ * forward-referencing labels. The whole workload suite is written
+ * against this interface.
+ */
+
+#ifndef REDSOC_ISA_BUILDER_H
+#define REDSOC_ISA_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace redsoc {
+
+/** Scalar register shorthand: x(5) is register x5. */
+inline constexpr RegIdx
+x(unsigned idx)
+{
+    return static_cast<RegIdx>(idx);
+}
+
+/** Vector register shorthand: v(2) is register v2 (unified id). */
+inline constexpr RegIdx
+v(unsigned idx)
+{
+    return vreg(idx);
+}
+
+class ProgramBuilder
+{
+  public:
+    /** An abstract code label; bind() attaches it to the next inst. */
+    struct Label { u32 id; };
+
+    explicit ProgramBuilder(std::string name);
+
+    Label newLabel();
+    /** Attach @p l to the address of the next emitted instruction. */
+    void bind(Label l);
+
+    // --- Scalar data ops (register or immediate second operand) ----
+    void alu(Opcode op, RegIdx dst, RegIdx a, RegIdx b);
+    void alui(Opcode op, RegIdx dst, RegIdx a, s64 imm);
+    /** Arith op with shifted register second operand (ARM op2). */
+    void aluShifted(Opcode op, RegIdx dst, RegIdx a, RegIdx b,
+                    ShiftKind kind, u8 amount);
+
+    void movImm(RegIdx dst, s64 imm);
+    void mov(RegIdx dst, RegIdx src);
+    void mvn(RegIdx dst, RegIdx src);
+    void lslImm(RegIdx dst, RegIdx src, u8 amount);
+    void lsrImm(RegIdx dst, RegIdx src, u8 amount);
+    void asrImm(RegIdx dst, RegIdx src, u8 amount);
+    void rorImm(RegIdx dst, RegIdx src, u8 amount);
+    void lsl(RegIdx dst, RegIdx src, RegIdx amount);
+    void lsr(RegIdx dst, RegIdx src, RegIdx amount);
+
+    // --- Multi-cycle integer ---------------------------------------
+    void mul(RegIdx dst, RegIdx a, RegIdx b);
+    void mla(RegIdx dst, RegIdx a, RegIdx b, RegIdx acc);
+    void sdiv(RegIdx dst, RegIdx a, RegIdx b);
+    void udiv(RegIdx dst, RegIdx a, RegIdx b);
+
+    // --- Floating point (bits of scalar regs as IEEE double) -------
+    void fop(Opcode op, RegIdx dst, RegIdx a, RegIdx b);
+    void fmovImm(RegIdx dst, double value);
+    void fcvtzs(RegIdx dst, RegIdx src);
+    void scvtf(RegIdx dst, RegIdx src);
+
+    // --- Memory -----------------------------------------------------
+    void load(Opcode op, RegIdx dst, RegIdx base, s64 offset);
+    void loadIdx(Opcode op, RegIdx dst, RegIdx base, RegIdx index,
+                 u8 scale_shift);
+    void store(Opcode op, RegIdx data, RegIdx base, s64 offset);
+    void storeIdx(Opcode op, RegIdx data, RegIdx base, RegIdx index,
+                  u8 scale_shift);
+
+    // --- SIMD -------------------------------------------------------
+    void vop(Opcode op, RegIdx vd, RegIdx va, RegIdx vb, VecType vt);
+    void vshiftImm(Opcode op, RegIdx vd, RegIdx va, u8 amount,
+                   VecType vt);
+    void vdup(RegIdx vd, RegIdx scalar, VecType vt);
+    void vmov(RegIdx vd, RegIdx va);
+    /** vd += va * vb (vd is also the accumulate source). */
+    void vmla(RegIdx vd, RegIdx va, RegIdx vb, VecType vt);
+    void vmul(RegIdx vd, RegIdx va, RegIdx vb, VecType vt);
+    void vldr(RegIdx vd, RegIdx base, s64 offset);
+    void vstr(RegIdx vs, RegIdx base, s64 offset);
+    void vredsum(RegIdx dst, RegIdx va, VecType vt);
+
+    // --- Control ----------------------------------------------------
+    void b(Label l);
+    void branch(Opcode op, RegIdx test, Label l);
+    void beqz(RegIdx r, Label l) { branch(Opcode::BEQZ, r, l); }
+    void bnez(RegIdx r, Label l) { branch(Opcode::BNEZ, r, l); }
+    void bltz(RegIdx r, Label l) { branch(Opcode::BLTZ, r, l); }
+    void bgez(RegIdx r, Label l) { branch(Opcode::BGEZ, r, l); }
+    void bgtz(RegIdx r, Label l) { branch(Opcode::BGTZ, r, l); }
+    void blez(RegIdx r, Label l) { branch(Opcode::BLEZ, r, l); }
+    void bl(Label l);
+    void ret();
+    void halt();
+
+    /** Current instruction count (address of the next emission). */
+    u32 here() const { return static_cast<u32>(insts_.size()); }
+
+    /** Validate labels, patch branch targets, and produce the
+     *  immutable Program. The builder must not be reused after. */
+    Program build();
+
+  private:
+    void emit(Inst inst);
+    void emitBranchTo(Inst inst, Label l);
+
+    std::string name_;
+    std::vector<Inst> insts_;
+    std::vector<s64> label_addr_;              // -1 = unbound
+    std::vector<std::pair<u32, u32>> fixups_;  // (inst idx, label id)
+    bool built_ = false;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_ISA_BUILDER_H

@@ -1,0 +1,100 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+namespace redsoc {
+
+namespace {
+
+std::string
+regName(RegIdx r)
+{
+    if (r == kNoReg)
+        return "-";
+    if (r == kZeroReg)
+        return "xzr";
+    std::ostringstream os;
+    if (isVecReg(r))
+        os << "v" << (r - kVecRegBase);
+    else
+        os << "x" << unsigned{r};
+    return os.str();
+}
+
+const char *
+shiftName(ShiftKind k)
+{
+    switch (k) {
+      case ShiftKind::Lsl: return "lsl";
+      case ShiftKind::Lsr: return "lsr";
+      case ShiftKind::Asr: return "asr";
+      case ShiftKind::Ror: return "ror";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    if (isSimd(inst.op))
+        os << "." << vecTypeName(inst.vtype);
+    os << " ";
+
+    if (isMem(inst.op)) {
+        RegIdx moved = isLoad(inst.op) ? inst.dst : inst.src3;
+        os << regName(moved) << ", [" << regName(inst.src1);
+        if (inst.use_imm) {
+            if (inst.imm != 0)
+                os << ", #" << inst.imm;
+        } else if (inst.src2 != kNoReg) {
+            os << ", " << regName(inst.src2);
+            if (inst.shamt != 0)
+                os << " lsl #" << unsigned{inst.shamt};
+        }
+        os << "]";
+        return os.str();
+    }
+
+    if (isBranch(inst.op)) {
+        if (isCondBranch(inst.op))
+            os << regName(inst.src1) << ", ";
+        if (inst.op != Opcode::RET)
+            os << "@" << inst.target;
+        else
+            os << regName(inst.src1);
+        return os.str();
+    }
+
+    if (inst.op == Opcode::HALT)
+        return "HALT";
+
+    bool first = true;
+    auto put = [&](const std::string &s) {
+        if (!first)
+            os << ", ";
+        os << s;
+        first = false;
+    };
+
+    if (inst.dst != kNoReg)
+        put(regName(inst.dst));
+    if (inst.src1 != kNoReg)
+        put(regName(inst.src1));
+    if (inst.use_imm) {
+        put("#" + std::to_string(inst.imm));
+    } else if (inst.src2 != kNoReg) {
+        put(regName(inst.src2));
+        if (inst.op2_shift != ShiftKind::None)
+            os << " " << shiftName(inst.op2_shift) << " #"
+               << unsigned{inst.shamt};
+    }
+    if (inst.src3 != kNoReg && inst.src3 != inst.dst && !isMem(inst.op))
+        put(regName(inst.src3));
+    return os.str();
+}
+
+} // namespace redsoc

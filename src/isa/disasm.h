@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Disassembler for debugging and trace dumps.
+ */
+
+#ifndef REDSOC_ISA_DISASM_H
+#define REDSOC_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/inst.h"
+
+namespace redsoc {
+
+/** Render a single instruction as assembler-ish text. */
+std::string disassemble(const Inst &inst);
+
+} // namespace redsoc
+
+#endif // REDSOC_ISA_DISASM_H

@@ -1,0 +1,40 @@
+#include "isa/inst.h"
+
+namespace redsoc {
+
+std::array<RegIdx, 3>
+Inst::sources() const
+{
+    std::array<RegIdx, 3> srcs = {kNoReg, kNoReg, kNoReg};
+    unsigned n = 0;
+    auto add = [&](RegIdx r) {
+        if (r != kNoReg && r != kZeroReg)
+            srcs[n++] = r;
+    };
+    add(src1);
+    if (!use_imm)
+        add(src2);
+    add(src3);
+    return srcs;
+}
+
+RegIdx
+Inst::destination() const
+{
+    if (dst == kNoReg || dst == kZeroReg)
+        return kNoReg;
+    return dst;
+}
+
+unsigned
+Inst::numSources() const
+{
+    auto srcs = sources();
+    unsigned n = 0;
+    for (RegIdx r : srcs)
+        if (r != kNoReg)
+            ++n;
+    return n;
+}
+
+} // namespace redsoc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Static instruction representation. Registers live in a unified id
+ * space: scalar x0..x30 are ids 0..30, the always-zero register xzr
+ * is id 31, and vector v0..v31 are ids 32..63. xzr is never a true
+ * dependency and is never renamed.
+ */
+
+#ifndef REDSOC_ISA_INST_H
+#define REDSOC_ISA_INST_H
+
+#include <array>
+
+#include "isa/opcode.h"
+
+namespace redsoc {
+
+/** Unified register-id helpers. */
+inline constexpr RegIdx kZeroReg = 31;
+inline constexpr RegIdx kLinkReg = 30;
+inline constexpr RegIdx kVecRegBase = 32;
+inline constexpr unsigned kNumIntRegs = 32;
+inline constexpr unsigned kNumVecRegs = 32;
+inline constexpr unsigned kNumRegs = kNumIntRegs + kNumVecRegs;
+inline constexpr RegIdx kNoReg = 0xff;
+
+inline constexpr RegIdx
+vreg(unsigned idx)
+{
+    return static_cast<RegIdx>(kVecRegBase + idx);
+}
+
+inline constexpr bool
+isVecReg(RegIdx r)
+{
+    return r != kNoReg && r >= kVecRegBase;
+}
+
+/**
+ * A static µISA instruction.
+ *
+ * Field usage by format:
+ *  - data ops:    dst, src1, src2/imm (with optional op2 shift)
+ *  - 3-src ops:   MLA/VMLA use src3 as the accumulate operand
+ *  - loads:       dst, [src1 (base) + imm] or [src1 + src2 << shamt]
+ *  - stores:      src3 (data), [src1 (base) + imm] or [src1 + src2 << shamt]
+ *  - branches:    target (static inst index); conditional test src1
+ *  - VDUP:        dst (vector), src1 (scalar)
+ *  - VREDSUM:     dst (scalar), src1 (vector)
+ */
+struct Inst
+{
+    Opcode op = Opcode::HALT;
+    RegIdx dst = kNoReg;
+    RegIdx src1 = kNoReg;
+    RegIdx src2 = kNoReg;
+    RegIdx src3 = kNoReg;
+
+    /** Second operand is the immediate, not src2. */
+    bool use_imm = false;
+    s64 imm = 0;
+
+    /** Shift applied to the second operand (data ops), or the
+     *  index-scaling amount (memory ops with register index). */
+    ShiftKind op2_shift = ShiftKind::None;
+    u8 shamt = 0;
+
+    /** SIMD element type. */
+    VecType vtype = VecType::I64;
+
+    /** Branch target as a static instruction index (fixed up by the
+     *  builder from labels). */
+    u32 target = 0;
+
+    /** True if this data op's delay includes a shifter stage. */
+    bool
+    hasShiftComponent() const
+    {
+        if (op2_shift != ShiftKind::None)
+            return true;
+        switch (op) {
+          case Opcode::LSL: case Opcode::LSR: case Opcode::ASR:
+          case Opcode::ROR: case Opcode::RRX:
+            return true;
+          case Opcode::VSHL: case Opcode::VSHR:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * Source registers that create true dependencies, in a fixed
+     * order (kNoReg entries for unused slots; xzr filtered out).
+     */
+    std::array<RegIdx, 3> sources() const;
+
+    /** Destination register or kNoReg (stores, branches, compares to
+     *  xzr, HALT have none). */
+    RegIdx destination() const;
+
+    /** Number of non-kNoReg entries in sources(). */
+    unsigned numSources() const;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_ISA_INST_H

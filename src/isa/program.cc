@@ -1,0 +1,26 @@
+#include "isa/program.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+Program::Program(std::string name, std::vector<Inst> insts)
+    : name_(std::move(name)), insts_(std::move(insts))
+{
+    fatal_if(insts_.empty(), "program '", name_, "' is empty");
+    for (u32 pc = 0; pc < insts_.size(); ++pc) {
+        const Inst &inst = insts_[pc];
+        if (isBranch(inst.op) && inst.op != Opcode::RET) {
+            fatal_if(inst.target >= insts_.size(),
+                     "program '", name_, "': branch at ", pc,
+                     " targets out-of-range ", inst.target);
+        }
+        if (!isMem(inst.op) && inst.op2_shift != ShiftKind::None) {
+            fatal_if(aluKind(inst.op) != AluKind::Arith,
+                     "program '", name_, "': shifted op2 at ", pc,
+                     " on a non-arithmetic op");
+        }
+    }
+}
+
+} // namespace redsoc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * A Program is a validated sequence of static instructions plus a
+ * name. Programs are produced by ProgramBuilder and consumed by the
+ * functional interpreter and (via traces) the core models.
+ */
+
+#ifndef REDSOC_ISA_PROGRAM_H
+#define REDSOC_ISA_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace redsoc {
+
+class Program
+{
+  public:
+    Program(std::string name, std::vector<Inst> insts);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Inst> &insts() const { return insts_; }
+    const Inst &inst(u32 pc) const { return insts_[pc]; }
+    u32 size() const { return static_cast<u32>(insts_.size()); }
+
+  private:
+    std::string name_;
+    std::vector<Inst> insts_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_ISA_PROGRAM_H

@@ -1,0 +1,129 @@
+#include "mem/cache.h"
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace redsoc {
+
+Cache::Cache(CacheConfig config)
+    : config_(std::move(config)), line_bytes_(config_.line_bytes)
+{
+    fatal_if(!isPowerOfTwo(config_.line_bytes), "line size not pow2");
+    fatal_if(config_.assoc == 0, "zero associativity");
+    fatal_if(config_.size_bytes % (config_.line_bytes * config_.assoc) != 0,
+             "cache size not divisible by way size");
+    num_sets_ = static_cast<unsigned>(
+        config_.size_bytes / (config_.line_bytes * config_.assoc));
+    fatal_if(!isPowerOfTwo(num_sets_), "set count not pow2");
+    lines_.resize(u64{num_sets_} * config_.assoc);
+}
+
+unsigned
+Cache::setOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / line_bytes_) & (num_sets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / line_bytes_ / num_sets_;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const unsigned set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = lines_[u64{set} * config_.assoc + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    AccessResult result;
+    ++stamp_;
+    if (Line *line = findLine(addr)) {
+        ++hits_;
+        result.hit = true;
+        line->lru = stamp_;
+        line->dirty |= is_write;
+        return result;
+    }
+
+    ++misses_;
+    const unsigned set = setOf(addr);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = lines_[u64{set} * config_.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+    if (victim->valid) {
+        result.had_victim = true;
+        result.writeback = victim->dirty;
+        result.victim_line =
+            (victim->tag * num_sets_ + set) * line_bytes_;
+    }
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->dirty = is_write;
+    victim->lru = stamp_;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::insert(Addr addr)
+{
+    if (findLine(addr))
+        return false;
+    // Reuse demand-allocation machinery but do not count stats:
+    // prefetch fills are not demand accesses.
+    const u64 saved_hits = hits_, saved_misses = misses_;
+    access(addr, false);
+    hits_ = saved_hits;
+    misses_ = saved_misses;
+    return true;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        const bool dirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        return dirty;
+    }
+    return false;
+}
+
+void
+Cache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace redsoc

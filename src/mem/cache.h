@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative cache tag array with true-LRU replacement and
+ * write-back/write-allocate policy. This is a timing/tag model: data
+ * values live in the functional MemoryImage, so the cache only tracks
+ * presence and dirtiness.
+ */
+
+#ifndef REDSOC_MEM_CACHE_H
+#define REDSOC_MEM_CACHE_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace redsoc {
+
+struct CacheConfig
+{
+    std::string name = "cache";
+    u64 size_bytes = 64 * 1024;
+    unsigned assoc = 4;
+    unsigned line_bytes = 64;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(CacheConfig config);
+
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writeback = false;   ///< a dirty victim was evicted
+        Addr victim_line = 0;     ///< line address of the victim
+        bool had_victim = false;
+    };
+
+    /**
+     * Look up @p addr; on miss, allocate the line (evicting LRU).
+     * @param is_write marks the line dirty.
+     */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Tag probe without allocation or LRU update. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Insert a line without demand semantics (prefetch fill).
+     * Returns true if the line was newly allocated.
+     */
+    bool insert(Addr addr);
+
+    /** Invalidate a line if present (returns true if it was dirty). */
+    bool invalidate(Addr addr);
+
+    Addr lineAddr(Addr addr) const { return addr & ~(line_bytes_ - 1); }
+
+    const CacheConfig &config() const { return config_; }
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        const u64 total = hits_ + misses_;
+        return total == 0 ? 0.0 : static_cast<double>(misses_) / total;
+    }
+
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        u64 lru = 0; ///< last-touch stamp
+    };
+
+    unsigned setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    CacheConfig config_;
+    Addr line_bytes_;
+    unsigned num_sets_;
+    std::vector<Line> lines_; ///< num_sets x assoc, row-major
+    u64 stamp_ = 0;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_MEM_CACHE_H

@@ -1,0 +1,69 @@
+#include "power/dvfs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+DvfsModel::DvfsModel()
+    : DvfsModel(std::vector<DvfsPoint>{
+          {0.7, 0.900}, {0.8, 0.925}, {0.9, 0.950}, {1.0, 0.975},
+          {1.1, 1.000}, {1.2, 1.025}, {1.3, 1.056}, {1.4, 1.087},
+          {1.5, 1.118}, {1.6, 1.149}, {1.7, 1.181}, {1.8, 1.212},
+          {1.9, 1.244}, {2.0, 1.275}})
+{
+}
+
+DvfsModel::DvfsModel(std::vector<DvfsPoint> points)
+    : points_(std::move(points))
+{
+    fatal_if(points_.size() < 2, "DVFS table needs at least 2 points");
+    fatal_if(!std::is_sorted(points_.begin(), points_.end(),
+                             [](const DvfsPoint &a, const DvfsPoint &b) {
+                                 return a.ghz < b.ghz;
+                             }),
+             "DVFS table must be sorted by frequency");
+}
+
+double
+DvfsModel::voltageAt(double ghz) const
+{
+    if (ghz <= points_.front().ghz)
+        return points_.front().volts;
+    if (ghz >= points_.back().ghz)
+        return points_.back().volts;
+    for (size_t i = 1; i < points_.size(); ++i) {
+        if (ghz <= points_[i].ghz) {
+            const DvfsPoint &lo = points_[i - 1];
+            const DvfsPoint &hi = points_[i];
+            const double t = (ghz - lo.ghz) / (hi.ghz - lo.ghz);
+            return lo.volts + t * (hi.volts - lo.volts);
+        }
+    }
+    return points_.back().volts;
+}
+
+double
+DvfsModel::relativePowerAt(double ghz) const
+{
+    const double v = voltageAt(ghz);
+    const double vmax = points_.back().volts;
+    const double fmax = points_.back().ghz;
+    return (ghz * v * v) / (fmax * vmax * vmax);
+}
+
+double
+DvfsModel::powerSavingForSpeedup(double speedup, double nominal_ghz) const
+{
+    fatal_if(speedup <= 0.0, "non-positive speedup");
+    if (speedup <= 1.0)
+        return 0.0;
+    const double target_ghz =
+        std::max(points_.front().ghz, nominal_ghz / speedup);
+    const double p_nominal = relativePowerAt(nominal_ghz);
+    const double p_target = relativePowerAt(target_ghz);
+    return 1.0 - p_target / p_nominal;
+}
+
+} // namespace redsoc

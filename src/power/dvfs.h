@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ARM A57-style DVFS power model (Sec.VI-C): converts a performance
+ * speedup at fixed frequency into a power saving by scaling down to
+ * the operating point that restores baseline performance, with
+ * dynamic power ~ f * V^2 along the published Exynos A57 V/F curve.
+ */
+
+#ifndef REDSOC_POWER_DVFS_H
+#define REDSOC_POWER_DVFS_H
+
+#include <vector>
+
+namespace redsoc {
+
+struct DvfsPoint
+{
+    double ghz;
+    double volts;
+};
+
+class DvfsModel
+{
+  public:
+    /** Default: Exynos-5433-style A57 operating points, 0.7-2.0 GHz. */
+    DvfsModel();
+    explicit DvfsModel(std::vector<DvfsPoint> points);
+
+    /** Supply voltage at @p ghz (linear interpolation, clamped). */
+    double voltageAt(double ghz) const;
+
+    /** Relative dynamic power f*V^2 at @p ghz, normalized to the
+     *  highest operating point. */
+    double relativePowerAt(double ghz) const;
+
+    /**
+     * Power saving from running a workload that is @p speedup times
+     * faster at nominal frequency @p nominal_ghz at the reduced
+     * frequency nominal/speedup that restores baseline performance.
+     * @return fraction in [0, 1).
+     */
+    double powerSavingForSpeedup(double speedup,
+                                 double nominal_ghz = 2.0) const;
+
+    const std::vector<DvfsPoint> &points() const { return points_; }
+
+  private:
+    std::vector<DvfsPoint> points_; ///< ascending by frequency
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_POWER_DVFS_H

@@ -1,0 +1,46 @@
+#include "redsoc/skewed_select.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+SkewedSelectArbiter::SkewedSelectArbiter(unsigned entries)
+    : SelectArbiter(entries)
+{
+}
+
+u64
+SkewedSelectArbiter::effectiveMask(unsigned idx, u64 wakeup,
+                                   u64 speculative) const
+{
+    panic_if(idx >= entries_, "mask index out of range");
+    const u64 conv_awake = wakeup & ~speculative;
+    const bool is_spec = (speculative >> idx) & 1;
+    if (is_spec) {
+        // Every awake conventional entry outranks me, in addition to
+        // older speculative entries.
+        return (masks_[idx] | conv_awake) & ~(u64{1} << idx);
+    }
+    // Conventional request: speculative entries never block me.
+    return masks_[idx] & ~speculative;
+}
+
+std::vector<unsigned>
+SkewedSelectArbiter::arbitrateSkewed(u64 wakeup, u64 speculative,
+                                     unsigned max_grants) const
+{
+    std::vector<unsigned> grants;
+    while (grants.size() < max_grants) {
+        std::vector<u64> eff(entries_);
+        for (unsigned i = 0; i < entries_; ++i)
+            eff[i] = effectiveMask(i, wakeup, speculative);
+        const int g = grantOne(wakeup, eff);
+        if (g < 0)
+            break;
+        grants.push_back(static_cast<unsigned>(g));
+        wakeup &= ~(u64{1} << g);
+    }
+    return grants;
+}
+
+} // namespace redsoc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Skewed select arbitration (Sec.IV-D, Fig.9.b). Speculative
+ * (grandparent-woken) requests must never beat conventional
+ * (parent-woken) requests: each entry's priority mask is rewritten
+ * into an "effective mask" —
+ *   - conventional entries clear mask bits that point at speculative
+ *     entries (only older conventional requests can block them);
+ *   - speculative entries additionally set mask bits for *every*
+ *     awake conventional entry (even younger ones).
+ * Arbitration then proceeds exactly as in the conventional circuit.
+ */
+
+#ifndef REDSOC_REDSOC_SKEWED_SELECT_H
+#define REDSOC_REDSOC_SKEWED_SELECT_H
+
+#include "core/select_logic.h"
+
+namespace redsoc {
+
+class SkewedSelectArbiter : public SelectArbiter
+{
+  public:
+    explicit SkewedSelectArbiter(unsigned entries);
+
+    /**
+     * Arbitrate with the speculative/conventional skew.
+     * @param wakeup bit i = entry i requests
+     * @param speculative bit i = entry i's request is GP-woken
+     * @return granted indices, priority order.
+     */
+    std::vector<unsigned> arbitrateSkewed(u64 wakeup, u64 speculative,
+                                          unsigned max_grants) const;
+
+    /** The per-entry effective mask for given request state
+     *  (exposed for the gate-level unit tests of Fig.9). */
+    u64 effectiveMask(unsigned idx, u64 wakeup, u64 speculative) const;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_REDSOC_SKEWED_SELECT_H

@@ -1,0 +1,63 @@
+#include "redsoc/transparent.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+bool
+canRecycle(Tick producer_complete, Tick arrival_tick,
+           const SubCycleClock &clock, Tick threshold_ticks)
+{
+    if (producer_complete <= arrival_tick)
+        return false; // producer done by the boundary: normal issue
+    if (producer_complete >= arrival_tick + clock.ticksPerCycle())
+        return false; // completion not within the consumer's cycle
+    return clock.ciOf(producer_complete) <= threshold_ticks;
+}
+
+void
+TransparentTracker::onRoot(SeqNum seq)
+{
+    live_.emplace(seq, ChainInfo{});
+}
+
+void
+TransparentTracker::onExtend(SeqNum parent, SeqNum child)
+{
+    ++links_;
+    u32 parent_len = 1;
+    auto it = live_.find(parent);
+    if (it != live_.end()) {
+        it->second.extended = true;
+        parent_len = it->second.length;
+    }
+    live_[child] = ChainInfo{parent_len + 1, false};
+}
+
+void
+TransparentTracker::onRetire(SeqNum seq)
+{
+    auto it = live_.find(seq);
+    if (it == live_.end())
+        return;
+    // Chain tails carry the final sequence length. Note retirement is
+    // in program order, so any op that extends this one has already
+    // marked it (extension happens at issue, before either commits).
+    if (!it->second.extended)
+        lengths_.sample(it->second.length);
+    live_.erase(it);
+}
+
+double
+TransparentTracker::expectedRecycledLength() const
+{
+    double num = 0.0, den = 0.0;
+    for (u64 len = 2; len <= lengths_.maxSample(); ++len) {
+        const double count = static_cast<double>(lengths_.bucket(len));
+        num += static_cast<double>(len) * len * count;
+        den += static_cast<double>(len) * count;
+    }
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace redsoc

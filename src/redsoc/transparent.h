@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Transparent-dataflow bookkeeping (Sec.III). The recycle decision —
+ * may a consumer arriving at a clock boundary start mid-cycle at its
+ * producer's completion instant? — and the statistics over maximal
+ * transparent sequences (Fig.11's expected sequence length).
+ */
+
+#ifndef REDSOC_REDSOC_TRANSPARENT_H
+#define REDSOC_REDSOC_TRANSPARENT_H
+
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "timing/completion_instant.h"
+
+namespace redsoc {
+
+/**
+ * The Sec.IV-C step-10 issue condition: the consumer (arriving at
+ * @p arrival_tick) may transparently start at the producer
+ * completion @p producer_complete iff the completion falls strictly
+ * inside the consumer's arrival cycle and its CI is within the slack
+ * threshold.
+ */
+bool canRecycle(Tick producer_complete, Tick arrival_tick,
+                const SubCycleClock &clock, Tick threshold_ticks);
+
+/**
+ * Tracks maximal chains of transparently-linked operations. A chain
+ * starts at any slack-eligible op that issues from a clock boundary
+ * and extends through each consumer that starts at its producer's
+ * completion instant. Lengths are sampled when the chain dies (its
+ * tail op is never recycled from).
+ */
+class TransparentTracker
+{
+  public:
+    TransparentTracker() : lengths_(64) {}
+
+    /** A slack-eligible op issued from a boundary: chain root. */
+    void onRoot(SeqNum seq);
+
+    /** @p child transparently started at @p parent's completion. */
+    void onExtend(SeqNum parent, SeqNum child);
+
+    /** The op committed: if it is a chain tail, sample the length. */
+    void onRetire(SeqNum seq);
+
+    /** Histogram over final sequence lengths (1 = never recycled). */
+    const Histogram &lengths() const { return lengths_; }
+
+    /**
+     * Fig.11 statistic: expected sequence length experienced by a
+     * uniformly chosen operation that is part of a recycled sequence
+     * (length >= 2): sum(L^2 * count) / sum(L * count) over L >= 2.
+     */
+    double expectedRecycledLength() const;
+
+    u64 totalRecycledLinks() const { return links_; }
+
+  private:
+    struct ChainInfo
+    {
+        u32 length = 1;
+        bool extended = false;
+    };
+
+    std::unordered_map<SeqNum, ChainInfo> live_;
+    Histogram lengths_;
+    u64 links_ = 0;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_REDSOC_TRANSPARENT_H

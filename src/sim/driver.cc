@@ -1,0 +1,77 @@
+#include "sim/driver.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+const Trace &
+SimDriver::trace(const std::string &workload)
+{
+    auto it = traces_.find(workload);
+    if (it == traces_.end()) {
+        it = traces_.emplace(workload, traceWorkload(workload, max_ops_))
+                 .first;
+    }
+    return it->second;
+}
+
+std::string
+SimDriver::configKey(const CoreConfig &config)
+{
+    std::ostringstream os;
+    os << config.name << '|' << schedModeName(config.mode) << '|'
+       << rsDesignName(config.rs_design) << '|'
+       << config.ci_precision_bits << '|' << config.slack_threshold_ticks
+       << '|' << config.egpw << config.skewed_select << '|'
+       << config.dynamic_threshold << config.threshold_epoch << '|'
+       << config.timing.clock_period_ps << '|'
+       << config.timing.pvt_derate << '|'
+       << config.memory.offcore_latency_scale << '|'
+       << config.memory.prefetch;
+    return os.str();
+}
+
+const CoreStats &
+SimDriver::run(const std::string &workload, const CoreConfig &config)
+{
+    const std::string key = workload + "@" + configKey(config);
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+        OooCore core(config);
+        it = results_.emplace(key, core.run(trace(workload))).first;
+    }
+    return it->second;
+}
+
+double
+SimDriver::speedup(const std::string &workload, const CoreConfig &base,
+                   const CoreConfig &variant)
+{
+    const CoreStats &b = run(workload, base);
+    const CoreStats &v = run(workload, variant);
+    panic_if(v.cycles == 0, "zero-cycle run");
+    return static_cast<double>(b.cycles) / static_cast<double>(v.cycles);
+}
+
+double
+SimDriver::mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+CoreConfig
+configFor(const std::string &core_name, SchedMode mode)
+{
+    CoreConfig config = coreByName(core_name);
+    config.mode = mode;
+    return config;
+}
+
+} // namespace redsoc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SimDriver: the top-level experiment orchestrator used by the
+ * examples and the benchmark harness. Caches workload traces and
+ * core runs so a figure's full (workload x core x mode) matrix only
+ * simulates each point once.
+ */
+
+#ifndef REDSOC_SIM_DRIVER_H
+#define REDSOC_SIM_DRIVER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ooo_core.h"
+#include "workloads/registry.h"
+
+namespace redsoc {
+
+class SimDriver
+{
+  public:
+    explicit SimDriver(SeqNum max_ops = 2'000'000) : max_ops_(max_ops) {}
+
+    /** The functional trace of a workload (built and cached). */
+    const Trace &trace(const std::string &workload);
+
+    /** Simulate (cached by workload + configuration fingerprint). */
+    const CoreStats &run(const std::string &workload,
+                         const CoreConfig &config);
+
+    /**
+     * Wall-clock-equivalent speedup of @p variant over @p base on a
+     * workload (same clock period: cycle ratio).
+     */
+    double speedup(const std::string &workload, const CoreConfig &base,
+                   const CoreConfig &variant);
+
+    /** Arithmetic mean (the paper reports arithmetic suite means). */
+    static double mean(const std::vector<double> &values);
+
+    /** Configuration fingerprint used as the cache key. */
+    static std::string configKey(const CoreConfig &config);
+
+  private:
+    SeqNum max_ops_;
+    std::map<std::string, Trace> traces_;
+    std::map<std::string, CoreStats> results_;
+};
+
+/** Convenience: preset core with a scheduler mode applied. */
+CoreConfig configFor(const std::string &core_name, SchedMode mode);
+
+} // namespace redsoc
+
+#endif // REDSOC_SIM_DRIVER_H

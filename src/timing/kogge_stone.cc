@@ -1,0 +1,38 @@
+#include "timing/kogge_stone.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace redsoc {
+
+namespace {
+
+// Component delays (ps) calibrated so koggeStoneDelayPs(64) == 330,
+// the synthesized full-width ADD computation time of Fig.1.
+constexpr double kPreComputePs = 30.0;  // P/G generation
+constexpr double kSumXorPs = 40.0;      // final sum stage
+constexpr double kPrefixStagePs = (330.0 - kPreComputePs - kSumXorPs) / 6.0;
+
+} // namespace
+
+Picos
+koggeStoneDelayPs(unsigned eff_width)
+{
+    panic_if(eff_width == 0 || eff_width > 64,
+             "bad adder width ", eff_width);
+    const unsigned stages = eff_width <= 1 ? 0 : ceilLog2(eff_width);
+    const double ps = kPreComputePs + stages * kPrefixStagePs + kSumXorPs;
+    return static_cast<Picos>(ps + 0.5);
+}
+
+double
+koggeStoneScale(unsigned eff_width, unsigned full_width)
+{
+    eff_width = std::min(eff_width, full_width);
+    return static_cast<double>(koggeStoneDelayPs(eff_width)) /
+           static_cast<double>(koggeStoneDelayPs(full_width));
+}
+
+} // namespace redsoc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Analytic Kogge-Stone adder timing: the critical carry-propagation
+ * path length grows with log2 of the effective operand width
+ * (paper Fig.2). This model anchors all width-dependent arithmetic
+ * delays in the timing model.
+ */
+
+#ifndef REDSOC_TIMING_KOGGE_STONE_H
+#define REDSOC_TIMING_KOGGE_STONE_H
+
+#include "common/types.h"
+
+namespace redsoc {
+
+/**
+ * Critical-path delay in picoseconds of a Kogge-Stone adder when only
+ * the low @p eff_width bits carry meaningful data:
+ * pre-computation (P/G generation) + ceil(log2(w)) prefix stages +
+ * the final sum XOR. Calibrated so a full 64-bit add matches the
+ * paper's synthesized ADD time (Fig.1).
+ */
+Picos koggeStoneDelayPs(unsigned eff_width);
+
+/**
+ * Dimensionless scaling factor delay(eff_width) / delay(full_width):
+ * used to width-scale any carry-chain operation's full-width delay.
+ */
+double koggeStoneScale(unsigned eff_width, unsigned full_width = 64);
+
+} // namespace redsoc
+
+#endif // REDSOC_TIMING_KOGGE_STONE_H

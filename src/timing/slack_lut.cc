@@ -1,0 +1,151 @@
+#include "timing/slack_lut.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+namespace {
+
+// Bucket layout.
+constexpr unsigned kLogic = 0;
+constexpr unsigned kLogicShift = 1;
+constexpr unsigned kArithBase = 2;      // +widthClass: 2..5
+constexpr unsigned kArithShiftBase = 6; // +widthClass: 6..9
+constexpr unsigned kSimdBase = 10;      // +vecType: 10..13
+
+unsigned
+arithBucket(bool shift, WidthClass wc)
+{
+    return (shift ? kArithShiftBase : kArithBase) +
+           static_cast<unsigned>(wc);
+}
+
+unsigned
+simdBucket(VecType vt)
+{
+    return kSimdBase + static_cast<unsigned>(vt);
+}
+
+} // namespace
+
+SlackLut::SlackLut(const TimingModel &model, const SubCycleClock &clock)
+    : clock_(clock)
+{
+    panic_if(clock_.clockPeriodPs() != model.clockPeriodPs(),
+             "SlackLut clock disagrees with timing model");
+    calibrate(model);
+}
+
+unsigned
+SlackLut::bucketIndex(const Inst &inst, WidthClass wc) const
+{
+    panic_if(!TimingModel::isSlackEligible(inst.op),
+             "LUT lookup for non-eligible op ", opcodeName(inst.op));
+
+    if (isSimd(inst.op))
+        return simdBucket(inst.vtype);
+
+    const bool shift = inst.hasShiftComponent();
+    switch (aluKind(inst.op)) {
+      case AluKind::Logic:
+        return shift ? kLogicShift : kLogic;
+      case AluKind::MoveShift:
+        // MOV without a shift is pure routing (logic row); the
+        // shift/rotate opcodes carry the shifter stage.
+        return shift ? kLogicShift : kLogic;
+      case AluKind::Arith:
+        return arithBucket(shift, wc);
+      case AluKind::NotAlu:
+        // Unconditional branches: target move, logic row.
+        return kLogic;
+      default:
+        panic("bad alu kind");
+    }
+}
+
+Tick
+SlackLut::lookupTicks(const Inst &inst, WidthClass wc) const
+{
+    return buckets_[bucketIndex(inst, wc)].ticks;
+}
+
+Picos
+SlackLut::lookupPs(const Inst &inst, WidthClass wc) const
+{
+    return buckets_[bucketIndex(inst, wc)].worst_case_ps;
+}
+
+void
+SlackLut::calibrate(const TimingModel &model)
+{
+    for (auto &b : buckets_)
+        b = SlackBucket{};
+    buckets_[kLogic].name = "logic";
+    buckets_[kLogicShift].name = "logic+shift";
+    for (unsigned w = 0; w < 4; ++w) {
+        auto wc = static_cast<WidthClass>(w);
+        buckets_[kArithBase + w].name =
+            std::string("arith.") + widthClassName(wc);
+        buckets_[kArithShiftBase + w].name =
+            std::string("arith+shift.") + widthClassName(wc);
+    }
+    for (unsigned t = 0; t < 4; ++t) {
+        auto vt = static_cast<VecType>(t);
+        buckets_[kSimdBase + t].name =
+            std::string("simd.") + vecTypeName(vt);
+    }
+
+    // Enumerate every slack-eligible (opcode, shift, width/type)
+    // combination and fold its true delay into its bucket's worst
+    // case, so the LUT is conservative by construction.
+    auto fold = [&](unsigned idx, Picos ps) {
+        buckets_[idx].worst_case_ps =
+            std::max(buckets_[idx].worst_case_ps, ps);
+    };
+
+    for (unsigned o = 0;
+         o < static_cast<unsigned>(Opcode::NUM_OPCODES); ++o) {
+        const auto op = static_cast<Opcode>(o);
+        if (!TimingModel::isSlackEligible(op))
+            continue;
+
+        if (isSimd(op)) {
+            for (unsigned t = 0; t < 4; ++t) {
+                Inst inst;
+                inst.op = op;
+                inst.vtype = static_cast<VecType>(t);
+                fold(simdBucket(inst.vtype),
+                     model.trueDelayPs(inst, 64));
+            }
+            continue;
+        }
+
+        // Shifted second operands are an arithmetic-datapath feature
+        // (µISA rule, enforced by Program validation).
+        const bool can_shift_op2 = aluKind(op) == AluKind::Arith;
+        for (int s = 0; s < (can_shift_op2 ? 5 : 1); ++s) {
+            Inst inst;
+            inst.op = op;
+            inst.op2_shift = static_cast<ShiftKind>(s);
+            inst.shamt = 3;
+            for (unsigned w = 0; w < 4; ++w) {
+                const auto wc = static_cast<WidthClass>(w);
+                fold(bucketIndex(inst, wc),
+                     model.trueDelayPs(inst, widthClassBits(wc)));
+            }
+        }
+    }
+
+    for (auto &b : buckets_) {
+        panic_if(b.worst_case_ps == 0,
+                 "bucket '", b.name, "' has no member operations");
+        panic_if(b.worst_case_ps > model.clockPeriodPs(),
+                 "bucket '", b.name, "' exceeds the clock period (",
+                 b.worst_case_ps, " ps): not a single-cycle class");
+        b.ticks = clock_.delayTicks(b.worst_case_ps);
+    }
+}
+
+} // namespace redsoc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The slack look-up table of Sec.II-B. Static circuit-level timing
+ * analysis (our TimingModel) measures computation times for coarse
+ * classes of operations; the LUT stores one conservative computation
+ * time per class. The 5-bit lookup address is
+ * {SIMD, Arith/Logic, Shift, Width/Type[2]} (Fig.3); because bitwise
+ * logic has no carry chain its delay is width-independent, so the
+ * logic rows collapse across widths, yielding exactly 14 buckets:
+ *
+ *   LOGIC, LOGIC+SHIFT,
+ *   ARITH x {w8,w16,w32,w64}, ARITH+SHIFT x {w8,w16,w32,w64},
+ *   SIMD x {i8,i16,i32,i64}.
+ *
+ * Lookups return tick counts quantized *up* at the configured CI
+ * precision, so the estimate is always >= the true circuit delay:
+ * slack recycling stays timing non-speculative.
+ */
+
+#ifndef REDSOC_TIMING_SLACK_LUT_H
+#define REDSOC_TIMING_SLACK_LUT_H
+
+#include <array>
+#include <string>
+
+#include "timing/completion_instant.h"
+#include "timing/timing_model.h"
+
+namespace redsoc {
+
+struct SlackBucket
+{
+    std::string name;
+    Picos worst_case_ps = 0; ///< max true delay over member ops
+    Tick ticks = 0;          ///< quantized-up estimate at CI precision
+};
+
+class SlackLut
+{
+  public:
+    static constexpr unsigned kNumBuckets = 14;
+
+    SlackLut(const TimingModel &model, const SubCycleClock &clock);
+
+    /**
+     * Bucket index for a static instruction given the predicted
+     * operand-width class (scalar) — SIMD ops take their type from
+     * the instruction itself and ignore @p wc.
+     */
+    unsigned bucketIndex(const Inst &inst, WidthClass wc) const;
+
+    /** Estimated computation time in ticks (conservative). */
+    Tick lookupTicks(const Inst &inst, WidthClass wc) const;
+
+    /** Estimated computation time in ps (conservative). */
+    Picos lookupPs(const Inst &inst, WidthClass wc) const;
+
+    const std::array<SlackBucket, kNumBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    const SubCycleClock &clock() const { return clock_; }
+
+  private:
+    void calibrate(const TimingModel &model);
+
+    SubCycleClock clock_;
+    std::array<SlackBucket, kNumBuckets> buckets_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_TIMING_SLACK_LUT_H

@@ -1,0 +1,164 @@
+#include "workloads/inputs.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+void
+fillRandomBytes(MemoryImage &mem, Addr addr, u64 count, Rng &rng)
+{
+    for (u64 i = 0; i < count; ++i)
+        mem.poke8(addr + i, static_cast<u8>(rng.next()));
+}
+
+void
+fillNarrowWords(MemoryImage &mem, Addr addr, u64 count,
+                unsigned max_width, Rng &rng)
+{
+    for (u64 i = 0; i < count; ++i)
+        mem.poke64(addr + 8 * i, rng.narrowValue(max_width));
+}
+
+void
+fillText(MemoryImage &mem, Addr addr, u64 count,
+         const std::string &needle, Rng &rng)
+{
+    for (u64 i = 0; i < count; ++i) {
+        const char c = static_cast<char>('a' + rng.below(26));
+        mem.poke8(addr + i, static_cast<u8>(c));
+    }
+    // Sprinkle the needle in a handful of places so searches hit.
+    if (!needle.empty() && count > needle.size() * 4) {
+        const u64 copies = std::max<u64>(2, count / 4096);
+        for (u64 k = 0; k < copies; ++k) {
+            const u64 pos = rng.below(count - needle.size());
+            for (size_t j = 0; j < needle.size(); ++j)
+                mem.poke8(addr + pos + j, static_cast<u8>(needle[j]));
+        }
+    }
+}
+
+void
+fillImage(MemoryImage &mem, Addr addr, unsigned width, unsigned height,
+          Rng &rng)
+{
+    int lum = 128;
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            lum += static_cast<int>(rng.below(11)) - 5;
+            lum = std::clamp(lum, 0, 255);
+            mem.poke8(addr + u64{y} * width + x, static_cast<u8>(lum));
+        }
+    }
+}
+
+void
+fillAudio(MemoryImage &mem, Addr addr, u64 count, Rng &rng)
+{
+    int sample = 0;
+    for (u64 i = 0; i < count; ++i) {
+        sample += static_cast<int>(rng.below(1025)) - 512;
+        sample = std::clamp(sample, -30000, 30000);
+        mem.poke16(addr + 2 * i, static_cast<u16>(static_cast<s16>(sample)));
+    }
+}
+
+void
+fillDoubles(MemoryImage &mem, Addr addr, u64 count, double scale, Rng &rng)
+{
+    for (u64 i = 0; i < count; ++i)
+        mem.pokeF64(addr + 8 * i, (rng.uniform() * 2.0 - 1.0) * scale);
+}
+
+u64
+fillCsrMatrix(MemoryImage &mem, Addr row_ptr_addr, Addr col_idx_addr,
+              Addr values_addr, unsigned rows, unsigned cols,
+              unsigned nnz_per_row, Rng &rng)
+{
+    u64 nnz = 0;
+    for (unsigned r = 0; r < rows; ++r) {
+        mem.poke32(row_ptr_addr + 4ull * r, static_cast<u32>(nnz));
+        // Sorted distinct column picks per row.
+        std::vector<u32> picks;
+        for (unsigned k = 0; k < nnz_per_row; ++k)
+            picks.push_back(static_cast<u32>(rng.below(cols)));
+        std::sort(picks.begin(), picks.end());
+        picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+        for (u32 c : picks) {
+            mem.poke32(col_idx_addr + 4 * nnz, c);
+            mem.pokeF64(values_addr + 8 * nnz,
+                        rng.uniform() * 2.0 - 1.0);
+            ++nnz;
+        }
+    }
+    mem.poke32(row_ptr_addr + 4ull * rows, static_cast<u32>(nnz));
+    return nnz;
+}
+
+Addr
+fillPointerTree(MemoryImage &mem, Addr pool_addr, u64 pool_bytes,
+                unsigned node_count, Rng &rng)
+{
+    fatal_if(u64{node_count} * 32 > pool_bytes,
+             "tree pool too small for ", node_count, " nodes");
+
+    // Scatter node slots across the pool; slots must be distinct or
+    // overlapping nodes would corrupt the tree.
+    const u64 slots = pool_bytes / 32;
+    std::vector<u64> slot_of(node_count);
+    std::unordered_set<u64> used;
+    for (unsigned i = 0; i < node_count; ++i) {
+        u64 slot;
+        do {
+            slot = rng.below(slots);
+        } while (!used.insert(slot).second);
+        slot_of[i] = slot;
+    }
+
+    auto node_addr = [&](unsigned i) { return pool_addr + slot_of[i] * 32; };
+
+    // Insert keys in random order into a BST built over node indices.
+    std::vector<u64> keys(node_count);
+    for (unsigned i = 0; i < node_count; ++i)
+        keys[i] = rng.next() >> 16;
+
+    struct Node { u64 key; int left = -1; int right = -1; };
+    std::vector<Node> tree;
+    tree.reserve(node_count);
+    tree.push_back(Node{keys[0]});
+    for (unsigned i = 1; i < node_count; ++i) {
+        int cur = 0;
+        for (;;) {
+            if (keys[i] < tree[cur].key) {
+                if (tree[cur].left < 0) {
+                    tree[cur].left = static_cast<int>(tree.size());
+                    break;
+                }
+                cur = tree[cur].left;
+            } else {
+                if (tree[cur].right < 0) {
+                    tree[cur].right = static_cast<int>(tree.size());
+                    break;
+                }
+                cur = tree[cur].right;
+            }
+        }
+        tree.push_back(Node{keys[i]});
+    }
+
+    for (unsigned i = 0; i < node_count; ++i) {
+        const Addr a = node_addr(i);
+        mem.poke64(a + 0, tree[i].key);
+        mem.poke64(a + 8, tree[i].left < 0 ? 0 : node_addr(tree[i].left));
+        mem.poke64(a + 16,
+                   tree[i].right < 0 ? 0 : node_addr(tree[i].right));
+        mem.poke64(a + 24, tree[i].key ^ 0x5a5a5a5aULL);
+    }
+    return node_addr(0);
+}
+
+} // namespace redsoc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic input-data generators for the workload suite. All
+ * inputs are seeded, so every simulation is bit-reproducible.
+ */
+
+#ifndef REDSOC_WORKLOADS_INPUTS_H
+#define REDSOC_WORKLOADS_INPUTS_H
+
+#include "common/rng.h"
+#include "func/memory_image.h"
+
+namespace redsoc {
+
+/** Uniform random bytes. */
+void fillRandomBytes(MemoryImage &mem, Addr addr, u64 count, Rng &rng);
+
+/** 64-bit words with geometrically-biased narrow effective widths
+ *  (ML-weight-like operand distributions). */
+void fillNarrowWords(MemoryImage &mem, Addr addr, u64 count,
+                     unsigned max_width, Rng &rng);
+
+/** Lowercase text with occurrences of @p needle sprinkled in. */
+void fillText(MemoryImage &mem, Addr addr, u64 count,
+              const std::string &needle, Rng &rng);
+
+/** Smooth 8-bit image (random-walk luminance), row-major w x h. */
+void fillImage(MemoryImage &mem, Addr addr, unsigned width,
+               unsigned height, Rng &rng);
+
+/** Signed 16-bit audio-like samples (bounded random walk). */
+void fillAudio(MemoryImage &mem, Addr addr, u64 count, Rng &rng);
+
+/** IEEE doubles uniform in [-scale, scale). */
+void fillDoubles(MemoryImage &mem, Addr addr, u64 count, double scale,
+                 Rng &rng);
+
+/**
+ * CSR sparse matrix with ~nnz_per_row entries per row:
+ *  row_ptr:  (rows+1) x u32  at @p row_ptr_addr
+ *  col_idx:  nnz x u32       at @p col_idx_addr
+ *  values:   nnz x f64       at @p values_addr
+ * @return total nonzeros.
+ */
+u64 fillCsrMatrix(MemoryImage &mem, Addr row_ptr_addr, Addr col_idx_addr,
+                  Addr values_addr, unsigned rows, unsigned cols,
+                  unsigned nnz_per_row, Rng &rng);
+
+/**
+ * A binary search tree laid out as scattered 32-byte nodes:
+ *  node = { u64 key, u64 left_addr, u64 right_addr, u64 payload }
+ * Nodes are placed at pseudo-random addresses within
+ * [pool_addr, pool_addr + pool_bytes) to defeat spatial locality.
+ * @return the root node address.
+ */
+Addr fillPointerTree(MemoryImage &mem, Addr pool_addr, u64 pool_bytes,
+                     unsigned node_count, Rng &rng);
+
+} // namespace redsoc
+
+#endif // REDSOC_WORKLOADS_INPUTS_H

@@ -1,0 +1,363 @@
+#include "workloads/mibench.h"
+
+#include "common/logging.h"
+#include "isa/builder.h"
+#include "workloads/inputs.h"
+
+namespace redsoc {
+namespace mibench {
+
+namespace {
+
+constexpr Addr kBitcntTable = 0x8000;
+
+} // namespace
+
+PreparedProgram
+buildBitcnt()
+{
+    // Two bit-counting strategies over narrow-width words, as in the
+    // MiBench bitcount benchmark: a shift/mask loop and a nibble
+    // lookup table. Mix: almost no memory traffic, dominated by
+    // narrow logical/shift/add operations -> very high data slack.
+    ProgramBuilder b("bitcnt");
+
+    const RegIdx ptr = x(1), count = x(2), total = x(3), word = x(4),
+                 bit = x(5), table = x(6), nib_count = x(7),
+                 nib_bits = x(8), res = x(9), tmp = x(12);
+
+    // Pass A: shift/mask loop.
+    b.movImm(ptr, kBitcntSrc);
+    b.movImm(count, kBitcntWords);
+    b.movImm(total, 0);
+    auto outer_a = b.newLabel();
+    auto inner_a = b.newLabel();
+    auto inner_a_done = b.newLabel();
+    b.bind(outer_a);
+    b.load(Opcode::LDR, word, ptr, 0);
+    b.alui(Opcode::ADD, ptr, ptr, 8);
+    b.bind(inner_a);
+    b.beqz(word, inner_a_done);
+    b.alui(Opcode::AND, bit, word, 1);
+    b.alu(Opcode::ADD, total, total, bit);
+    b.lsrImm(word, word, 1);
+    b.b(inner_a);
+    b.bind(inner_a_done);
+    b.alui(Opcode::SUB, count, count, 1);
+    b.bnez(count, outer_a);
+
+    // Pass B: nibble-table lookups over a subset of the words.
+    b.movImm(ptr, kBitcntSrc);
+    b.movImm(count, kBitcntWords / 8);
+    b.movImm(table, kBitcntTable);
+    auto outer_b = b.newLabel();
+    auto inner_b = b.newLabel();
+    b.bind(outer_b);
+    b.load(Opcode::LDR, word, ptr, 0);
+    b.alui(Opcode::ADD, ptr, ptr, 8);
+    b.movImm(nib_count, 16);
+    b.bind(inner_b);
+    b.alui(Opcode::AND, bit, word, 0xf);
+    b.loadIdx(Opcode::LDRB, nib_bits, table, bit, 0);
+    b.alu(Opcode::ADD, total, total, nib_bits);
+    b.lsrImm(word, word, 4);
+    b.alui(Opcode::SUB, nib_count, nib_count, 1);
+    b.bnez(nib_count, inner_b);
+    b.alui(Opcode::SUB, count, count, 1);
+    b.bnez(count, outer_b);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, total, res, 0);
+    // Keep tmp referenced so register conventions stay uniform.
+    b.movImm(tmp, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program =
+        std::make_shared<const Program>(b.build());
+    Rng rng(0xb17c47);
+    // Half narrow (ML-weight-like), half dense full-width words: the
+    // shift/mask loop runs to the highest set bit, so dense words
+    // keep the kernel ALU-bound (<5% memory ops, as in Fig.10).
+    fillNarrowWords(prepared.memory, kBitcntSrc, kBitcntWords / 2, 48,
+                    rng);
+    for (unsigned w = kBitcntWords / 2; w < kBitcntWords; ++w)
+        prepared.memory.poke64(kBitcntSrc + 8ull * w, rng.next());
+    for (unsigned n = 0; n < 16; ++n) {
+        prepared.memory.poke8(kBitcntTable + n,
+                              static_cast<u8>(__builtin_popcount(n)));
+    }
+    return prepared;
+}
+
+PreparedProgram
+buildCrc()
+{
+    // Bitwise (branchless) reflected CRC-32, polynomial 0xEDB88320,
+    // eight unrolled rounds per byte: a long chain of narrow logical
+    // and shift operations with one byte load per 40+ ALU ops.
+    ProgramBuilder b("crc");
+
+    const RegIdx ptr = x(1), len = x(2), crc = x(3), byte = x(4),
+                 mask = x(5), poly = x(6), res = x(9);
+
+    b.movImm(ptr, kCrcSrc);
+    b.movImm(len, kCrcLen);
+    b.movImm(crc, 0xFFFFFFFF);
+    b.movImm(poly, 0xEDB88320);
+
+    auto outer = b.newLabel();
+    b.bind(outer);
+    b.load(Opcode::LDRB, byte, ptr, 0);
+    b.alui(Opcode::ADD, ptr, ptr, 1);
+    b.alu(Opcode::EOR, crc, crc, byte);
+    for (int round = 0; round < 8; ++round) {
+        b.alui(Opcode::AND, mask, crc, 1);
+        b.alui(Opcode::RSB, mask, mask, 0); // mask = -(crc & 1)
+        b.alu(Opcode::AND, mask, mask, poly);
+        b.lsrImm(crc, crc, 1);
+        b.alu(Opcode::EOR, crc, crc, mask);
+    }
+    b.alui(Opcode::SUB, len, len, 1);
+    b.bnez(len, outer);
+
+    b.alui(Opcode::EOR, crc, crc, 0xFFFFFFFF);
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STRW, crc, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0xc2c32);
+    fillRandomBytes(prepared.memory, kCrcSrc, kCrcLen, rng);
+    return prepared;
+}
+
+PreparedProgram
+buildStrsearch()
+{
+    // Boyer-Moore-Horspool substring count over random text, three
+    // sweeps. Two dependent byte loads per window plus skip-table
+    // pointer arithmetic: a moderate-memory, branchy mix.
+    ProgramBuilder b("strsearch");
+
+    constexpr unsigned m = kStrPatternLen;
+    const RegIdx text = x(1), pat = x(3), skip = x(5), pos = x(6),
+                 count = x(7), i = x(8), val = x(9), limit = x(15),
+                 last_ch = x(10), waddr = x(12), c = x(13),
+                 skip_v = x(14), tmp = x(16), j = x(17), taddr = x(18),
+                 tc = x(19), pc2 = x(20), diff = x(21), jt = x(22),
+                 left = x(23), sweeps = x(24), res = x(25);
+
+    b.movImm(text, kStrText);
+    b.movImm(pat, kStrPattern);
+    b.movImm(skip, kStrSkipTable);
+    b.movImm(count, 0);
+
+    // Build the skip table: default m everywhere...
+    b.movImm(i, 0);
+    b.movImm(val, m);
+    auto fill = b.newLabel();
+    b.bind(fill);
+    b.storeIdx(Opcode::STRB, val, skip, i, 0);
+    b.alui(Opcode::ADD, i, i, 1);
+    b.alui(Opcode::SUB, tmp, i, 256);
+    b.bnez(tmp, fill);
+    // ...then skip[pat[i]] = m-1-i for i in [0, m-2].
+    b.movImm(i, 0);
+    auto fill2 = b.newLabel();
+    b.bind(fill2);
+    b.loadIdx(Opcode::LDRB, c, pat, i, 0);
+    b.alui(Opcode::RSB, val, i, m - 1);
+    b.storeIdx(Opcode::STRB, val, skip, c, 0);
+    b.alui(Opcode::ADD, i, i, 1);
+    b.alui(Opcode::SUB, tmp, i, m - 1);
+    b.bnez(tmp, fill2);
+
+    b.load(Opcode::LDRB, last_ch, pat, m - 1);
+    b.movImm(limit, kStrTextLen - m);
+    b.movImm(sweeps, 3);
+
+    auto sweep = b.newLabel();
+    auto window = b.newLabel();
+    auto advance = b.newLabel();
+    auto cmp_loop = b.newLabel();
+    auto sweep_done = b.newLabel();
+    b.bind(sweep);
+    b.movImm(pos, 0);
+    b.bind(window);
+    b.alu(Opcode::ADD, waddr, text, pos);
+    b.load(Opcode::LDRB, c, waddr, m - 1);
+    b.loadIdx(Opcode::LDRB, skip_v, skip, c, 0);
+    b.alu(Opcode::SUB, diff, c, last_ch);
+    b.bnez(diff, advance);
+    // Candidate window: full byte-by-byte compare.
+    b.movImm(j, 0);
+    b.bind(cmp_loop);
+    b.alu(Opcode::ADD, taddr, waddr, j);
+    b.load(Opcode::LDRB, tc, taddr, 0);
+    b.loadIdx(Opcode::LDRB, pc2, pat, j, 0);
+    b.alu(Opcode::SUB, diff, tc, pc2);
+    b.bnez(diff, advance);
+    b.alui(Opcode::ADD, j, j, 1);
+    b.alui(Opcode::SUB, jt, j, m);
+    b.bnez(jt, cmp_loop);
+    b.alui(Opcode::ADD, count, count, 1);
+    b.bind(advance);
+    b.alu(Opcode::ADD, pos, pos, skip_v);
+    b.alu(Opcode::SUB, left, limit, pos);
+    b.bgez(left, window);
+    b.alui(Opcode::SUB, sweeps, sweeps, 1);
+    b.bnez(sweeps, sweep);
+    b.b(sweep_done);
+    b.bind(sweep_done);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, count, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0x57a5e);
+    const std::string needle = "needleio";
+    static_assert(kStrPatternLen == 8);
+    fillText(prepared.memory, kStrText, kStrTextLen, needle, rng);
+    for (unsigned k = 0; k < m; ++k)
+        prepared.memory.poke8(kStrPattern + k,
+                              static_cast<u8>(needle[k]));
+    return prepared;
+}
+
+const s64 *
+gsmCoefficients()
+{
+    // Q15 short-term filter taps (LPC-flavoured, decaying).
+    static const s64 coef[kGsmOrder] = {26214, -13107, 9830, -6554,
+                                        4915,  -3277,  1638, -819};
+    return coef;
+}
+
+PreparedProgram
+buildGsm()
+{
+    // GSM-style fixed-point FIR filtering: per tap a 16-bit sample
+    // load, sign extension (shift pair), Q15 multiply (multi-cycle)
+    // and accumulation — the multiply-and-shift mix of speech codecs.
+    ProgramBuilder b("gsm");
+
+    const RegIdx in = x(1), n = x(2), out = x(3), acc = x(4),
+                 smp = x(5), prod = x(6), sum = x(9), res = x(10);
+    const s64 *coef = gsmCoefficients();
+    // Coefficients live in registers x20..x27 (loaded once).
+    for (unsigned k = 0; k < kGsmOrder; ++k)
+        b.movImm(x(20 + k), coef[k]);
+
+    b.movImm(in, kGsmSamples);
+    b.movImm(out, kGsmOut);
+    b.movImm(n, kGsmSampleCount - kGsmOrder);
+    b.movImm(sum, 0);
+
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.movImm(acc, 0);
+    for (unsigned k = 0; k < kGsmOrder; ++k) {
+        b.load(Opcode::LDRH, smp, in, 2 * k);
+        b.lslImm(smp, smp, 48);
+        b.asrImm(smp, smp, 48); // sign-extend the 16-bit sample
+        b.mul(prod, smp, x(20 + k));
+        b.asrImm(prod, prod, 15);
+        b.alu(Opcode::ADD, acc, acc, prod);
+    }
+    b.store(Opcode::STRW, acc, out, 0);
+    b.alui(Opcode::ADD, out, out, 4);
+    b.alu(Opcode::ADD, sum, sum, acc);
+    b.alui(Opcode::ADD, in, in, 2);
+    b.alui(Opcode::SUB, n, n, 1);
+    b.bnez(n, loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, sum, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0x95b);
+    fillAudio(prepared.memory, kGsmSamples, kGsmSampleCount, rng);
+    return prepared;
+}
+
+PreparedProgram
+buildCorners()
+{
+    // SUSAN-style corner response: per pixel, compare the 8
+    // neighbours against the nucleus with a branchless
+    // absolute-difference threshold; pixels whose USAN (similar-
+    // neighbour count) is small are corners.
+    ProgramBuilder b("corners");
+
+    constexpr unsigned W = kCornersWidth;
+    constexpr unsigned H = kCornersHeight;
+    const RegIdx base = x(1), y = x(2), xx = x(3), corners = x(4),
+                 caddr = x(5), ctr = x(6), nb = x(7), d = x(8),
+                 sgn = x(9), usan = x(10), t1 = x(11), res = x(12);
+    static_assert((W & (W - 1)) == 0, "W must be a power of two");
+    const unsigned wshift = [] {
+        unsigned s = 0;
+        while ((1u << s) != W)
+            ++s;
+        return s;
+    }();
+
+    const int offs[8] = {-static_cast<int>(W) - 1, -static_cast<int>(W),
+                         -static_cast<int>(W) + 1, -1, 1,
+                         static_cast<int>(W) - 1, static_cast<int>(W),
+                         static_cast<int>(W) + 1};
+
+    b.movImm(base, kCornersImage);
+    b.movImm(corners, 0);
+    b.movImm(y, 1);
+
+    auto yloop = b.newLabel();
+    auto xloop = b.newLabel();
+    b.bind(yloop);
+    b.movImm(xx, 1);
+    b.bind(xloop);
+    // caddr = base + (y << wshift) + x
+    b.lslImm(caddr, y, static_cast<u8>(wshift));
+    b.alu(Opcode::ADD, caddr, caddr, xx);
+    b.alu(Opcode::ADD, caddr, caddr, base);
+    b.load(Opcode::LDRB, ctr, caddr, 0);
+    b.movImm(usan, 0);
+    for (int off : offs) {
+        b.load(Opcode::LDRB, nb, caddr, off);
+        b.alu(Opcode::SUB, d, nb, ctr);
+        b.asrImm(sgn, d, 63);
+        b.alu(Opcode::EOR, d, d, sgn);
+        b.alu(Opcode::SUB, d, d, sgn); // |nb - ctr|
+        b.alui(Opcode::SUB, d, d, kCornersThreshold);
+        b.lsrImm(d, d, 63); // 1 when |diff| < threshold
+        b.alu(Opcode::ADD, usan, usan, d);
+    }
+    b.alui(Opcode::SUB, t1, usan, kCornersUsanLimit);
+    b.lsrImm(t1, t1, 63); // 1 when usan < limit: corner
+    b.alu(Opcode::ADD, corners, corners, t1);
+    b.alui(Opcode::ADD, xx, xx, 1);
+    b.alui(Opcode::SUB, t1, xx, W - 1);
+    b.bnez(t1, xloop);
+    b.alui(Opcode::ADD, y, y, 1);
+    b.alui(Opcode::SUB, t1, y, H - 1);
+    b.bnez(t1, yloop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, corners, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0x5a5a7);
+    fillImage(prepared.memory, kCornersImage, W, H, rng);
+    return prepared;
+}
+
+} // namespace mibench
+} // namespace redsoc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MiBench-style kernels (Sec.V benchmarks): bit counting, CRC-32,
+ * string search (Boyer-Moore-Horspool), GSM-style fixed-point FIR
+ * filtering, and SUSAN-style corner detection — each implemented as
+ * a real algorithm in the µISA over deterministic inputs.
+ *
+ * Memory-layout constants are exposed so tests can verify results
+ * against native C++ reference implementations.
+ */
+
+#ifndef REDSOC_WORKLOADS_MIBENCH_H
+#define REDSOC_WORKLOADS_MIBENCH_H
+
+#include "workloads/prepared.h"
+
+namespace redsoc {
+namespace mibench {
+
+/** Common result slot: kernels store their checksum here. */
+inline constexpr Addr kResultAddr = 0x9000;
+
+// --- bitcnt ---------------------------------------------------------
+inline constexpr Addr kBitcntSrc = 0x10000;
+inline constexpr unsigned kBitcntWords = 700;
+PreparedProgram buildBitcnt();
+
+// --- crc ------------------------------------------------------------
+inline constexpr Addr kCrcSrc = 0x10000;
+inline constexpr unsigned kCrcLen = 2200;
+PreparedProgram buildCrc();
+
+// --- strsearch ------------------------------------------------------
+inline constexpr Addr kStrText = 0x20000;
+inline constexpr Addr kStrPattern = 0x8000;
+inline constexpr Addr kStrSkipTable = 0x8800;
+inline constexpr unsigned kStrTextLen = 14000;
+inline constexpr unsigned kStrPatternLen = 8;
+PreparedProgram buildStrsearch();
+
+// --- gsm (fixed-point FIR) -------------------------------------------
+inline constexpr Addr kGsmSamples = 0x10000;
+inline constexpr Addr kGsmOut = 0x40000;
+inline constexpr unsigned kGsmSampleCount = 1800;
+inline constexpr unsigned kGsmOrder = 8;
+/** The (Q15) filter coefficients. */
+const s64 *gsmCoefficients();
+PreparedProgram buildGsm();
+
+// --- corners (SUSAN-style) -------------------------------------------
+inline constexpr Addr kCornersImage = 0x10000;
+inline constexpr unsigned kCornersWidth = 64;
+inline constexpr unsigned kCornersHeight = 28;
+inline constexpr unsigned kCornersThreshold = 12;
+/** A pixel is a corner when fewer than this many of its 8 neighbours
+ *  are within the brightness threshold. */
+inline constexpr unsigned kCornersUsanLimit = 4;
+PreparedProgram buildCorners();
+
+} // namespace mibench
+} // namespace redsoc
+
+#endif // REDSOC_WORKLOADS_MIBENCH_H

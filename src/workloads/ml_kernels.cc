@@ -1,0 +1,396 @@
+#include "workloads/ml_kernels.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "isa/builder.h"
+#include "workloads/inputs.h"
+
+namespace redsoc {
+namespace ml {
+
+namespace {
+
+/** Fill a u16 feature map with smooth 0..255 values. */
+void
+fillMap16(MemoryImage &mem, Addr addr, unsigned width, unsigned height,
+          u64 seed)
+{
+    Rng rng(seed);
+    int lum = 128;
+    for (unsigned i = 0; i < width * height; ++i) {
+        lum += static_cast<int>(rng.below(11)) - 5;
+        lum = std::max(0, std::min(255, lum));
+        mem.poke16(addr + 2ull * i, static_cast<u16>(lum));
+    }
+}
+
+} // namespace
+
+PreparedProgram
+buildConv()
+{
+    // 3x3 Gaussian blur on a u16 feature map, eight pixels per
+    // vector: nine unaligned VLDRs feeding nine i16 VMLAs whose
+    // accumulate chain late-forwards (the A57-style sequential
+    // single-cycle SIMD execution the paper highlights), then a
+    // normalize shift and a store. Three passes.
+    ProgramBuilder b("conv");
+
+    constexpr unsigned W = kConvWidth;
+    constexpr unsigned H = kConvHeight;
+    constexpr unsigned kBlocksPerRow = (W - 2 - 7) / 8 + 1; // start col 1
+    const int row_bytes = static_cast<int>(2 * W);
+
+    const RegIdx y = x(3), blk = x(4), addr = x(5), oaddr = x(6),
+                 tmp = x(7), pass = x(8), res = x(9);
+    const RegIdx vacc = v(0), vt = v(1), w1 = v(2), w2 = v(3),
+                 w4 = v(4);
+
+    b.movImm(tmp, 1);
+    b.vdup(w1, tmp, VecType::I16);
+    b.movImm(tmp, 2);
+    b.vdup(w2, tmp, VecType::I16);
+    b.movImm(tmp, 4);
+    b.vdup(w4, tmp, VecType::I16);
+    b.movImm(pass, 3);
+
+    auto pass_loop = b.newLabel();
+    auto yloop = b.newLabel();
+    auto bloop = b.newLabel();
+    b.bind(pass_loop);
+    b.movImm(y, 1);
+    b.bind(yloop);
+    // addr = in + (y*W + 1)*2 ; oaddr likewise into the output map
+    b.lslImm(addr, y, 8); // y * W * 2 with W=128
+    b.alui(Opcode::ADD, addr, addr, 2);
+    b.movImm(tmp, kConvIn);
+    b.alu(Opcode::ADD, addr, addr, tmp);
+    b.lslImm(oaddr, y, 8);
+    b.alui(Opcode::ADD, oaddr, oaddr, 2);
+    b.movImm(tmp, kConvOut);
+    b.alu(Opcode::ADD, oaddr, oaddr, tmp);
+    b.movImm(blk, kBlocksPerRow);
+    b.bind(bloop);
+    b.vdup(vacc, kZeroReg, VecType::I16);
+    struct Tap { int off; RegIdx w; };
+    const Tap taps[9] = {
+        {-row_bytes - 2, w1}, {-row_bytes, w2}, {-row_bytes + 2, w1},
+        {-2, w2},             {0, w4},          {2, w2},
+        {row_bytes - 2, w1},  {row_bytes, w2},  {row_bytes + 2, w1},
+    };
+    for (const Tap &tap : taps) {
+        b.vldr(vt, addr, tap.off);
+        b.vmla(vacc, vt, tap.w, VecType::I16);
+    }
+    b.vshiftImm(Opcode::VSHR, vacc, vacc, 4, VecType::I16);
+    b.vstr(vacc, oaddr, 0);
+    b.alui(Opcode::ADD, addr, addr, 16);
+    b.alui(Opcode::ADD, oaddr, oaddr, 16);
+    b.alui(Opcode::SUB, blk, blk, 1);
+    b.bnez(blk, bloop);
+    b.alui(Opcode::ADD, y, y, 1);
+    b.alui(Opcode::SUB, tmp, y, H - 1);
+    b.bnez(tmp, yloop);
+    b.alui(Opcode::SUB, pass, pass, 1);
+    b.bnez(pass, pass_loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, pass, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    fillMap16(prepared.memory, kConvIn, W, H, 0xc04f);
+    return prepared;
+}
+
+PreparedProgram
+buildAct()
+{
+    // ReLU over a large streaming feature map: VLDR / VMAX-with-zero
+    // / VSTR. The working set far exceeds L1, so this kernel spends
+    // much of its time in long-latency memory — the behaviour the
+    // paper notes limits ACT's gains.
+    ProgramBuilder b("act");
+
+    const RegIdx in = x(1), out = x(2), n = x(3), res = x(4);
+    const RegIdx vz = v(0), vd = v(1);
+
+    b.vdup(vz, kZeroReg, VecType::I16);
+    b.movImm(in, kActIn);
+    b.movImm(out, kActOut);
+    b.movImm(n, kActCount / 8);
+
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.vldr(vd, in, 0);
+    b.vop(Opcode::VMAX, vd, vd, vz, VecType::I16);
+    b.vstr(vd, out, 0);
+    b.alui(Opcode::ADD, in, in, 16);
+    b.alui(Opcode::ADD, out, out, 16);
+    b.alui(Opcode::SUB, n, n, 1);
+    b.bnez(n, loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, n, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0xac7);
+    for (unsigned i = 0; i < kActCount; ++i) {
+        const s16 sample =
+            static_cast<s16>(static_cast<int>(rng.below(8192)) - 4096);
+        prepared.memory.poke16(kActIn + 2ull * i,
+                               static_cast<u16>(sample));
+    }
+    return prepared;
+}
+
+namespace {
+
+/** Shared 2x2 pooling skeleton: SIMD vertical combine, scalar
+ *  horizontal combine. @p average selects avg vs max. */
+PreparedProgram
+buildPool(bool average)
+{
+    ProgramBuilder b(average ? "pool1" : "pool0");
+
+    constexpr unsigned W = kPoolWidth;
+    constexpr unsigned H = kPoolHeight;
+    const unsigned out_w = W / 2, out_h = H / 2;
+    const int row_bytes = static_cast<int>(2 * W);
+
+    const RegIdx yy = x(1), blk = x(2), addr = x(3), taddr = x(4),
+                 tmp = x(5), a = x(6), bb = x(7), d = x(8), m = x(9),
+                 xx = x(10), oaddr = x(11), pass = x(12), res = x(13);
+    const RegIdx va = v(0), vb = v(1);
+
+    b.movImm(pass, 3);
+    auto pass_loop = b.newLabel();
+    auto vloop_y = b.newLabel();
+    auto vloop_b = b.newLabel();
+    auto hloop_y = b.newLabel();
+    auto hloop_x = b.newLabel();
+    b.bind(pass_loop);
+
+    // Vertical pass: tmp[y][x] = combine(in[2y][x], in[2y+1][x]).
+    b.movImm(yy, 0);
+    b.bind(vloop_y);
+    // addr = in + (2y)*W*2 ; taddr = tmp + y*W*2
+    b.lslImm(addr, yy, 9); // 2y * 256
+    b.movImm(tmp, kPoolIn);
+    b.alu(Opcode::ADD, addr, addr, tmp);
+    b.lslImm(taddr, yy, 8);
+    b.movImm(tmp, kPoolTmp);
+    b.alu(Opcode::ADD, taddr, taddr, tmp);
+    b.movImm(blk, W / 8);
+    b.bind(vloop_b);
+    b.vldr(va, addr, 0);
+    b.vldr(vb, addr, row_bytes);
+    if (average) {
+        b.vop(Opcode::VADD, va, va, vb, VecType::I16);
+        b.vshiftImm(Opcode::VSHR, va, va, 1, VecType::I16);
+    } else {
+        b.vop(Opcode::VMAX, va, va, vb, VecType::I16);
+    }
+    b.vstr(va, taddr, 0);
+    b.alui(Opcode::ADD, addr, addr, 16);
+    b.alui(Opcode::ADD, taddr, taddr, 16);
+    b.alui(Opcode::SUB, blk, blk, 1);
+    b.bnez(blk, vloop_b);
+    b.alui(Opcode::ADD, yy, yy, 1);
+    b.alui(Opcode::SUB, tmp, yy, out_h);
+    b.bnez(tmp, vloop_y);
+
+    // Horizontal pass: out[y][x] = combine(tmp[y][2x], tmp[y][2x+1]).
+    b.movImm(yy, 0);
+    b.bind(hloop_y);
+    b.lslImm(taddr, yy, 8);
+    b.movImm(tmp, kPoolTmp);
+    b.alu(Opcode::ADD, taddr, taddr, tmp);
+    b.lslImm(oaddr, yy, 7); // out row stride = out_w * 2 = 128
+    b.movImm(tmp, kPoolOut);
+    b.alu(Opcode::ADD, oaddr, oaddr, tmp);
+    b.movImm(xx, out_w);
+    b.bind(hloop_x);
+    b.load(Opcode::LDRH, a, taddr, 0);
+    b.load(Opcode::LDRH, bb, taddr, 2);
+    if (average) {
+        b.alu(Opcode::ADD, a, a, bb);
+        b.lsrImm(a, a, 1);
+    } else {
+        b.alu(Opcode::SUB, d, a, bb);
+        b.asrImm(m, d, 63);
+        b.alu(Opcode::AND, d, d, m);
+        b.alu(Opcode::SUB, a, a, d); // max(a, b)
+    }
+    b.store(Opcode::STRH, a, oaddr, 0);
+    b.alui(Opcode::ADD, taddr, taddr, 4);
+    b.alui(Opcode::ADD, oaddr, oaddr, 2);
+    b.alui(Opcode::SUB, xx, xx, 1);
+    b.bnez(xx, hloop_x);
+    b.alui(Opcode::ADD, yy, yy, 1);
+    b.alui(Opcode::SUB, tmp, yy, out_h);
+    b.bnez(tmp, hloop_y);
+
+    b.alui(Opcode::SUB, pass, pass, 1);
+    b.bnez(pass, pass_loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, pass, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    fillMap16(prepared.memory, kPoolIn, W, H,
+              average ? 0x9001u : 0x9000u);
+    return prepared;
+}
+
+} // namespace
+
+PreparedProgram
+buildPool0()
+{
+    return buildPool(false);
+}
+
+PreparedProgram
+buildPool1()
+{
+    return buildPool(true);
+}
+
+PreparedProgram
+buildSoftmax()
+{
+    // Fixed-point softmax over s16 logit vectors: scalar max
+    // reduction, vectorized (max - logit) subtraction, exp2 via a
+    // 16-entry Q16 LUT with variable down-shift, one reciprocal
+    // divide per batch, and a Q15 normalize multiply per element.
+    ProgramBuilder b("softmax");
+
+    const RegIdx in = x(1), batches = x(2), i = x(3), val = x(4),
+                 mx = x(5), d = x(6), msk = x(7), sum = x(8), q = x(9),
+                 r = x(10), e = x(11), lut = x(12), expp = x(13),
+                 outp = x(14), recip = x(15), two31 = x(17),
+                 xaddr = x(18), res = x(19);
+    const RegIdx vm = v(0), vx = v(1);
+
+    b.movImm(in, kSoftIn);
+    b.movImm(batches, kSoftBatches);
+    b.movImm(lut, kSoftLut);
+    b.movImm(two31, s64{1} << 31);
+
+    auto batch_loop = b.newLabel();
+    auto max_loop = b.newLabel();
+    auto sub_loop = b.newLabel();
+    auto exp_loop = b.newLabel();
+    auto norm_loop = b.newLabel();
+
+    b.bind(batch_loop);
+    // Pass 1: scalar max reduction (branchless).
+    b.movImm(mx, -32768);
+    b.movImm(i, kSoftLen);
+    b.mov(xaddr, in);
+    b.bind(max_loop);
+    b.load(Opcode::LDRH, val, xaddr, 0);
+    b.lslImm(val, val, 48);
+    b.asrImm(val, val, 48);
+    b.alu(Opcode::SUB, d, val, mx);
+    b.asrImm(msk, d, 63);
+    b.alu(Opcode::AND, d, d, msk);
+    b.alu(Opcode::SUB, mx, val, d); // max(val, mx)
+    b.alui(Opcode::ADD, xaddr, xaddr, 2);
+    b.alui(Opcode::SUB, i, i, 1);
+    b.bnez(i, max_loop);
+
+    // Pass 2 (SIMD): x[i] = mx - logit[i]  (u16, reusing the exp
+    // buffer's low half as staging).
+    b.vdup(vm, mx, VecType::I16);
+    b.movImm(i, kSoftLen / 8);
+    b.mov(xaddr, in);
+    b.movImm(expp, kSoftExp);
+    b.bind(sub_loop);
+    b.vldr(vx, xaddr, 0);
+    b.vop(Opcode::VSUB, vx, vm, vx, VecType::I16);
+    b.vstr(vx, expp, 0);
+    b.alui(Opcode::ADD, xaddr, xaddr, 16);
+    b.alui(Opcode::ADD, expp, expp, 16);
+    b.alui(Opcode::SUB, i, i, 1);
+    b.bnez(i, sub_loop);
+
+    // Pass 3: e = LUT[x & 15] >> min(x >> 4, 63); sum += e. The Q16
+    // exp values overwrite the staging u16s (read 2B, write 4B into
+    // a second region).
+    b.movImm(sum, 0);
+    b.movImm(i, kSoftLen);
+    b.movImm(expp, kSoftExp);
+    b.movImm(outp, kSoftExp + 2ull * kSoftLen); // u32 exp area
+    b.bind(exp_loop);
+    b.load(Opcode::LDRH, val, expp, 0);
+    b.lsrImm(q, val, 4);
+    b.alui(Opcode::AND, r, val, 15);
+    b.loadIdx(Opcode::LDRW, e, lut, r, 2);
+    // clamp q to 63 (branchless): q = 63 + ((q - 63) & sign(q - 63))
+    b.alui(Opcode::SUB, d, q, 63);
+    b.asrImm(msk, d, 63);
+    b.alu(Opcode::AND, d, d, msk);
+    b.alui(Opcode::ADD, q, d, 63);
+    b.alu(Opcode::LSR, e, e, q);
+    b.alu(Opcode::ADD, sum, sum, e);
+    b.store(Opcode::STRW, e, outp, 0);
+    b.alui(Opcode::ADD, expp, expp, 2);
+    b.alui(Opcode::ADD, outp, outp, 4);
+    b.alui(Opcode::SUB, i, i, 1);
+    b.bnez(i, exp_loop);
+
+    // Pass 4: recip = 2^31 / sum; out[i] = (e * recip) >> 32 in Q15.
+    b.udiv(recip, two31, sum);
+    b.movImm(i, kSoftLen);
+    b.movImm(outp, kSoftExp + 2ull * kSoftLen);
+    // Output pointer: base + (batches already done) * len * 2.
+    b.movImm(xaddr, kSoftOut);
+    b.alui(Opcode::RSB, d, batches, kSoftBatches);
+    b.lslImm(d, d, 10); // * kSoftLen * 2
+    b.alu(Opcode::ADD, xaddr, xaddr, d);
+    b.bind(norm_loop);
+    b.load(Opcode::LDRW, e, outp, 0);
+    b.alu(Opcode::MUL, e, e, recip);
+    b.lsrImm(e, e, 16); // (e/sum) in Q15
+    b.store(Opcode::STRH, e, xaddr, 0);
+    b.alui(Opcode::ADD, outp, outp, 4);
+    b.alui(Opcode::ADD, xaddr, xaddr, 2);
+    b.alui(Opcode::SUB, i, i, 1);
+    b.bnez(i, norm_loop);
+
+    b.alui(Opcode::ADD, in, in, 2 * kSoftLen);
+    b.alui(Opcode::SUB, batches, batches, 1);
+    b.bnez(batches, batch_loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, sum, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    // exp2 LUT: round(2^16 * 2^(-r/16)), r = 0..15.
+    for (unsigned r2 = 0; r2 < 16; ++r2) {
+        const double v2 = 65536.0 * std::pow(2.0, -double(r2) / 16.0);
+        prepared.memory.poke32(kSoftLut + 4ull * r2,
+                               static_cast<u32>(v2 + 0.5));
+    }
+    Rng rng(0x50f7);
+    for (unsigned k = 0; k < kSoftLen * kSoftBatches; ++k) {
+        const s16 logit =
+            static_cast<s16>(static_cast<int>(rng.below(2048)) - 1024);
+        prepared.memory.poke16(kSoftIn + 2ull * k,
+                               static_cast<u16>(logit));
+    }
+    return prepared;
+}
+
+} // namespace ml
+} // namespace redsoc

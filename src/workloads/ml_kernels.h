@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine-learning kernels with NEON-style SIMD (Table II): 3x3
+ * Gaussian convolution, ReLU activation, 2x2 max/average pooling and
+ * softmax, written against the µISA's 128-bit vector unit with
+ * 16-bit fixed-point feature maps (the limited-precision arithmetic
+ * whose Type-Slack the paper targets).
+ */
+
+#ifndef REDSOC_WORKLOADS_ML_KERNELS_H
+#define REDSOC_WORKLOADS_ML_KERNELS_H
+
+#include "workloads/prepared.h"
+
+namespace redsoc {
+namespace ml {
+
+inline constexpr Addr kResultAddr = 0x9000;
+
+// --- conv: 3x3 Gaussian (1 2 1 / 2 4 2 / 1 2 1) >> 4 on u16 pixels --
+inline constexpr Addr kConvIn = 0x20000;
+inline constexpr Addr kConvOut = 0x80000;
+inline constexpr unsigned kConvWidth = 128;  ///< u16 pixels per row
+inline constexpr unsigned kConvHeight = 48;
+PreparedProgram buildConv();
+
+// --- act: ReLU over a large s16 feature map (streaming) -------------
+inline constexpr Addr kActIn = 0x100000;
+inline constexpr Addr kActOut = 0x400000;
+inline constexpr unsigned kActCount = 48 * 1024; ///< s16 elements
+PreparedProgram buildAct();
+
+// --- pool0 / pool1: 2x2 max / average pooling on u16 maps -----------
+inline constexpr Addr kPoolIn = 0x20000;
+inline constexpr Addr kPoolTmp = 0x60000;
+inline constexpr Addr kPoolOut = 0x80000;
+inline constexpr unsigned kPoolWidth = 128; ///< u16 pixels per row
+inline constexpr unsigned kPoolHeight = 48;
+PreparedProgram buildPool0(); ///< max
+PreparedProgram buildPool1(); ///< average
+
+// --- softmax: fixed-point softmax over s16 logit vectors ------------
+inline constexpr Addr kSoftIn = 0x20000;
+inline constexpr Addr kSoftExp = 0x40000;  ///< u32 exp values
+inline constexpr Addr kSoftOut = 0x60000;  ///< u16 Q15 probabilities
+inline constexpr Addr kSoftLut = 0x8000;   ///< 33 x u32 exp2 table
+inline constexpr unsigned kSoftLen = 512;
+inline constexpr unsigned kSoftBatches = 5;
+PreparedProgram buildSoftmax();
+
+} // namespace ml
+} // namespace redsoc
+
+#endif // REDSOC_WORKLOADS_ML_KERNELS_H

@@ -1,0 +1,50 @@
+#include "workloads/op_mix.h"
+
+namespace redsoc {
+
+OpMix
+computeOpMix(const Trace &trace, const TimingModel &timing,
+             const HierarchyConfig &mem_config)
+{
+    MemHierarchy memory(mem_config);
+    u64 counts[6] = {};
+    u64 classified = 0;
+
+    for (SeqNum s = 0; s < trace.size(); ++s) {
+        const Inst &inst = trace.inst(s);
+        const DynOp &dyn = trace.op(s);
+        if (inst.op == Opcode::HALT)
+            continue;
+        ++classified;
+
+        if (isMem(inst.op)) {
+            const auto result =
+                memory.access(dyn.pc, dyn.mem_addr, isStore(inst.op));
+            ++counts[result.l1_hit ? 1 : 0];
+        } else if (isSimd(inst.op)) {
+            ++counts[2];
+        } else if (!TimingModel::isSlackEligible(inst.op)) {
+            ++counts[3];
+        } else {
+            const Picos slack =
+                timing.trueSlackPs(inst, dyn.eff_width);
+            const bool high =
+                slack * 5 > timing.clockPeriodPs(); // > 20% of cycle
+            ++counts[high ? 4 : 5];
+        }
+    }
+
+    OpMix mix;
+    if (classified == 0)
+        return mix;
+    const double n = static_cast<double>(classified);
+    mix.mem_hl = counts[0] / n;
+    mix.mem_ll = counts[1] / n;
+    mix.simd = counts[2] / n;
+    mix.other_multi = counts[3] / n;
+    mix.alu_hs = counts[4] / n;
+    mix.alu_ls = counts[5] / n;
+    return mix;
+}
+
+} // namespace redsoc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Benchmark operation-characteristic analysis (Fig.10): classify a
+ * trace's dynamic operations into high/low-latency memory, SIMD,
+ * other multi-cycle, and high/low-slack single-cycle ALU fractions.
+ */
+
+#ifndef REDSOC_WORKLOADS_OP_MIX_H
+#define REDSOC_WORKLOADS_OP_MIX_H
+
+#include "func/trace.h"
+#include "mem/hierarchy.h"
+#include "timing/timing_model.h"
+
+namespace redsoc {
+
+struct OpMix
+{
+    double mem_hl = 0;      ///< memory ops missing L1 (high latency)
+    double mem_ll = 0;      ///< memory ops hitting L1
+    double simd = 0;        ///< SIMD compute ops
+    double other_multi = 0; ///< multi-cycle scalar (mul/div/FP)
+    double alu_hs = 0;      ///< single-cycle ALU, slack > 20% of cycle
+    double alu_ls = 0;      ///< single-cycle ALU, low slack
+
+    double total() const
+    {
+        return mem_hl + mem_ll + simd + other_multi + alu_hs + alu_ls;
+    }
+};
+
+/**
+ * Compute the Fig.10 distribution for a trace. Memory latency class
+ * comes from replaying the access stream through a fresh cache
+ * hierarchy; slack class from the timing model at the paper's
+ * high-slack cutoff (data slack greater than 20% of the cycle).
+ */
+OpMix computeOpMix(const Trace &trace, const TimingModel &timing,
+                   const HierarchyConfig &mem_config = {});
+
+} // namespace redsoc
+
+#endif // REDSOC_WORKLOADS_OP_MIX_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * A workload ready to execute: the µISA program plus its prepared
+ * memory image (inputs loaded, working areas reserved).
+ */
+
+#ifndef REDSOC_WORKLOADS_PREPARED_H
+#define REDSOC_WORKLOADS_PREPARED_H
+
+#include <memory>
+
+#include "func/memory_image.h"
+#include "isa/program.h"
+
+namespace redsoc {
+
+struct PreparedProgram
+{
+    std::shared_ptr<const Program> program;
+    MemoryImage memory;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_WORKLOADS_PREPARED_H

@@ -1,0 +1,88 @@
+#include "workloads/registry.h"
+
+#include "common/logging.h"
+#include "func/interpreter.h"
+#include "workloads/mibench.h"
+#include "workloads/ml_kernels.h"
+#include "workloads/speclike.h"
+
+namespace redsoc {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Spec: return "SPEC";
+      case Suite::MiBench: return "MiBench";
+      case Suite::Ml: return "ML";
+      default: panic("bad suite");
+    }
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"xalanc", Suite::Spec,
+         "scattered-BST lookups (DOM traversal flavour)",
+         speclike::buildXalanc},
+        {"bzip2", Suite::Spec, "move-to-front transform",
+         speclike::buildBzip2},
+        {"omnetpp", Suite::Spec, "binary-heap discrete-event loop",
+         speclike::buildOmnetpp},
+        {"gromacs", Suite::Spec, "pairwise particle forces (FP)",
+         speclike::buildGromacs},
+        {"soplex", Suite::Spec, "CSR sparse matrix-vector (FP gather)",
+         speclike::buildSoplex},
+        {"corners", Suite::MiBench, "SUSAN-style corner detection",
+         mibench::buildCorners},
+        {"strsearch", Suite::MiBench, "Boyer-Moore-Horspool search",
+         mibench::buildStrsearch},
+        {"gsm", Suite::MiBench, "fixed-point FIR filtering",
+         mibench::buildGsm},
+        {"crc", Suite::MiBench, "bitwise CRC-32", mibench::buildCrc},
+        {"bitcnt", Suite::MiBench, "bit counting (two strategies)",
+         mibench::buildBitcnt},
+        {"act", Suite::Ml, "ReLU activation (streaming SIMD)",
+         ml::buildAct},
+        {"pool0", Suite::Ml, "2x2 max pooling", ml::buildPool0},
+        {"conv", Suite::Ml, "3x3 Gaussian convolution (VMLA)",
+         ml::buildConv},
+        {"pool1", Suite::Ml, "2x2 average pooling", ml::buildPool1},
+        {"softmax", Suite::Ml, "fixed-point softmax", ml::buildSoftmax},
+    };
+    return workloads;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+workloadNames(Suite suite)
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (w.suite == suite)
+            names.push_back(w.name);
+    return names;
+}
+
+Trace
+traceWorkload(const std::string &name, SeqNum max_ops)
+{
+    PreparedProgram prepared = workloadByName(name).build();
+    Interpreter interp(prepared.program, prepared.memory);
+    Trace trace = interp.run(max_ops);
+    fatal_if(!interp.halted(),
+             "workload '", name, "' did not halt within ", max_ops,
+             " ops");
+    return trace;
+}
+
+} // namespace redsoc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The workload registry: every benchmark of Sec.V (Table II and the
+ * SPEC/MiBench selections of Fig.10) by name and suite, with helpers
+ * to build programs and produce functional traces.
+ */
+
+#ifndef REDSOC_WORKLOADS_REGISTRY_H
+#define REDSOC_WORKLOADS_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "func/trace.h"
+#include "workloads/prepared.h"
+
+namespace redsoc {
+
+enum class Suite : u8 { Spec, MiBench, Ml };
+
+const char *suiteName(Suite suite);
+
+struct Workload
+{
+    std::string name;
+    Suite suite;
+    std::string description;
+    std::function<PreparedProgram()> build;
+};
+
+/** All 15 benchmarks, in presentation order (Fig.10/13). */
+const std::vector<Workload> &allWorkloads();
+
+/** Workload by name (fatal if unknown). */
+const Workload &workloadByName(const std::string &name);
+
+/** Names of the workloads in @p suite. */
+std::vector<std::string> workloadNames(Suite suite);
+
+/** Build and functionally execute a workload, producing its trace. */
+Trace traceWorkload(const std::string &name, SeqNum max_ops = 2'000'000);
+
+} // namespace redsoc
+
+#endif // REDSOC_WORKLOADS_REGISTRY_H

@@ -1,0 +1,435 @@
+#include "workloads/speclike.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "isa/builder.h"
+#include "workloads/inputs.h"
+
+namespace redsoc {
+namespace speclike {
+
+PreparedProgram
+buildXalanc()
+{
+    // Scattered-BST key lookups: long chains of dependent loads with
+    // compare/branch per level — the DOM-traversal flavour of
+    // xalancbmk. Half the probe keys hit, half miss.
+    ProgramBuilder b("xalanc");
+
+    const RegIdx keys = x(1), ki = x(2), sum = x(3), key = x(4),
+                 node = x(5), nkey = x(6), diff = x(7), cmp = x(8),
+                 payload = x(9), tmp = x(10), root_slot = x(11),
+                 root = x(12), res = x(13);
+
+    b.movImm(keys, kXalKeys);
+    b.movImm(root_slot, kXalRootSlot);
+    b.load(Opcode::LDR, root, root_slot, 0);
+    b.movImm(sum, 0);
+    b.movImm(ki, 0);
+
+    auto loop = b.newLabel();
+    auto walk = b.newLabel();
+    auto goleft = b.newLabel();
+    auto found = b.newLabel();
+    auto next = b.newLabel();
+
+    b.bind(loop);
+    // ARM-style shift-and-add addressing: a low-slack arithmetic op.
+    b.aluShifted(Opcode::ADD, tmp, keys, ki, ShiftKind::Lsl, 3);
+    b.load(Opcode::LDR, key, tmp, 0);
+    b.mov(node, root);
+    b.bind(walk);
+    b.beqz(node, next); // fell off: miss
+    b.load(Opcode::LDR, nkey, node, 0);
+    b.alu(Opcode::SUB, diff, nkey, key);
+    b.beqz(diff, found);
+    b.alu(Opcode::CMP, cmp, key, nkey);
+    b.bltz(cmp, goleft);
+    b.load(Opcode::LDR, node, node, 16); // right child
+    b.b(walk);
+    b.bind(goleft);
+    b.load(Opcode::LDR, node, node, 8); // left child
+    b.b(walk);
+    b.bind(found);
+    b.load(Opcode::LDR, payload, node, 24);
+    b.alu(Opcode::ADD, sum, sum, payload);
+    b.bind(next);
+    b.alui(Opcode::ADD, ki, ki, 1);
+    b.alui(Opcode::SUB, tmp, ki, kXalLookups);
+    b.bnez(tmp, loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, sum, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0xa1a);
+    const Addr root_addr =
+        fillPointerTree(prepared.memory, kXalTreePool, kXalTreePoolBytes,
+                        kXalNodes, rng);
+    prepared.memory.poke64(kXalRootSlot, root_addr);
+
+    // Probe keys: every even probe replays a key that exists (read it
+    // back out of a random tree node), odd probes are random misses.
+    Rng probe_rng(0xa1b);
+    for (unsigned k = 0; k < kXalLookups; ++k) {
+        u64 key_val;
+        if (k % 2 == 0) {
+            // Re-walk memory for an existing key: sample a node by a
+            // random root-to-leaf descent of random depth.
+            Addr n = root_addr;
+            const unsigned steps = probe_rng.below(16);
+            for (unsigned s = 0; s < steps; ++s) {
+                const Addr child = prepared.memory.peek64(
+                    n + (probe_rng.chance(0.5) ? 8 : 16));
+                if (child == 0)
+                    break;
+                n = child;
+            }
+            key_val = prepared.memory.peek64(n);
+        } else {
+            // Random key from the same 48-bit domain as the tree keys
+            // (tree keys are even-ended via >>16; odd values miss but
+            // walk a realistic full-depth path).
+            key_val = (probe_rng.next() >> 16) | 1;
+        }
+        prepared.memory.poke64(kXalKeys + 8ull * k, key_val);
+    }
+    return prepared;
+}
+
+PreparedProgram
+buildBzip2()
+{
+    // Move-to-front transform: per input byte a linear scan of the
+    // symbol table followed by a shift of everything in front of the
+    // hit — the byte-granular table churn at the heart of bzip2.
+    ProgramBuilder b("bzip2");
+
+    const RegIdx src = x(1), len = x(2), table = x(3), sum = x(4),
+                 c = x(5), j = x(6), tv = x(7), diff = x(8),
+                 outp = x(9), i = x(10), prev = x(11), res = x(12);
+
+    b.movImm(src, kBzSrc);
+    b.movImm(len, kBzLen);
+    b.movImm(table, kBzMtfTable);
+    b.movImm(outp, kBzOut);
+    b.movImm(sum, 0);
+
+    auto byte_loop = b.newLabel();
+    auto find = b.newLabel();
+    auto found = b.newLabel();
+    auto shift = b.newLabel();
+    auto shift_done = b.newLabel();
+
+    b.bind(byte_loop);
+    b.load(Opcode::LDRB, c, src, 0);
+    b.alui(Opcode::ADD, src, src, 1);
+    b.movImm(j, 0);
+    b.bind(find);
+    b.loadIdx(Opcode::LDRB, tv, table, j, 0);
+    b.alu(Opcode::SUB, diff, tv, c);
+    b.beqz(diff, found);
+    b.alui(Opcode::ADD, j, j, 1);
+    b.b(find);
+    b.bind(found);
+    b.alu(Opcode::ADD, sum, sum, j);
+    b.store(Opcode::STRB, j, outp, 0);
+    b.alui(Opcode::ADD, outp, outp, 1);
+    // Shift table[0..j-1] up one slot (i runs j-1 down to 0).
+    b.mov(i, j);
+    b.bind(shift);
+    b.beqz(i, shift_done);
+    b.alui(Opcode::SUB, prev, i, 1);
+    b.loadIdx(Opcode::LDRB, tv, table, prev, 0);
+    b.storeIdx(Opcode::STRB, tv, table, i, 0);
+    b.mov(i, prev);
+    b.b(shift);
+    b.bind(shift_done);
+    b.store(Opcode::STRB, c, table, 0);
+    b.alui(Opcode::SUB, len, len, 1);
+    b.bnez(len, byte_loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, sum, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0xb21f);
+    fillText(prepared.memory, kBzSrc, kBzLen, "", rng);
+    for (unsigned s = 0; s < 256; ++s)
+        prepared.memory.poke8(kBzMtfTable + s, static_cast<u8>(s));
+    return prepared;
+}
+
+PreparedProgram
+buildOmnetpp()
+{
+    // Discrete-event simulation: pop the earliest event off a binary
+    // min-heap, fold it into a checksum, schedule a successor at an
+    // LCG-random future time, repeat — omnetpp's event-queue churn.
+    ProgramBuilder b("omnetpp");
+
+    const RegIdx hp = x(1), size = x(2), seed = x(3), chk = x(4),
+                 time = x(5), events = x(6), rootv = x(7), cur = x(8),
+                 idx = x(9), child = x(10), guard = x(11), cval = x(12),
+                 rc = x(13), rval = x(14), cmp = x(15), newkey = x(16),
+                 delay = x(17), parent = x(18), pval = x(19),
+                 mult = x(20), inc = x(21), res = x(22), achild = x(23),
+                 aidx = x(24);
+
+    b.movImm(hp, kOmHeap);
+    b.movImm(size, kOmInitialEvents);
+    b.movImm(seed, kOmSeed);
+    b.movImm(chk, 0);
+    b.movImm(events, kOmEventCount);
+    b.movImm(mult, static_cast<s64>(kOmLcgMult));
+    b.movImm(inc, static_cast<s64>(kOmLcgInc));
+
+    auto pop = b.newLabel();
+    auto sift = b.newLabel();
+    auto skip_right = b.newLabel();
+    auto sift_done = b.newLabel();
+    auto up = b.newLabel();
+    auto up_done = b.newLabel();
+
+    b.bind(pop);
+    // Pop the minimum.
+    b.load(Opcode::LDR, rootv, hp, 0);
+    b.alu(Opcode::EOR, chk, chk, rootv);
+    b.lsrImm(time, rootv, 16);
+    b.alui(Opcode::SUB, size, size, 1);
+    // Shift-and-add addressing (ARM op2): low-slack arithmetic.
+    b.aluShifted(Opcode::ADD, aidx, hp, size, ShiftKind::Lsl, 3);
+    b.load(Opcode::LDR, cur, aidx, 0);
+    b.store(Opcode::STR, cur, hp, 0);
+    b.movImm(idx, 0);
+    // Sift down: `cur` always lives at heap[idx].
+    b.bind(sift);
+    b.lslImm(child, idx, 1);
+    b.alui(Opcode::ADD, child, child, 1);
+    b.alu(Opcode::SUB, guard, child, size);
+    b.bgez(guard, sift_done);
+    b.loadIdx(Opcode::LDR, cval, hp, child, 3);
+    b.alui(Opcode::ADD, rc, child, 1);
+    b.alu(Opcode::SUB, guard, rc, size);
+    b.bgez(guard, skip_right);
+    b.loadIdx(Opcode::LDR, rval, hp, rc, 3);
+    b.alu(Opcode::CMP, cmp, rval, cval);
+    b.bgez(cmp, skip_right);
+    b.mov(child, rc);
+    b.mov(cval, rval);
+    b.bind(skip_right);
+    b.alu(Opcode::CMP, cmp, cur, cval);
+    b.blez(cmp, sift_done);
+    b.aluShifted(Opcode::ADD, aidx, hp, idx, ShiftKind::Lsl, 3);
+    b.aluShifted(Opcode::ADD, achild, hp, child, ShiftKind::Lsl, 3);
+    b.store(Opcode::STR, cval, aidx, 0);
+    b.store(Opcode::STR, cur, achild, 0);
+    b.mov(idx, child);
+    b.b(sift);
+    b.bind(sift_done);
+
+    // Schedule a successor event.
+    b.alu(Opcode::MUL, seed, seed, mult);
+    b.alu(Opcode::ADD, seed, seed, inc);
+    b.lsrImm(delay, seed, 33);
+    b.alui(Opcode::AND, delay, delay, 0xFFFF);
+    b.alu(Opcode::ADD, newkey, time, delay);
+    b.lslImm(newkey, newkey, 16);
+    b.alui(Opcode::AND, cmp, events, 0xFF);
+    b.alu(Opcode::ORR, newkey, newkey, cmp);
+    b.storeIdx(Opcode::STR, newkey, hp, size, 3);
+    b.mov(idx, size);
+    b.alui(Opcode::ADD, size, size, 1);
+    // Sift up: `newkey` lives at heap[idx].
+    b.bind(up);
+    b.beqz(idx, up_done);
+    b.alui(Opcode::SUB, parent, idx, 1);
+    b.lsrImm(parent, parent, 1);
+    b.loadIdx(Opcode::LDR, pval, hp, parent, 3);
+    b.alu(Opcode::CMP, cmp, pval, newkey);
+    b.blez(cmp, up_done);
+    b.aluShifted(Opcode::ADD, aidx, hp, idx, ShiftKind::Lsl, 3);
+    b.aluShifted(Opcode::ADD, achild, hp, parent, ShiftKind::Lsl, 3);
+    b.store(Opcode::STR, pval, aidx, 0);
+    b.store(Opcode::STR, newkey, achild, 0);
+    b.mov(idx, parent);
+    b.b(up);
+    b.bind(up_done);
+
+    b.alui(Opcode::SUB, events, events, 1);
+    b.bnez(events, pop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, chk, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    // A valid initial min-heap of events (sorted keys are a heap).
+    Rng rng(0x03e7);
+    std::vector<u64> keys;
+    for (unsigned i = 0; i < kOmInitialEvents; ++i)
+        keys.push_back(((rng.below(1 << 14)) << 16) | i);
+    std::sort(keys.begin(), keys.end());
+    for (unsigned i = 0; i < kOmInitialEvents; ++i)
+        prepared.memory.poke64(kOmHeap + 8ull * i, keys[i]);
+    return prepared;
+}
+
+PreparedProgram
+buildGromacs()
+{
+    // Pairwise force kernel over a precomputed neighbour list: load
+    // two particle positions, form the squared distance, evaluate a
+    // polynomial force and scatter-accumulate — gromacs' non-bonded
+    // inner loop in miniature (FP-dominated).
+    ProgramBuilder b("gromacs");
+
+    const RegIdx pp = x(1), pairs = x(2), pos = x(3), frc = x(4),
+                 pi = x(5), pj = x(6), ai = x(7), aj = x(8), tmp = x(9),
+                 xi = x(10), yi = x(11), zi = x(12), xj = x(13),
+                 yj = x(14), zj = x(15), dx = x(16), dy = x(17),
+                 dz = x(18), r2 = x(19), t2 = x(20), f = x(21),
+                 c1 = x(22), c2 = x(23), facc = x(24), res = x(25);
+
+    b.movImm(pp, kGroPairs);
+    b.movImm(pairs, kGroPairCount);
+    b.movImm(pos, kGroPos);
+    b.movImm(frc, kGroForce);
+    b.fmovImm(c1, kGroC1);
+    b.fmovImm(c2, kGroC2);
+
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.load(Opcode::LDRW, pi, pp, 0);
+    b.load(Opcode::LDRW, pj, pp, 4);
+    b.alui(Opcode::ADD, pp, pp, 8);
+    // ai = pos + pi*24  (24 = 16 + 8)
+    b.lslImm(ai, pi, 4);
+    b.aluShifted(Opcode::ADD, ai, ai, pi, ShiftKind::Lsl, 3);
+    b.alu(Opcode::ADD, ai, ai, pos);
+    b.lslImm(aj, pj, 4);
+    b.aluShifted(Opcode::ADD, aj, aj, pj, ShiftKind::Lsl, 3);
+    b.alu(Opcode::ADD, aj, aj, pos);
+    b.load(Opcode::LDR, xi, ai, 0);
+    b.load(Opcode::LDR, yi, ai, 8);
+    b.load(Opcode::LDR, zi, ai, 16);
+    b.load(Opcode::LDR, xj, aj, 0);
+    b.load(Opcode::LDR, yj, aj, 8);
+    b.load(Opcode::LDR, zj, aj, 16);
+    b.fop(Opcode::FSUB, dx, xi, xj);
+    b.fop(Opcode::FSUB, dy, yi, yj);
+    b.fop(Opcode::FSUB, dz, zi, zj);
+    b.fop(Opcode::FMUL, r2, dx, dx);
+    b.fop(Opcode::FMUL, t2, dy, dy);
+    b.fop(Opcode::FADD, r2, r2, t2);
+    b.fop(Opcode::FMUL, t2, dz, dz);
+    b.fop(Opcode::FADD, r2, r2, t2);
+    b.fop(Opcode::FMUL, f, r2, c1);
+    b.fop(Opcode::FADD, f, f, c2);
+    // Scatter-accumulate force on particle i: ai' = frc + pi*24.
+    b.lslImm(ai, pi, 4);
+    b.aluShifted(Opcode::ADD, ai, ai, pi, ShiftKind::Lsl, 3);
+    b.alu(Opcode::ADD, ai, ai, frc);
+    for (unsigned comp = 0; comp < 3; ++comp) {
+        const RegIdx d = comp == 0 ? dx : (comp == 1 ? dy : dz);
+        b.load(Opcode::LDR, facc, ai, 8 * comp);
+        b.fop(Opcode::FMUL, tmp, f, d);
+        b.fop(Opcode::FADD, facc, facc, tmp);
+        b.store(Opcode::STR, facc, ai, 8 * comp);
+    }
+    b.alui(Opcode::SUB, pairs, pairs, 1);
+    b.bnez(pairs, loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, pairs, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0x960);
+    fillDoubles(prepared.memory, kGroPos, 3ull * kGroParticles, 10.0,
+                rng);
+    for (unsigned p = 0; p < kGroPairCount; ++p) {
+        const u32 i = static_cast<u32>(rng.below(kGroParticles));
+        u32 j = static_cast<u32>(rng.below(kGroParticles));
+        if (j == i)
+            j = (j + 1) % kGroParticles;
+        prepared.memory.poke32(kGroPairs + 8ull * p, i);
+        prepared.memory.poke32(kGroPairs + 8ull * p + 4, j);
+    }
+    return prepared;
+}
+
+PreparedProgram
+buildSoplex()
+{
+    // CSR sparse matrix-vector product with a wide gather vector:
+    // index loads, value loads, x-gathers that miss L1, FMUL/FADD —
+    // soplex's pricing/ratio-test arithmetic in miniature.
+    ProgramBuilder b("soplex");
+
+    const RegIdx rp = x(1), rows = x(2), ci = x(3), vx = x(4),
+                 xb = x(5), yb = x(6), s = x(7), e = x(8), facc = x(9),
+                 col = x(10), val = x(11), xv = x(12), prod = x(13),
+                 k = x(14), tmp = x(15), row = x(16), res = x(17),
+                 av = x(18), ax = x(19);
+
+    b.movImm(rp, kSoRowPtr);
+    b.movImm(rows, kSoRows);
+    b.movImm(ci, kSoColIdx);
+    b.movImm(vx, kSoValues);
+    b.movImm(xb, kSoX);
+    b.movImm(yb, kSoY);
+    b.movImm(row, 0);
+
+    auto row_loop = b.newLabel();
+    auto inner = b.newLabel();
+    auto row_done = b.newLabel();
+
+    b.bind(row_loop);
+    b.load(Opcode::LDRW, s, rp, 0);
+    b.load(Opcode::LDRW, e, rp, 4);
+    b.alui(Opcode::ADD, rp, rp, 4);
+    b.movImm(facc, 0); // +0.0 bit pattern
+    b.mov(k, s);
+    b.bind(inner);
+    b.alu(Opcode::SUB, tmp, k, e);
+    b.beqz(tmp, row_done);
+    b.loadIdx(Opcode::LDRW, col, ci, k, 2);
+    // Shift-and-add gather addressing, as ARM codegen emits it.
+    b.aluShifted(Opcode::ADD, av, vx, k, ShiftKind::Lsl, 3);
+    b.load(Opcode::LDR, val, av, 0);
+    b.aluShifted(Opcode::ADD, ax, xb, col, ShiftKind::Lsl, 3);
+    b.load(Opcode::LDR, xv, ax, 0);
+    b.fop(Opcode::FMUL, prod, val, xv);
+    b.fop(Opcode::FADD, facc, facc, prod);
+    b.alui(Opcode::ADD, k, k, 1);
+    b.b(inner);
+    b.bind(row_done);
+    b.storeIdx(Opcode::STR, facc, yb, row, 3);
+    b.alui(Opcode::ADD, row, row, 1);
+    b.alui(Opcode::SUB, tmp, row, kSoRows);
+    b.bnez(tmp, row_loop);
+
+    b.movImm(res, kResultAddr);
+    b.store(Opcode::STR, row, res, 0);
+    b.halt();
+
+    PreparedProgram prepared;
+    prepared.program = std::make_shared<const Program>(b.build());
+    Rng rng(0x509);
+    fillCsrMatrix(prepared.memory, kSoRowPtr, kSoColIdx, kSoValues,
+                  kSoRows, kSoCols, kSoNnzPerRow, rng);
+    fillDoubles(prepared.memory, kSoX, kSoCols, 1.0, rng);
+    return prepared;
+}
+
+} // namespace speclike
+} // namespace redsoc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SPEC CPU2006-like mini-kernels. We cannot ship or run SPEC, so
+ * each benchmark is represented by a compact kernel implementing the
+ * application's characteristic inner computation (see DESIGN.md §1):
+ *
+ *  - xalanc:  pointer-chasing searches over a scattered binary tree
+ *             (XML DOM traversal flavour; dependent loads, L1 misses)
+ *  - bzip2:   move-to-front transform over text (table scans/shifts)
+ *  - omnetpp: binary-heap discrete-event simulation loop
+ *  - gromacs: pairwise particle force computation (FP heavy)
+ *  - soplex:  CSR sparse matrix-vector product (gather + FP)
+ */
+
+#ifndef REDSOC_WORKLOADS_SPECLIKE_H
+#define REDSOC_WORKLOADS_SPECLIKE_H
+
+#include "workloads/prepared.h"
+
+namespace redsoc {
+namespace speclike {
+
+inline constexpr Addr kResultAddr = 0x9000;
+
+// --- xalanc ----------------------------------------------------------
+inline constexpr Addr kXalTreePool = 0x100000;
+inline constexpr u64 kXalTreePoolBytes = 24ull * 1024 * 1024;
+inline constexpr Addr kXalKeys = 0x40000;
+inline constexpr Addr kXalRootSlot = 0x8f00;
+inline constexpr unsigned kXalNodes = 16384;
+inline constexpr unsigned kXalLookups = 1000;
+PreparedProgram buildXalanc();
+
+// --- bzip2 -----------------------------------------------------------
+inline constexpr Addr kBzSrc = 0x10000;
+inline constexpr Addr kBzMtfTable = 0x8000;
+inline constexpr Addr kBzOut = 0x60000;
+inline constexpr unsigned kBzLen = 750;
+PreparedProgram buildBzip2();
+
+// --- omnetpp ---------------------------------------------------------
+inline constexpr Addr kOmHeap = 0x10000;
+inline constexpr unsigned kOmInitialEvents = 64;
+inline constexpr unsigned kOmEventCount = 1200;
+inline constexpr u64 kOmLcgMult = 6364136223846793005ull;
+inline constexpr u64 kOmLcgInc = 1442695040888963407ull;
+inline constexpr u64 kOmSeed = 0x123456789abcdefull;
+PreparedProgram buildOmnetpp();
+
+// --- gromacs ---------------------------------------------------------
+inline constexpr Addr kGroPos = 0x20000;   ///< N x {x,y,z} doubles
+inline constexpr Addr kGroForce = 0x80000; ///< N x {x,y,z} doubles
+inline constexpr Addr kGroPairs = 0x40000; ///< M x {i,j} u32
+inline constexpr unsigned kGroParticles = 512;
+inline constexpr unsigned kGroPairCount = 2400;
+inline constexpr double kGroC1 = 0.25;
+inline constexpr double kGroC2 = -0.125;
+PreparedProgram buildGromacs();
+
+// --- soplex ----------------------------------------------------------
+inline constexpr Addr kSoRowPtr = 0x10000;
+inline constexpr Addr kSoColIdx = 0x20000;
+inline constexpr Addr kSoValues = 0x80000;
+inline constexpr Addr kSoX = 0x200000;
+inline constexpr Addr kSoY = 0x400000;
+inline constexpr unsigned kSoRows = 500;
+inline constexpr unsigned kSoCols = 16384;
+inline constexpr unsigned kSoNnzPerRow = 16;
+PreparedProgram buildSoplex();
+
+} // namespace speclike
+} // namespace redsoc
+
+#endif // REDSOC_WORKLOADS_SPECLIKE_H

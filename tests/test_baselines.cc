@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Comparator tests: timing speculation (error-rate-bounded static
+ * overclocking) and the MOS fusion-opportunity analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/fusion.h"
+#include "baselines/timing_speculation.h"
+#include "helpers.h"
+
+namespace redsoc {
+namespace {
+
+using test::emitLogicChain;
+using test::makeTrace;
+
+Trace
+chainTrace(bool logic, unsigned n)
+{
+    ProgramBuilder b(logic ? "logic" : "arith");
+    if (logic) {
+        emitLogicChain(b, n);
+    } else {
+        // Wide adds whose operands stay wide: x = 2x + 1 keeps the
+        // value dense across the full 64 bits.
+        b.movImm(x(1), 0x123456789abcdefll);
+        for (unsigned i = 0; i < n; ++i) {
+            b.alu(Opcode::ADD, x(1), x(1), x(1));
+            b.alui(Opcode::ADD, x(1), x(1), 1);
+        }
+    }
+    b.halt();
+    return makeTrace(b);
+}
+
+TEST(TimingSpeculation, NominalPeriodHasNoErrors)
+{
+    TimingModel model;
+    TimingSpeculation ts;
+    EXPECT_DOUBLE_EQ(ts.errorRate(chainTrace(true, 100), model, 500),
+                     0.0);
+}
+
+TEST(TimingSpeculation, ErrorRateMonotoneInPeriod)
+{
+    TimingModel model;
+    TimingSpeculation ts;
+    const Trace trace = chainTrace(false, 200);
+    double prev = 0.0;
+    for (Picos p = 500; p >= 250; p -= 50) {
+        const double rate = ts.errorRate(trace, model, p);
+        EXPECT_GE(rate, prev) << "period " << p;
+        prev = rate;
+    }
+    EXPECT_GT(prev, 0.5); // wide adds blow through a 250ps period
+}
+
+TEST(TimingSpeculation, ChosenPeriodRespectsErrorBand)
+{
+    TimingModel model;
+    TimingSpeculation ts;
+    const Trace trace = chainTrace(false, 300);
+    const Picos period = ts.choosePeriod(trace, model);
+    EXPECT_LT(period, 500u);
+    EXPECT_LE(ts.errorRate(trace, model, period), 0.01);
+    // One grid step faster would break the band (or hit the floor).
+    EXPECT_GT(ts.errorRate(trace, model, period - 10), 0.01);
+}
+
+TEST(TimingSpeculation, LogicHeavyCodeOverclocksFurther)
+{
+    TimingModel model;
+    TimingSpeculation ts;
+    const Picos logic_period =
+        ts.choosePeriod(chainTrace(true, 300), model);
+    const Picos arith_period =
+        ts.choosePeriod(chainTrace(false, 300), model);
+    EXPECT_LT(logic_period, arith_period);
+}
+
+TEST(TimingSpeculation, SpeedupAccountsForFixedMemoryTime)
+{
+    // ALU-only code: TS speedup tracks the period ratio closely.
+    const Trace alu = chainTrace(true, 300);
+    CoreConfig config = configFor("medium", SchedMode::Baseline);
+    OooCore core(config);
+    const Cycle base_cycles = core.run(alu).cycles;
+
+    TimingSpeculation ts;
+    const auto result = ts.run(alu, config, base_cycles);
+    EXPECT_GT(result.speedup, 1.1);
+    EXPECT_LE(result.speedup, 500.0 / result.period_ps + 0.01);
+
+    // Memory-bound code: cycles inflate, eating the gain.
+    MemoryImage mem;
+    ProgramBuilder mb("membound");
+    mb.movImm(x(1), 0);
+    for (unsigned i = 0; i < 64; ++i) {
+        mb.load(Opcode::LDR, x(2), x(1), static_cast<s64>(i) * 4096);
+        mb.alu(Opcode::ADD, x(3), x(3), x(2)); // serialize on loads
+        mb.mov(x(1), x(3));
+    }
+    mb.alui(Opcode::AND, x(1), x(1), 0); // back to address 0 pattern
+    mb.halt();
+    const Trace membound = makeTrace(mb, &mem);
+    OooCore core2(config);
+    const Cycle mem_base = core2.run(membound).cycles;
+    const auto mem_result = ts.run(membound, config, mem_base);
+    EXPECT_LT(mem_result.speedup, result.speedup);
+}
+
+TEST(FusionAnalysis, LogicChainsAreHighlyFusable)
+{
+    TimingModel model;
+    SubCycleClock clock(3, 500);
+    SlackLut lut(model, clock);
+    const auto opp = analyzeFusionOpportunity(chainTrace(true, 200), lut);
+    EXPECT_GT(opp.eligible_pairs, 150u);
+    EXPECT_GT(opp.fusableFraction(), 0.9);
+}
+
+TEST(FusionAnalysis, WideArithChainsAreNot)
+{
+    TimingModel model;
+    SubCycleClock clock(3, 500);
+    SlackLut lut(model, clock);
+    const auto opp =
+        analyzeFusionOpportunity(chainTrace(false, 200), lut);
+    EXPECT_LT(opp.fusableFraction(), 0.2);
+}
+
+} // namespace
+} // namespace redsoc

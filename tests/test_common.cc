@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, RNG,
+ * statistics and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace redsoc {
+namespace {
+
+TEST(BitUtils, EffectiveWidthBasics)
+{
+    EXPECT_EQ(effectiveWidth(0), 1u);
+    EXPECT_EQ(effectiveWidth(1), 1u);
+    EXPECT_EQ(effectiveWidth(2), 2u);
+    EXPECT_EQ(effectiveWidth(3), 2u);
+    EXPECT_EQ(effectiveWidth(0xff), 8u);
+    EXPECT_EQ(effectiveWidth(0x100), 9u);
+    EXPECT_EQ(effectiveWidth(~u64{0}), 64u);
+}
+
+TEST(BitUtils, EffectiveWidthSigned)
+{
+    EXPECT_EQ(effectiveWidthSigned(0), 1u);
+    EXPECT_EQ(effectiveWidthSigned(-1), 2u);  // ~(-1) == 0
+    EXPECT_EQ(effectiveWidthSigned(127), 7u);
+    EXPECT_EQ(effectiveWidthSigned(-128), 8u);
+}
+
+TEST(BitUtils, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 0, 8), 0xEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 8, 8), 0xBEu);
+    EXPECT_EQ(bits(0xDEADBEEF, 16, 16), 0xDEADu);
+    EXPECT_EQ(bits(~u64{0}, 0, 64), ~u64{0});
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x1234, 16), 0x1234);
+}
+
+TEST(BitUtils, Logs)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_THROW(ceilLog2(0), std::logic_error);
+}
+
+TEST(BitUtils, PowerOfTwoAndRotate)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(rotateRight32(0x80000001u, 1), 0xC0000000u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    EXPECT_THROW(rng.below(0), std::logic_error);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const u64 v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NarrowValueBiasesNarrow)
+{
+    Rng rng(13);
+    double mean_width = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i)
+        mean_width += effectiveWidth(rng.narrowValue(48));
+    mean_width /= kSamples;
+    // Geometric-ish decay: most values far narrower than 48 bits.
+    EXPECT_LT(mean_width, 8.0);
+    EXPECT_GT(mean_width, 1.5);
+}
+
+TEST(Histogram, MeanAndBuckets)
+{
+    Histogram h(8);
+    h.sample(2);
+    h.sample(2);
+    h.sample(5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(7), 0u);
+}
+
+TEST(Histogram, OverflowBucketStillCountsInMean)
+{
+    Histogram h(4);
+    h.sample(100);
+    EXPECT_EQ(h.bucket(4), 1u); // collapsed
+    EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(Histogram, WeightedMeanIsLengthBiased)
+{
+    // 10 sequences of length 2, 1 sequence of length 10:
+    // E_op[L] = (10*4 + 100) / (20 + 10).
+    Histogram h(16);
+    h.sample(2, 10);
+    h.sample(10, 1);
+    EXPECT_DOUBLE_EQ(h.weightedMean(), (10.0 * 4 + 100) / (20 + 10));
+}
+
+TEST(StatGroup, RecordAndDump)
+{
+    StatGroup g("core");
+    g.recordScalar("ipc", 1.5);
+    g.addScalar("cycles", 10);
+    g.addScalar("cycles", 5);
+    EXPECT_DOUBLE_EQ(g.scalar("ipc"), 1.5);
+    EXPECT_DOUBLE_EQ(g.scalar("cycles"), 15);
+    EXPECT_TRUE(g.has("ipc"));
+    EXPECT_FALSE(g.has("nope"));
+    EXPECT_THROW(g.scalar("nope"), std::logic_error);
+    EXPECT_NE(g.dump().find("core.ipc 1.5"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.256, 1), "25.6%");
+}
+
+} // namespace
+} // namespace redsoc

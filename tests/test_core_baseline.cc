@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Baseline OOO-core timing tests on hand-built traces: back-to-back
+ * dependent issue, superscalar throughput, load-use latency,
+ * multi-cycle units, FU contention, branch-misprediction penalty and
+ * store-to-load forwarding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace redsoc {
+namespace {
+
+using test::emitAddChain;
+using test::makeTrace;
+using test::runCore;
+
+CoreConfig
+baseline(const std::string &core = "medium")
+{
+    return configFor(core, SchedMode::Baseline);
+}
+
+TEST(BaselineCore, DependentChainRunsBackToBack)
+{
+    ProgramBuilder b("chain");
+    emitAddChain(b, 300);
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats stats = runCore(trace, baseline());
+    // One dependent ALU op per cycle plus small fill/drain overhead.
+    EXPECT_GE(stats.cycles, 300u);
+    EXPECT_LE(stats.cycles, 330u);
+    EXPECT_EQ(stats.committed, trace.size());
+}
+
+TEST(BaselineCore, IndependentOpsExploitWidth)
+{
+    ProgramBuilder b("ilp");
+    // Four independent accumulators: enough ILP for a 4-wide core.
+    for (unsigned r = 1; r <= 4; ++r)
+        b.movImm(x(r), r);
+    for (unsigned i = 0; i < 100; ++i)
+        for (unsigned r = 1; r <= 4; ++r)
+            b.alui(Opcode::ADD, x(r), x(r), 1);
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats stats = runCore(trace, baseline("medium"));
+    // 400 ALU ops on a 4-wide, 4-ALU core: IPC close to 4.
+    EXPECT_GT(stats.ipc(), 3.0);
+}
+
+TEST(BaselineCore, CommitWidthBoundsIpc)
+{
+    ProgramBuilder b("wide");
+    for (unsigned r = 1; r <= 8; ++r)
+        b.movImm(x(r), r);
+    for (unsigned i = 0; i < 50; ++i)
+        for (unsigned r = 1; r <= 8; ++r)
+            b.alui(Opcode::ADD, x(r), x(r), 1);
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats small = runCore(trace, baseline("small"));
+    const CoreStats big = runCore(trace, baseline("big"));
+    EXPECT_LE(small.ipc(), 3.0 + 1e-9);
+    EXPECT_GT(big.ipc(), small.ipc());
+}
+
+TEST(BaselineCore, LoadUseLatencyIsVisible)
+{
+    // A pointer-increment chain of dependent L1-hit loads.
+    MemoryImage mem;
+    for (unsigned i = 0; i < 64; ++i)
+        mem.poke64(0x1000 + 8 * i, 0x1000 + 8 * (i + 1));
+    ProgramBuilder b("loaduse");
+    b.movImm(x(1), 0x1000);
+    for (unsigned i = 0; i < 64; ++i)
+        b.load(Opcode::LDR, x(1), x(1), 0);
+    b.halt();
+    const Trace trace = makeTrace(b, &mem);
+    const CoreStats stats = runCore(trace, baseline());
+    // Each dependent load costs at least the L1 latency (2 cycles).
+    EXPECT_GE(stats.cycles, 64u * 2);
+}
+
+TEST(BaselineCore, MultiCycleUnitsSerializeChains)
+{
+    ProgramBuilder b("muls");
+    b.movImm(x(1), 3);
+    for (unsigned i = 0; i < 50; ++i)
+        b.mul(x(1), x(1), x(1));
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats stats = runCore(trace, baseline());
+    // Dependent multiplies pay the full 3-cycle latency each.
+    EXPECT_GE(stats.cycles, 50u * fuLatency(FuClass::IntMul));
+}
+
+TEST(BaselineCore, UnpipelinedDividesBlockTheUnit)
+{
+    ProgramBuilder b("divs");
+    b.movImm(x(1), 1000000);
+    b.movImm(x(2), 3);
+    // Independent divides: still serialized by the unpipelined unit
+    // once the ALU pool's divide capacity saturates.
+    for (unsigned i = 0; i < 12; ++i)
+        b.udiv(x(3 + (i % 8)), x(1), x(2));
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats stats = runCore(trace, baseline("small"));
+    // 12 divides / 3 ALU ports, 12 cycles each, unpipelined.
+    EXPECT_GE(stats.cycles, 12u / 3 * fuLatency(FuClass::IntDiv));
+}
+
+TEST(BaselineCore, FuContentionRaisesStallRate)
+{
+    ProgramBuilder lowp("low");
+    emitAddChain(lowp, 200); // single chain: no contention
+    lowp.halt();
+    // Bursty readiness: a long-latency load gates a fan-out of
+    // independent consumers, which all wake at once and fight for
+    // the small core's 3 ALUs.
+    MemoryImage mem;
+    ProgramBuilder highp("high");
+    highp.movImm(x(1), 0x400000);
+    for (unsigned blk = 0; blk < 12; ++blk) {
+        highp.load(Opcode::LDR, x(2), x(1),
+                   static_cast<s64>(blk) * 8192);
+        for (unsigned r = 3; r <= 12; ++r)
+            highp.alu(Opcode::ADD, x(r), x(2), x(2));
+    }
+    highp.halt();
+
+    const CoreStats low = runCore(makeTrace(lowp), baseline("small"));
+    const CoreStats high =
+        runCore(makeTrace(highp, &mem), baseline("small"));
+    EXPECT_GT(high.fuStallRate(), low.fuStallRate());
+    EXPECT_GT(high.fu_stall_cycles, 10u);
+}
+
+TEST(BaselineCore, BranchMispredictsCostRedirects)
+{
+    // Data-dependent unpredictable branches from an LCG.
+    auto build = [](bool predictable) {
+        ProgramBuilder b(predictable ? "pred" : "unpred");
+        auto loop = b.newLabel();
+        auto skip = b.newLabel();
+        b.movImm(x(1), 200);                 // trip count
+        b.movImm(x(2), 0x1234567);           // lcg state
+        b.movImm(x(3), 6364136223846793005); // multiplier
+        b.bind(loop);
+        b.alu(Opcode::MUL, x(2), x(2), x(3));
+        b.alui(Opcode::ADD, x(2), x(2), 1442695040888963407ll);
+        if (predictable) {
+            b.movImm(x(4), 0); // never taken
+        } else {
+            b.lsrImm(x(4), x(2), 63); // effectively random bit
+        }
+        b.beqz(x(4), skip);
+        b.alui(Opcode::ADD, x(5), x(5), 1);
+        b.bind(skip);
+        b.alui(Opcode::SUB, x(1), x(1), 1);
+        b.bnez(x(1), loop);
+        b.halt();
+        return makeTrace(b);
+    };
+
+    const CoreStats good = runCore(build(true), baseline());
+    const CoreStats bad = runCore(build(false), baseline());
+    EXPECT_GT(bad.branchMispredictRate(), 0.1);
+    EXPECT_LT(good.branchMispredictRate(), 0.05);
+    EXPECT_GT(bad.cycles, good.cycles);
+}
+
+TEST(BaselineCore, StoreToLoadForwarding)
+{
+    ProgramBuilder b("stld");
+    b.movImm(x(1), 0x2000);
+    b.movImm(x(2), 99);
+    for (unsigned i = 0; i < 32; ++i) {
+        b.store(Opcode::STR, x(2), x(1), 8 * i);
+        b.load(Opcode::LDR, x(3), x(1), 8 * i);
+        b.alu(Opcode::ADD, x(2), x(3), x(2));
+    }
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats stats = runCore(trace, baseline());
+    EXPECT_GT(stats.store_forwards, 20u);
+}
+
+TEST(BaselineCore, ColdMissesDominateScatteredLoads)
+{
+    MemoryImage mem;
+    ProgramBuilder b("scatter");
+    b.movImm(x(1), 0);
+    // 64 loads, each from its own 4K page: all cold misses.
+    for (unsigned i = 0; i < 64; ++i)
+        b.load(Opcode::LDR, x(2), x(1), static_cast<s64>(i) * 4096);
+    b.halt();
+    const Trace trace = makeTrace(b, &mem);
+    const CoreStats stats = runCore(trace, baseline());
+    EXPECT_EQ(stats.l1_load_misses, 64u);
+    // Independent misses overlap (memory-level parallelism), so the
+    // run is far faster than 64 serial DRAM accesses but still far
+    // slower than 64 hits.
+    EXPECT_GT(stats.cycles, 200u);
+}
+
+TEST(BaselineCore, DeterministicAcrossRuns)
+{
+    ProgramBuilder b("det");
+    emitAddChain(b, 100);
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats a = runCore(trace, baseline());
+    const CoreStats b2 = runCore(trace, baseline());
+    EXPECT_EQ(a.cycles, b2.cycles);
+    EXPECT_EQ(a.fu_stall_cycles, b2.fu_stall_cycles);
+}
+
+TEST(BaselineCore, BaselineNeverRecycles)
+{
+    ProgramBuilder b("none");
+    emitAddChain(b, 100);
+    b.halt();
+    const CoreStats stats = runCore(makeTrace(b), baseline());
+    EXPECT_EQ(stats.recycled_ops, 0u);
+    EXPECT_EQ(stats.egpw_requests, 0u);
+    EXPECT_EQ(stats.fused_ops, 0u);
+    EXPECT_EQ(stats.two_cycle_holds, 0u);
+}
+
+TEST(BaselineCore, RobCapacityLimitsMlpWindow)
+{
+    // A long-latency miss followed by many independent adds: the
+    // small core's 40-entry ROB caps how much slips under the miss.
+    auto build = [] {
+        MemoryImage mem;
+        ProgramBuilder b("window");
+        b.movImm(x(1), 0x900000);
+        b.load(Opcode::LDR, x(2), x(1), 0); // cold DRAM miss
+        for (unsigned r = 3; r <= 6; ++r)
+            b.movImm(x(r), r);
+        for (unsigned i = 0; i < 400; ++i)
+            b.alui(Opcode::ADD, x(3 + (i % 4)), x(3 + (i % 4)), 1);
+        b.halt();
+        return makeTrace(b, &mem);
+    };
+    const Trace trace = build();
+    const CoreStats small = runCore(trace, baseline("small"));
+    const CoreStats big = runCore(trace, baseline("big"));
+    EXPECT_LT(big.cycles, small.cycles);
+}
+
+} // namespace
+} // namespace redsoc

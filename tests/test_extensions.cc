@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the extension features: the Sec.IV-C dynamic slack
+ * threshold, the PVT guard-band knob end to end, and the gem5-style
+ * statistics export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace redsoc {
+namespace {
+
+using test::emitLogicChain;
+using test::makeTrace;
+using test::runCore;
+
+Trace
+chainTrace(unsigned n)
+{
+    ProgramBuilder b("chain");
+    emitLogicChain(b, n);
+    b.halt();
+    return makeTrace(b);
+}
+
+TEST(DynamicThreshold, StillCommitsEverything)
+{
+    const Trace trace = chainTrace(400);
+    CoreConfig cfg = configFor("medium", SchedMode::ReDSOC);
+    cfg.dynamic_threshold = true;
+    cfg.threshold_epoch = 64;
+    const CoreStats stats = runCore(trace, cfg);
+    EXPECT_EQ(stats.committed, trace.size());
+}
+
+TEST(DynamicThreshold, WalksTheThresholdRange)
+{
+    const Trace trace = chainTrace(2000);
+    CoreConfig cfg = configFor("medium", SchedMode::ReDSOC);
+    cfg.dynamic_threshold = true;
+    cfg.threshold_epoch = 32;
+    cfg.slack_threshold_ticks = 4;
+    const CoreStats stats = runCore(trace, cfg);
+    // The hill climber actually moved (epochs fired).
+    EXPECT_NE(stats.threshold_min, stats.threshold_max);
+    EXPECT_LE(stats.threshold_max, 8u);
+    EXPECT_LE(stats.threshold_min, 4u);
+}
+
+TEST(DynamicThreshold, TracksStaticQualityOnChains)
+{
+    // On a recycling-friendly chain, adapting from a bad starting
+    // point must recover most of the tuned-static performance.
+    const Trace trace = chainTrace(3000);
+
+    CoreConfig tuned = configFor("medium", SchedMode::ReDSOC);
+    tuned.slack_threshold_ticks = 6;
+    const Cycle tuned_cycles = runCore(trace, tuned).cycles;
+
+    CoreConfig bad_static = tuned;
+    bad_static.slack_threshold_ticks = 0; // recycling disabled
+    const Cycle bad_cycles = runCore(trace, bad_static).cycles;
+
+    CoreConfig dyn = tuned;
+    dyn.slack_threshold_ticks = 0; // same bad start...
+    dyn.dynamic_threshold = true;  // ...but allowed to adapt
+    dyn.threshold_epoch = 64;
+    const Cycle dyn_cycles = runCore(trace, dyn).cycles;
+
+    EXPECT_LT(dyn_cycles, bad_cycles); // escaped the bad setting
+    // Within 20% of the tuned static optimum.
+    EXPECT_LE(dyn_cycles, tuned_cycles + tuned_cycles / 5);
+}
+
+TEST(DynamicThreshold, InactiveOutsideRedsocMode)
+{
+    const Trace trace = chainTrace(300);
+    CoreConfig cfg = configFor("medium", SchedMode::Baseline);
+    cfg.dynamic_threshold = true;
+    cfg.threshold_epoch = 16;
+    cfg.slack_threshold_ticks = 5;
+    const CoreStats stats = runCore(trace, cfg);
+    EXPECT_EQ(stats.threshold_final, 5u); // never adapted
+}
+
+TEST(PvtGuardBand, NominalCornerRecyclesMore)
+{
+    const Trace trace = chainTrace(500);
+
+    auto speedup_at = [&](double derate) {
+        CoreConfig base = configFor("big", SchedMode::Baseline);
+        CoreConfig red = configFor("big", SchedMode::ReDSOC);
+        base.timing.pvt_derate = derate;
+        red.timing.pvt_derate = derate;
+        const Cycle b = runCore(trace, base).cycles;
+        const Cycle r = runCore(trace, red).cycles;
+        return static_cast<double>(b) / static_cast<double>(r);
+    };
+
+    const double worst_case = speedup_at(1.0);
+    const double nominal = speedup_at(0.85);
+    // Faster paths -> more recyclable ticks per op -> more speedup.
+    EXPECT_GE(nominal, worst_case - 1e-9);
+    EXPECT_GT(nominal, 1.0);
+}
+
+TEST(PvtGuardBand, BaselineCyclesAreDerateInvariant)
+{
+    // A conventionally clocked core cannot exploit PVT slack: its
+    // cycle count is identical at any derate.
+    const Trace trace = chainTrace(300);
+    CoreConfig a = configFor("medium", SchedMode::Baseline);
+    CoreConfig b = a;
+    b.timing.pvt_derate = 0.85;
+    EXPECT_EQ(runCore(trace, a).cycles, runCore(trace, b).cycles);
+}
+
+TEST(StatsExport, GroupCarriesTheHeadlineNumbers)
+{
+    const Trace trace = chainTrace(200);
+    const CoreStats stats =
+        runCore(trace, configFor("medium", SchedMode::ReDSOC));
+    const StatGroup group = toStatGroup(stats, "core0");
+    EXPECT_DOUBLE_EQ(group.scalar("cycles"),
+                     static_cast<double>(stats.cycles));
+    EXPECT_DOUBLE_EQ(group.scalar("ipc"), stats.ipc());
+    EXPECT_DOUBLE_EQ(group.scalar("recycled_ops"),
+                     static_cast<double>(stats.recycled_ops));
+    EXPECT_TRUE(group.has("egpw_wasted"));
+    EXPECT_TRUE(group.has("expected_chain_length"));
+    const std::string dump = group.dump();
+    EXPECT_NE(dump.find("core0.ipc"), std::string::npos);
+}
+
+} // namespace
+} // namespace redsoc

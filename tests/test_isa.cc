@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the µISA: opcode classification, instruction source
+ * derivation, the program builder (labels, fixups, validation) and
+ * the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/disasm.h"
+#include "isa/opcode.h"
+
+namespace redsoc {
+namespace {
+
+TEST(Opcode, FuClassMapping)
+{
+    EXPECT_EQ(fuClass(Opcode::ADD), FuClass::IntAlu);
+    EXPECT_EQ(fuClass(Opcode::AND), FuClass::IntAlu);
+    EXPECT_EQ(fuClass(Opcode::MUL), FuClass::IntMul);
+    EXPECT_EQ(fuClass(Opcode::SDIV), FuClass::IntDiv);
+    EXPECT_EQ(fuClass(Opcode::FADD), FuClass::Fp);
+    EXPECT_EQ(fuClass(Opcode::FDIV), FuClass::FpDiv);
+    EXPECT_EQ(fuClass(Opcode::LDR), FuClass::MemRead);
+    EXPECT_EQ(fuClass(Opcode::VSTR), FuClass::MemWrite);
+    EXPECT_EQ(fuClass(Opcode::VADD), FuClass::SimdAlu);
+    EXPECT_EQ(fuClass(Opcode::VMLA), FuClass::SimdMul);
+    EXPECT_EQ(fuClass(Opcode::BEQZ), FuClass::IntAlu);
+}
+
+TEST(Opcode, AluKinds)
+{
+    EXPECT_EQ(aluKind(Opcode::AND), AluKind::Logic);
+    EXPECT_EQ(aluKind(Opcode::TST), AluKind::Logic);
+    EXPECT_EQ(aluKind(Opcode::MOV), AluKind::MoveShift);
+    EXPECT_EQ(aluKind(Opcode::LSR), AluKind::MoveShift);
+    EXPECT_EQ(aluKind(Opcode::ADD), AluKind::Arith);
+    EXPECT_EQ(aluKind(Opcode::CMP), AluKind::Arith);
+    EXPECT_EQ(aluKind(Opcode::BNEZ), AluKind::Arith);
+    EXPECT_EQ(aluKind(Opcode::MUL), AluKind::NotAlu);
+}
+
+TEST(Opcode, Predicates)
+{
+    EXPECT_TRUE(isLoad(Opcode::LDRB));
+    EXPECT_TRUE(isStore(Opcode::STRH));
+    EXPECT_TRUE(isMem(Opcode::VLDR));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+    EXPECT_TRUE(isBranch(Opcode::RET));
+    EXPECT_TRUE(isCondBranch(Opcode::BLEZ));
+    EXPECT_FALSE(isCondBranch(Opcode::B));
+    EXPECT_TRUE(isSimd(Opcode::VMUL));
+    EXPECT_TRUE(isFp(Opcode::FCVTZS));
+}
+
+TEST(Opcode, MemAccessSizes)
+{
+    EXPECT_EQ(memAccessSize(Opcode::LDR), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::LDRW), 4u);
+    EXPECT_EQ(memAccessSize(Opcode::LDRH), 2u);
+    EXPECT_EQ(memAccessSize(Opcode::STRB), 1u);
+    EXPECT_EQ(memAccessSize(Opcode::VLDR), 16u);
+    EXPECT_THROW(memAccessSize(Opcode::ADD), std::logic_error);
+}
+
+TEST(Opcode, VectorGeometry)
+{
+    EXPECT_EQ(vecLanes(VecType::I8), 16u);
+    EXPECT_EQ(vecLanes(VecType::I16), 8u);
+    EXPECT_EQ(vecLanes(VecType::I32), 4u);
+    EXPECT_EQ(vecLanes(VecType::I64), 2u);
+    EXPECT_EQ(vecElemBits(VecType::I16), 16u);
+}
+
+TEST(Opcode, LatencyAndPipelining)
+{
+    EXPECT_EQ(fuLatency(FuClass::IntAlu), 1u);
+    EXPECT_GT(fuLatency(FuClass::IntMul), 1u);
+    EXPECT_GT(fuLatency(FuClass::IntDiv), fuLatency(FuClass::IntMul));
+    EXPECT_TRUE(fuPipelined(FuClass::IntMul));
+    EXPECT_FALSE(fuPipelined(FuClass::IntDiv));
+    EXPECT_FALSE(fuPipelined(FuClass::FpDiv));
+}
+
+TEST(Inst, SourcesFilterZeroRegAndImm)
+{
+    Inst i;
+    i.op = Opcode::ADD;
+    i.dst = x(1);
+    i.src1 = x(2);
+    i.src2 = kZeroReg;
+    EXPECT_EQ(i.numSources(), 1u);
+    EXPECT_EQ(i.sources()[0], x(2));
+
+    i.src2 = x(3);
+    EXPECT_EQ(i.numSources(), 2u);
+
+    i.use_imm = true; // op2 is the immediate: src2 ignored
+    EXPECT_EQ(i.numSources(), 1u);
+}
+
+TEST(Inst, DestinationFiltersZeroReg)
+{
+    Inst i;
+    i.op = Opcode::ADD;
+    i.dst = kZeroReg;
+    EXPECT_EQ(i.destination(), kNoReg);
+    i.dst = x(5);
+    EXPECT_EQ(i.destination(), x(5));
+}
+
+TEST(Inst, ShiftComponentDetection)
+{
+    Inst i;
+    i.op = Opcode::ADD;
+    EXPECT_FALSE(i.hasShiftComponent());
+    i.op2_shift = ShiftKind::Lsr;
+    EXPECT_TRUE(i.hasShiftComponent());
+
+    Inst s;
+    s.op = Opcode::LSL;
+    EXPECT_TRUE(s.hasShiftComponent());
+    Inst m;
+    m.op = Opcode::MOV;
+    EXPECT_FALSE(m.hasShiftComponent());
+}
+
+TEST(Builder, ForwardLabelsAreFixedUp)
+{
+    ProgramBuilder b("fwd");
+    auto skip = b.newLabel();
+    b.movImm(x(1), 5);
+    b.b(skip);
+    b.movImm(x(1), 7); // skipped
+    b.bind(skip);
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.inst(1).op, Opcode::B);
+    EXPECT_EQ(p.inst(1).target, 3u);
+}
+
+TEST(Builder, UnboundLabelIsFatal)
+{
+    ProgramBuilder b("bad");
+    auto l = b.newLabel();
+    b.b(l);
+    b.halt();
+    EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, BranchTargetValidation)
+{
+    std::vector<Inst> insts(1);
+    insts[0].op = Opcode::B;
+    insts[0].target = 5; // out of range
+    EXPECT_THROW(Program("bad", std::move(insts)), std::logic_error);
+}
+
+TEST(Builder, VmlaUsesDestinationAsAccumulator)
+{
+    ProgramBuilder b("vmla");
+    b.vmla(v(0), v(1), v(2), VecType::I16);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.inst(0).src3, v(0));
+    EXPECT_EQ(p.inst(0).numSources(), 3u);
+}
+
+TEST(Builder, StoreDataTravelsInSrc3)
+{
+    ProgramBuilder b("st");
+    b.store(Opcode::STR, x(4), x(2), 16);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.inst(0).src3, x(4));
+    EXPECT_EQ(p.inst(0).src1, x(2));
+    EXPECT_EQ(p.inst(0).imm, 16);
+}
+
+TEST(Disasm, RendersRepresentativeForms)
+{
+    Inst add;
+    add.op = Opcode::ADD;
+    add.dst = x(1);
+    add.src1 = x(2);
+    add.src2 = x(3);
+    EXPECT_EQ(disassemble(add), "ADD x1, x2, x3");
+
+    Inst addi = add;
+    addi.use_imm = true;
+    addi.imm = 42;
+    EXPECT_EQ(disassemble(addi), "ADD x1, x2, #42");
+
+    Inst shifted = add;
+    shifted.op2_shift = ShiftKind::Lsr;
+    shifted.shamt = 3;
+    EXPECT_EQ(disassemble(shifted), "ADD x1, x2, x3 lsr #3");
+
+    Inst ld;
+    ld.op = Opcode::LDR;
+    ld.dst = x(7);
+    ld.src1 = x(8);
+    ld.use_imm = true;
+    ld.imm = -8;
+    EXPECT_EQ(disassemble(ld), "LDR x7, [x8, #-8]");
+
+    Inst vadd;
+    vadd.op = Opcode::VADD;
+    vadd.dst = v(1);
+    vadd.src1 = v(2);
+    vadd.src2 = v(3);
+    vadd.vtype = VecType::I16;
+    EXPECT_EQ(disassemble(vadd), "VADD.i16 v1, v2, v3");
+}
+
+TEST(Disasm, BranchForms)
+{
+    Inst b;
+    b.op = Opcode::BEQZ;
+    b.src1 = x(4);
+    b.target = 12;
+    EXPECT_EQ(disassemble(b), "BEQZ x4, @12");
+}
+
+} // namespace
+} // namespace redsoc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Operation-mix (Fig.10) and DVFS power-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/dvfs.h"
+#include "workloads/op_mix.h"
+#include "workloads/registry.h"
+
+namespace redsoc {
+namespace {
+
+OpMix
+mixOf(const std::string &workload)
+{
+    const Trace trace = traceWorkload(workload);
+    const TimingModel timing;
+    return computeOpMix(trace, timing);
+}
+
+TEST(OpMix, FractionsSumToOne)
+{
+    for (const char *name : {"bitcnt", "xalanc", "act", "gromacs"}) {
+        const OpMix mix = mixOf(name);
+        EXPECT_NEAR(mix.total(), 1.0, 1e-9) << name;
+    }
+}
+
+TEST(OpMix, BitcntIsComputeDominated)
+{
+    // Fig.10: bitcount has <5% memory ops and ~60% high-slack ALU.
+    const OpMix mix = mixOf("bitcnt");
+    EXPECT_LT(mix.mem_hl + mix.mem_ll, 0.08);
+    EXPECT_GT(mix.alu_hs, 0.45);
+}
+
+TEST(OpMix, XalancIsMemoryHeavyWithL1Misses)
+{
+    const OpMix mix = mixOf("xalanc");
+    EXPECT_GT(mix.mem_hl + mix.mem_ll, 0.2);
+    EXPECT_GT(mix.mem_hl, 0.03); // scattered tree: real L1 misses
+}
+
+TEST(OpMix, ActStreamsThroughSimdAndMemory)
+{
+    const OpMix mix = mixOf("act");
+    EXPECT_GT(mix.simd, 0.10);
+    EXPECT_GT(mix.mem_hl, 0.05); // streaming working set misses L1
+}
+
+TEST(OpMix, GromacsIsMultiCycleHeavy)
+{
+    const OpMix mix = mixOf("gromacs");
+    EXPECT_GT(mix.other_multi, 0.2); // FP operations
+}
+
+TEST(OpMix, MibenchHasMoreHighSlackAluThanSpec)
+{
+    // The paper: SPEC averages ~30% ALU-HS, MiBench ~60%.
+    auto suite_hs = [&](Suite suite) {
+        double total = 0;
+        const auto names = workloadNames(suite);
+        for (const auto &name : names)
+            total += mixOf(name).alu_hs;
+        return total / names.size();
+    };
+    const double spec = suite_hs(Suite::Spec);
+    const double mib = suite_hs(Suite::MiBench);
+    EXPECT_GT(mib, spec + 0.1);
+}
+
+TEST(Dvfs, VoltageInterpolationIsMonotone)
+{
+    DvfsModel dvfs;
+    double prev = 0.0;
+    for (double f = 0.7; f <= 2.01; f += 0.05) {
+        const double v = dvfs.voltageAt(f);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+    EXPECT_DOUBLE_EQ(dvfs.voltageAt(0.1), dvfs.voltageAt(0.7));
+    EXPECT_DOUBLE_EQ(dvfs.voltageAt(3.0), dvfs.voltageAt(2.0));
+}
+
+TEST(Dvfs, RelativePowerNormalizedAtPeak)
+{
+    DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.relativePowerAt(2.0), 1.0);
+    EXPECT_LT(dvfs.relativePowerAt(1.0), 0.5);
+}
+
+TEST(Dvfs, PowerSavingGrowsWithSpeedup)
+{
+    DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.powerSavingForSpeedup(1.0), 0.0);
+    const double s10 = dvfs.powerSavingForSpeedup(1.10);
+    const double s25 = dvfs.powerSavingForSpeedup(1.25);
+    EXPECT_GT(s10, 0.05);
+    EXPECT_GT(s25, s10);
+    EXPECT_LT(s25, 0.6);
+    EXPECT_THROW(dvfs.powerSavingForSpeedup(0.0), std::logic_error);
+}
+
+TEST(Dvfs, CustomTableValidation)
+{
+    EXPECT_THROW(DvfsModel({{1.0, 1.0}}), std::logic_error);
+    EXPECT_THROW(DvfsModel({{2.0, 1.2}, {1.0, 1.0}}), std::logic_error);
+    DvfsModel ok({{1.0, 1.0}, {2.0, 1.2}});
+    EXPECT_NEAR(ok.voltageAt(1.5), 1.1, 1e-9);
+}
+
+} // namespace
+} // namespace redsoc

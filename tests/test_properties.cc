@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Property tests: parameterized sweeps over (workload x core x mode)
+ * checking the invariants DESIGN.md §5 calls out — timing safety,
+ * identical architectural work across modes, chain-statistic
+ * consistency, precision monotonicity and determinism.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.h"
+
+namespace redsoc {
+namespace {
+
+SimDriver &
+sharedDriver()
+{
+    static SimDriver driver;
+    return driver;
+}
+
+using SweepParam = std::tuple<std::string, std::string>; // workload, core
+
+class ModeSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(ModeSweep, AllModesCommitEveryOp)
+{
+    const auto &[workload, core] = GetParam();
+    const SeqNum n = sharedDriver().trace(workload).size();
+    for (SchedMode mode :
+         {SchedMode::Baseline, SchedMode::ReDSOC, SchedMode::MOS}) {
+        const CoreStats &stats =
+            sharedDriver().run(workload, configFor(core, mode));
+        EXPECT_EQ(stats.committed, n) << schedModeName(mode);
+    }
+}
+
+TEST_P(ModeSweep, RecyclingIsTimingSafeNetWin)
+{
+    // Non-speculative recycling must not lose cycles beyond noise
+    // (wasted EGPW grants and 2-cycle holds are bounded by skewed
+    // selection).
+    const auto &[workload, core] = GetParam();
+    const CoreStats &base =
+        sharedDriver().run(workload, configFor(core, SchedMode::Baseline));
+    const CoreStats &red =
+        sharedDriver().run(workload, configFor(core, SchedMode::ReDSOC));
+    EXPECT_LE(red.cycles, base.cycles + base.cycles / 50)
+        << workload << " on " << core;
+}
+
+TEST_P(ModeSweep, MosNeverSlowsTheBaseline)
+{
+    const auto &[workload, core] = GetParam();
+    const CoreStats &base =
+        sharedDriver().run(workload, configFor(core, SchedMode::Baseline));
+    const CoreStats &mos =
+        sharedDriver().run(workload, configFor(core, SchedMode::MOS));
+    EXPECT_LE(mos.cycles, base.cycles + base.cycles / 100);
+}
+
+TEST_P(ModeSweep, ChainStatisticsAreConsistent)
+{
+    const auto &[workload, core] = GetParam();
+    const CoreStats &red =
+        sharedDriver().run(workload, configFor(core, SchedMode::ReDSOC));
+    // Tail-measured links cover every recycled op; fan-out (two
+    // consumers recycling the same producer) double-counts shared
+    // prefixes, so the tail sum is an upper bound.
+    u64 links = 0;
+    for (u64 len = 2; len <= red.chain_lengths.maxSample(); ++len)
+        links += red.chain_lengths.bucket(len) * (len - 1);
+    EXPECT_GE(links, red.recycled_ops) << workload << " " << core;
+    if (red.recycled_ops > 0) {
+        EXPECT_GT(links, 0u) << workload << " " << core;
+    }
+    // EGPW accounting sanity.
+    EXPECT_LE(red.egpw_grants, red.egpw_requests);
+    EXPECT_LE(red.egpw_wasted, red.egpw_grants);
+}
+
+TEST_P(ModeSweep, DeterministicReplay)
+{
+    const auto &[workload, core] = GetParam();
+    const Trace &trace = sharedDriver().trace(workload);
+    OooCore core_a(configFor(core, SchedMode::ReDSOC));
+    OooCore core_b(configFor(core, SchedMode::ReDSOC));
+    const CoreStats a = core_a.run(trace);
+    const CoreStats b = core_b.run(trace);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.recycled_ops, b.recycled_ops);
+    EXPECT_EQ(a.egpw_requests, b.egpw_requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsByCore, ModeSweep,
+    ::testing::Combine(::testing::Values("crc", "gsm", "xalanc", "act",
+                                         "bzip2", "conv"),
+                       ::testing::Values("small", "medium", "big")),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+class PrecisionSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PrecisionSweep, FinerPrecisionNeverHurts)
+{
+    // Sec.V: performance saturates by 3 bits; coarser precision can
+    // only lose (estimates quantize up more).
+    const unsigned bits = GetParam();
+    CoreConfig coarse = configFor("medium", SchedMode::ReDSOC);
+    coarse.ci_precision_bits = bits;
+    coarse.slack_threshold_ticks =
+        (Tick{1} << bits) * 3 / 4; // scale threshold with precision
+    CoreConfig fine = coarse;
+    fine.ci_precision_bits = 8;
+    fine.slack_threshold_ticks = Tick{192};
+
+    const Cycle c_coarse =
+        sharedDriver().run("crc", coarse).cycles;
+    const Cycle c_fine = sharedDriver().run("crc", fine).cycles;
+    EXPECT_GE(c_coarse + c_coarse / 25, c_fine)
+        << "precision " << bits;
+    if (bits >= 3) {
+        // Saturation: within 2% of 8-bit precision from 3 bits up.
+        EXPECT_LE(c_coarse, c_fine + c_fine / 50);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PrecisionSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+class ThresholdSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ThresholdSweep, ThresholdNeverBreaksExecution)
+{
+    CoreConfig cfg = configFor("small", SchedMode::ReDSOC);
+    cfg.slack_threshold_ticks = GetParam();
+    const CoreStats &stats = sharedDriver().run("gsm", cfg);
+    EXPECT_EQ(stats.committed, sharedDriver().trace("gsm").size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ticks, ThresholdSweep,
+                         ::testing::Values(0u, 2u, 4u, 6u, 8u));
+
+TEST(Properties, SuiteMeansMatchPaperOrdering)
+{
+    // Fig.13's qualitative shape on the big core: MiBench gains the
+    // most, SPEC the least, with a fast subset standing in for each
+    // suite.
+    SimDriver &driver = sharedDriver();
+    const CoreConfig base = configFor("big", SchedMode::Baseline);
+    const CoreConfig red = configFor("big", SchedMode::ReDSOC);
+
+    const double mib =
+        (driver.speedup("crc", base, red) +
+         driver.speedup("bitcnt", base, red)) / 2.0;
+    const double spec =
+        (driver.speedup("xalanc", base, red) +
+         driver.speedup("gsm", base, red)) / 2.0; // gsm as mid proxy
+    EXPECT_GT(mib, 1.1);
+    EXPECT_GT(mib, spec - 0.05);
+}
+
+} // namespace
+} // namespace redsoc

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * ReDSOC mechanism tests: transparent chain acceleration, eager
+ * grandparent wakeup, the slack threshold, 2-cycle FU holds, skewed
+ * selection at the core level, width-misprediction replay, and the
+ * Illustrative vs Operational RSE designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace redsoc {
+namespace {
+
+using test::emitAddChain;
+using test::emitLogicChain;
+using test::makeTrace;
+using test::runCore;
+
+CoreConfig
+cfg(SchedMode mode, const std::string &core = "medium")
+{
+    return configFor(core, mode);
+}
+
+Trace
+logicChainTrace(unsigned n)
+{
+    ProgramBuilder b("logic-chain");
+    emitLogicChain(b, n);
+    b.halt();
+    return makeTrace(b);
+}
+
+TEST(Redsoc, AcceleratesDependentLogicChains)
+{
+    const Trace trace = logicChainTrace(300);
+    const CoreStats base = runCore(trace, cfg(SchedMode::Baseline));
+    const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
+    // Narrow logical ops carry >50% slack: pairs execute per cycle
+    // via EGPW, approaching 2x on the pure chain.
+    EXPECT_LT(red.cycles, base.cycles * 0.65);
+    EXPECT_GT(red.recycled_ops, 100u);
+    EXPECT_EQ(red.committed, base.committed);
+}
+
+TEST(Redsoc, TransparentChainsReachLengthTwoPlus)
+{
+    const Trace trace = logicChainTrace(300);
+    const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
+    EXPECT_GE(red.expected_chain_length, 2.0);
+    // Every recycled op is a link in some chain.
+    u64 links = 0;
+    for (u64 len = 2; len <= red.chain_lengths.maxSample(); ++len)
+        links += red.chain_lengths.bucket(len) * (len - 1);
+    EXPECT_EQ(links, red.recycled_ops);
+}
+
+TEST(Redsoc, ArithChainsRecycleAcrossBoundaries)
+{
+    // Wide adds (est ~6/8 cycle) cross boundaries when recycled:
+    // 2-cycle holds appear and sustained recycling continues through
+    // conventional wakeup (not just EGPW pairs).
+    ProgramBuilder b("wide-adds");
+    b.movImm(x(1), 0x123456789abcdefll);
+    for (unsigned i = 0; i < 200; ++i)
+        b.alui(Opcode::EOR, x(1), x(1), 0x5a5a5a5a5a5a5a5all),
+            b.alui(Opcode::ADD, x(1), x(1), 0x111111111111111ll);
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats base = runCore(trace, cfg(SchedMode::Baseline));
+    const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
+    EXPECT_LT(red.cycles, base.cycles);
+    EXPECT_GT(red.two_cycle_holds, 0u);
+}
+
+TEST(Redsoc, EgpwIsRequiredToStartChains)
+{
+    const Trace trace = logicChainTrace(200);
+    CoreConfig no_egpw = cfg(SchedMode::ReDSOC);
+    no_egpw.egpw = false;
+    const CoreStats off = runCore(trace, no_egpw);
+    const CoreStats on = runCore(trace, cfg(SchedMode::ReDSOC));
+    const CoreStats base = runCore(trace, cfg(SchedMode::Baseline));
+    EXPECT_LT(on.cycles, off.cycles);
+    // Without EGPW a serial short-delay chain cannot recycle at all.
+    EXPECT_EQ(off.recycled_ops, 0u);
+    EXPECT_NEAR(static_cast<double>(off.cycles),
+                static_cast<double>(base.cycles),
+                base.cycles * 0.02);
+}
+
+TEST(Redsoc, ZeroThresholdDisablesRecycling)
+{
+    const Trace trace = logicChainTrace(200);
+    CoreConfig tight = cfg(SchedMode::ReDSOC);
+    tight.slack_threshold_ticks = 0;
+    const CoreStats stats = runCore(trace, tight);
+    EXPECT_EQ(stats.recycled_ops, 0u);
+}
+
+TEST(Redsoc, ThresholdMonotonicallyEnablesRecycling)
+{
+    const Trace trace = logicChainTrace(300);
+    u64 prev = 0;
+    for (Tick t : {0u, 2u, 4u, 6u, 8u}) {
+        CoreConfig c = cfg(SchedMode::ReDSOC);
+        c.slack_threshold_ticks = t;
+        const CoreStats stats = runCore(trace, c);
+        EXPECT_GE(stats.recycled_ops, prev) << "threshold " << t;
+        prev = stats.recycled_ops;
+    }
+}
+
+TEST(Redsoc, EgpwAccountingIsConsistent)
+{
+    const Trace trace = logicChainTrace(300);
+    const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
+    EXPECT_GT(red.egpw_requests, 0u);
+    EXPECT_LE(red.egpw_grants, red.egpw_requests);
+    EXPECT_LE(red.egpw_wasted, red.egpw_grants);
+}
+
+TEST(Redsoc, SkewedSelectProtectsConventionalRequests)
+{
+    // Heavy ALU contention: many parallel chains on a small core.
+    ProgramBuilder b("contend");
+    for (unsigned r = 1; r <= 6; ++r)
+        b.movImm(x(r), 0x55 + r);
+    for (unsigned i = 0; i < 120; ++i)
+        for (unsigned r = 1; r <= 6; ++r)
+            b.alui(Opcode::EOR, x(r), x(r), 0x33);
+    b.halt();
+    const Trace trace = makeTrace(b);
+    CoreConfig skew = cfg(SchedMode::ReDSOC, "small");
+    CoreConfig noskew = skew;
+    noskew.skewed_select = false;
+    const CoreStats with = runCore(trace, skew);
+    const CoreStats without = runCore(trace, noskew);
+    // Un-skewed selection lets speculative grants displace useful
+    // work; skewed must be at least as good (within noise).
+    EXPECT_LE(with.cycles, without.cycles + without.cycles / 20);
+}
+
+TEST(Redsoc, WidthMispredictionTriggersReplay)
+{
+    // One PC whose operand width flips from narrow to wide after the
+    // predictor saturates: exactly the aggressive-mispredict case.
+    MemoryImage mem;
+    for (unsigned i = 0; i < 64; ++i)
+        mem.poke64(0x1000 + 8 * i, i < 48 ? 0x7f : 0x7fffffffffffll);
+    ProgramBuilder b("flip");
+    b.movImm(x(1), 0x1000);
+    b.movImm(x(2), 64);
+    b.movImm(x(3), 0);
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.load(Opcode::LDR, x(4), x(1), 0);
+    b.alu(Opcode::ADD, x(3), x(3), x(4)); // width flips at i=48
+    b.alui(Opcode::ADD, x(1), x(1), 8);
+    b.alui(Opcode::SUB, x(2), x(2), 1);
+    b.bnez(x(2), loop);
+    b.halt();
+    const Trace trace = makeTrace(b, &mem);
+    const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
+    EXPECT_GE(red.width_aggressive, 1u);
+    // One hard width flip mispredicts every in-flight instance of the
+    // PC once; the rate is still a small fraction of predictions.
+    EXPECT_LT(red.widthAggressiveRate(), 0.15);
+    EXPECT_EQ(red.committed, trace.size());
+}
+
+TEST(Redsoc, OperationalMatchesIllustrativeClosely)
+{
+    // The paper: the Operational design performs within ~1% of the
+    // Illustrative one.
+    ProgramBuilder b("two-src");
+    b.movImm(x(1), 0x5);
+    b.movImm(x(2), 0x9);
+    for (unsigned i = 0; i < 150; ++i) {
+        b.alu(Opcode::EOR, x(3), x(1), x(2));
+        b.alui(Opcode::ADD, x(1), x(3), 1);
+        b.alui(Opcode::EOR, x(2), x(3), 0x3c);
+    }
+    b.halt();
+    const Trace trace = makeTrace(b);
+    CoreConfig oper = cfg(SchedMode::ReDSOC);
+    CoreConfig illus = oper;
+    illus.rs_design = RsDesign::Illustrative;
+    const CoreStats o = runCore(trace, oper);
+    const CoreStats i = runCore(trace, illus);
+    EXPECT_NEAR(static_cast<double>(o.cycles),
+                static_cast<double>(i.cycles), i.cycles * 0.03);
+    // Illustrative tracks all tags: no last-arrival prediction.
+    EXPECT_EQ(i.la_predictions, 0u);
+    EXPECT_GT(o.la_predictions, 0u);
+}
+
+TEST(Redsoc, VmlaAccumulateChainsRecycle)
+{
+    ProgramBuilder b("vmla-chain");
+    b.movImm(x(1), 3);
+    b.vdup(v(1), x(1), VecType::I16);
+    b.vdup(v(2), x(1), VecType::I16);
+    b.vdup(v(0), kZeroReg, VecType::I16);
+    for (unsigned i = 0; i < 150; ++i)
+        b.vmla(v(0), v(1), v(2), VecType::I16);
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats base = runCore(trace, cfg(SchedMode::Baseline));
+    const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
+    // The accumulate chain late-forwards in both modes (single-cycle
+    // effective latency) and recycles type-slack under ReDSOC.
+    EXPECT_LE(base.cycles, 170u);
+    EXPECT_LT(red.cycles, base.cycles);
+    EXPECT_GT(red.recycled_ops, 0u);
+}
+
+TEST(Redsoc, RecyclingNeverChangesCommitCount)
+{
+    for (const char *core : {"small", "medium", "big"}) {
+        const Trace trace = logicChainTrace(120);
+        const CoreStats base = runCore(trace, cfg(SchedMode::Baseline,
+                                                  core));
+        const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC,
+                                                 core));
+        EXPECT_EQ(base.committed, red.committed);
+        EXPECT_EQ(red.committed, trace.size());
+    }
+}
+
+TEST(Redsoc, BiggerCoresRecycleMore)
+{
+    // Mixed parallel chains: the big core has more idle units for
+    // consumers to flow into (the paper's core-size trend).
+    ProgramBuilder b("parallel");
+    for (unsigned r = 1; r <= 4; ++r)
+        b.movImm(x(r), 0x11 * r);
+    for (unsigned i = 0; i < 150; ++i)
+        for (unsigned r = 1; r <= 4; ++r)
+            b.alui(Opcode::EOR, x(r), x(r), 0x2d);
+    b.halt();
+    const Trace trace = makeTrace(b);
+
+    auto speedup = [&](const char *core) {
+        const CoreStats base =
+            runCore(trace, cfg(SchedMode::Baseline, core));
+        const CoreStats red =
+            runCore(trace, cfg(SchedMode::ReDSOC, core));
+        return static_cast<double>(base.cycles) /
+               static_cast<double>(red.cycles);
+    };
+    EXPECT_GT(speedup("big"), speedup("small") - 0.02);
+}
+
+TEST(Mos, FusesDependentPairsThatFit)
+{
+    const Trace trace = logicChainTrace(200);
+    const CoreStats base = runCore(trace, cfg(SchedMode::Baseline));
+    const CoreStats mos = runCore(trace, cfg(SchedMode::MOS));
+    EXPECT_GT(mos.fused_ops, 50u);
+    EXPECT_LT(mos.cycles, base.cycles);
+    EXPECT_EQ(mos.recycled_ops, 0u); // fusion, not transparency
+}
+
+TEST(Mos, WideArithPairsDoNotFit)
+{
+    // Two wide adds exceed a cycle: no fusion opportunity.
+    ProgramBuilder b("wide");
+    b.movImm(x(1), 0x123456789abcdefll);
+    for (unsigned i = 0; i < 100; ++i)
+        b.alu(Opcode::ADD, x(1), x(1), x(1));
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats mos = runCore(trace, cfg(SchedMode::MOS));
+    EXPECT_EQ(mos.fused_ops, 0u);
+}
+
+TEST(Mos, RedsocOutperformsMosOnCrossingChains)
+{
+    // Alternating shift+add chain: pairs do not fit in one cycle, so
+    // MOS stalls at baseline speed while ReDSOC still accumulates
+    // slack across boundaries (the paper's central comparison).
+    ProgramBuilder b("mix");
+    b.movImm(x(1), 0x1234567ll);
+    for (unsigned i = 0; i < 150; ++i) {
+        b.alui(Opcode::ADD, x(1), x(1), 0x7fffffffll);
+        b.rorImm(x(1), x(1), 7);
+    }
+    b.halt();
+    const Trace trace = makeTrace(b);
+    const CoreStats base = runCore(trace, cfg(SchedMode::Baseline));
+    const CoreStats mos = runCore(trace, cfg(SchedMode::MOS));
+    const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
+    EXPECT_LT(red.cycles, mos.cycles);
+    EXPECT_LE(mos.cycles, base.cycles);
+}
+
+} // namespace
+} // namespace redsoc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Select-arbitration tests, including a literal replay of the
+ * paper's Fig.9 example and the skewed-selection invariants of
+ * Sec.IV-D.
+ */
+
+#include <gtest/gtest.h>
+
+#include "redsoc/skewed_select.h"
+
+namespace redsoc {
+namespace {
+
+u64
+bitset(std::initializer_list<unsigned> bits)
+{
+    u64 v = 0;
+    for (unsigned b : bits)
+        v |= u64{1} << b;
+    return v;
+}
+
+/** The 4-entry priority table of Fig.9. The figure writes each mask
+ *  left-to-right as entries 0..3 ("a 1 at the ith bit from the left
+ *  indicates that the ith entry is older"), so entry1's "1001" marks
+ *  entries {0,3} older, entry2's "1101" marks {0,1,3}, and entry3's
+ *  "1000" marks {0}. Our bitmasks put entry i at bit i. */
+void
+installFig9Masks(SelectArbiter &arb)
+{
+    arb.setMask(0, 0b0000);
+    arb.setMask(1, 0b1001); // {0, 3}
+    arb.setMask(2, 0b1011); // {0, 1, 3}
+    arb.setMask(3, 0b0001); // {0}
+}
+
+TEST(SelectArbiter, Fig9aConventionalExample)
+{
+    // Entries 1,2,3 awake; entry 3's only older awake entry check:
+    // the figure grants entry 3 (its mask has no awake bits).
+    SelectArbiter arb(4);
+    installFig9Masks(arb);
+    const u64 wakeup = bitset({1, 2, 3});
+    const auto grants = arb.arbitrate(wakeup, 1);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0], 3u);
+}
+
+TEST(SelectArbiter, MultipleGrantsFollowPriority)
+{
+    SelectArbiter arb(4);
+    installFig9Masks(arb);
+    const auto grants = arb.arbitrate(bitset({1, 2, 3}), 3);
+    ASSERT_EQ(grants.size(), 3u);
+    EXPECT_EQ(grants[0], 3u); // oldest
+    EXPECT_EQ(grants[1], 1u);
+    EXPECT_EQ(grants[2], 2u); // youngest
+}
+
+TEST(SelectArbiter, NoRequestsNoGrants)
+{
+    SelectArbiter arb(4);
+    installFig9Masks(arb);
+    EXPECT_TRUE(arb.arbitrate(0, 4).empty());
+}
+
+TEST(SelectArbiter, AgeOrderHelperBuildsConsistentMasks)
+{
+    SelectArbiter arb(4);
+    // entry2 oldest, then 0, then 3, then 1.
+    arb.setAgeOrder({1, 3, 0, 2});
+    const auto grants = arb.arbitrate(bitset({0, 1, 2, 3}), 4);
+    ASSERT_EQ(grants.size(), 4u);
+    EXPECT_EQ(grants[0], 2u);
+    EXPECT_EQ(grants[1], 0u);
+    EXPECT_EQ(grants[2], 3u);
+    EXPECT_EQ(grants[3], 1u);
+}
+
+TEST(SkewedSelect, Fig9bSpeculativeExample)
+{
+    // Fig.9.b: entries 1,2,3 awake; entry 2 is the only conventional
+    // (P) request; 1 and 3 are speculative GP requests. Despite being
+    // younger than entry 3, entry 2 must win.
+    SkewedSelectArbiter arb(4);
+    installFig9Masks(arb);
+    const u64 wakeup = bitset({1, 2, 3});
+    const u64 spec = bitset({1, 3});
+    const auto grants = arb.arbitrateSkewed(wakeup, spec, 1);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0], 2u);
+}
+
+TEST(SkewedSelect, EffectiveMaskRewrites)
+{
+    SkewedSelectArbiter arb(4);
+    installFig9Masks(arb);
+    const u64 wakeup = bitset({1, 2, 3});
+    const u64 spec = bitset({1, 3});
+    // Conventional entry 2: speculative bits cleared from its mask,
+    // matching the figure's 1101 -> x000 rewrite.
+    EXPECT_EQ(arb.effectiveMask(2, wakeup, spec), 0b1011u & ~spec);
+    // Speculative entry 1: all awake conventional entries added,
+    // matching the figure's 1001 -> 1011 rewrite.
+    EXPECT_EQ(arb.effectiveMask(1, wakeup, spec), 0b1001u | bitset({2}));
+}
+
+TEST(SkewedSelect, LeftoverUnitsGoToSpeculative)
+{
+    SkewedSelectArbiter arb(4);
+    installFig9Masks(arb);
+    const auto grants =
+        arb.arbitrateSkewed(bitset({1, 2, 3}), bitset({1, 3}), 3);
+    ASSERT_EQ(grants.size(), 3u);
+    EXPECT_EQ(grants[0], 2u); // conventional first
+    EXPECT_EQ(grants[1], 3u); // then speculative by age
+    EXPECT_EQ(grants[2], 1u);
+}
+
+TEST(SkewedSelect, NoConventionalRequestEverLosesToSpeculative)
+{
+    // Property sweep: for every wakeup/spec pattern on 6 entries with
+    // age order 0<1<...<5, every granted speculative entry implies
+    // all awake conventional entries were granted first.
+    SkewedSelectArbiter arb(6);
+    arb.setAgeOrder({0, 1, 2, 3, 4, 5});
+    for (u64 wakeup = 0; wakeup < 64; ++wakeup) {
+        for (u64 spec0 = 0; spec0 < 64; ++spec0) {
+            const u64 spec = spec0 & wakeup;
+            for (unsigned m = 1; m <= 3; ++m) {
+                const auto grants = arb.arbitrateSkewed(wakeup, spec, m);
+                u64 granted = 0;
+                for (unsigned g : grants)
+                    granted |= u64{1} << g;
+                const u64 conv_awake = wakeup & ~spec;
+                const u64 spec_granted = granted & spec;
+                if (spec_granted != 0) {
+                    EXPECT_EQ(conv_awake & ~granted, 0u)
+                        << "wakeup=" << wakeup << " spec=" << spec
+                        << " m=" << m;
+                }
+                // Grants never exceed requests or the unit budget.
+                EXPECT_EQ(granted & ~wakeup, 0u);
+                EXPECT_LE(grants.size(), m);
+            }
+        }
+    }
+}
+
+TEST(SkewedSelect, AllConventionalDegeneratesToPlainSelect)
+{
+    SkewedSelectArbiter skewed(5);
+    SelectArbiter plain(5);
+    skewed.setAgeOrder({4, 2, 0, 1, 3});
+    plain.setAgeOrder({4, 2, 0, 1, 3});
+    for (u64 wakeup = 0; wakeup < 32; ++wakeup) {
+        EXPECT_EQ(skewed.arbitrateSkewed(wakeup, 0, 3),
+                  plain.arbitrate(wakeup, 3));
+    }
+}
+
+} // namespace
+} // namespace redsoc

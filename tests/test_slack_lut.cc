@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Slack-LUT tests (Sec.II-B / Fig.3): exactly 14 buckets, correct
+ * bucket routing, and — the safety property slack recycling rests on
+ * — conservativeness: every estimate >= the true circuit delay.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "timing/slack_lut.h"
+
+namespace redsoc {
+namespace {
+
+class SlackLutTest : public ::testing::Test
+{
+  protected:
+    SlackLutTest() : clock(3, 500), lut(model, clock) {}
+
+    TimingModel model;
+    SubCycleClock clock;
+    SlackLut lut;
+
+    Inst
+    scalar(Opcode op, ShiftKind shift = ShiftKind::None)
+    {
+        Inst i;
+        i.op = op;
+        i.src1 = x(1);
+        i.src2 = x(2);
+        i.op2_shift = shift;
+        i.shamt = shift == ShiftKind::None ? 0 : 3;
+        return i;
+    }
+
+    Inst
+    simd(Opcode op, VecType vt)
+    {
+        Inst i;
+        i.op = op;
+        i.dst = v(0);
+        i.src1 = v(1);
+        i.src2 = v(2);
+        i.vtype = vt;
+        return i;
+    }
+};
+
+TEST_F(SlackLutTest, ExactlyFourteenPopulatedBuckets)
+{
+    EXPECT_EQ(SlackLut::kNumBuckets, 14u);
+    for (const SlackBucket &b : lut.buckets()) {
+        EXPECT_FALSE(b.name.empty());
+        EXPECT_GT(b.worst_case_ps, 0u);
+        EXPECT_LE(b.worst_case_ps, 500u);
+        EXPECT_GE(b.ticks, 1u);
+        EXPECT_LE(b.ticks, clock.ticksPerCycle());
+    }
+}
+
+TEST_F(SlackLutTest, LogicCollapsesWidths)
+{
+    const Inst andi = scalar(Opcode::AND);
+    EXPECT_EQ(lut.bucketIndex(andi, WidthClass::W8),
+              lut.bucketIndex(andi, WidthClass::W64));
+}
+
+TEST_F(SlackLutTest, ArithSplitsByWidthAndShift)
+{
+    const Inst add = scalar(Opcode::ADD);
+    const Inst add_shift = scalar(Opcode::ADD, ShiftKind::Lsr);
+    EXPECT_NE(lut.bucketIndex(add, WidthClass::W8),
+              lut.bucketIndex(add, WidthClass::W64));
+    EXPECT_NE(lut.bucketIndex(add, WidthClass::W32),
+              lut.bucketIndex(add_shift, WidthClass::W32));
+    // Narrower width class -> smaller (or equal) estimate.
+    EXPECT_LE(lut.lookupTicks(add, WidthClass::W8),
+              lut.lookupTicks(add, WidthClass::W64));
+}
+
+TEST_F(SlackLutTest, ShiftOpcodesLandInLogicShiftRow)
+{
+    const Inst lsr = scalar(Opcode::LSR);
+    const Inst rrx = scalar(Opcode::RRX);
+    EXPECT_EQ(lut.bucketIndex(lsr, WidthClass::W64),
+              lut.bucketIndex(rrx, WidthClass::W64));
+    const Inst mov = scalar(Opcode::MOV);
+    const Inst andi = scalar(Opcode::AND);
+    EXPECT_EQ(lut.bucketIndex(mov, WidthClass::W64),
+              lut.bucketIndex(andi, WidthClass::W64));
+    // The shift row covers exactly the shift opcodes' delays: the
+    // barrel shifter at ~210ps leaves >55% slack.
+    EXPECT_LE(lut.buckets()[lut.bucketIndex(lsr, WidthClass::W64)]
+                  .worst_case_ps,
+              220u);
+}
+
+TEST_F(SlackLutTest, SimdBucketsByType)
+{
+    for (unsigned t = 0; t < 4; ++t) {
+        const auto vt = static_cast<VecType>(t);
+        const Inst vadd = simd(Opcode::VADD, vt);
+        // Type comes from the instruction; the width class is a
+        // don't-care for SIMD (Fig.3).
+        EXPECT_EQ(lut.bucketIndex(vadd, WidthClass::W8),
+                  lut.bucketIndex(vadd, WidthClass::W64));
+    }
+    EXPECT_NE(lut.bucketIndex(simd(Opcode::VADD, VecType::I8),
+                              WidthClass::W64),
+              lut.bucketIndex(simd(Opcode::VADD, VecType::I64),
+                              WidthClass::W64));
+}
+
+TEST_F(SlackLutTest, ConservativeForEveryOpcodeWidthShift)
+{
+    // The non-speculative guarantee: the LUT estimate, converted to
+    // picoseconds at tick granularity, never undercuts the true
+    // circuit delay of any member operation.
+    for (unsigned o = 0;
+         o < static_cast<unsigned>(Opcode::NUM_OPCODES); ++o) {
+        const auto op = static_cast<Opcode>(o);
+        if (!TimingModel::isSlackEligible(op))
+            continue;
+        if (isSimd(op)) {
+            for (unsigned t = 0; t < 4; ++t) {
+                Inst i = simd(op, static_cast<VecType>(t));
+                const Tick est = lut.lookupTicks(i, WidthClass::W64);
+                EXPECT_GE(clock.ticksToPs(est) + 1e-9,
+                          model.trueDelayPs(i, 64))
+                    << opcodeName(op) << " type " << t;
+            }
+            continue;
+        }
+        const bool can_shift = aluKind(op) == AluKind::Arith;
+        for (int s = 0; s < (can_shift ? 5 : 1); ++s) {
+            for (unsigned wc = 0; wc < 4; ++wc) {
+                Inst i = scalar(op, static_cast<ShiftKind>(s));
+                const auto width_class = static_cast<WidthClass>(wc);
+                const unsigned bits = widthClassBits(width_class);
+                const Tick est = lut.lookupTicks(i, width_class);
+                // Every actual width within the class is covered.
+                for (unsigned w = 1; w <= bits; w += 7) {
+                    EXPECT_GE(clock.ticksToPs(est) + 1e-9,
+                              model.trueDelayPs(i, w))
+                        << opcodeName(op) << " shift " << s << " w "
+                        << w;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(SlackLutTest, FinerPrecisionNeverLoosensEstimates)
+{
+    for (unsigned p = 2; p <= 8; ++p) {
+        SubCycleClock coarse(p - 1, 500);
+        SubCycleClock fine(p, 500);
+        SlackLut lut_coarse(model, coarse);
+        SlackLut lut_fine(model, fine);
+        const Inst add = scalar(Opcode::ADD);
+        EXPECT_LE(fine.ticksToPs(lut_fine.lookupTicks(add,
+                                                      WidthClass::W64)),
+                  coarse.ticksToPs(lut_coarse.lookupTicks(
+                      add, WidthClass::W64)) +
+                      1e-9);
+    }
+}
+
+TEST_F(SlackLutTest, NonEligibleLookupPanics)
+{
+    Inst i;
+    i.op = Opcode::MUL;
+    EXPECT_THROW(lut.lookupTicks(i, WidthClass::W64), std::logic_error);
+}
+
+TEST_F(SlackLutTest, BucketNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (const SlackBucket &b : lut.buckets())
+        names.insert(b.name);
+    EXPECT_EQ(names.size(), SlackLut::kNumBuckets);
+}
+
+} // namespace
+} // namespace redsoc

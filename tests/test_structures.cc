@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Pipeline-structure tests: ROB ordering, LSQ ordering/forwarding,
+ * reservation stations, RAT, and FU-pool booking (including the
+ * 2-cycle transparent holds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fu_pool.h"
+#include "core/lsq.h"
+#include "isa/builder.h"
+#include "core/rat.h"
+#include "core/rob.h"
+#include "core/rs.h"
+
+namespace redsoc {
+namespace {
+
+TEST(Rob, FifoDiscipline)
+{
+    Rob rob(3);
+    rob.push(0);
+    rob.push(1);
+    rob.push(2);
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.head(), 0u);
+    rob.pop(0);
+    EXPECT_EQ(rob.head(), 1u);
+    EXPECT_THROW(rob.pop(2), std::logic_error); // out of order
+    EXPECT_THROW(rob.push(0), std::logic_error); // not in order
+}
+
+TEST(Rob, OverflowPanics)
+{
+    Rob rob(1);
+    rob.push(5);
+    EXPECT_THROW(rob.push(6), std::logic_error);
+}
+
+TEST(Lsq, OlderStoreGatesLoads)
+{
+    Lsq lsq(8);
+    lsq.dispatch(1, true);  // store, address unknown
+    lsq.dispatch(2, false); // load
+    EXPECT_TRUE(lsq.olderStoreUnresolved(2));
+    lsq.resolve(1, 0x100, 8, 50);
+    EXPECT_FALSE(lsq.olderStoreUnresolved(2));
+}
+
+TEST(Lsq, FullCoverForwarding)
+{
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, false);
+    lsq.resolve(1, 0x100, 8, 40);
+    const auto fwd = lsq.forwardFrom(2, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_TRUE(fwd->full_cover);
+    EXPECT_EQ(fwd->store_complete, 40u);
+}
+
+TEST(Lsq, PartialOverlapIsFlagged)
+{
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, false);
+    lsq.resolve(1, 0x104, 4, 40);
+    const auto fwd = lsq.forwardFrom(2, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_FALSE(fwd->full_cover);
+    EXPECT_TRUE(fwd->partial);
+}
+
+TEST(Lsq, YoungestOlderStoreWins)
+{
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, true);
+    lsq.dispatch(3, false);
+    lsq.resolve(1, 0x100, 8, 10);
+    lsq.resolve(2, 0x100, 8, 20);
+    const auto fwd = lsq.forwardFrom(3, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_EQ(fwd->store_complete, 20u);
+}
+
+TEST(Lsq, YoungerStoresDoNotForwardBackwards)
+{
+    Lsq lsq(8);
+    lsq.dispatch(1, false); // load
+    lsq.dispatch(2, true);  // younger store
+    lsq.resolve(2, 0x100, 8, 20);
+    EXPECT_FALSE(lsq.forwardFrom(1, 0x100, 8).has_value());
+}
+
+TEST(Lsq, CommitInProgramOrder)
+{
+    Lsq lsq(4);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, false);
+    EXPECT_THROW(lsq.commit(2), std::logic_error);
+    lsq.commit(1);
+    lsq.commit(2);
+    EXPECT_EQ(lsq.size(), 0u);
+}
+
+TEST(Rs, AgeOrderMaintained)
+{
+    ReservationStations rs(4);
+    rs.insert(10);
+    rs.insert(11);
+    rs.insert(12);
+    rs.remove(11);
+    ASSERT_EQ(rs.entries().size(), 2u);
+    EXPECT_EQ(rs.entries()[0], 10u);
+    EXPECT_EQ(rs.entries()[1], 12u);
+    EXPECT_THROW(rs.remove(99), std::logic_error);
+    EXPECT_THROW(rs.insert(5), std::logic_error); // violates order
+}
+
+TEST(Rat, TracksYoungestWriter)
+{
+    Rat rat;
+    EXPECT_EQ(rat.writer(x(3)), kNoSeq);
+    rat.setWriter(x(3), 7);
+    rat.setWriter(x(3), 9);
+    EXPECT_EQ(rat.writer(x(3)), 9u);
+    rat.reset();
+    EXPECT_EQ(rat.writer(x(3)), kNoSeq);
+    EXPECT_THROW(rat.setWriter(kZeroReg, 1), std::logic_error);
+}
+
+TEST(Rat, VectorRegistersAreSeparate)
+{
+    Rat rat;
+    rat.setWriter(x(3), 1);
+    rat.setWriter(v(3), 2);
+    EXPECT_EQ(rat.writer(x(3)), 1u);
+    EXPECT_EQ(rat.writer(v(3)), 2u);
+}
+
+TEST(FuPool, PoolKindMapping)
+{
+    EXPECT_EQ(fuPoolKind(FuClass::IntAlu), FuPoolKind::Alu);
+    EXPECT_EQ(fuPoolKind(FuClass::IntMul), FuPoolKind::Alu);
+    EXPECT_EQ(fuPoolKind(FuClass::SimdMul), FuPoolKind::Simd);
+    EXPECT_EQ(fuPoolKind(FuClass::FpDiv), FuPoolKind::Fp);
+    EXPECT_EQ(fuPoolKind(FuClass::MemWrite), FuPoolKind::Mem);
+}
+
+TEST(FuPool, CapacityBoundsBooking)
+{
+    FuPool fu(smallCore()); // 3 ALUs
+    EXPECT_EQ(fu.capacity(FuPoolKind::Alu), 3u);
+    EXPECT_EQ(fu.freeUnits(FuPoolKind::Alu, 10), 3u);
+    fu.book(FuPoolKind::Alu, 10);
+    fu.book(FuPoolKind::Alu, 10);
+    fu.book(FuPoolKind::Alu, 10);
+    EXPECT_EQ(fu.freeUnits(FuPoolKind::Alu, 10), 0u);
+    EXPECT_THROW(fu.book(FuPoolKind::Alu, 10), std::logic_error);
+    // Other cycles are unaffected.
+    EXPECT_EQ(fu.freeUnits(FuPoolKind::Alu, 11), 3u);
+}
+
+TEST(FuPool, TwoCycleHoldSpansBothCycles)
+{
+    FuPool fu(smallCore());
+    fu.book(FuPoolKind::Alu, 5, 2); // IT3: boundary-crossing op
+    EXPECT_EQ(fu.busyUnits(FuPoolKind::Alu, 5), 1u);
+    EXPECT_EQ(fu.busyUnits(FuPoolKind::Alu, 6), 1u);
+    EXPECT_EQ(fu.busyUnits(FuPoolKind::Alu, 7), 0u);
+    fu.release(FuPoolKind::Alu, 5, 2);
+    EXPECT_EQ(fu.busyUnits(FuPoolKind::Alu, 5), 0u);
+}
+
+TEST(FuPool, RingRecyclesOldCycles)
+{
+    FuPool fu(mediumCore());
+    fu.book(FuPoolKind::Simd, 1);
+    // 64+ cycles later the same ring slot is reused cleanly.
+    EXPECT_EQ(fu.freeUnits(FuPoolKind::Simd, 65),
+              fu.capacity(FuPoolKind::Simd));
+    fu.book(FuPoolKind::Simd, 65);
+    EXPECT_EQ(fu.busyUnits(FuPoolKind::Simd, 65), 1u);
+}
+
+TEST(FuPool, ReleaseUnbookedPanics)
+{
+    FuPool fu(smallCore());
+    EXPECT_THROW(fu.release(FuPoolKind::Fp, 3), std::logic_error);
+}
+
+} // namespace
+} // namespace redsoc

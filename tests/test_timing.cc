@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Timing-model tests: Fig.1 opcode-time shape, Fig.2 Kogge-Stone
+ * width scaling, sub-cycle clock arithmetic, and PVT derating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "timing/completion_instant.h"
+#include "timing/kogge_stone.h"
+#include "timing/timing_model.h"
+
+namespace redsoc {
+namespace {
+
+Inst
+makeInst(Opcode op, ShiftKind shift = ShiftKind::None)
+{
+    Inst i;
+    i.op = op;
+    i.src1 = x(1); // placeholder fields; timing only reads op/shift
+    i.op2_shift = shift;
+    i.shamt = shift == ShiftKind::None ? 0 : 3;
+    return i;
+}
+
+TEST(KoggeStone, DelayGrowsLogarithmically)
+{
+    const Picos d1 = koggeStoneDelayPs(1);
+    const Picos d4 = koggeStoneDelayPs(4);
+    const Picos d16 = koggeStoneDelayPs(16);
+    const Picos d64 = koggeStoneDelayPs(64);
+    EXPECT_LT(d1, d4);
+    EXPECT_LT(d4, d16);
+    EXPECT_LT(d16, d64);
+    // One prefix stage per doubling: equal steps (to rounding) from
+    // 16 to 32 to 64.
+    EXPECT_NEAR(static_cast<double>(koggeStoneDelayPs(32) - d16),
+                static_cast<double>(d64 - koggeStoneDelayPs(32)), 1.0);
+    // Calibration anchor: full-width matches Fig.1's ADD time.
+    EXPECT_EQ(d64, 330u);
+}
+
+TEST(KoggeStone, PowerOfTwoBucketsShareDelay)
+{
+    // ceil(log2) plateaus: widths 9..16 share the 16-bit delay.
+    EXPECT_EQ(koggeStoneDelayPs(9), koggeStoneDelayPs(16));
+    EXPECT_NE(koggeStoneDelayPs(8), koggeStoneDelayPs(9));
+}
+
+TEST(KoggeStone, ScaleIsMonotoneAndBounded)
+{
+    double prev = 0.0;
+    for (unsigned w = 1; w <= 64; ++w) {
+        const double s = koggeStoneScale(w);
+        EXPECT_GE(s, prev);
+        EXPECT_LE(s, 1.0);
+        prev = s;
+    }
+    EXPECT_DOUBLE_EQ(koggeStoneScale(64), 1.0);
+}
+
+TEST(TimingModel, Fig1OrderingHolds)
+{
+    TimingModel tm;
+    // Logical < moves/shifts < arithmetic < arithmetic-with-shift.
+    const Picos t_and = tm.scalarFullWidthPs(Opcode::AND, ShiftKind::None);
+    const Picos t_mov = tm.scalarFullWidthPs(Opcode::MOV, ShiftKind::None);
+    const Picos t_lsr = tm.scalarFullWidthPs(Opcode::LSR, ShiftKind::None);
+    const Picos t_add = tm.scalarFullWidthPs(Opcode::ADD, ShiftKind::None);
+    const Picos t_add_lsr =
+        tm.scalarFullWidthPs(Opcode::ADD, ShiftKind::Lsr);
+    const Picos t_sub_ror =
+        tm.scalarFullWidthPs(Opcode::SUB, ShiftKind::Ror);
+    EXPECT_LT(t_and, t_mov);
+    EXPECT_LT(t_mov, t_lsr);
+    EXPECT_LT(t_lsr, t_add);
+    EXPECT_LT(t_add, t_add_lsr);
+    // Fig.1 magnitudes: logical ~100ps, arith ~330ps, shifted ~450ps.
+    EXPECT_NEAR(t_and, 105, 20);
+    EXPECT_NEAR(t_add, 330, 20);
+    EXPECT_NEAR(t_add_lsr, 450, 25);
+    EXPECT_NEAR(t_sub_ror, 455, 25);
+    // Everything single-cycle at 2 GHz.
+    EXPECT_LE(t_sub_ror, 500u);
+}
+
+TEST(TimingModel, ArithScalesWithWidthLogicDoesNot)
+{
+    TimingModel tm;
+    const Inst add = makeInst(Opcode::ADD);
+    const Inst andi = makeInst(Opcode::AND);
+    EXPECT_LT(tm.trueDelayPs(add, 8), tm.trueDelayPs(add, 64));
+    EXPECT_EQ(tm.trueDelayPs(andi, 8), tm.trueDelayPs(andi, 64));
+}
+
+TEST(TimingModel, ShiftedOperandAddsShifterStage)
+{
+    TimingModel tm;
+    const Inst plain = makeInst(Opcode::ADD);
+    const Inst shifted = makeInst(Opcode::ADD, ShiftKind::Ror);
+    EXPECT_GT(tm.trueDelayPs(shifted, 64), tm.trueDelayPs(plain, 64));
+}
+
+TEST(TimingModel, SimdTypeSlack)
+{
+    TimingModel tm;
+    // Narrower element types -> shorter lane carry chains.
+    EXPECT_LT(tm.simdDelayPs(Opcode::VADD, VecType::I8),
+              tm.simdDelayPs(Opcode::VADD, VecType::I32));
+    EXPECT_LT(tm.simdDelayPs(Opcode::VADD, VecType::I32),
+              tm.simdDelayPs(Opcode::VADD, VecType::I64));
+    // Bitwise SIMD is type-independent.
+    EXPECT_EQ(tm.simdDelayPs(Opcode::VAND, VecType::I8),
+              tm.simdDelayPs(Opcode::VAND, VecType::I64));
+}
+
+TEST(TimingModel, SlackEligibility)
+{
+    EXPECT_TRUE(TimingModel::isSlackEligible(Opcode::ADD));
+    EXPECT_TRUE(TimingModel::isSlackEligible(Opcode::LSR));
+    EXPECT_TRUE(TimingModel::isSlackEligible(Opcode::BEQZ));
+    EXPECT_TRUE(TimingModel::isSlackEligible(Opcode::VADD));
+    EXPECT_TRUE(TimingModel::isSlackEligible(Opcode::VMLA));
+    EXPECT_FALSE(TimingModel::isSlackEligible(Opcode::VREDSUM));
+    EXPECT_FALSE(TimingModel::isSlackEligible(Opcode::MUL));
+    EXPECT_FALSE(TimingModel::isSlackEligible(Opcode::FADD));
+    EXPECT_FALSE(TimingModel::isSlackEligible(Opcode::LDR));
+}
+
+TEST(TimingModel, TrueSlackComplementsDelay)
+{
+    TimingModel tm;
+    const Inst andi = makeInst(Opcode::AND);
+    EXPECT_EQ(tm.trueSlackPs(andi, 64),
+              tm.clockPeriodPs() - tm.trueDelayPs(andi, 64));
+}
+
+TEST(TimingModel, PvtDerateSpeedsEverything)
+{
+    TimingConfig cfg;
+    cfg.pvt_derate = 0.9;
+    TimingModel nominal(cfg);
+    TimingModel worst;
+    const Inst add = makeInst(Opcode::ADD);
+    EXPECT_LT(nominal.trueDelayPs(add, 64), worst.trueDelayPs(add, 64));
+    TimingConfig bad;
+    bad.pvt_derate = 1.5;
+    EXPECT_THROW(TimingModel{bad}, std::logic_error);
+}
+
+TEST(SubCycleClock, TickGeometry)
+{
+    SubCycleClock clk(3, 500);
+    EXPECT_EQ(clk.ticksPerCycle(), 8u);
+    EXPECT_EQ(clk.cycleStart(3), 24u);
+    EXPECT_EQ(clk.cycleOf(24), 3u);
+    EXPECT_EQ(clk.cycleOf(23), 2u);
+    EXPECT_EQ(clk.ciOf(27), 3u);
+}
+
+TEST(SubCycleClock, DelayQuantizesUpward)
+{
+    SubCycleClock clk(3, 500); // 62.5 ps per tick
+    EXPECT_EQ(clk.delayTicks(1), 1u);    // floor would be 0
+    EXPECT_EQ(clk.delayTicks(62), 1u);
+    EXPECT_EQ(clk.delayTicks(63), 2u);
+    EXPECT_EQ(clk.delayTicks(125), 2u);
+    EXPECT_EQ(clk.delayTicks(126), 3u);
+    EXPECT_EQ(clk.delayTicks(500), 8u);
+    EXPECT_EQ(clk.delayTicks(9999), 8u); // clamped to one cycle
+}
+
+TEST(SubCycleClock, BoundaryCrossing)
+{
+    SubCycleClock clk(3, 500);
+    EXPECT_FALSE(clk.crossesBoundary(8, 16));  // exactly one cycle
+    EXPECT_TRUE(clk.crossesBoundary(12, 17));  // spills into next
+    EXPECT_FALSE(clk.crossesBoundary(12, 16)); // ends on the edge
+    EXPECT_FALSE(clk.crossesBoundary(8, 9));
+}
+
+TEST(SubCycleClock, CeilToBoundary)
+{
+    SubCycleClock clk(3, 500);
+    EXPECT_EQ(clk.ceilToBoundary(16), 16u);
+    EXPECT_EQ(clk.ceilToBoundary(17), 24u);
+    EXPECT_EQ(clk.ceilToBoundary(23), 24u);
+}
+
+TEST(SubCycleClock, PrecisionSweepGeometry)
+{
+    for (unsigned p = 1; p <= 8; ++p) {
+        SubCycleClock clk(p, 500);
+        EXPECT_EQ(clk.ticksPerCycle(), Tick{1} << p);
+        // A full-cycle delay is always exactly one cycle of ticks.
+        EXPECT_EQ(clk.delayTicks(500), clk.ticksPerCycle());
+    }
+    EXPECT_THROW(SubCycleClock(0, 500), std::logic_error);
+    EXPECT_THROW(SubCycleClock(9, 500), std::logic_error);
+}
+
+} // namespace
+} // namespace redsoc

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Workload correctness: every µISA kernel's architectural result is
+ * checked against a native C++ reference implementation over the
+ * same input data (read back out of the prepared memory image).
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "func/interpreter.h"
+#include "workloads/mibench.h"
+#include "workloads/ml_kernels.h"
+#include "workloads/registry.h"
+#include "workloads/speclike.h"
+
+namespace redsoc {
+namespace {
+
+struct RunOutcome
+{
+    Trace trace;
+    MemoryImage memory;
+};
+
+RunOutcome
+runPrepared(PreparedProgram prepared)
+{
+    Interpreter interp(prepared.program, prepared.memory);
+    Trace trace = interp.run(3'000'000);
+    EXPECT_TRUE(interp.halted())
+        << prepared.program->name() << " did not halt";
+    return RunOutcome{std::move(trace), std::move(prepared.memory)};
+}
+
+TEST(Workloads, RegistryIsComplete)
+{
+    EXPECT_EQ(allWorkloads().size(), 15u);
+    EXPECT_EQ(workloadNames(Suite::Spec).size(), 5u);
+    EXPECT_EQ(workloadNames(Suite::MiBench).size(), 5u);
+    EXPECT_EQ(workloadNames(Suite::Ml).size(), 5u);
+    EXPECT_THROW(workloadByName("nope"), std::logic_error);
+    EXPECT_EQ(workloadByName("crc").suite, Suite::MiBench);
+}
+
+TEST(Workloads, BitcntMatchesPopcount)
+{
+    auto out = runPrepared(mibench::buildBitcnt());
+    u64 expected = 0;
+    for (unsigned i = 0; i < mibench::kBitcntWords; ++i)
+        expected += __builtin_popcountll(
+            out.memory.peek64(mibench::kBitcntSrc + 8ull * i));
+    for (unsigned i = 0; i < mibench::kBitcntWords / 8; ++i)
+        expected += __builtin_popcountll(
+            out.memory.peek64(mibench::kBitcntSrc + 8ull * i));
+    EXPECT_EQ(out.memory.peek64(mibench::kResultAddr), expected);
+}
+
+TEST(Workloads, CrcMatchesReference)
+{
+    auto out = runPrepared(mibench::buildCrc());
+    u32 crc = 0xFFFFFFFF;
+    for (unsigned i = 0; i < mibench::kCrcLen; ++i) {
+        crc ^= out.memory.peek8(mibench::kCrcSrc + i);
+        for (int k = 0; k < 8; ++k)
+            crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1)));
+    }
+    crc ^= 0xFFFFFFFF;
+    EXPECT_EQ(out.memory.peek32(mibench::kResultAddr), crc);
+}
+
+TEST(Workloads, StrsearchMatchesBmhReference)
+{
+    auto out = runPrepared(mibench::buildStrsearch());
+    // Mirror the Boyer-Moore-Horspool loop exactly.
+    constexpr unsigned m = mibench::kStrPatternLen;
+    std::vector<u8> text(mibench::kStrTextLen);
+    for (unsigned i = 0; i < text.size(); ++i)
+        text[i] = out.memory.peek8(mibench::kStrText + i);
+    std::vector<u8> pat(m);
+    for (unsigned i = 0; i < m; ++i)
+        pat[i] = out.memory.peek8(mibench::kStrPattern + i);
+
+    unsigned skip[256];
+    for (unsigned &s : skip)
+        s = m;
+    for (unsigned i = 0; i + 1 < m; ++i)
+        skip[pat[i]] = m - 1 - i;
+
+    u64 count = 0;
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        s64 pos = 0;
+        const s64 limit = static_cast<s64>(text.size()) - m;
+        while (pos <= limit) {
+            const u8 c = text[pos + m - 1];
+            if (c == pat[m - 1] &&
+                std::memcmp(&text[pos], pat.data(), m) == 0)
+                ++count;
+            pos += skip[c];
+        }
+    }
+    EXPECT_EQ(out.memory.peek64(mibench::kResultAddr), count);
+    EXPECT_GT(count, 0u); // the needle really was planted
+}
+
+TEST(Workloads, GsmMatchesFixedPointFir)
+{
+    auto out = runPrepared(mibench::buildGsm());
+    const s64 *coef = mibench::gsmCoefficients();
+    u64 expected_sum = 0;
+    for (unsigned i = 0;
+         i < mibench::kGsmSampleCount - mibench::kGsmOrder; ++i) {
+        u64 acc = 0;
+        for (unsigned k = 0; k < mibench::kGsmOrder; ++k) {
+            const s64 sample = static_cast<s16>(out.memory.peek32(
+                mibench::kGsmSamples + 2ull * (i + k)) & 0xFFFF);
+            const s64 prod =
+                (sample * coef[k]) >> 15; // arithmetic shift
+            acc += static_cast<u64>(prod);
+        }
+        const u32 stored =
+            out.memory.peek32(mibench::kGsmOut + 4ull * i);
+        EXPECT_EQ(stored, static_cast<u32>(acc)) << "output " << i;
+        expected_sum += acc;
+    }
+    EXPECT_EQ(out.memory.peek64(mibench::kResultAddr), expected_sum);
+}
+
+TEST(Workloads, CornersMatchesSusanReference)
+{
+    auto out = runPrepared(mibench::buildCorners());
+    constexpr unsigned W = mibench::kCornersWidth;
+    constexpr unsigned H = mibench::kCornersHeight;
+    u64 corners = 0;
+    for (unsigned y = 1; y + 1 < H; ++y) {
+        for (unsigned xx = 1; xx + 1 < W; ++xx) {
+            const int c = out.memory.peek8(
+                mibench::kCornersImage + u64{y} * W + xx);
+            unsigned usan = 0;
+            const int offs[8][2] = {{-1, -1}, {-1, 0}, {-1, 1},
+                                    {0, -1},  {0, 1},  {1, -1},
+                                    {1, 0},   {1, 1}};
+            for (const auto &o : offs) {
+                const int nb = out.memory.peek8(
+                    mibench::kCornersImage + u64{y + o[0]} * W + xx +
+                    o[1]);
+                if (std::abs(nb - c) <
+                    static_cast<int>(mibench::kCornersThreshold))
+                    ++usan;
+            }
+            if (usan < mibench::kCornersUsanLimit)
+                ++corners;
+        }
+    }
+    EXPECT_EQ(out.memory.peek64(mibench::kResultAddr), corners);
+}
+
+TEST(Workloads, XalancMatchesTreeWalk)
+{
+    auto out = runPrepared(speclike::buildXalanc());
+    const Addr root = out.memory.peek64(speclike::kXalRootSlot);
+    u64 sum = 0;
+    u64 hits = 0;
+    for (unsigned k = 0; k < speclike::kXalLookups; ++k) {
+        const u64 key =
+            out.memory.peek64(speclike::kXalKeys + 8ull * k);
+        Addr node = root;
+        while (node != 0) {
+            const u64 nkey = out.memory.peek64(node);
+            if (nkey == key) {
+                sum += out.memory.peek64(node + 24);
+                ++hits;
+                break;
+            }
+            node = out.memory.peek64(
+                node + (static_cast<s64>(key) < static_cast<s64>(nkey)
+                            ? 8
+                            : 16));
+        }
+    }
+    EXPECT_EQ(out.memory.peek64(speclike::kResultAddr), sum);
+    EXPECT_GT(hits, speclike::kXalLookups / 4); // planted keys hit
+}
+
+TEST(Workloads, Bzip2MatchesMtfReference)
+{
+    auto out = runPrepared(speclike::buildBzip2());
+    // Re-derive the input: the source buffer is untouched by the run.
+    std::vector<u8> table(256);
+    for (unsigned i = 0; i < 256; ++i)
+        table[i] = static_cast<u8>(i);
+    u64 sum = 0;
+    for (unsigned i = 0; i < speclike::kBzLen; ++i) {
+        const u8 c = out.memory.peek8(speclike::kBzSrc + i);
+        unsigned j = 0;
+        while (table[j] != c)
+            ++j;
+        sum += j;
+        EXPECT_EQ(out.memory.peek8(speclike::kBzOut + i), j)
+            << "output byte " << i;
+        for (unsigned t = j; t > 0; --t)
+            table[t] = table[t - 1];
+        table[0] = c;
+    }
+    EXPECT_EQ(out.memory.peek64(speclike::kResultAddr), sum);
+}
+
+TEST(Workloads, OmnetppMatchesHeapSimulation)
+{
+    auto prepared = speclike::buildOmnetpp();
+    // Capture the initial heap before the run clobbers it.
+    std::vector<u64> heap(speclike::kOmInitialEvents);
+    for (unsigned i = 0; i < heap.size(); ++i)
+        heap[i] = prepared.memory.peek64(speclike::kOmHeap + 8ull * i);
+
+    auto out = runPrepared(std::move(prepared));
+
+    u64 seed = speclike::kOmSeed;
+    u64 chk = 0;
+    u64 size = heap.size();
+    heap.resize(heap.size() + speclike::kOmEventCount + 2);
+    for (u64 events = speclike::kOmEventCount; events > 0; --events) {
+        const u64 root = heap[0];
+        chk ^= root;
+        const u64 time = root >> 16;
+        --size;
+        u64 cur = heap[size];
+        heap[0] = cur;
+        u64 idx = 0;
+        for (;;) {
+            u64 child = 2 * idx + 1;
+            if (child >= size)
+                break;
+            u64 cval = heap[child];
+            if (child + 1 < size &&
+                static_cast<s64>(heap[child + 1]) <
+                    static_cast<s64>(cval)) {
+                ++child;
+                cval = heap[child];
+            }
+            if (static_cast<s64>(cur) <= static_cast<s64>(cval))
+                break;
+            heap[idx] = cval;
+            heap[child] = cur;
+            idx = child;
+        }
+        seed = seed * speclike::kOmLcgMult + speclike::kOmLcgInc;
+        const u64 delay = (seed >> 33) & 0xFFFF;
+        u64 newkey = ((time + delay) << 16) | (events & 0xFF);
+        heap[size] = newkey;
+        idx = size;
+        ++size;
+        while (idx != 0) {
+            const u64 parent = (idx - 1) >> 1;
+            if (static_cast<s64>(heap[parent]) <=
+                static_cast<s64>(newkey))
+                break;
+            heap[idx] = heap[parent];
+            heap[parent] = newkey;
+            idx = parent;
+        }
+    }
+    EXPECT_EQ(out.memory.peek64(speclike::kResultAddr), chk);
+}
+
+TEST(Workloads, GromacsMatchesDoubleForces)
+{
+    auto prepared = speclike::buildGromacs();
+    // Snapshot inputs.
+    std::vector<double> pos(3 * speclike::kGroParticles);
+    for (unsigned i = 0; i < pos.size(); ++i)
+        pos[i] = prepared.memory.peekF64(speclike::kGroPos + 8ull * i);
+    std::vector<std::pair<u32, u32>> pairs(speclike::kGroPairCount);
+    for (unsigned p = 0; p < pairs.size(); ++p) {
+        pairs[p] = {prepared.memory.peek32(speclike::kGroPairs + 8ull * p),
+                    prepared.memory.peek32(speclike::kGroPairs +
+                                           8ull * p + 4)};
+    }
+
+    auto out = runPrepared(std::move(prepared));
+
+    std::vector<double> force(3 * speclike::kGroParticles, 0.0);
+    for (const auto &[i, j] : pairs) {
+        const double dx = pos[3 * i] - pos[3 * j];
+        const double dy = pos[3 * i + 1] - pos[3 * j + 1];
+        const double dz = pos[3 * i + 2] - pos[3 * j + 2];
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double f = r2 * speclike::kGroC1 + speclike::kGroC2;
+        force[3 * i] += f * dx;
+        force[3 * i + 1] += f * dy;
+        force[3 * i + 2] += f * dz;
+    }
+    for (unsigned i = 0; i < force.size(); ++i) {
+        EXPECT_DOUBLE_EQ(
+            out.memory.peekF64(speclike::kGroForce + 8ull * i),
+            force[i])
+            << "component " << i;
+    }
+}
+
+TEST(Workloads, SoplexMatchesSparseMatvec)
+{
+    auto out = runPrepared(speclike::buildSoplex());
+    for (unsigned r = 0; r < speclike::kSoRows; ++r) {
+        const u32 s = out.memory.peek32(speclike::kSoRowPtr + 4ull * r);
+        const u32 e =
+            out.memory.peek32(speclike::kSoRowPtr + 4ull * (r + 1));
+        double acc = 0.0;
+        for (u32 k = s; k < e; ++k) {
+            const u32 col =
+                out.memory.peek32(speclike::kSoColIdx + 4ull * k);
+            acc += out.memory.peekF64(speclike::kSoValues + 8ull * k) *
+                   out.memory.peekF64(speclike::kSoX + 8ull * col);
+        }
+        EXPECT_DOUBLE_EQ(out.memory.peekF64(speclike::kSoY + 8ull * r),
+                         acc)
+            << "row " << r;
+    }
+}
+
+TEST(Workloads, ConvMatches3x3Gaussian)
+{
+    auto out = runPrepared(ml::buildConv());
+    constexpr unsigned W = ml::kConvWidth;
+    constexpr unsigned H = ml::kConvHeight;
+    const int kernel[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+    // Columns covered by the vector blocks: 1 .. 8*nblocks.
+    constexpr unsigned covered = ((W - 2 - 7) / 8 + 1) * 8;
+    for (unsigned y = 1; y + 1 < H; ++y) {
+        for (unsigned c = 1; c < 1 + covered; ++c) {
+            int acc = 0;
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    acc += kernel[dy + 1][dx + 1] *
+                           static_cast<int>(out.memory.peek32(
+                               ml::kConvIn +
+                               2ull * ((y + dy) * W + c + dx)) &
+                               0xFFFF);
+            const u16 expected = static_cast<u16>(acc >> 4);
+            const u16 got = static_cast<u16>(
+                out.memory.peek32(ml::kConvOut + 2ull * (y * W + c)) &
+                0xFFFF);
+            ASSERT_EQ(got, expected) << "pixel " << y << "," << c;
+        }
+    }
+}
+
+TEST(Workloads, ActIsExactlyRelu)
+{
+    auto out = runPrepared(ml::buildAct());
+    for (unsigned i = 0; i < ml::kActCount; ++i) {
+        const s16 in = static_cast<s16>(
+            out.memory.peek32(ml::kActIn + 2ull * i) & 0xFFFF);
+        const s16 got = static_cast<s16>(
+            out.memory.peek32(ml::kActOut + 2ull * i) & 0xFFFF);
+        ASSERT_EQ(got, in > 0 ? in : 0) << "element " << i;
+    }
+}
+
+TEST(Workloads, PoolingMatchesTwoStageReference)
+{
+    for (bool average : {false, true}) {
+        auto out = runPrepared(average ? ml::buildPool1()
+                                       : ml::buildPool0());
+        constexpr unsigned W = ml::kPoolWidth;
+        constexpr unsigned H = ml::kPoolHeight;
+        auto px = [&](unsigned y, unsigned c) {
+            return static_cast<u16>(
+                out.memory.peek32(ml::kPoolIn + 2ull * (y * W + c)) &
+                0xFFFF);
+        };
+        for (unsigned y = 0; y < H / 2; ++y) {
+            for (unsigned c = 0; c < W / 2; ++c) {
+                u16 v0, v1;
+                if (average) {
+                    v0 = static_cast<u16>(
+                        (px(2 * y, 2 * c) + px(2 * y + 1, 2 * c)) / 2);
+                    v1 = static_cast<u16>((px(2 * y, 2 * c + 1) +
+                                           px(2 * y + 1, 2 * c + 1)) /
+                                          2);
+                } else {
+                    v0 = std::max(px(2 * y, 2 * c),
+                                  px(2 * y + 1, 2 * c));
+                    v1 = std::max(px(2 * y, 2 * c + 1),
+                                  px(2 * y + 1, 2 * c + 1));
+                }
+                const u16 expected = average
+                                         ? static_cast<u16>((v0 + v1) / 2)
+                                         : std::max(v0, v1);
+                const u16 got = static_cast<u16>(
+                    out.memory.peek32(ml::kPoolOut +
+                                      2ull * (y * (W / 2) + c)) &
+                    0xFFFF);
+                ASSERT_EQ(got, expected)
+                    << (average ? "avg " : "max ") << y << "," << c;
+            }
+        }
+    }
+}
+
+TEST(Workloads, SoftmaxMatchesFixedPointReference)
+{
+    auto out = runPrepared(ml::buildSoftmax());
+    std::vector<u32> lut(16);
+    for (unsigned r = 0; r < 16; ++r)
+        lut[r] = out.memory.peek32(ml::kSoftLut + 4ull * r);
+
+    for (unsigned batch = 0; batch < ml::kSoftBatches; ++batch) {
+        const Addr base = ml::kSoftIn + 2ull * ml::kSoftLen * batch;
+        s64 mx = -32768;
+        std::vector<s64> logits(ml::kSoftLen);
+        for (unsigned i = 0; i < ml::kSoftLen; ++i) {
+            logits[i] = static_cast<s16>(
+                out.memory.peek32(base + 2ull * i) & 0xFFFF);
+            mx = std::max(mx, logits[i]);
+        }
+        u64 sum = 0;
+        std::vector<u64> exps(ml::kSoftLen);
+        for (unsigned i = 0; i < ml::kSoftLen; ++i) {
+            const u64 diff = static_cast<u16>(mx - logits[i]);
+            u64 q = diff >> 4;
+            if (q > 63)
+                q = 63;
+            // The shift must happen at 64-bit width like the µISA LSR
+            // (a u32 shift by >= 32 would be undefined).
+            exps[i] = static_cast<u64>(lut[diff & 15]) >> q;
+            sum += exps[i];
+        }
+        const u64 recip = (u64{1} << 31) / sum;
+        u64 prob_sum = 0;
+        for (unsigned i = 0; i < ml::kSoftLen; ++i) {
+            const u16 expected =
+                static_cast<u16>((exps[i] * recip) >> 16);
+            const u16 got = static_cast<u16>(
+                out.memory.peek32(ml::kSoftOut +
+                                  2ull * (batch * ml::kSoftLen + i)) &
+                0xFFFF);
+            ASSERT_EQ(got, expected)
+                << "batch " << batch << " elem " << i;
+            prob_sum += got;
+        }
+        // Q15 probabilities sum to ~2^15 (truncation loses a little).
+        EXPECT_GT(prob_sum, 30000u);
+        EXPECT_LE(prob_sum, 33000u);
+    }
+}
+
+TEST(Workloads, TracesAreReasonablySized)
+{
+    // Keep the experiment matrix tractable: every workload's dynamic
+    // length sits in a band the benches were budgeted for.
+    for (const Workload &w : allWorkloads()) {
+        const Trace trace = traceWorkload(w.name);
+        EXPECT_GT(trace.size(), 20'000u) << w.name;
+        EXPECT_LT(trace.size(), 400'000u) << w.name;
+    }
+}
+
+} // namespace
+} // namespace redsoc

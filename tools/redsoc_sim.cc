@@ -1,0 +1,174 @@
+/**
+ * @file
+ * redsoc_sim: command-line front end to the simulator.
+ *
+ *   redsoc_sim [--workload NAME | --list] [--core small|medium|big]
+ *              [--mode baseline|redsoc|mos] [--threshold N]
+ *              [--precision BITS] [--dynamic-threshold]
+ *              [--rs illustrative|operational] [--no-egpw] [--no-skew]
+ *              [--pvt-derate X] [--max-ops N] [--stats] [--compare]
+ *
+ * --compare runs baseline and the selected mode and prints the
+ * speedup; --stats dumps the full gem5-style statistics group.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "sim/driver.h"
+
+using namespace redsoc;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME | --list] [--core NAME] "
+                 "[--mode MODE]\n"
+                 "          [--threshold N] [--precision BITS] "
+                 "[--dynamic-threshold]\n"
+                 "          [--rs DESIGN] [--no-egpw] [--no-skew] "
+                 "[--pvt-derate X]\n"
+                 "          [--max-ops N] [--stats] [--compare]\n",
+                 argv0);
+}
+
+SchedMode
+parseMode(const std::string &text)
+{
+    if (text == "baseline")
+        return SchedMode::Baseline;
+    if (text == "redsoc")
+        return SchedMode::ReDSOC;
+    if (text == "mos")
+        return SchedMode::MOS;
+    fatal("unknown mode '", text, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "crc";
+    std::string core = "big";
+    SchedMode mode = SchedMode::ReDSOC;
+    bool want_stats = false;
+    bool want_compare = false;
+    bool list_only = false;
+    SeqNum max_ops = 2'000'000;
+
+    CoreConfig overrides = coreByName(core);
+    bool threshold_set = false, precision_set = false;
+    Tick threshold = 0;
+    unsigned precision = 0;
+    bool dynamic_threshold = false, no_egpw = false, no_skew = false;
+    RsDesign rs_design = RsDesign::Operational;
+    bool rs_set = false;
+    double pvt_derate = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--core") {
+            core = next();
+        } else if (arg == "--mode") {
+            mode = parseMode(next());
+        } else if (arg == "--threshold") {
+            threshold = std::strtoull(next().c_str(), nullptr, 0);
+            threshold_set = true;
+        } else if (arg == "--precision") {
+            precision =
+                static_cast<unsigned>(std::strtoul(next().c_str(),
+                                                   nullptr, 0));
+            precision_set = true;
+        } else if (arg == "--dynamic-threshold") {
+            dynamic_threshold = true;
+        } else if (arg == "--rs") {
+            const std::string d = next();
+            rs_design = d == "illustrative" ? RsDesign::Illustrative
+                                            : RsDesign::Operational;
+            rs_set = true;
+        } else if (arg == "--no-egpw") {
+            no_egpw = true;
+        } else if (arg == "--no-skew") {
+            no_skew = true;
+        } else if (arg == "--pvt-derate") {
+            pvt_derate = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--max-ops") {
+            max_ops = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else if (arg == "--compare") {
+            want_compare = true;
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument '", arg, "'");
+        }
+    }
+
+    if (list_only) {
+        for (const Workload &w : allWorkloads())
+            std::printf("%-10s %-8s %s\n", w.name.c_str(),
+                        suiteName(w.suite), w.description.c_str());
+        return 0;
+    }
+
+    auto make_config = [&](SchedMode m) {
+        CoreConfig cfg = configFor(core, m);
+        if (threshold_set)
+            cfg.slack_threshold_ticks = threshold;
+        if (precision_set)
+            cfg.ci_precision_bits = precision;
+        if (rs_set)
+            cfg.rs_design = rs_design;
+        cfg.dynamic_threshold = dynamic_threshold;
+        cfg.egpw = !no_egpw;
+        cfg.skewed_select = !no_skew;
+        cfg.timing.pvt_derate = pvt_derate;
+        return cfg;
+    };
+
+    SimDriver driver(max_ops);
+    const Trace &trace = driver.trace(workload);
+    std::printf("workload '%s': %llu dynamic ops\n", workload.c_str(),
+                static_cast<unsigned long long>(trace.size()));
+
+    const CoreConfig cfg = make_config(mode);
+    const CoreStats &stats = driver.run(workload, cfg);
+    std::printf("%s/%s: %llu cycles, IPC %.3f\n", core.c_str(),
+                schedModeName(mode),
+                static_cast<unsigned long long>(stats.cycles),
+                stats.ipc());
+
+    if (want_compare && mode != SchedMode::Baseline) {
+        const CoreStats &base =
+            driver.run(workload, make_config(SchedMode::Baseline));
+        std::printf("baseline: %llu cycles -> speedup %.2f%%\n",
+                    static_cast<unsigned long long>(base.cycles),
+                    (static_cast<double>(base.cycles) / stats.cycles -
+                     1.0) * 100.0);
+    }
+
+    if (want_stats) {
+        const std::string name = core + "." + schedModeName(mode);
+        std::fputs(toStatGroup(stats, name).dump().c_str(), stdout);
+    }
+    return 0;
+}
