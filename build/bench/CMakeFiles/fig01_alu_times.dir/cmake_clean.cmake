@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_alu_times.dir/fig01_alu_times.cc.o"
+  "CMakeFiles/fig01_alu_times.dir/fig01_alu_times.cc.o.d"
+  "fig01_alu_times"
+  "fig01_alu_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_alu_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

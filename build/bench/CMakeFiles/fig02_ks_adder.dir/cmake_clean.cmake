@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ks_adder.dir/fig02_ks_adder.cc.o"
+  "CMakeFiles/fig02_ks_adder.dir/fig02_ks_adder.cc.o.d"
+  "fig02_ks_adder"
+  "fig02_ks_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ks_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_op_mix.dir/fig10_op_mix.cc.o"
+  "CMakeFiles/fig10_op_mix.dir/fig10_op_mix.cc.o.d"
+  "fig10_op_mix"
+  "fig10_op_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_op_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

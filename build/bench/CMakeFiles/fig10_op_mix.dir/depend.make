@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_op_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_seq_length.dir/fig11_seq_length.cc.o"
+  "CMakeFiles/fig11_seq_length.dir/fig11_seq_length.cc.o.d"
+  "fig11_seq_length"
+  "fig11_seq_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_seq_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tag_mispred.dir/fig12_tag_mispred.cc.o"
+  "CMakeFiles/fig12_tag_mispred.dir/fig12_tag_mispred.cc.o.d"
+  "fig12_tag_mispred"
+  "fig12_tag_mispred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tag_mispred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_speedup.dir/fig13_speedup.cc.o"
+  "CMakeFiles/fig13_speedup.dir/fig13_speedup.cc.o.d"
+  "fig13_speedup"
+  "fig13_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fu_stalls.dir/fig14_fu_stalls.cc.o"
+  "CMakeFiles/fig14_fu_stalls.dir/fig14_fu_stalls.cc.o.d"
+  "fig14_fu_stalls"
+  "fig14_fu_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fu_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_fu_stalls.
+# This may be replaced when dependencies are built.

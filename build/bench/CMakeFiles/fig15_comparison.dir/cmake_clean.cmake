@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_comparison.dir/fig15_comparison.cc.o"
+  "CMakeFiles/fig15_comparison.dir/fig15_comparison.cc.o.d"
+  "fig15_comparison"
+  "fig15_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_savings.dir/power_savings.cc.o"
+  "CMakeFiles/power_savings.dir/power_savings.cc.o.d"
+  "power_savings"
+  "power_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_pvt.dir/sweep_pvt.cc.o"
+  "CMakeFiles/sweep_pvt.dir/sweep_pvt.cc.o.d"
+  "sweep_pvt"
+  "sweep_pvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_pvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sweep_pvt.
+# This may be replaced when dependencies are built.

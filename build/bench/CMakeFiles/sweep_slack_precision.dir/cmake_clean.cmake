@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_slack_precision.dir/sweep_slack_precision.cc.o"
+  "CMakeFiles/sweep_slack_precision.dir/sweep_slack_precision.cc.o.d"
+  "sweep_slack_precision"
+  "sweep_slack_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_slack_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

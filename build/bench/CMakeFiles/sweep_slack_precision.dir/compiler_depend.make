@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sweep_slack_precision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_slack_threshold.dir/sweep_slack_threshold.cc.o"
+  "CMakeFiles/sweep_slack_threshold.dir/sweep_slack_threshold.cc.o.d"
+  "sweep_slack_threshold"
+  "sweep_slack_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_slack_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

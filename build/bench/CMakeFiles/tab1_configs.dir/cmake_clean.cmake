@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_configs.dir/tab1_configs.cc.o"
+  "CMakeFiles/tab1_configs.dir/tab1_configs.cc.o.d"
+  "tab1_configs"
+  "tab1_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_kernels.dir/tab2_kernels.cc.o"
+  "CMakeFiles/tab2_kernels.dir/tab2_kernels.cc.o.d"
+  "tab2_kernels"
+  "tab2_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_slack_lut.dir/tab_slack_lut.cc.o"
+  "CMakeFiles/tab_slack_lut.dir/tab_slack_lut.cc.o.d"
+  "tab_slack_lut"
+  "tab_slack_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_slack_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_slack_lut.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_width_predictor.dir/tab_width_predictor.cc.o"
+  "CMakeFiles/tab_width_predictor.dir/tab_width_predictor.cc.o.d"
+  "tab_width_predictor"
+  "tab_width_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_width_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

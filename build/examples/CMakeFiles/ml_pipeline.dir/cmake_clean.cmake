@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_pipeline.dir/ml_pipeline.cpp.o"
+  "CMakeFiles/ml_pipeline.dir/ml_pipeline.cpp.o.d"
+  "ml_pipeline"
+  "ml_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fusion.cc" "src/CMakeFiles/redsoc.dir/baselines/fusion.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/baselines/fusion.cc.o.d"
+  "/root/repo/src/baselines/timing_speculation.cc" "src/CMakeFiles/redsoc.dir/baselines/timing_speculation.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/baselines/timing_speculation.cc.o.d"
+  "/root/repo/src/common/bitutils.cc" "src/CMakeFiles/redsoc.dir/common/bitutils.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/common/bitutils.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/redsoc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/redsoc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/redsoc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/redsoc.dir/common/table.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/common/table.cc.o.d"
+  "/root/repo/src/core/core_config.cc" "src/CMakeFiles/redsoc.dir/core/core_config.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/core_config.cc.o.d"
+  "/root/repo/src/core/fu_pool.cc" "src/CMakeFiles/redsoc.dir/core/fu_pool.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/fu_pool.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/redsoc.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/lsq.cc.o.d"
+  "/root/repo/src/core/ooo_core.cc" "src/CMakeFiles/redsoc.dir/core/ooo_core.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/ooo_core.cc.o.d"
+  "/root/repo/src/core/rat.cc" "src/CMakeFiles/redsoc.dir/core/rat.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/rat.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/redsoc.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/rob.cc.o.d"
+  "/root/repo/src/core/rs.cc" "src/CMakeFiles/redsoc.dir/core/rs.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/rs.cc.o.d"
+  "/root/repo/src/core/select_logic.cc" "src/CMakeFiles/redsoc.dir/core/select_logic.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/core/select_logic.cc.o.d"
+  "/root/repo/src/func/interpreter.cc" "src/CMakeFiles/redsoc.dir/func/interpreter.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/func/interpreter.cc.o.d"
+  "/root/repo/src/func/memory_image.cc" "src/CMakeFiles/redsoc.dir/func/memory_image.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/func/memory_image.cc.o.d"
+  "/root/repo/src/func/trace.cc" "src/CMakeFiles/redsoc.dir/func/trace.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/func/trace.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/redsoc.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/redsoc.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/CMakeFiles/redsoc.dir/isa/inst.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/isa/inst.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/redsoc.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/redsoc.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/redsoc.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/redsoc.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/CMakeFiles/redsoc.dir/mem/prefetcher.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/mem/prefetcher.cc.o.d"
+  "/root/repo/src/power/dvfs.cc" "src/CMakeFiles/redsoc.dir/power/dvfs.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/power/dvfs.cc.o.d"
+  "/root/repo/src/predictors/branch_predictor.cc" "src/CMakeFiles/redsoc.dir/predictors/branch_predictor.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/predictors/branch_predictor.cc.o.d"
+  "/root/repo/src/predictors/last_arrival_predictor.cc" "src/CMakeFiles/redsoc.dir/predictors/last_arrival_predictor.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/predictors/last_arrival_predictor.cc.o.d"
+  "/root/repo/src/predictors/width_predictor.cc" "src/CMakeFiles/redsoc.dir/predictors/width_predictor.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/predictors/width_predictor.cc.o.d"
+  "/root/repo/src/redsoc/skewed_select.cc" "src/CMakeFiles/redsoc.dir/redsoc/skewed_select.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/redsoc/skewed_select.cc.o.d"
+  "/root/repo/src/redsoc/transparent.cc" "src/CMakeFiles/redsoc.dir/redsoc/transparent.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/redsoc/transparent.cc.o.d"
+  "/root/repo/src/sim/driver.cc" "src/CMakeFiles/redsoc.dir/sim/driver.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/sim/driver.cc.o.d"
+  "/root/repo/src/timing/completion_instant.cc" "src/CMakeFiles/redsoc.dir/timing/completion_instant.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/timing/completion_instant.cc.o.d"
+  "/root/repo/src/timing/kogge_stone.cc" "src/CMakeFiles/redsoc.dir/timing/kogge_stone.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/timing/kogge_stone.cc.o.d"
+  "/root/repo/src/timing/slack_lut.cc" "src/CMakeFiles/redsoc.dir/timing/slack_lut.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/timing/slack_lut.cc.o.d"
+  "/root/repo/src/timing/timing_model.cc" "src/CMakeFiles/redsoc.dir/timing/timing_model.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/timing/timing_model.cc.o.d"
+  "/root/repo/src/workloads/inputs.cc" "src/CMakeFiles/redsoc.dir/workloads/inputs.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/workloads/inputs.cc.o.d"
+  "/root/repo/src/workloads/mibench.cc" "src/CMakeFiles/redsoc.dir/workloads/mibench.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/workloads/mibench.cc.o.d"
+  "/root/repo/src/workloads/ml_kernels.cc" "src/CMakeFiles/redsoc.dir/workloads/ml_kernels.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/workloads/ml_kernels.cc.o.d"
+  "/root/repo/src/workloads/op_mix.cc" "src/CMakeFiles/redsoc.dir/workloads/op_mix.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/workloads/op_mix.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/redsoc.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/speclike.cc" "src/CMakeFiles/redsoc.dir/workloads/speclike.cc.o" "gcc" "src/CMakeFiles/redsoc.dir/workloads/speclike.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

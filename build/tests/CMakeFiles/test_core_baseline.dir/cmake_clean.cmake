@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_baseline.dir/test_core_baseline.cc.o"
+  "CMakeFiles/test_core_baseline.dir/test_core_baseline.cc.o.d"
+  "test_core_baseline"
+  "test_core_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

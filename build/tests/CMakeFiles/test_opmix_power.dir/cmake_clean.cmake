@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opmix_power.dir/test_opmix_power.cc.o"
+  "CMakeFiles/test_opmix_power.dir/test_opmix_power.cc.o.d"
+  "test_opmix_power"
+  "test_opmix_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opmix_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictors.dir/test_predictors.cc.o"
+  "CMakeFiles/test_predictors.dir/test_predictors.cc.o.d"
+  "test_predictors"
+  "test_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

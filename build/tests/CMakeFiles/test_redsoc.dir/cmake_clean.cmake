@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redsoc.dir/test_redsoc.cc.o"
+  "CMakeFiles/test_redsoc.dir/test_redsoc.cc.o.d"
+  "test_redsoc"
+  "test_redsoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redsoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_redsoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_select.dir/test_select.cc.o"
+  "CMakeFiles/test_select.dir/test_select.cc.o.d"
+  "test_select"
+  "test_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slack_lut.dir/test_slack_lut.cc.o"
+  "CMakeFiles/test_slack_lut.dir/test_slack_lut.cc.o.d"
+  "test_slack_lut"
+  "test_slack_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slack_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structures.dir/test_structures.cc.o"
+  "CMakeFiles/test_structures.dir/test_structures.cc.o.d"
+  "test_structures"
+  "test_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

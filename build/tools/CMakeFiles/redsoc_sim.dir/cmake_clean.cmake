@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redsoc_sim.dir/redsoc_sim.cc.o"
+  "CMakeFiles/redsoc_sim.dir/redsoc_sim.cc.o.d"
+  "redsoc_sim"
+  "redsoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redsoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
