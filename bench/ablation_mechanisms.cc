@@ -18,9 +18,37 @@ main(int argc, char **argv)
     bench::printHeader("ReDSOC mechanism ablations",
                        "Sec.IV design choices");
     SimDriver driver;
+    const std::vector<std::string> cores = {"big", "small"};
 
-    for (const std::string &core : {std::string("big"),
-                                    std::string("small")}) {
+    // Two-phase prefetch: the tuning sweep first (it decides each
+    // suite's threshold), then every ablation variant of the tuned
+    // configuration in one parallel batch.
+    bench::prefetchTuning(driver, bench::allSuites(), cores, fast);
+    std::vector<SimDriver::Point> points;
+    for (const std::string &core : cores) {
+        for (Suite suite : bench::allSuites()) {
+            const CoreConfig full =
+                bench::tunedRedsoc(driver, suite, core, fast);
+            CoreConfig no_egpw = full;
+            no_egpw.egpw = false;
+            CoreConfig no_skew = full;
+            no_skew.skewed_select = false;
+            CoreConfig illus = full;
+            illus.rs_design = RsDesign::Illustrative;
+            CoreConfig dyn = configFor(core, SchedMode::ReDSOC);
+            dyn.dynamic_threshold = true;
+            for (const std::string &name :
+                 bench::suiteWorkloads(suite, fast)) {
+                points.push_back({name, no_egpw});
+                points.push_back({name, no_skew});
+                points.push_back({name, illus});
+                points.push_back({name, dyn});
+            }
+        }
+    }
+    driver.prefetch(points);
+
+    for (const std::string &core : cores) {
         Table t({"suite", "full", "-EGPW", "-skewed sel",
                  "illustrative RSE", "dynamic threshold"});
         for (Suite suite : bench::allSuites()) {

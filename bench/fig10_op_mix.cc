@@ -17,6 +17,13 @@ main(int argc, char **argv)
     bench::printHeader("benchmark operation characteristics", "Fig.10");
 
     SimDriver driver;
+    // No timing simulation here, but the functional traces are still
+    // expensive: build them all in parallel first.
+    std::vector<std::string> all_names;
+    for (Suite suite : bench::allSuites())
+        for (const std::string &name : bench::suiteWorkloads(suite, fast))
+            all_names.push_back(name);
+    driver.prefetchTraces(all_names);
     const TimingModel timing;
     Table t({"benchmark", "MEM-HL", "MEM-LL", "SIMD", "OtherMulti",
              "ALU-LS", "ALU-HS"});

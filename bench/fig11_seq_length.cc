@@ -17,6 +17,10 @@ main(int argc, char **argv)
     bench::printHeader("expected transparent sequence length",
                        "Fig.11");
     SimDriver driver;
+    // The whole matrix is the tuning sweep; simulate it in parallel
+    // before any table code runs.
+    bench::prefetchTuning(driver, bench::allSuites(), bench::allCores(),
+                          fast);
     Table t({"suite", "BIG", "MEDIUM", "SMALL"});
     for (Suite suite : bench::allSuites()) {
         std::vector<std::string> row = {

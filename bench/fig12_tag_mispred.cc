@@ -14,6 +14,8 @@ main(int argc, char **argv)
     const bool fast = bench::fastMode(argc, argv);
     bench::printHeader("P/GP tag misprediction", "Fig.12");
     SimDriver driver;
+    bench::prefetchTuning(driver, bench::allSuites(), bench::allCores(),
+                          fast);
     Table t({"suite", "BIG", "MEDIUM", "SMALL"});
     for (Suite suite : bench::allSuites()) {
         std::vector<std::string> row = {

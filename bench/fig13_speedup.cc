@@ -15,6 +15,10 @@ main(int argc, char **argv)
     const bool fast = bench::fastMode(argc, argv);
     bench::printHeader("ReDSOC speedup over baseline", "Fig.13");
     SimDriver driver;
+    // Every cell of Fig.13 (and the tuning sweep behind it) is a
+    // point of the per-suite threshold matrix: fan it out first.
+    bench::prefetchTuning(driver, bench::allSuites(), bench::allCores(),
+                          fast);
 
     Table t({"benchmark", "BIG", "MEDIUM", "SMALL"});
 

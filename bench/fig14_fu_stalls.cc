@@ -15,6 +15,8 @@ main(int argc, char **argv)
     const bool fast = bench::fastMode(argc, argv);
     bench::printHeader("FU-busy stall rates", "Fig.14");
     SimDriver driver;
+    bench::prefetchTuning(driver, bench::allSuites(), bench::allCores(),
+                          fast);
     Table t({"core:suite", "baseline", "REDSOC"});
     for (const std::string &core : bench::allCores()) {
         for (Suite suite : bench::allSuites()) {

@@ -18,6 +18,21 @@ main(int argc, char **argv)
     SimDriver driver;
     const TimingSpeculation ts;
 
+    // Matrix: the tuning sweep (covers baseline + tuned ReDSOC) plus
+    // one MOS point per (core, workload). TS replays the functional
+    // trace directly, so the trace prefetch inside the sweep covers
+    // it too.
+    std::vector<SimDriver::Point> points;
+    for (const std::string &core : bench::allCores()) {
+        for (Suite suite : bench::allSuites()) {
+            bench::appendTuningPoints(points, suite, core, fast);
+            for (const std::string &name :
+                 bench::suiteWorkloads(suite, fast))
+                points.push_back({name, configFor(core, SchedMode::MOS)});
+        }
+    }
+    driver.prefetch(points);
+
     Table t({"core:suite", "ReDSOC", "TS", "MOS"});
     for (const std::string &core : bench::allCores()) {
         for (Suite suite : bench::allSuites()) {

@@ -16,6 +16,8 @@ main(int argc, char **argv)
     const bool fast = bench::fastMode(argc, argv);
     bench::printHeader("iso-performance power savings", "Sec.VI-C");
     SimDriver driver;
+    bench::prefetchTuning(driver, bench::allSuites(), bench::allCores(),
+                          fast);
     const DvfsModel dvfs;
 
     Table t({"suite", "core", "min", "mean", "max"});

@@ -21,6 +21,18 @@ main(int argc, char **argv)
              : std::vector<std::string>{"crc", "bitcnt", "gsm",
                                         "softmax", "corners"};
 
+    std::vector<SimDriver::Point> points;
+    for (const std::string &name : names) {
+        points.push_back({name, configFor("medium", SchedMode::Baseline)});
+        for (unsigned bits = 1; bits <= 8; ++bits) {
+            CoreConfig red = configFor("medium", SchedMode::ReDSOC);
+            red.ci_precision_bits = bits;
+            red.slack_threshold_ticks = (Tick{1} << bits) * 3 / 4;
+            points.push_back({name, red});
+        }
+    }
+    driver.prefetch(points);
+
     Table t({"CI bits", "mean speedup", "vs 8-bit"});
     std::vector<double> mean_by_bits(9, 0.0);
     for (unsigned bits = 1; bits <= 8; ++bits) {

@@ -17,6 +17,24 @@ main(int argc, char **argv)
     bench::printHeader("slack-threshold sweep", "Sec.IV-C step 10");
     SimDriver driver;
 
+    std::vector<SimDriver::Point> points;
+    for (const std::string &core : {std::string("big"),
+                                    std::string("small")}) {
+        for (Suite suite : bench::allSuites()) {
+            for (const std::string &name :
+                 bench::suiteWorkloads(suite, fast)) {
+                points.push_back(
+                    {name, configFor(core, SchedMode::Baseline)});
+                for (Tick thr = 0; thr <= 8; thr += 2) {
+                    CoreConfig red = configFor(core, SchedMode::ReDSOC);
+                    red.slack_threshold_ticks = thr;
+                    points.push_back({name, red});
+                }
+            }
+        }
+    }
+    driver.prefetch(points);
+
     for (const std::string &core : {std::string("big"),
                                     std::string("small")}) {
         Table t({"threshold", "SPEC mean", "MiBench mean", "ML mean",

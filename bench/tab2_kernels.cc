@@ -14,9 +14,18 @@ main(int argc, char **argv)
     const bool fast = bench::fastMode(argc, argv);
     bench::printHeader("workload suite", "Table II + Sec.V benchmarks");
     SimDriver driver;
+    auto selected = [&](const Workload &w) {
+        return !fast || w.name == "crc" || w.suite == Suite::Ml;
+    };
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (selected(w))
+            names.push_back(w.name);
+    driver.prefetchTraces(names);
+
     Table t({"kernel", "suite", "description", "dynamic ops"});
     for (const Workload &w : allWorkloads()) {
-        if (fast && w.name != "crc" && w.suite != Suite::Ml)
+        if (!selected(w))
             continue;
         t.addRow({w.name, suiteName(w.suite), w.description,
                   std::to_string(driver.trace(w.name).size())});

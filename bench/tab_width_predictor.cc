@@ -18,6 +18,12 @@ main(int argc, char **argv)
     SimDriver driver;
     const CoreConfig cfg = configFor("medium", SchedMode::ReDSOC);
 
+    std::vector<SimDriver::Point> points;
+    for (Suite suite : bench::allSuites())
+        for (const std::string &name : bench::suiteWorkloads(suite, fast))
+            points.push_back({name, cfg});
+    driver.prefetch(points);
+
     Table t({"benchmark", "predictions", "aggressive", "conservative"});
     double worst_aggressive = 0.0;
     for (Suite suite : bench::allSuites()) {

@@ -44,6 +44,21 @@ Histogram::bucket(u64 value) const
     return buckets_[idx];
 }
 
+Histogram
+Histogram::fromRaw(u64 max_sample, std::vector<u64> buckets, u64 count,
+                   u64 sum, u64 sum_sq)
+{
+    panic_if(buckets.size() != max_sample + 1,
+             "histogram restore with ", buckets.size(),
+             " buckets for max_sample ", max_sample);
+    Histogram h(max_sample);
+    h.buckets_ = std::move(buckets);
+    h.count_ = count;
+    h.sum_ = sum;
+    h.sum_sq_ = sum_sq;
+    return h;
+}
+
 void
 Histogram::reset()
 {

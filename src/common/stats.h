@@ -63,6 +63,17 @@ class Histogram
 
     void reset();
 
+    // --- Serialization support (the persistent run cache) ----------
+    /** Raw bucket counts, index 0..maxSample() (last = overflow). */
+    const std::vector<u64> &rawBuckets() const { return buckets_; }
+    u64 sumSquares() const { return sum_sq_; }
+    /**
+     * Rebuild a histogram from previously captured raw state.
+     * @p buckets must have exactly max_sample+1 entries.
+     */
+    static Histogram fromRaw(u64 max_sample, std::vector<u64> buckets,
+                             u64 count, u64 sum, u64 sum_sq);
+
   private:
     u64 max_sample_;
     std::vector<u64> buckets_;

@@ -1,6 +1,7 @@
 #include "core/ooo_core.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -44,6 +45,8 @@ toStatGroup(const CoreStats &stats, const std::string &name)
                        stats.expected_chain_length);
     group.recordScalar("threshold_final",
                        static_cast<double>(stats.threshold_final));
+    group.recordScalar("sim_seconds", stats.sim_seconds);
+    group.recordScalar("sim_mips", stats.simMips());
     return group;
 }
 
@@ -533,7 +536,7 @@ void
 OooCore::issuePhase()
 {
     bool fu_denied = false;
-    std::vector<Candidate> conv_grants;
+    conv_grants_.clear();
     const bool redsoc = config_.mode == SchedMode::ReDSOC;
     const bool interleave_spec = redsoc && config_.egpw &&
                                  !config_.skewed_select;
@@ -541,8 +544,10 @@ OooCore::issuePhase()
     // Phase A: conventional (parent-woken) requests, oldest first.
     // With skewed selection disabled (ablation), speculative EGPW
     // requests compete purely by age and are interleaved here.
-    const std::vector<SeqNum> entries = rs_.entries();
-    for (SeqNum seq : entries) {
+    // Snapshot into the reusable scan buffer: issueOp removes the
+    // granted entry from the RS mid-scan.
+    rs_.snapshot(scan_);
+    for (SeqNum seq : scan_) {
         Candidate cand;
         bool is_req = evalConventional(seq, cand);
         if (!is_req && interleave_spec) {
@@ -582,14 +587,14 @@ OooCore::issuePhase()
         fu_.book(pool, cycle_ + 1, cand.span);
         issueOp(cand);
         if (!cand.speculative)
-            conv_grants.push_back(cand);
+            conv_grants_.push_back(cand);
     }
 
     // Phase B: EGPW speculative requests from leftover units (the
     // skewed-select ordering: conventional grants always first).
     if (redsoc && config_.egpw && !interleave_spec) {
-        const std::vector<SeqNum> entries_b = rs_.entries();
-        for (SeqNum seq : entries_b) {
+        rs_.snapshot(scan_);
+        for (SeqNum seq : scan_) {
             Candidate cand;
             if (!evalEager(seq, cand))
                 continue;
@@ -629,12 +634,12 @@ OooCore::issuePhase()
     if (config_.mode == SchedMode::MOS) {
         const Tick tpc = clock_.ticksPerCycle();
         const Tick arrival = clock_.cycleStart(cycle_ + 1);
-        for (const Candidate &pg : conv_grants) {
+        for (const Candidate &pg : conv_grants_) {
             OpState &pop = ops_[pg.seq];
             if (!pop.eligible || pop.est_ticks == 0)
                 continue;
-            const std::vector<SeqNum> rs_now = rs_.entries();
-            for (SeqNum cseq : rs_now) {
+            rs_.snapshot(mos_scan_);
+            for (SeqNum cseq : mos_scan_) {
                 OpState &cop = ops_[cseq];
                 if (cop.st != OpState::St::InRs || !cop.eligible)
                     continue;
@@ -745,6 +750,8 @@ OooCore::commitPhase()
 CoreStats
 OooCore::run(const Trace &trace)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
+
     // Reset all run state so a core object can be reused.
     trace_ = &trace;
     ops_.assign(trace.size(), OpState{});
@@ -785,6 +792,10 @@ OooCore::run(const Trace &trace)
     stats_.committed = total;
     stats_.chain_lengths = chains_.lengths();
     stats_.expected_chain_length = chains_.expectedRecycledLength();
+    stats_.sim_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
     return stats_;
 }
 

@@ -68,6 +68,22 @@ struct CoreStats
     Histogram chain_lengths{64};  ///< final transparent-sequence lengths
     double expected_chain_length = 0.0; ///< Fig.11 statistic
 
+    /**
+     * Host wall-clock seconds the simulation took. Observability
+     * only: NOT part of the deterministic architectural result (the
+     * determinism tests and table output ignore it), but preserved by
+     * the run cache so throughput trends stay visible.
+     */
+    double sim_seconds = 0.0;
+
+    /** Simulated millions of committed ops per host second. */
+    double simMips() const
+    {
+        return sim_seconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(committed) / sim_seconds / 1e6;
+    }
+
     double ipc() const
     {
         return cycles == 0 ? 0.0
@@ -224,6 +240,12 @@ class OooCore
     int adapt_direction_ = 1;
     SeqNum epoch_start_commits_ = 0;
     SeqNum last_epoch_commits_ = 0;
+
+    // Reusable per-cycle scratch buffers (hot path: issuePhase runs
+    // every cycle and must not allocate or copy the RS wholesale).
+    std::vector<SeqNum> scan_;        ///< RS snapshot for select scans
+    std::vector<SeqNum> mos_scan_;    ///< RS snapshot for MOS fusion
+    std::vector<Candidate> conv_grants_; ///< this cycle's conv. grants
 
     CoreStats stats_;
 };

@@ -5,6 +5,13 @@
  * at issue. The slack-aware RSE fields of Figs.7-8 (parent/
  * grandparent tags, EX-TIME, COMP-INST) live in the core's per-op
  * scheduling state; this class owns occupancy and ordering.
+ *
+ * Removal is the scheduler's hot path (every issued op frees its
+ * entry mid-scan), so it is O(log n): sequence numbers only ever
+ * arrive in program order, which keeps the slot array sorted, and a
+ * freed slot is tombstoned in place rather than erased from the
+ * middle. Tombstones are swept by an amortized compaction that
+ * trivially preserves oldest-first age order.
  */
 
 #ifndef REDSOC_CORE_RS_H
@@ -22,23 +29,37 @@ class ReservationStations
   public:
     explicit ReservationStations(unsigned capacity);
 
-    bool full() const { return entries_.size() >= capacity_; }
-    bool empty() const { return entries_.empty(); }
-    size_t size() const { return entries_.size(); }
+    bool full() const { return size() >= capacity_; }
+    bool empty() const { return live_ == 0; }
+    size_t size() const { return live_; }
     unsigned capacity() const { return capacity_; }
 
     /** Allocate an entry (program order = age order). */
     void insert(SeqNum seq);
 
-    /** Free an entry at issue. */
+    /** Free an entry at issue (O(log n): tombstone + amortized sweep). */
     void remove(SeqNum seq);
 
-    /** Waiting ops, oldest first. */
-    const std::vector<SeqNum> &entries() const { return entries_; }
+    /**
+     * Copy the waiting ops, oldest first, into @p out (cleared
+     * first). The select loops snapshot into a reusable buffer so
+     * they can issue (and thus remove) entries mid-scan.
+     */
+    void snapshot(std::vector<SeqNum> &out) const;
+
+    /** Waiting ops, oldest first (convenience/tests). */
+    std::vector<SeqNum> entries() const;
 
   private:
+    void compact();
+
+    /** Tombstone marker: real sequence numbers never set the top bit
+     *  (a trace would need 2^63 dynamic ops). */
+    static constexpr SeqNum kDeadBit = SeqNum{1} << 63;
+
     unsigned capacity_;
-    std::vector<SeqNum> entries_;
+    std::vector<SeqNum> slots_; ///< ascending seqs; dead = top bit set
+    size_t live_ = 0;
 };
 
 } // namespace redsoc

@@ -3,18 +3,40 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "sim/thread_pool.h"
 
 namespace redsoc {
+
+SimDriver::SimDriver(SeqNum max_ops)
+    : max_ops_(max_ops), disk_cache_(RunCache::fromEnv())
+{
+}
+
+std::shared_future<Trace>
+SimDriver::traceFuture(const std::string &workload)
+{
+    std::promise<Trace> prom;
+    std::shared_future<Trace> fut = prom.get_future().share();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = traces_.try_emplace(workload, fut);
+        if (!inserted)
+            return it->second; // someone else is (or was) building it
+    }
+    // We claimed the slot: build outside the lock; waiters block on
+    // the shared future (the per-workload latch).
+    try {
+        prom.set_value(traceWorkload(workload, max_ops_));
+    } catch (...) {
+        prom.set_exception(std::current_exception());
+    }
+    return fut;
+}
 
 const Trace &
 SimDriver::trace(const std::string &workload)
 {
-    auto it = traces_.find(workload);
-    if (it == traces_.end()) {
-        it = traces_.emplace(workload, traceWorkload(workload, max_ops_))
-                 .first;
-    }
-    return it->second;
+    return traceFuture(workload).get();
 }
 
 std::string
@@ -33,16 +55,83 @@ SimDriver::configKey(const CoreConfig &config)
     return os.str();
 }
 
+std::string
+SimDriver::runKey(const std::string &workload,
+                  const CoreConfig &config) const
+{
+    return workload + "@" + configKey(config) +
+           "#ops=" + std::to_string(max_ops_);
+}
+
+std::shared_future<CoreStats>
+SimDriver::runFuture(const std::string &workload,
+                     const CoreConfig &config)
+{
+    const std::string key = runKey(workload, config);
+    std::promise<CoreStats> prom;
+    std::shared_future<CoreStats> fut = prom.get_future().share();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = results_.try_emplace(key, fut);
+        if (!inserted)
+            return it->second; // point already claimed: share it
+    }
+    try {
+        if (disk_cache_) {
+            if (auto hit = disk_cache_->load(key)) {
+                prom.set_value(std::move(*hit));
+                return fut;
+            }
+        }
+        OooCore core(config);
+        CoreStats stats = core.run(trace(workload));
+        if (disk_cache_)
+            disk_cache_->store(key, stats);
+        prom.set_value(std::move(stats));
+    } catch (...) {
+        prom.set_exception(std::current_exception());
+    }
+    return fut;
+}
+
 const CoreStats &
 SimDriver::run(const std::string &workload, const CoreConfig &config)
 {
-    const std::string key = workload + "@" + configKey(config);
-    auto it = results_.find(key);
-    if (it == results_.end()) {
-        OooCore core(config);
-        it = results_.emplace(key, core.run(trace(workload))).first;
+    return runFuture(workload, config).get();
+}
+
+void
+SimDriver::prefetch(const std::vector<Point> &points)
+{
+    if (points.empty())
+        return;
+    ThreadPool &pool = globalSimPool();
+    for (const Point &p : points) {
+        pool.submit([this, p] { (void)run(p.workload, p.config); });
     }
-    return it->second;
+    pool.wait();
+}
+
+std::vector<CoreStats>
+SimDriver::runAll(const std::vector<Point> &points)
+{
+    prefetch(points);
+    std::vector<CoreStats> out;
+    out.reserve(points.size());
+    for (const Point &p : points)
+        out.push_back(run(p.workload, p.config));
+    return out;
+}
+
+void
+SimDriver::prefetchTraces(const std::vector<std::string> &workloads)
+{
+    if (workloads.empty())
+        return;
+    ThreadPool &pool = globalSimPool();
+    for (const std::string &w : workloads)
+        pool.submit([this, w] { (void)trace(w); });
+    pool.wait();
 }
 
 double

@@ -3,17 +3,34 @@
  * SimDriver: the top-level experiment orchestrator used by the
  * examples and the benchmark harness. Caches workload traces and
  * core runs so a figure's full (workload x core x mode) matrix only
- * simulates each point once.
+ * simulates each point once — and, since every point is an
+ * independent single-threaded simulation, fans batches out across a
+ * fixed thread pool:
+ *
+ *  - run()/trace() are safe to call from any number of threads; each
+ *    (workload, configKey) point simulates exactly once behind a
+ *    per-key std::shared_future, trace construction likewise;
+ *  - prefetch()/runAll() enumerate a matrix up front and saturate
+ *    std::thread::hardware_concurrency() workers with it;
+ *  - when REDSOC_CACHE_DIR is set, finished points persist to an
+ *    on-disk cache shared across harness processes (see run_cache.h).
+ *
+ * Batch results are bit-identical to serial runs: parallelism only
+ * reorders which deterministic point simulates when.
  */
 
 #ifndef REDSOC_SIM_DRIVER_H
 #define REDSOC_SIM_DRIVER_H
 
+#include <future>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/ooo_core.h"
+#include "sim/run_cache.h"
 #include "workloads/registry.h"
 
 namespace redsoc {
@@ -21,14 +38,37 @@ namespace redsoc {
 class SimDriver
 {
   public:
-    explicit SimDriver(SeqNum max_ops = 2'000'000) : max_ops_(max_ops) {}
+    explicit SimDriver(SeqNum max_ops = 2'000'000);
 
-    /** The functional trace of a workload (built and cached). */
+    /** One cell of a simulation matrix. */
+    struct Point
+    {
+        std::string workload;
+        CoreConfig config;
+    };
+
+    /** The functional trace of a workload (built and cached; safe to
+     *  call concurrently — one thread builds, the rest wait). */
     const Trace &trace(const std::string &workload);
 
-    /** Simulate (cached by workload + configuration fingerprint). */
+    /** Simulate (cached by workload + configuration fingerprint;
+     *  concurrency-safe, each point simulates exactly once). */
     const CoreStats &run(const std::string &workload,
                          const CoreConfig &config);
+
+    /**
+     * Simulate every point of a matrix across the process-wide
+     * thread pool, blocking until all are cached. Later run() calls
+     * on the same points are pure lookups. Call from a non-pool
+     * thread (the harness main).
+     */
+    void prefetch(const std::vector<Point> &points);
+
+    /** prefetch() + collect the stats of each point, in order. */
+    std::vector<CoreStats> runAll(const std::vector<Point> &points);
+
+    /** Build the traces of many workloads in parallel. */
+    void prefetchTraces(const std::vector<std::string> &workloads);
 
     /**
      * Wall-clock-equivalent speedup of @p variant over @p base on a
@@ -43,10 +83,23 @@ class SimDriver
     /** Configuration fingerprint used as the cache key. */
     static std::string configKey(const CoreConfig &config);
 
+    /** Full run key: workload @ configKey # trace length cap. */
+    std::string runKey(const std::string &workload,
+                       const CoreConfig &config) const;
+
+    SeqNum maxOps() const { return max_ops_; }
+
   private:
+    std::shared_future<Trace> traceFuture(const std::string &workload);
+    std::shared_future<CoreStats> runFuture(const std::string &workload,
+                                            const CoreConfig &config);
+
     SeqNum max_ops_;
-    std::map<std::string, Trace> traces_;
-    std::map<std::string, CoreStats> results_;
+    std::optional<RunCache> disk_cache_;
+
+    std::mutex mu_;
+    std::map<std::string, std::shared_future<Trace>> traces_;
+    std::map<std::string, std::shared_future<CoreStats>> results_;
 };
 
 /** Convenience: preset core with a scheduler mode applied. */

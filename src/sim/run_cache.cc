@@ -1,0 +1,288 @@
+#include "sim/run_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace redsoc {
+
+namespace {
+
+constexpr const char *kMagic = "redsoc-stats";
+
+/** FNV-1a, for stable filenames independent of key length. */
+u64
+hashKey(const std::string &key)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+putU64(std::ostringstream &os, const char *name, u64 v)
+{
+    os << name << ' ' << v << '\n';
+}
+
+void
+putF64(std::ostringstream &os, const char *name, double v)
+{
+    char buf[64];
+    // 17 significant digits round-trip any IEEE754 double exactly,
+    // which keeps cached results bit-identical to fresh runs.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << name << ' ' << buf << '\n';
+}
+
+/** Strict field reader: "name value" in a fixed order. */
+class FieldReader
+{
+  public:
+    explicit FieldReader(std::istream &in) : in_(in) {}
+
+    bool ok() const { return ok_; }
+
+    u64 u(const char *name)
+    {
+        std::string tag;
+        u64 v = 0;
+        if (!(in_ >> tag >> v) || tag != name)
+            ok_ = false;
+        return v;
+    }
+
+    double f(const char *name)
+    {
+        std::string tag;
+        double v = 0.0;
+        if (!(in_ >> tag >> v) || tag != name)
+            ok_ = false;
+        return v;
+    }
+
+  private:
+    std::istream &in_;
+    bool ok_ = true;
+};
+
+} // namespace
+
+std::string
+serializeStats(const std::string &key, const CoreStats &stats)
+{
+    std::ostringstream os;
+    os << kMagic << " v" << RunCache::kFormatVersion << '\n';
+    os << "key " << key << '\n';
+    putU64(os, "cycles", stats.cycles);
+    putU64(os, "committed", stats.committed);
+    putU64(os, "fu_stall_cycles", stats.fu_stall_cycles);
+    putU64(os, "recycled_ops", stats.recycled_ops);
+    putU64(os, "two_cycle_holds", stats.two_cycle_holds);
+    putU64(os, "slack_recycled_ticks", stats.slack_recycled_ticks);
+    putU64(os, "egpw_requests", stats.egpw_requests);
+    putU64(os, "egpw_grants", stats.egpw_grants);
+    putU64(os, "egpw_wasted", stats.egpw_wasted);
+    putU64(os, "fused_ops", stats.fused_ops);
+    putU64(os, "la_predictions", stats.la_predictions);
+    putU64(os, "la_mispredictions", stats.la_mispredictions);
+    putU64(os, "width_predictions", stats.width_predictions);
+    putU64(os, "width_aggressive", stats.width_aggressive);
+    putU64(os, "width_conservative", stats.width_conservative);
+    putU64(os, "branch_lookups", stats.branch_lookups);
+    putU64(os, "branch_mispredicts", stats.branch_mispredicts);
+    putU64(os, "loads", stats.loads);
+    putU64(os, "stores", stats.stores);
+    putU64(os, "l1_load_misses", stats.l1_load_misses);
+    putU64(os, "store_forwards", stats.store_forwards);
+    putU64(os, "threshold_min", stats.threshold_min);
+    putU64(os, "threshold_max", stats.threshold_max);
+    putU64(os, "threshold_final", stats.threshold_final);
+    putF64(os, "expected_chain_length", stats.expected_chain_length);
+    putF64(os, "sim_seconds", stats.sim_seconds);
+
+    const Histogram &h = stats.chain_lengths;
+    os << "hist " << h.maxSample() << ' ' << h.count() << ' '
+       << h.total() << ' ' << h.sumSquares();
+    for (u64 b : h.rawBuckets())
+        os << ' ' << b;
+    os << '\n';
+    os << "end\n";
+    return os.str();
+}
+
+std::optional<CoreStats>
+deserializeStats(const std::string &text, const std::string &expect_key)
+{
+    std::istringstream in(text);
+
+    std::string magic, version;
+    if (!(in >> magic >> version) || magic != kMagic ||
+        version != "v" + std::to_string(RunCache::kFormatVersion)) {
+        return std::nullopt;
+    }
+
+    std::string tag, key;
+    if (!(in >> tag) || tag != "key" || !std::getline(in, key))
+        return std::nullopt;
+    // Strip the single separator space after "key".
+    if (!key.empty() && key.front() == ' ')
+        key.erase(0, 1);
+    if (!expect_key.empty() && key != expect_key)
+        return std::nullopt; // hash collision or stale rename
+
+    CoreStats s;
+    FieldReader r(in);
+    s.cycles = r.u("cycles");
+    s.committed = r.u("committed");
+    s.fu_stall_cycles = r.u("fu_stall_cycles");
+    s.recycled_ops = r.u("recycled_ops");
+    s.two_cycle_holds = r.u("two_cycle_holds");
+    s.slack_recycled_ticks = r.u("slack_recycled_ticks");
+    s.egpw_requests = r.u("egpw_requests");
+    s.egpw_grants = r.u("egpw_grants");
+    s.egpw_wasted = r.u("egpw_wasted");
+    s.fused_ops = r.u("fused_ops");
+    s.la_predictions = r.u("la_predictions");
+    s.la_mispredictions = r.u("la_mispredictions");
+    s.width_predictions = r.u("width_predictions");
+    s.width_aggressive = r.u("width_aggressive");
+    s.width_conservative = r.u("width_conservative");
+    s.branch_lookups = r.u("branch_lookups");
+    s.branch_mispredicts = r.u("branch_mispredicts");
+    s.loads = r.u("loads");
+    s.stores = r.u("stores");
+    s.l1_load_misses = r.u("l1_load_misses");
+    s.store_forwards = r.u("store_forwards");
+    s.threshold_min = r.u("threshold_min");
+    s.threshold_max = r.u("threshold_max");
+    s.threshold_final = r.u("threshold_final");
+    s.expected_chain_length = r.f("expected_chain_length");
+    s.sim_seconds = r.f("sim_seconds");
+    if (!r.ok())
+        return std::nullopt;
+
+    std::string hist_tag;
+    u64 max_sample = 0, count = 0, sum = 0, sum_sq = 0;
+    if (!(in >> hist_tag >> max_sample >> count >> sum >> sum_sq) ||
+        hist_tag != "hist" || max_sample > 1'000'000) {
+        return std::nullopt;
+    }
+    std::vector<u64> buckets(max_sample + 1, 0);
+    for (u64 &b : buckets)
+        if (!(in >> b))
+            return std::nullopt;
+    s.chain_lengths = Histogram::fromRaw(max_sample, std::move(buckets),
+                                         count, sum, sum_sq);
+
+    std::string endtag;
+    if (!(in >> endtag) || endtag != "end")
+        return std::nullopt; // truncated write
+    return s;
+}
+
+RunCache::RunCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        warn("run cache: cannot create '", dir_, "': ", ec.message());
+}
+
+std::optional<RunCache>
+RunCache::fromEnv()
+{
+    const char *dir = std::getenv("REDSOC_CACHE_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return std::nullopt;
+    return RunCache(dir);
+}
+
+std::string
+RunCache::entryPath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.stats",
+                  static_cast<unsigned long long>(hashKey(key)));
+    return (fs::path(dir_) / name).string();
+}
+
+std::optional<CoreStats>
+RunCache::load(const std::string &key) const
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return deserializeStats(text.str(), key);
+}
+
+void
+RunCache::store(const std::string &key, const CoreStats &stats) const
+{
+    const std::string final_path = entryPath(key);
+    std::ostringstream tmp_name;
+    tmp_name << ".tmp-" << ::getpid() << '-'
+             << std::this_thread::get_id() << '-'
+             << (hashKey(key) & 0xffff);
+    const fs::path tmp_path = fs::path(dir_) / tmp_name.str();
+
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("run cache: cannot write '", tmp_path.string(), "'");
+            return;
+        }
+        out << serializeStats(key, stats);
+        if (!out.good()) {
+            warn("run cache: short write to '", tmp_path.string(), "'");
+            return;
+        }
+    }
+    // Atomic publish: readers only ever see absent or complete files,
+    // and the last concurrent writer of an identical point wins.
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("run cache: rename to '", final_path, "': ", ec.message());
+        fs::remove(tmp_path, ec);
+    }
+}
+
+RunCache::Totals
+RunCache::scan(const std::string &dir)
+{
+    Totals t;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().extension() != ".stats")
+            continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        if (!in)
+            continue;
+        std::ostringstream text;
+        text << in.rdbuf();
+        const auto stats = deserializeStats(text.str(), "");
+        if (!stats)
+            continue;
+        ++t.runs;
+        t.committed_ops += stats->committed;
+        t.sim_seconds += stats->sim_seconds;
+    }
+    return t;
+}
+
+} // namespace redsoc

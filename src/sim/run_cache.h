@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Persistent cross-process run cache. The 19 figure/table harnesses
+ * recompute heavily overlapping (workload x config) points — every
+ * one of them re-runs the slack-threshold tuning sweep. When the
+ * REDSOC_CACHE_DIR environment variable names a directory, SimDriver
+ * stores every finished CoreStats there (text format, versioned,
+ * atomic rename-on-write) and later processes load instead of
+ * resimulating. Entries are keyed by the full run key
+ * (workload @ configKey # max_ops) plus a format version; any
+ * mismatch, parse error, or truncation falls back to recomputation.
+ */
+
+#ifndef REDSOC_SIM_RUN_CACHE_H
+#define REDSOC_SIM_RUN_CACHE_H
+
+#include <optional>
+#include <string>
+
+#include "core/ooo_core.h"
+
+namespace redsoc {
+
+class RunCache
+{
+  public:
+    /** Bump when the serialized CoreStats layout changes. */
+    static constexpr unsigned kFormatVersion = 1;
+
+    explicit RunCache(std::string dir);
+
+    /**
+     * Cache named by REDSOC_CACHE_DIR (created if missing), or
+     * nullopt when the variable is unset/empty.
+     */
+    static std::optional<RunCache> fromEnv();
+
+    /** Load the stats stored under @p key; nullopt on miss or any
+     *  version/key/parse mismatch (never throws on bad files). */
+    std::optional<CoreStats> load(const std::string &key) const;
+
+    /** Persist @p stats under @p key (atomic rename-on-write, safe
+     *  against concurrent harnesses sharing the directory). */
+    void store(const std::string &key, const CoreStats &stats) const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Path of the entry file for @p key (testing/inspection). */
+    std::string entryPath(const std::string &key) const;
+
+    /** Aggregate totals over every readable entry in a cache dir
+     *  (the bench_all throughput summary). */
+    struct Totals
+    {
+        u64 runs = 0;
+        u64 committed_ops = 0;
+        double sim_seconds = 0.0;
+    };
+    static Totals scan(const std::string &dir);
+
+  private:
+    std::string dir_;
+};
+
+/** Text codec for CoreStats (exposed for tests). */
+std::string serializeStats(const std::string &key, const CoreStats &stats);
+std::optional<CoreStats> deserializeStats(const std::string &text,
+                                          const std::string &expect_key);
+
+} // namespace redsoc
+
+#endif // REDSOC_SIM_RUN_CACHE_H

@@ -1,0 +1,89 @@
+#include "sim/thread_pool.h"
+
+namespace redsoc {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    all_idle_.wait(lock,
+                   [this] { return queue_.empty() && active_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        task_ready_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            lock.lock();
+            if (!first_error_)
+                first_error_ = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            all_idle_.notify_all();
+    }
+}
+
+ThreadPool &
+globalSimPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace redsoc

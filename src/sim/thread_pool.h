@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A small fixed-size thread pool (no work stealing): tasks go into a
+ * single FIFO queue and a fixed set of workers drains it. Built for
+ * the SimDriver's batch APIs, where every task is one independent
+ * (workload x config) simulation point and fairness/locality tricks
+ * would buy nothing.
+ */
+
+#ifndef REDSOC_SIM_THREAD_POOL_H
+#define REDSOC_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace redsoc {
+
+class ThreadPool
+{
+  public:
+    /** @p threads == 0 selects std::thread::hardware_concurrency(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; it runs on some worker, FIFO order. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far has finished. If any
+     * task threw, the first captured exception is rethrown here (the
+     * remaining tasks still ran).
+     */
+    void wait();
+
+    unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable task_ready_;
+    std::condition_variable all_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::exception_ptr first_error_;
+    unsigned active_ = 0;
+    bool stopping_ = false;
+};
+
+/** Process-wide pool shared by every SimDriver batch call. */
+ThreadPool &globalSimPool();
+
+} // namespace redsoc
+
+#endif // REDSOC_SIM_THREAD_POOL_H

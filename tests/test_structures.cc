@@ -119,6 +119,60 @@ TEST(Rs, AgeOrderMaintained)
     EXPECT_THROW(rs.insert(5), std::logic_error); // violates order
 }
 
+TEST(Rs, SnapshotMatchesEntries)
+{
+    ReservationStations rs(8);
+    std::vector<SeqNum> buf = {99, 98}; // stale contents get cleared
+    rs.insert(4);
+    rs.insert(7);
+    rs.insert(9);
+    rs.remove(7);
+    rs.snapshot(buf);
+    EXPECT_EQ(buf, (std::vector<SeqNum>{4, 9}));
+    EXPECT_EQ(rs.entries(), buf);
+}
+
+// Regression for the tombstone + amortized-compaction scheme: age
+// (oldest-first) order must survive arbitrary interleavings of
+// in-order inserts and out-of-order removes, across many sweeps.
+TEST(Rs, OrderPreservedAcrossInterleavedInsertRemove)
+{
+    ReservationStations rs(16);
+    std::vector<SeqNum> model; // straightforward reference
+    SeqNum next = 0;
+    u64 prng = 0x243f6a8885a308d3ull;
+    for (int step = 0; step < 5000; ++step) {
+        prng = prng * 6364136223846793005ull + 1442695040888963407ull;
+        const bool do_insert =
+            !rs.full() && (model.empty() || (prng >> 33) % 3 != 0);
+        if (do_insert) {
+            rs.insert(next);
+            model.push_back(next);
+            ++next;
+        } else {
+            // Remove a pseudo-random live entry (issue is unordered).
+            const size_t victim = (prng >> 33) % model.size();
+            rs.remove(model[victim]);
+            model.erase(model.begin() + victim);
+        }
+        ASSERT_EQ(rs.size(), model.size()) << "step " << step;
+        ASSERT_EQ(rs.entries(), model) << "step " << step;
+        ASSERT_EQ(rs.empty(), model.empty());
+        ASSERT_EQ(rs.full(), model.size() >= 16);
+    }
+}
+
+TEST(Rs, DoubleRemovePanics)
+{
+    ReservationStations rs(4);
+    rs.insert(3);
+    rs.insert(5);
+    rs.remove(3);
+    EXPECT_THROW(rs.remove(3), std::logic_error); // tombstoned
+    EXPECT_THROW(rs.remove(4), std::logic_error); // never inserted
+    EXPECT_EQ(rs.entries(), (std::vector<SeqNum>{5}));
+}
+
 TEST(Rat, TracksYoungestWriter)
 {
     Rat rat;

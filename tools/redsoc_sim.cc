@@ -156,6 +156,8 @@ main(int argc, char **argv)
                 schedModeName(mode),
                 static_cast<unsigned long long>(stats.cycles),
                 stats.ipc());
+    std::printf("host: %.3f s simulation, %.2f simulated MIPS\n",
+                stats.sim_seconds, stats.simMips());
 
     if (want_compare && mode != SchedMode::Baseline) {
         const CoreStats &base =
