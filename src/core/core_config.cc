@@ -25,6 +25,16 @@ rsDesignName(RsDesign design)
     }
 }
 
+const char *
+schedKernelName(SchedKernel kernel)
+{
+    switch (kernel) {
+      case SchedKernel::Scan: return "scan";
+      case SchedKernel::Event: return "event";
+      default: panic("bad sched kernel");
+    }
+}
+
 CoreConfig
 smallCore()
 {

@@ -37,6 +37,24 @@ enum class RsDesign : u8 {
 
 const char *rsDesignName(RsDesign design);
 
+/**
+ * Scheduler simulation kernel. Both kernels model the exact same
+ * machine and produce bit-identical CoreStats (enforced by the
+ * differential suite in tests/test_sched_equiv.cc); they differ only
+ * in how the simulator finds work each cycle.
+ */
+enum class SchedKernel : u8 {
+    /** Legacy oracle: re-evaluate every waiting RS entry every cycle
+     *  (O(RS x producers) per cycle). Kept as the reference model. */
+    Scan,
+    /** Event-driven: tag-broadcast wakeup through per-producer
+     *  consumer lists, age-ordered per-pool ready sets, and
+     *  idle-cycle fast-forward. The default. */
+    Event,
+};
+
+const char *schedKernelName(SchedKernel kernel);
+
 struct CoreConfig
 {
     std::string name = "medium";
@@ -65,6 +83,7 @@ struct CoreConfig
     // --- Scheduling / ReDSOC knobs ----------------------------------
     SchedMode mode = SchedMode::Baseline;
     RsDesign rs_design = RsDesign::Operational;
+    SchedKernel sched_kernel = SchedKernel::Event;
 
     /** CI field precision in bits (paper: 3; Sec.V sweep 1..8). */
     unsigned ci_precision_bits = 3;

@@ -60,6 +60,20 @@ FuPool::freeUnits(FuPoolKind kind, Cycle cycle) const
     return busy >= cap ? 0 : cap - busy;
 }
 
+bool
+FuPool::freeSpan(FuPoolKind kind, Cycle cycle, unsigned span) const
+{
+    const unsigned cap = capacity(kind);
+    const auto &per_kind = booked_[static_cast<size_t>(kind)];
+    for (unsigned i = 0; i < span; ++i) {
+        const Cycle c = cycle + i;
+        const unsigned idx = c % kHorizon;
+        if (cycle_tag_[idx] == c && per_kind[idx] >= cap)
+            return false;
+    }
+    return true;
+}
+
 void
 FuPool::book(FuPoolKind kind, Cycle cycle, unsigned span)
 {

@@ -30,6 +30,11 @@ class FuPool
     /** Units of @p kind free during @p cycle. */
     unsigned freeUnits(FuPoolKind kind, Cycle cycle) const;
 
+    /** True iff one unit of @p kind is free on every cycle of
+     *  [cycle, cycle+span) — the two-cycle-hold admission check,
+     *  without re-hashing the ring slot per freeUnits call. */
+    bool freeSpan(FuPoolKind kind, Cycle cycle, unsigned span) const;
+
     /** Book one unit of @p kind for cycles [cycle, cycle+span). */
     void book(FuPoolKind kind, Cycle cycle, unsigned span = 1);
 

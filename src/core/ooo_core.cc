@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "sim/profile.h"
 
 namespace redsoc {
 
@@ -66,6 +67,13 @@ OooCore::OooCore(CoreConfig config)
 {
     fatal_if(config_.slack_threshold_ticks > clock_.ticksPerCycle(),
              "slack threshold exceeds a full cycle");
+    event_kernel_ = config_.sched_kernel == SchedKernel::Event;
+    // The EGPW candidate set only exists where a separate Phase-B
+    // scan does: skewed selection. The non-skewed ablation evaluates
+    // EGPW inline in Phase A on the same ready set.
+    collect_eager_ = event_kernel_ &&
+                     config_.mode == SchedMode::ReDSOC && config_.egpw &&
+                     config_.skewed_select;
 }
 
 bool
@@ -232,6 +240,33 @@ OooCore::dispatchPhase(const Trace &trace)
             op.in_lsq = true;
         }
 
+        if (event_kernel_) {
+            // Wire the wakeup network: one consumer edge per distinct
+            // producer still waiting in the RS. An op whose producers
+            // are all already scheduled self-arms for its first
+            // eligible cycle (dispatch_cycle + 1).
+            for (unsigned i = 0; i < op.nprod; ++i) {
+                bool dup = false;
+                for (unsigned j = 0; j < i; ++j)
+                    dup = dup || op.prod[j] == op.prod[i];
+                if (dup)
+                    continue;
+                OpState &ps = ops_[op.prod[i]];
+                if (ps.st != OpState::St::InRs)
+                    continue;
+                ++op.pending;
+                const u32 e = static_cast<u32>(cons_edges_.size());
+                cons_edges_.push_back({seq, kNoEdge});
+                if (ps.cons_tail == kNoEdge)
+                    ps.cons_head = e;
+                else
+                    cons_edges_[ps.cons_tail].next = e;
+                ps.cons_tail = e;
+            }
+            if (op.pending == 0)
+                armAt(seq, cycle_ + 1);
+        }
+
         if (op.is_branch && op.branch_mispredicted) {
             // Everything younger is wrong-path until this resolves.
             fetch_blocked_on_ = seq;
@@ -241,13 +276,16 @@ OooCore::dispatchPhase(const Trace &trace)
 }
 
 bool
-OooCore::evalConventional(SeqNum seq, Candidate &cand)
+OooCore::evalConventional(SeqNum seq, Candidate &cand, Cycle *next_try)
 {
     OpState &op = ops_[seq];
     if (op.st != OpState::St::InRs)
         return false;
-    if (cycle_ < op.dispatch_cycle + 1 || cycle_ < op.retry_cycle)
+    if (cycle_ < op.dispatch_cycle + 1 || cycle_ < op.retry_cycle) {
+        if (next_try)
+            *next_try = std::max(op.dispatch_cycle + 1, op.retry_cycle);
         return false;
+    }
 
     for (unsigned i = 0; i < op.nprod; ++i) {
         if (ops_[op.prod[i]].st == OpState::St::InRs ||
@@ -284,12 +322,17 @@ OooCore::evalConventional(SeqNum seq, Candidate &cand)
             // Woke early on the wrong tag: replay penalty.
             static constexpr Cycle kLaReplayPenalty = 2;
             op.retry_cycle = true_ready + kLaReplayPenalty;
+            if (next_try)
+                *next_try = op.retry_cycle;
             return false;
         }
     }
 
-    if (cycle_ < selGate(op))
+    if (cycle_ < selGate(op)) {
+        if (next_try)
+            *next_try = selGate(op);
         return false;
+    }
 
     const Tick arrival = clock_.cycleStart(cycle_ + 1);
     const Tick producers_t = producersComplete(op);
@@ -304,11 +347,28 @@ OooCore::evalConventional(SeqNum seq, Candidate &cand)
         start = producers_t;
         transparent = true;
     } else {
+        if (next_try) {
+            // Data arrives by the boundary entering c_data; the one
+            // cycle in which the producer's mid-cycle completion can
+            // be recycled (arrival < completion < arrival + period)
+            // is c_data - 1, so an eligible consumer re-evaluates
+            // there first to test the (possibly dynamic) threshold.
+            const Tick tpc = clock_.ticksPerCycle();
+            const Cycle c_data = (producers_t + tpc - 1) / tpc - 1;
+            Cycle t = c_data;
+            if (config_.mode == SchedMode::ReDSOC && op.eligible &&
+                producers_t % tpc != 0 && cycle_ < c_data - 1)
+                t = c_data - 1;
+            *next_try = t;
+        }
         return false; // data not available (or not recyclable)
     }
 
-    if (op.is_load && lsq_.olderStoreUnresolved(seq))
+    if (op.is_load && lsq_.olderStoreUnresolved(seq)) {
+        if (next_try)
+            *next_try = kParkLoad;
         return false;
+    }
 
     cand.seq = seq;
     cand.speculative = false;
@@ -495,6 +555,80 @@ OooCore::issueOp(const Candidate &cand)
     }
     if (cand.span == 2 && op.eligible && !op.width_replayed)
         ++stats_.two_cycle_holds;
+
+    if (event_kernel_)
+        broadcastWakeup(cand.seq);
+}
+
+void
+OooCore::armAt(SeqNum seq, Cycle c)
+{
+    ops_[seq].armed_cycle = c;
+    if (c == cycle_ + 1)
+        next_arms_.push_back(seq);
+    else
+        wake_pq_.emplace(c, seq);
+}
+
+void
+OooCore::scheduleEval(SeqNum seq, bool newly_woken)
+{
+    OpState &op = ops_[seq];
+    if (in_phase_a_) {
+        // The waker is older (smaller seq), so the Phase-A cursor has
+        // not reached this entry yet: it gets evaluated this cycle,
+        // exactly where the scan kernel's full pass would visit it.
+        ready_.insert(seq, op.pool);
+        op.armed_cycle = cycle_;
+    } else {
+        armAt(seq, cycle_ + 1);
+    }
+    // A newly-woken entry is an EGPW candidate this same cycle (its
+    // last parent was granted this cycle).
+    if (newly_woken && collect_eager_)
+        eager_.insert(seq, op.pool);
+}
+
+void
+OooCore::broadcastWakeup(SeqNum seq)
+{
+    const OpState &op = ops_[seq];
+    for (u32 e = op.cons_head; e != kNoEdge; e = cons_edges_[e].next) {
+        const SeqNum cseq = cons_edges_[e].consumer;
+        if (--ops_[cseq].pending == 0)
+            scheduleEval(cseq, true);
+    }
+    // A store resolving its address can unblock any younger parked
+    // load (memory-order wakeup rides the same broadcast port).
+    if (op.is_store && !parked_loads_.empty()) {
+        for (SeqNum l : parked_loads_)
+            if (ops_[l].st == OpState::St::InRs)
+                scheduleEval(l, false);
+        parked_loads_.clear();
+    }
+}
+
+void
+OooCore::drainWakeQueue()
+{
+    if (!next_arms_.empty()) {
+        // Arms pushed last cycle for this one (fastForward never
+        // jumps over a pending next-cycle arm).
+        for (SeqNum seq : next_arms_) {
+            const OpState &op = ops_[seq];
+            if (op.st == OpState::St::InRs && op.armed_cycle == cycle_)
+                ready_.insert(seq, op.pool);
+        }
+        next_arms_.clear();
+    }
+    while (!wake_pq_.empty() && wake_pq_.top().first <= cycle_) {
+        const auto [c, seq] = wake_pq_.top();
+        wake_pq_.pop();
+        const OpState &op = ops_[seq];
+        if (op.st != OpState::St::InRs || op.armed_cycle != c)
+            continue; // stale arm (issued, or re-armed since)
+        ready_.insert(seq, op.pool);
+    }
 }
 
 Tick
@@ -532,6 +666,96 @@ OooCore::memCompleteTick(SeqNum seq, Tick arrival)
     return ready + Tick{result.latency} * tpc;
 }
 
+bool
+OooCore::phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
+                     Cycle *next_try)
+{
+    Candidate cand;
+    bool is_req = evalConventional(seq, cand, next_try);
+    if (!is_req && interleave_spec) {
+        is_req = evalEager(seq, cand);
+        if (is_req)
+            ++stats_.egpw_requests;
+    }
+    if (!is_req)
+        return false;
+
+    const FuPoolKind pool = ops_[seq].pool;
+    if (cand.speculative) {
+        if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
+            fu_denied = true;
+            return true;
+        }
+        ++stats_.egpw_grants;
+        if (!cand.recycle_ok) {
+            fu_.book(pool, cycle_ + 1, 1);
+            ++stats_.egpw_wasted;
+            return true;
+        }
+    }
+    if (!fu_.freeSpan(pool, cycle_ + 1, cand.span)) {
+        if (cand.speculative) {
+            fu_.book(pool, cycle_ + 1, 1);
+            ++stats_.egpw_wasted;
+        } else {
+            fu_denied = true;
+        }
+        return true;
+    }
+    fu_.book(pool, cycle_ + 1, cand.span);
+    issueOp(cand);
+    if (!cand.speculative)
+        conv_grants_.push_back(cand);
+    return true;
+}
+
+bool
+OooCore::tryFuse(const Candidate &pg, SeqNum cseq)
+{
+    const Tick tpc = clock_.ticksPerCycle();
+    const Tick arrival = clock_.cycleStart(cycle_ + 1);
+    const OpState &pop = ops_[pg.seq];
+    OpState &cop = ops_[cseq];
+    if (cop.st != OpState::St::InRs || !cop.eligible)
+        return false;
+    if (cycle_ < cop.dispatch_cycle + 1 || cycle_ < cop.retry_cycle)
+        return false;
+    if (cop.pool != pop.pool)
+        return false;
+    bool all_sched = true;
+    bool parent_is_last = false;
+    Tick others = 0;
+    for (unsigned i = 0; i < cop.nprod; ++i) {
+        const OpState &xs = ops_[cop.prod[i]];
+        if (xs.st == OpState::St::InRs ||
+            xs.st == OpState::St::Fetched) {
+            all_sched = false;
+            break;
+        }
+        if (cop.prod[i] == pg.seq)
+            parent_is_last = true;
+        else
+            others = std::max(others, xs.complete_tick);
+    }
+    if (!all_sched || !parent_is_last || others > arrival)
+        return false;
+    if (pop.est_ticks + cop.est_ticks > tpc)
+        return false;
+
+    Candidate fc;
+    fc.seq = cseq;
+    fc.speculative = false;
+    fc.recycle_ok = true;
+    fc.start = arrival + pop.est_ticks;
+    fc.complete = arrival + tpc;
+    fc.span = 0;
+    fc.transparent = false;
+    issueOp(fc);
+    cop.fused = true;
+    ++stats_.fused_ops;
+    return true;
+}
+
 void
 OooCore::issuePhase()
 {
@@ -544,67 +768,56 @@ OooCore::issuePhase()
     // Phase A: conventional (parent-woken) requests, oldest first.
     // With skewed selection disabled (ablation), speculative EGPW
     // requests compete purely by age and are interleaved here.
-    // Snapshot into the reusable scan buffer: issueOp removes the
-    // granted entry from the RS mid-scan.
-    rs_.snapshot(scan_);
-    for (SeqNum seq : scan_) {
-        Candidate cand;
-        bool is_req = evalConventional(seq, cand);
-        if (!is_req && interleave_spec) {
-            is_req = evalEager(seq, cand);
-            if (is_req)
-                ++stats_.egpw_requests;
+    if (event_kernel_) {
+        // Only entries with a due re-arm or a fresh broadcast wakeup
+        // can request (or have a side effect) this cycle; every entry
+        // skipped here would evaluate to a pure false under the scan
+        // kernel. Mid-scan wakeups land ahead of the cursor (a
+        // consumer is always younger than its producer), preserving
+        // the full scan's age-ordered select.
+        drainWakeQueue();
+        in_phase_a_ = true;
+        SeqNum cur = 0;
+        for (SeqNum seq; (seq = ready_.nextAtOrAfter(cur)) != kNoSeq;) {
+            ready_.erase(seq, ops_[seq].pool);
+            cur = seq + 1;
+            Cycle next_try = kNoCycle;
+            const bool requested =
+                phaseAEntry(seq, interleave_spec, fu_denied, &next_try);
+            const OpState &op = ops_[seq];
+            if (op.st != OpState::St::InRs)
+                continue; // issued
+            if (requested)
+                armAt(seq, cycle_ + 1); // denied or wasted: retry
+            else if (next_try == kParkLoad)
+                parked_loads_.push_back(seq);
+            else if (next_try != kNoCycle)
+                armAt(seq, next_try);
+            // else: wake-driven (a producer broadcast re-inserts it)
         }
-        if (!is_req)
-            continue;
-
-        const FuPoolKind pool = ops_[seq].pool;
-        if (cand.speculative) {
-            if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
-                fu_denied = true;
-                continue;
-            }
-            ++stats_.egpw_grants;
-            if (!cand.recycle_ok) {
-                fu_.book(pool, cycle_ + 1, 1);
-                ++stats_.egpw_wasted;
-                continue;
-            }
-        }
-        bool free = true;
-        for (unsigned i = 0; i < cand.span; ++i)
-            if (fu_.freeUnits(pool, cycle_ + 1 + i) == 0)
-                free = false;
-        if (!free) {
-            if (cand.speculative) {
-                fu_.book(pool, cycle_ + 1, 1);
-                ++stats_.egpw_wasted;
-            } else {
-                fu_denied = true;
-            }
-            continue;
-        }
-        fu_.book(pool, cycle_ + 1, cand.span);
-        issueOp(cand);
-        if (!cand.speculative)
-            conv_grants_.push_back(cand);
+        in_phase_a_ = false;
+    } else {
+        // Snapshot into the reusable scan buffer: issueOp removes the
+        // granted entry from the RS mid-scan.
+        rs_.snapshot(scan_);
+        for (SeqNum seq : scan_)
+            phaseAEntry(seq, interleave_spec, fu_denied, nullptr);
     }
 
     // Phase B: EGPW speculative requests from leftover units (the
     // skewed-select ordering: conventional grants always first).
     if (redsoc && config_.egpw && !interleave_spec) {
-        rs_.snapshot(scan_);
-        for (SeqNum seq : scan_) {
+        auto phase_b = [&](SeqNum seq) {
             Candidate cand;
             if (!evalEager(seq, cand))
-                continue;
+                return;
             ++stats_.egpw_requests;
             const FuPoolKind pool = ops_[seq].pool;
             if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
                 // Not granted (no conventional op was displaced), but
                 // a ready request stalled on busy units all the same.
                 fu_denied = true;
-                continue;
+                return;
             }
             ++stats_.egpw_grants;
             if (!cand.recycle_ok) {
@@ -613,73 +826,58 @@ OooCore::issuePhase()
                 // recycle gating).
                 fu_.book(pool, cycle_ + 1, 1);
                 ++stats_.egpw_wasted;
-                continue;
+                return;
             }
-            bool free = true;
-            for (unsigned i = 0; i < cand.span; ++i)
-                if (fu_.freeUnits(pool, cycle_ + 1 + i) == 0)
-                    free = false;
-            if (!free) {
+            if (!fu_.freeSpan(pool, cycle_ + 1, cand.span)) {
                 fu_.book(pool, cycle_ + 1, 1);
                 ++stats_.egpw_wasted;
-                continue;
+                return;
             }
             fu_.book(pool, cycle_ + 1, cand.span);
             issueOp(cand);
+        };
+        if (event_kernel_) {
+            // Exactly the entries woken this cycle can pass the
+            // evalEager window (their last parent was granted this
+            // cycle); Phase-B cascades insert ahead of the cursor.
+            SeqNum cur = 0;
+            for (SeqNum seq;
+                 (seq = eager_.nextAtOrAfter(cur)) != kNoSeq;) {
+                eager_.erase(seq, ops_[seq].pool);
+                cur = seq + 1;
+                phase_b(seq);
+            }
+        } else {
+            rs_.snapshot(scan_);
+            for (SeqNum seq : scan_)
+                phase_b(seq);
         }
     }
 
     // MOS: dynamic operation fusion. A granted producer may pull one
     // ready consumer into its own cycle when both computations fit.
+    // One RS view serves the whole cycle: entries issued by earlier
+    // grants in this loop are filtered by the St::InRs check, so the
+    // old per-producer re-snapshot was pure overhead. The event
+    // kernel walks the granted producer's age-ordered consumer list
+    // instead (fusion requires the producer among the consumer's
+    // sources, so non-consumers can never match).
     if (config_.mode == SchedMode::MOS) {
-        const Tick tpc = clock_.ticksPerCycle();
-        const Tick arrival = clock_.cycleStart(cycle_ + 1);
+        if (!event_kernel_)
+            rs_.snapshot(mos_scan_);
         for (const Candidate &pg : conv_grants_) {
-            OpState &pop = ops_[pg.seq];
+            const OpState &pop = ops_[pg.seq];
             if (!pop.eligible || pop.est_ticks == 0)
                 continue;
-            rs_.snapshot(mos_scan_);
-            for (SeqNum cseq : mos_scan_) {
-                OpState &cop = ops_[cseq];
-                if (cop.st != OpState::St::InRs || !cop.eligible)
-                    continue;
-                if (cycle_ < cop.dispatch_cycle + 1 ||
-                    cycle_ < cop.retry_cycle)
-                    continue;
-                if (cop.pool != pop.pool)
-                    continue;
-                bool all_sched = true;
-                bool parent_is_last = false;
-                Tick others = 0;
-                for (unsigned i = 0; i < cop.nprod; ++i) {
-                    const OpState &xs = ops_[cop.prod[i]];
-                    if (xs.st == OpState::St::InRs ||
-                        xs.st == OpState::St::Fetched) {
-                        all_sched = false;
-                        break;
-                    }
-                    if (cop.prod[i] == pg.seq)
-                        parent_is_last = true;
-                    else
-                        others = std::max(others, xs.complete_tick);
-                }
-                if (!all_sched || !parent_is_last || others > arrival)
-                    continue;
-                if (pop.est_ticks + cop.est_ticks > tpc)
-                    continue;
-
-                Candidate fc;
-                fc.seq = cseq;
-                fc.speculative = false;
-                fc.recycle_ok = true;
-                fc.start = arrival + pop.est_ticks;
-                fc.complete = arrival + tpc;
-                fc.span = 0;
-                fc.transparent = false;
-                issueOp(fc);
-                ops_[cseq].fused = true;
-                ++stats_.fused_ops;
-                break; // one fusion per producer
+            if (event_kernel_) {
+                for (u32 e = pop.cons_head; e != kNoEdge;
+                     e = cons_edges_[e].next)
+                    if (tryFuse(pg, cons_edges_[e].consumer))
+                        break; // one fusion per producer
+            } else {
+                for (SeqNum cseq : mos_scan_)
+                    if (tryFuse(pg, cseq))
+                        break; // one fusion per producer
             }
         }
     }
@@ -741,10 +939,105 @@ OooCore::commitPhase()
         }
 
         chains_.onRetire(seq);
+
+        // Fold the op's architectural schedule into the commit-trace
+        // checksum (FNV-1a) so differential runs can prove the whole
+        // schedule matched, not just the aggregate counters.
+        auto fold = [this](u64 v) {
+            stats_.commit_checksum ^= v;
+            stats_.commit_checksum *= 0x100000001b3ull;
+        };
+        fold(seq);
+        fold(op.select_cycle);
+        fold(op.start_tick);
+        fold(op.complete_tick);
+        fold((op.transparent ? 1u : 0u) | (op.fused ? 2u : 0u));
+
         ++commit_ptr_;
         ++committed;
         last_commit_cycle_ = cycle_;
     }
+}
+
+void
+OooCore::fastForward(bool adapting)
+{
+    // Arms buffered during the just-finished cycle are due exactly
+    // now (cycle_ already advanced): nothing to skip.
+    if (!next_arms_.empty())
+        return;
+
+    // The next cycle the scheduler can do non-trivial work: the
+    // earliest live arm in the wake queue. Every waiting RS entry is
+    // either armed here, parked behind an older store (itself an
+    // armed-or-parked chain rooted at an armed entry), or waiting on
+    // a producer broadcast from one of those.
+    Cycle target = kNoCycle;
+    while (!wake_pq_.empty()) {
+        const auto &[c, seq] = wake_pq_.top();
+        const OpState &op = ops_[seq];
+        if (op.st != OpState::St::InRs || op.armed_cycle != c) {
+            wake_pq_.pop(); // stale arm
+            continue;
+        }
+        target = c;
+        break;
+    }
+
+    // The next commit: the ROB head's completion boundary. (A head
+    // still in the RS becomes Done through a wake-queue event.)
+    if (!rob_.empty()) {
+        const OpState &head = ops_[rob_.head()];
+        if (head.st == OpState::St::Done) {
+            const Tick tpc = clock_.ticksPerCycle();
+            target =
+                std::min(target, (head.complete_tick + tpc - 1) / tpc);
+        }
+    }
+
+    // The next dispatch. Structural stalls (ROB/RS/LSQ full) clear
+    // through commits or issues, which the two events above already
+    // bound; an unresolved-branch block clears when the blocker
+    // issues (a wake event) or, once it is Done, at the redirect.
+    if (next_fetch_ < trace_->size()) {
+        if (fetch_blocked_on_ != kNoSeq) {
+            const OpState &b = ops_[fetch_blocked_on_];
+            if (b.st != OpState::St::InRs &&
+                b.st != OpState::St::Fetched) {
+                const Cycle redirect =
+                    clock_.cycleOf(b.complete_tick - 1) + 1 +
+                    config_.redirect_penalty;
+                target = std::min(target, std::max(cycle_, redirect));
+            }
+        } else {
+            const Inst &inst = trace_->inst(next_fetch_);
+            const bool is_mem = isMem(inst.op);
+            const bool is_halt = inst.op == Opcode::HALT;
+            const bool needs_rs = !is_halt && inst.op != Opcode::B &&
+                                  inst.op != Opcode::BL &&
+                                  inst.op != Opcode::RET;
+            const bool blocked = rob_.full() ||
+                                 (needs_rs && rs_.full()) ||
+                                 (is_mem && lsq_.full());
+            if (!blocked)
+                target = std::min(
+                    target, std::max(cycle_, fetch_stall_until_));
+        }
+    }
+
+    // Never jump past the no-commit panic horizon (a deadlocked
+    // simulation must still abort at the same cycle as the scan
+    // kernel), nor past a dynamic-threshold epoch boundary (the
+    // adaptation at each boundary is a side effect of its own).
+    const Cycle horizon = last_commit_cycle_ + 50'000;
+    if (target > horizon)
+        target = horizon;
+    if (adapting) {
+        const Cycle epoch = config_.threshold_epoch;
+        target = std::min(target, (cycle_ / epoch + 1) * epoch - 1);
+    }
+    if (target > cycle_)
+        cycle_ = target;
 }
 
 CoreStats
@@ -770,21 +1063,47 @@ OooCore::run(const Trace &trace)
     last_epoch_commits_ = 0;
     stats_.threshold_min = cur_threshold_;
     stats_.threshold_max = cur_threshold_;
+    cons_edges_.clear();
+    wake_pq_ = {};
+    next_arms_.clear();
+    ready_.clear();
+    eager_.clear();
+    parked_loads_.clear();
+    in_phase_a_ = false;
 
     const bool adapting = config_.dynamic_threshold &&
                           config_.mode == SchedMode::ReDSOC;
+    const bool profiling = prof::enabled();
 
     const SeqNum total = trace.size();
+    prof::ScopedTimer run_timer(prof::Phase::Run, profiling);
     while (commit_ptr_ < total) {
-        commitPhase();
-        issuePhase();
-        dispatchPhase(trace);
+        if (profiling) {
+            {
+                prof::ScopedTimer t(prof::Phase::Commit, true);
+                commitPhase();
+            }
+            {
+                prof::ScopedTimer t(prof::Phase::Issue, true);
+                issuePhase();
+            }
+            {
+                prof::ScopedTimer t(prof::Phase::Dispatch, true);
+                dispatchPhase(trace);
+            }
+        } else {
+            commitPhase();
+            issuePhase();
+            dispatchPhase(trace);
+        }
         ++cycle_;
         if (adapting && cycle_ % config_.threshold_epoch == 0)
             adaptThreshold();
         panic_if(cycle_ - last_commit_cycle_ > 50'000,
                  "no commit for 50k cycles at cycle ", cycle_,
                  " (commit_ptr ", commit_ptr_, "/", total, ")");
+        if (event_kernel_ && commit_ptr_ < total)
+            fastForward(adapting);
     }
 
     stats_.threshold_final = cur_threshold_;

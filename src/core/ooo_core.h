@@ -16,6 +16,8 @@
 #define REDSOC_CORE_OOO_CORE_H
 
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "core/core_config.h"
@@ -67,6 +69,16 @@ struct CoreStats
 
     Histogram chain_lengths{64};  ///< final transparent-sequence lengths
     double expected_chain_length = 0.0; ///< Fig.11 statistic
+
+    /**
+     * FNV-1a hash folded over every committed op's architectural
+     * schedule (sequence number, select cycle, start/complete ticks,
+     * transparent/fused flags) in commit order. Two runs with equal
+     * checksums executed the same schedule op for op — the
+     * scheduler-kernel differential harness compares it alongside
+     * every counter above.
+     */
+    u64 commit_checksum = 0xcbf29ce484222325ull;
 
     /**
      * Host wall-clock seconds the simulation took. Observability
@@ -131,6 +143,13 @@ class OooCore
     const CoreConfig &config() const { return config_; }
 
   private:
+    /** "no cycle" sentinel for event-kernel re-arm hints. */
+    static constexpr Cycle kNoCycle = ~Cycle{0};
+    /** Re-arm hint: parked behind an older unresolved store. */
+    static constexpr Cycle kParkLoad = kNoCycle - 1;
+    /** Consumer-edge list terminator. */
+    static constexpr u32 kNoEdge = ~u32{0};
+
     /** Per-dynamic-op scheduling state. */
     struct OpState
     {
@@ -169,6 +188,15 @@ class OooCore
 
         u32 predicted_next = 0;  ///< branch predictor outcome
         bool branch_mispredicted = false;
+
+        // --- Event-kernel wakeup state (SchedKernel::Event only) ---
+        /** Distinct producers still in the RS (wakeups pending). */
+        u8 pending = 0;
+        /** Cycle of this entry's live wake_pq_ arm (stale-guard). */
+        Cycle armed_cycle = kNoCycle;
+        /** Head/tail of this op's consumer-edge list (kNoEdge = none). */
+        u32 cons_head = kNoEdge;
+        u32 cons_tail = kNoEdge;
     };
 
     /** A select-stage request assembled during issue. */
@@ -190,10 +218,51 @@ class OooCore
      *  dynamic-threshold extension). */
     void adaptThreshold();
 
-    /** Evaluate a conventional (parent-woken) candidate. */
-    bool evalConventional(SeqNum seq, Candidate &cand);
+    /**
+     * Evaluate a conventional (parent-woken) candidate.
+     *
+     * When @p next_try is non-null (event kernel) and the entry is
+     * not ready, it receives the earliest future cycle at which the
+     * verdict can change: a concrete re-arm cycle, kParkLoad for a
+     * load blocked on an older unresolved store, or kNoCycle when
+     * only a producer wakeup can unblock the entry. Passing nullptr
+     * (the legacy scan kernel) changes nothing.
+     */
+    bool evalConventional(SeqNum seq, Candidate &cand,
+                          Cycle *next_try = nullptr);
     /** Evaluate an EGPW (grandparent-woken) candidate. */
     bool evalEager(SeqNum seq, Candidate &cand);
+    /**
+     * Phase-A select for one RS entry: evaluate (conventional, plus
+     * inline EGPW when @p interleave_spec), grant units, issue.
+     * Returns true iff the entry requested selection this cycle
+     * (granted or denied); on false, *next_try carries the
+     * evalConventional re-arm hint.
+     */
+    bool phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
+                     Cycle *next_try);
+    /** MOS: try to fuse consumer @p cseq into granted producer @p pg's
+     *  cycle. Returns true on fusion. */
+    bool tryFuse(const Candidate &pg, SeqNum cseq);
+
+    // --- Event-kernel machinery (SchedKernel::Event) ---------------
+    /** Schedule a (re-)evaluation of @p seq in cycle @p c. */
+    void armAt(SeqNum seq, Cycle c);
+    /** Move an entry into this cycle's candidate sets: the Phase-A
+     *  ready set when the Phase-A scan is still running (the entry is
+     *  always younger than the scan cursor), else next cycle's queue;
+     *  plus the EGPW set when @p newly_woken in an EGPW config. */
+    void scheduleEval(SeqNum seq, bool newly_woken);
+    /** Broadcast an issued op's tag: decrement consumer pending
+     *  counts, waking those that hit zero; a store also re-evaluates
+     *  parked loads. */
+    void broadcastWakeup(SeqNum seq);
+    /** Pop due wake_pq_ arms into the Phase-A ready set. */
+    void drainWakeQueue();
+    /** Jump cycle_ forward to the next cycle any pipeline stage can
+     *  make progress (stats-identical: skipped cycles are provably
+     *  side-effect-free under the scan kernel). */
+    void fastForward(bool adapting);
     /** Fill a candidate's start/complete/span per mode and op class. */
     void fillCompletion(Candidate &cand, OpState &op, Tick arrival,
                         Tick start, bool transparent);
@@ -246,6 +315,37 @@ class OooCore
     std::vector<SeqNum> scan_;        ///< RS snapshot for select scans
     std::vector<SeqNum> mos_scan_;    ///< RS snapshot for MOS fusion
     std::vector<Candidate> conv_grants_; ///< this cycle's conv. grants
+
+    // --- Event-kernel state (SchedKernel::Event) --------------------
+    bool event_kernel_ = false;
+    /** Maintain the separate EGPW candidate set (skewed Phase B). */
+    bool collect_eager_ = false;
+    bool in_phase_a_ = false;
+
+    /** Per-producer consumer lists: edge pool + intrusive heads in
+     *  OpState. Edges append at consumer dispatch, so every list is
+     *  age-ordered. */
+    struct ConsumerEdge
+    {
+        SeqNum consumer;
+        u32 next;
+    };
+    std::vector<ConsumerEdge> cons_edges_;
+
+    /** Far-future re-evaluations: (cycle, seq) min-heap with lazy
+     *  invalidation via OpState::armed_cycle. */
+    std::priority_queue<std::pair<Cycle, SeqNum>,
+                        std::vector<std::pair<Cycle, SeqNum>>,
+                        std::greater<>> wake_pq_;
+    /** Next-cycle arms (the overwhelmingly common case: denied-grant
+     *  retries, post-Phase-A wakeups, fresh dispatches) bypass the
+     *  heap; drained by the following cycle's drainWakeQueue. */
+    std::vector<SeqNum> next_arms_;
+    ReadySet ready_;  ///< this cycle's Phase-A candidates
+    ReadySet eager_;  ///< this cycle's EGPW (Phase-B) candidates
+    /** Loads blocked on an older unresolved store; re-evaluated when
+     *  any store issues. */
+    std::vector<SeqNum> parked_loads_;
 
     CoreStats stats_;
 };

@@ -72,4 +72,54 @@ ReservationStations::entries() const
     return out;
 }
 
+void
+ReadySet::insert(SeqNum seq, FuPoolKind pool)
+{
+    auto &v = pools_[static_cast<size_t>(pool)];
+    const auto it = std::lower_bound(v.begin(), v.end(), seq);
+    if (it != v.end() && *it == seq)
+        return; // already present
+    v.insert(it, seq);
+    ++size_;
+}
+
+void
+ReadySet::erase(SeqNum seq, FuPoolKind pool)
+{
+    auto &v = pools_[static_cast<size_t>(pool)];
+    const auto it = std::lower_bound(v.begin(), v.end(), seq);
+    if (it == v.end() || *it != seq)
+        return;
+    v.erase(it);
+    --size_;
+}
+
+SeqNum
+ReadySet::nextAtOrAfter(SeqNum seq) const
+{
+    SeqNum best = kNoSeq;
+    for (const auto &v : pools_) {
+        const auto it = std::lower_bound(v.begin(), v.end(), seq);
+        if (it != v.end() && *it < best)
+            best = *it;
+    }
+    return best;
+}
+
+SeqNum
+ReadySet::nextAtOrAfter(SeqNum seq, FuPoolKind pool) const
+{
+    const auto &v = pools_[static_cast<size_t>(pool)];
+    const auto it = std::lower_bound(v.begin(), v.end(), seq);
+    return it == v.end() ? kNoSeq : *it;
+}
+
+void
+ReadySet::clear()
+{
+    for (auto &pool : pools_)
+        pool.clear();
+    size_ = 0;
+}
+
 } // namespace redsoc

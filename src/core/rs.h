@@ -17,10 +17,12 @@
 #ifndef REDSOC_CORE_RS_H
 #define REDSOC_CORE_RS_H
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
 #include "common/types.h"
+#include "core/fu_pool.h"
 
 namespace redsoc {
 
@@ -60,6 +62,46 @@ class ReservationStations
     unsigned capacity_;
     std::vector<SeqNum> slots_; ///< ascending seqs; dead = top bit set
     size_t live_ = 0;
+};
+
+/**
+ * Age-ordered per-pool candidate sets for the event-driven scheduler
+ * kernel (the "ready sets" of the Fig.7 RSE wakeup array, split by
+ * execution-port pool). Broadcast wakeups insert newly-woken entries;
+ * the select loop walks candidates in global age order via a cursor,
+ * which stays valid across mid-iteration insertions because a wakeup
+ * can only insert a consumer younger than the op being granted.
+ */
+class ReadySet
+{
+  public:
+    static constexpr size_t kNumPools =
+        static_cast<size_t>(FuPoolKind::NUM);
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    /** Insert @p seq into the @p pool set (idempotent). */
+    void insert(SeqNum seq, FuPoolKind pool);
+
+    /** Remove @p seq from the @p pool set (no-op if absent). */
+    void erase(SeqNum seq, FuPoolKind pool);
+
+    /** Oldest candidate with seq >= @p seq across all pools, or
+     *  kNoSeq when none (the global age-order merge point). */
+    SeqNum nextAtOrAfter(SeqNum seq) const;
+
+    /** Oldest candidate of one pool with seq >= @p seq, or kNoSeq. */
+    SeqNum nextAtOrAfter(SeqNum seq, FuPoolKind pool) const;
+
+    void clear();
+
+  private:
+    /** Sorted flat vectors: the sets hold at most an RS worth of
+     *  entries (tens), where binary search + memmove beat node-based
+     *  containers and never allocate in steady state. */
+    std::array<std::vector<SeqNum>, kNumPools> pools_;
+    size_t size_ = 0;
 };
 
 } // namespace redsoc

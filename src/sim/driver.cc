@@ -45,6 +45,7 @@ SimDriver::configKey(const CoreConfig &config)
     std::ostringstream os;
     os << config.name << '|' << schedModeName(config.mode) << '|'
        << rsDesignName(config.rs_design) << '|'
+       << schedKernelName(config.sched_kernel) << '|'
        << config.ci_precision_bits << '|' << config.slack_threshold_ticks
        << '|' << config.egpw << config.skewed_select << '|'
        << config.dynamic_threshold << config.threshold_epoch << '|'

@@ -1,0 +1,108 @@
+#include "sim/profile.h"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace redsoc {
+namespace prof {
+
+namespace {
+
+struct PhaseCounter
+{
+    std::atomic<u64> ns{0};
+    std::atomic<u64> calls{0};
+};
+
+std::array<PhaseCounter, static_cast<size_t>(Phase::NUM)> counters;
+
+std::atomic<bool> profiling_enabled{[] {
+    const char *env = std::getenv("REDSOC_PROFILE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+} // namespace
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Commit: return "commit";
+      case Phase::Issue: return "issue";
+      case Phase::Dispatch: return "dispatch";
+      case Phase::TraceBuild: return "trace_build";
+      case Phase::Run: return "run";
+      default: panic("bad profiler phase");
+    }
+}
+
+bool
+enabled()
+{
+    return profiling_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    profiling_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+record(Phase phase, u64 ns)
+{
+    auto &c = counters[static_cast<size_t>(phase)];
+    c.ns.fetch_add(ns, std::memory_order_relaxed);
+    c.calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+PhaseTotals
+totals(Phase phase)
+{
+    const auto &c = counters[static_cast<size_t>(phase)];
+    return {c.ns.load(std::memory_order_relaxed),
+            c.calls.load(std::memory_order_relaxed)};
+}
+
+void
+reset()
+{
+    for (auto &c : counters) {
+        c.ns.store(0, std::memory_order_relaxed);
+        c.calls.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+report(std::ostream &os)
+{
+    u64 any = 0;
+    for (unsigned p = 0; p < static_cast<unsigned>(Phase::NUM); ++p)
+        any += totals(static_cast<Phase>(p)).calls;
+    if (any == 0)
+        return;
+
+    os << "host profile (wall clock, process-wide):\n";
+    os << "  " << std::left << std::setw(12) << "phase" << std::right
+       << std::setw(12) << "calls" << std::setw(14) << "total ms"
+       << std::setw(12) << "ns/call" << '\n';
+    for (unsigned p = 0; p < static_cast<unsigned>(Phase::NUM); ++p) {
+        const auto t = totals(static_cast<Phase>(p));
+        if (t.calls == 0)
+            continue;
+        os << "  " << std::left << std::setw(12)
+           << phaseName(static_cast<Phase>(p)) << std::right
+           << std::setw(12) << t.calls << std::setw(14) << std::fixed
+           << std::setprecision(2)
+           << static_cast<double>(t.ns) / 1e6 << std::setw(12)
+           << t.ns / t.calls << '\n';
+    }
+}
+
+} // namespace prof
+} // namespace redsoc

@@ -110,6 +110,7 @@ serializeStats(const std::string &key, const CoreStats &stats)
     putU64(os, "threshold_min", stats.threshold_min);
     putU64(os, "threshold_max", stats.threshold_max);
     putU64(os, "threshold_final", stats.threshold_final);
+    putU64(os, "commit_checksum", stats.commit_checksum);
     putF64(os, "expected_chain_length", stats.expected_chain_length);
     putF64(os, "sim_seconds", stats.sim_seconds);
 
@@ -169,6 +170,7 @@ deserializeStats(const std::string &text, const std::string &expect_key)
     s.threshold_min = r.u("threshold_min");
     s.threshold_max = r.u("threshold_max");
     s.threshold_final = r.u("threshold_final");
+    s.commit_checksum = r.u("commit_checksum");
     s.expected_chain_length = r.f("expected_chain_length");
     s.sim_seconds = r.f("sim_seconds");
     if (!r.ok())

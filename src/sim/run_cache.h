@@ -25,7 +25,7 @@ class RunCache
 {
   public:
     /** Bump when the serialized CoreStats layout changes. */
-    static constexpr unsigned kFormatVersion = 1;
+    static constexpr unsigned kFormatVersion = 2;
 
     explicit RunCache(std::string dir);
 

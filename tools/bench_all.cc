@@ -10,10 +10,14 @@
  * pool.
  *
  *   bench_all [fast] [--bench-dir DIR] [--cache-dir DIR] [--no-cache]
+ *             [--profile]
  *
  * "fast" is forwarded to every harness. The cache directory defaults
  * to ".redsoc-cache" in the current directory (created on demand);
- * --no-cache leaves REDSOC_CACHE_DIR untouched.
+ * --no-cache leaves REDSOC_CACHE_DIR untouched. --profile exports
+ * REDSOC_PROFILE=1 so every harness (and the bench_sched kernel
+ * microbenchmark, which always runs last) prints per-phase host
+ * timings.
  */
 
 #include <cstdio>
@@ -46,20 +50,24 @@ const std::vector<std::string> kHarnesses = {
 };
 
 std::string
+exeDir()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return ".";
+    buf[n] = '\0';
+    std::string path(buf);
+    const size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+std::string
 defaultBenchDir()
 {
     // The build tree puts bench_all in tools/ and the harnesses in
     // bench/, siblings under the build root.
-    char buf[4096];
-    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-    if (n <= 0)
-        return "bench";
-    buf[n] = '\0';
-    std::string path(buf);
-    const size_t slash = path.find_last_of('/');
-    if (slash == std::string::npos)
-        return "bench";
-    return path.substr(0, slash) + "/../bench";
+    return exeDir() + "/../bench";
 }
 
 double
@@ -89,10 +97,12 @@ main(int argc, char **argv)
             cache_dir = argv[++i];
         } else if (arg == "--no-cache") {
             use_cache = false;
+        } else if (arg == "--profile") {
+            ::setenv("REDSOC_PROFILE", "1", 1);
         } else {
             std::fprintf(stderr,
                          "usage: %s [fast] [--bench-dir DIR] "
-                         "[--cache-dir DIR] [--no-cache]\n",
+                         "[--cache-dir DIR] [--no-cache] [--profile]\n",
                          argv[0]);
             return 2;
         }
@@ -127,6 +137,26 @@ main(int argc, char **argv)
         if (rc != 0)
             ++failures;
         summary.addRow({name, rc == 0 ? "ok" : "FAIL",
+                        Table::num(secs, 2)});
+        std::printf("\n");
+    }
+
+    // The scheduler-kernel microbenchmark is a tool, not a figure
+    // harness: it lives next to bench_all itself and always runs so
+    // the simulator-throughput trend is part of every bench report.
+    {
+        std::string cmd = "\"" + exeDir() + "/bench_sched\"";
+        if (fast)
+            cmd += " fast";
+        cmd += " > /dev/null"; // JSON feed; the table goes to stderr
+        std::printf("$ %s\n", cmd.c_str());
+        std::fflush(stdout);
+        const auto h0 = std::chrono::steady_clock::now();
+        const int rc = std::system(cmd.c_str());
+        const double secs = seconds(h0, std::chrono::steady_clock::now());
+        if (rc != 0)
+            ++failures;
+        summary.addRow({"bench_sched", rc == 0 ? "ok" : "FAIL",
                         Table::num(secs, 2)});
         std::printf("\n");
     }

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * bench_sched: scheduler-kernel microbenchmark. Runs a workload x
+ * mode grid under both simulation kernels (legacy full-scan vs
+ * event-driven) on cold, single-threaded, uncached OooCore runs and
+ * reports simulator throughput (kilo-cycles/s and simulated MIPS)
+ * plus the event/scan speedup per point.
+ *
+ *   bench_sched [fast] [--max-ops N]
+ *
+ * Human-readable table goes to stderr; a JSON array of every grid
+ * point goes to stdout (for scripted regression tracking). When
+ * REDSOC_PROFILE is set the per-phase host profile is appended to
+ * stderr.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/ooo_core.h"
+#include "sim/profile.h"
+#include "workloads/registry.h"
+
+using namespace redsoc;
+
+namespace {
+
+struct GridPoint
+{
+    std::string workload;
+    std::string mode;
+    std::string kernel;
+    Cycle cycles = 0;
+    u64 committed = 0;
+    double sim_seconds = 0.0;
+
+    double kcps() const
+    {
+        return sim_seconds <= 0.0 ? 0.0
+                                  : static_cast<double>(cycles) /
+                                        sim_seconds / 1e3;
+    }
+    double mips() const
+    {
+        return sim_seconds <= 0.0 ? 0.0
+                                  : static_cast<double>(committed) /
+                                        sim_seconds / 1e6;
+    }
+};
+
+CoreConfig
+gridConfig(SchedMode mode, SchedKernel kernel)
+{
+    CoreConfig cfg = bigCore();
+    cfg.mode = mode;
+    cfg.sched_kernel = kernel;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fast = false;
+    SeqNum max_ops = 2'000'000;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "fast") {
+            fast = true;
+        } else if (arg == "--max-ops" && i + 1 < argc) {
+            max_ops = static_cast<SeqNum>(std::atoll(argv[++i]));
+        } else {
+            std::fprintf(stderr, "usage: %s [fast] [--max-ops N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::vector<std::string> workloads =
+        fast ? std::vector<std::string>{"crc", "act"}
+             : std::vector<std::string>{"crc", "gsm", "act", "conv"};
+    const std::vector<std::pair<std::string, SchedMode>> modes = {
+        {"baseline", SchedMode::Baseline},
+        {"redsoc", SchedMode::ReDSOC},
+        {"mos", SchedMode::MOS},
+    };
+    const std::vector<std::pair<std::string, SchedKernel>> kernels = {
+        {"scan", SchedKernel::Scan},
+        {"event", SchedKernel::Event},
+    };
+
+    std::vector<GridPoint> points;
+    Table table({"workload", "mode", "scan kc/s", "event kc/s",
+                 "scan MIPS", "event MIPS", "speedup"});
+    double log_speedup_sum = 0.0;
+    unsigned speedup_count = 0;
+
+    for (const std::string &workload : workloads) {
+        // One trace per workload, shared by every grid point; runs
+        // themselves are cold (fresh core, no run cache, one thread).
+        const Trace trace = traceWorkload(workload, max_ops);
+        for (const auto &[mode_name, mode] : modes) {
+            double kcps[2] = {0.0, 0.0};
+            double mips[2] = {0.0, 0.0};
+            for (unsigned k = 0; k < kernels.size(); ++k) {
+                OooCore core(gridConfig(mode, kernels[k].second));
+                const CoreStats stats = core.run(trace);
+                GridPoint p;
+                p.workload = workload;
+                p.mode = mode_name;
+                p.kernel = kernels[k].first;
+                p.cycles = stats.cycles;
+                p.committed = stats.committed;
+                p.sim_seconds = stats.sim_seconds;
+                kcps[k] = p.kcps();
+                mips[k] = p.mips();
+                points.push_back(std::move(p));
+            }
+            const double speedup =
+                kcps[0] > 0.0 ? kcps[1] / kcps[0] : 0.0;
+            if (speedup > 0.0) {
+                log_speedup_sum += std::log(speedup);
+                ++speedup_count;
+            }
+            table.addRow({workload, mode_name, Table::num(kcps[0], 1),
+                          Table::num(kcps[1], 1), Table::num(mips[0], 3),
+                          Table::num(mips[1], 3),
+                          Table::num(speedup, 2)});
+        }
+    }
+
+    const double geomean =
+        speedup_count > 0
+            ? std::exp(log_speedup_sum / speedup_count)
+            : 0.0;
+    std::fprintf(stderr, "=== bench_sched (event vs scan kernel) ===\n%s\n",
+                 table.render().c_str());
+    std::fprintf(stderr, "geomean event/scan speedup: %.2fx over %u "
+                         "points (max_ops=%llu%s)\n",
+                 geomean, speedup_count,
+                 static_cast<unsigned long long>(max_ops),
+                 fast ? ", fast mode" : "");
+    prof::report(std::cerr);
+
+    // JSON to stdout for scripted consumption.
+    std::printf("[\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const GridPoint &p = points[i];
+        std::printf("  {\"workload\": \"%s\", \"mode\": \"%s\", "
+                    "\"kernel\": \"%s\", \"cycles\": %llu, "
+                    "\"committed\": %llu, \"sim_seconds\": %.6f, "
+                    "\"kcycles_per_sec\": %.1f, \"sim_mips\": %.3f}%s\n",
+                    p.workload.c_str(), p.mode.c_str(), p.kernel.c_str(),
+                    static_cast<unsigned long long>(p.cycles),
+                    static_cast<unsigned long long>(p.committed),
+                    p.sim_seconds, p.kcps(), p.mips(),
+                    i + 1 < points.size() ? "," : "");
+    }
+    std::printf("]\n");
+    return 0;
+}

@@ -6,19 +6,24 @@
  *              [--mode baseline|redsoc|mos] [--threshold N]
  *              [--precision BITS] [--dynamic-threshold]
  *              [--rs illustrative|operational] [--no-egpw] [--no-skew]
- *              [--pvt-derate X] [--max-ops N] [--stats] [--compare]
+ *              [--pvt-derate X] [--max-ops N] [--kernel scan|event]
+ *              [--profile] [--stats] [--compare]
  *
  * --compare runs baseline and the selected mode and prints the
- * speedup; --stats dumps the full gem5-style statistics group.
+ * speedup; --stats dumps the full gem5-style statistics group;
+ * --kernel selects the simulation kernel (results are bit-identical,
+ * only host speed differs); --profile prints per-phase host timings.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "common/logging.h"
 #include "sim/driver.h"
+#include "sim/profile.h"
 
 using namespace redsoc;
 
@@ -34,7 +39,8 @@ usage(const char *argv0)
                  "[--dynamic-threshold]\n"
                  "          [--rs DESIGN] [--no-egpw] [--no-skew] "
                  "[--pvt-derate X]\n"
-                 "          [--max-ops N] [--stats] [--compare]\n",
+                 "          [--max-ops N] [--kernel scan|event] "
+                 "[--profile] [--stats] [--compare]\n",
                  argv0);
 }
 
@@ -71,6 +77,8 @@ main(int argc, char **argv)
     RsDesign rs_design = RsDesign::Operational;
     bool rs_set = false;
     double pvt_derate = 1.0;
+    SchedKernel kernel = SchedKernel::Event;
+    bool kernel_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -108,6 +116,17 @@ main(int argc, char **argv)
             pvt_derate = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--max-ops") {
             max_ops = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--kernel") {
+            const std::string k = next();
+            if (k == "scan")
+                kernel = SchedKernel::Scan;
+            else if (k == "event")
+                kernel = SchedKernel::Event;
+            else
+                fatal("unknown kernel '", k, "'");
+            kernel_set = true;
+        } else if (arg == "--profile") {
+            prof::setEnabled(true);
         } else if (arg == "--stats") {
             want_stats = true;
         } else if (arg == "--compare") {
@@ -142,6 +161,8 @@ main(int argc, char **argv)
         cfg.egpw = !no_egpw;
         cfg.skewed_select = !no_skew;
         cfg.timing.pvt_derate = pvt_derate;
+        if (kernel_set)
+            cfg.sched_kernel = kernel;
         return cfg;
     };
 
@@ -172,5 +193,6 @@ main(int argc, char **argv)
         const std::string name = core + "." + schedModeName(mode);
         std::fputs(toStatGroup(stats, name).dump().c_str(), stdout);
     }
+    prof::report(std::cerr);
     return 0;
 }
