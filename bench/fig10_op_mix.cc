@@ -37,15 +37,16 @@ main(int argc, char **argv)
     for (Suite suite : bench::allSuites()) {
         OpMix mean{};
         const auto names = bench::suiteWorkloads(suite, fast);
+        const double n = asDouble(names.size());
         for (const std::string &name : names) {
             const OpMix mix = computeOpMix(driver.trace(name), timing);
             add_row(name, mix);
-            mean.mem_hl += mix.mem_hl / names.size();
-            mean.mem_ll += mix.mem_ll / names.size();
-            mean.simd += mix.simd / names.size();
-            mean.other_multi += mix.other_multi / names.size();
-            mean.alu_ls += mix.alu_ls / names.size();
-            mean.alu_hs += mix.alu_hs / names.size();
+            mean.mem_hl += mix.mem_hl / n;
+            mean.mem_ll += mix.mem_ll / n;
+            mean.simd += mix.simd / n;
+            mean.other_multi += mix.other_multi / n;
+            mean.alu_ls += mix.alu_ls / n;
+            mean.alu_hs += mix.alu_hs / n;
         }
         add_row(std::string(suiteName(suite)) + "-MEAN", mean);
     }

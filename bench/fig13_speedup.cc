@@ -36,7 +36,7 @@ main(int argc, char **argv)
             std::vector<std::string> row = {name};
             for (size_t c = 0; c < bench::allCores().size(); ++c) {
                 const double s = speedup(name, bench::allCores()[c]);
-                means[c] += (s - 1.0) / names.size();
+                means[c] += (s - 1.0) / asDouble(names.size());
                 row.push_back(Table::pct(s - 1.0));
             }
             t.addRow(row);

@@ -33,7 +33,7 @@ main(int argc, char **argv)
                 const double saving = dvfs.powerSavingForSpeedup(s);
                 lo = std::min(lo, saving);
                 hi = std::max(hi, saving);
-                total += saving / names.size();
+                total += saving / asDouble(names.size());
             }
             t.addRow({suiteName(suite), core, Table::pct(lo),
                       Table::pct(total), Table::pct(hi)});

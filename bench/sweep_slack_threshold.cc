@@ -60,7 +60,8 @@ main(int argc, char **argv)
             }
             const size_t mib_count =
                 bench::suiteWorkloads(Suite::MiBench, fast).size();
-            row.push_back(Table::pct(mib_stall / mib_count));
+            row.push_back(
+                Table::pct(mib_stall / asDouble(mib_count)));
             t.addRow(row);
         }
         std::printf("--- %s core ---\n%s\n", core.c_str(),

@@ -32,11 +32,8 @@ main(int argc, char **argv)
             const CoreStats &stats = driver.run(name, cfg);
             const double aggr = stats.widthAggressiveRate();
             worst_aggressive = std::max(worst_aggressive, aggr);
-            const double cons =
-                stats.width_predictions == 0
-                    ? 0.0
-                    : double(stats.width_conservative) /
-                          stats.width_predictions;
+            const double cons = ratioOf(stats.width_conservative,
+                                        stats.width_predictions);
             t.addRow({name, std::to_string(stats.width_predictions),
                       Table::pct(aggr, 3), Table::pct(cons, 2)});
         }

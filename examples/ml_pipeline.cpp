@@ -38,14 +38,13 @@ main()
             const CoreStats &r = driver.run(stage, red);
             total_base += b.cycles;
             total_red += r.cycles;
-            const double s = static_cast<double>(b.cycles) / r.cycles;
+            const double s = ratioOf(b.cycles, r.cycles);
             t.addRow({stage, std::to_string(b.cycles),
                       std::to_string(r.cycles),
                       Table::num(s, 3),
                       Table::pct(dvfs.powerSavingForSpeedup(s))});
         }
-        const double pipeline_speedup =
-            static_cast<double>(total_base) / total_red;
+        const double pipeline_speedup = ratioOf(total_base, total_red);
         std::printf("=== %s core ===\n%s", core.c_str(),
                     t.render().c_str());
         std::printf("pipeline: %llu -> %llu cycles (%.1f%% speedup, "

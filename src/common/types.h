@@ -47,6 +47,22 @@ using SeqNum = u64;
 /** Invalid/none marker for sequence numbers. */
 inline constexpr SeqNum kNoSeq = ~SeqNum{0};
 
+/** Explicit u64 -> double (keeps -Wconversion silent at call sites
+ *  that mix counters into floating-point statistics). */
+constexpr double
+asDouble(u64 v)
+{
+    return static_cast<double>(v);
+}
+
+/** num/den as a double, 0.0 when den == 0: the ubiquitous
+ *  stats-ratio shape (IPC, hit rates, misprediction rates). */
+constexpr double
+ratioOf(u64 num, u64 den)
+{
+    return den == 0 ? 0.0 : asDouble(num) / asDouble(den);
+}
+
 } // namespace redsoc
 
 #endif // REDSOC_COMMON_TYPES_H

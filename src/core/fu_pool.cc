@@ -33,7 +33,7 @@ FuPool::FuPool(const CoreConfig &config)
 unsigned &
 FuPool::slot(FuPoolKind kind, Cycle cycle)
 {
-    const unsigned idx = cycle % kHorizon;
+    const size_t idx = cycle % kHorizon;
     if (cycle_tag_[idx] != cycle) {
         // The ring wrapped onto a stale cycle: recycle the bucket.
         cycle_tag_[idx] = cycle;
@@ -46,7 +46,7 @@ FuPool::slot(FuPoolKind kind, Cycle cycle)
 unsigned
 FuPool::slotConst(FuPoolKind kind, Cycle cycle) const
 {
-    const unsigned idx = cycle % kHorizon;
+    const size_t idx = cycle % kHorizon;
     if (cycle_tag_[idx] != cycle)
         return 0;
     return booked_[static_cast<size_t>(kind)][idx];

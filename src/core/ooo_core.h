@@ -84,9 +84,11 @@ struct CoreStats
      * Host wall-clock seconds the simulation took. Observability
      * only: NOT part of the deterministic architectural result (the
      * determinism tests and table output ignore it), but preserved by
-     * the run cache so throughput trends stay visible.
+     * the run cache so throughput trends stay visible. Deliberately
+     * absent from the kernel-equivalence comparator: wall-clock time
+     * legitimately differs between bit-identical runs.
      */
-    double sim_seconds = 0.0;
+    double sim_seconds = 0.0; // redsoc-lint: allow(stat-complete)
 
     /** Simulated millions of committed ops per host second. */
     double simMips() const
@@ -96,36 +98,22 @@ struct CoreStats
                    : static_cast<double>(committed) / sim_seconds / 1e6;
     }
 
-    double ipc() const
-    {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(committed) / cycles;
-    }
+    double ipc() const { return ratioOf(committed, cycles); }
     double fuStallRate() const
     {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(fu_stall_cycles) / cycles;
+        return ratioOf(fu_stall_cycles, cycles);
     }
     double laMispredictRate() const
     {
-        return la_predictions == 0
-                   ? 0.0
-                   : static_cast<double>(la_mispredictions) /
-                         la_predictions;
+        return ratioOf(la_mispredictions, la_predictions);
     }
     double widthAggressiveRate() const
     {
-        return width_predictions == 0
-                   ? 0.0
-                   : static_cast<double>(width_aggressive) /
-                         width_predictions;
+        return ratioOf(width_aggressive, width_predictions);
     }
     double branchMispredictRate() const
     {
-        return branch_lookups == 0
-                   ? 0.0
-                   : static_cast<double>(branch_mispredicts) /
-                         branch_lookups;
+        return ratioOf(branch_mispredicts, branch_lookups);
     }
 };
 

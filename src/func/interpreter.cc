@@ -13,7 +13,7 @@ namespace redsoc {
 namespace {
 
 double
-asDouble(u64 raw)
+bitsToDouble(u64 raw)
 {
     double v;
     std::memcpy(&v, &raw, sizeof(v));
@@ -21,7 +21,7 @@ asDouble(u64 raw)
 }
 
 u64
-asRaw(double v)
+doubleToBits(double v)
 {
     u64 raw;
     std::memcpy(&raw, &v, sizeof(raw));
@@ -202,35 +202,35 @@ Interpreter::step()
         u64 result = 0;
         switch (op) {
           case Opcode::FADD:
-            result = asRaw(asDouble(reg(inst.src1)) +
-                           asDouble(reg(inst.src2)));
+            result = doubleToBits(bitsToDouble(reg(inst.src1)) +
+                           bitsToDouble(reg(inst.src2)));
             break;
           case Opcode::FSUB:
-            result = asRaw(asDouble(reg(inst.src1)) -
-                           asDouble(reg(inst.src2)));
+            result = doubleToBits(bitsToDouble(reg(inst.src1)) -
+                           bitsToDouble(reg(inst.src2)));
             break;
           case Opcode::FMUL:
-            result = asRaw(asDouble(reg(inst.src1)) *
-                           asDouble(reg(inst.src2)));
+            result = doubleToBits(bitsToDouble(reg(inst.src1)) *
+                           bitsToDouble(reg(inst.src2)));
             break;
           case Opcode::FDIV:
-            result = asRaw(asDouble(reg(inst.src1)) /
-                           asDouble(reg(inst.src2)));
+            result = doubleToBits(bitsToDouble(reg(inst.src1)) /
+                           bitsToDouble(reg(inst.src2)));
             break;
           case Opcode::FMIN:
-            result = asRaw(std::fmin(asDouble(reg(inst.src1)),
-                                     asDouble(reg(inst.src2))));
+            result = doubleToBits(std::fmin(bitsToDouble(reg(inst.src1)),
+                                     bitsToDouble(reg(inst.src2))));
             break;
           case Opcode::FMAX:
-            result = asRaw(std::fmax(asDouble(reg(inst.src1)),
-                                     asDouble(reg(inst.src2))));
+            result = doubleToBits(std::fmax(bitsToDouble(reg(inst.src1)),
+                                     bitsToDouble(reg(inst.src2))));
             break;
           case Opcode::FCVTZS:
             result = static_cast<u64>(
-                static_cast<s64>(asDouble(reg(inst.src1))));
+                static_cast<s64>(bitsToDouble(reg(inst.src1))));
             break;
           case Opcode::SCVTF:
-            result = asRaw(
+            result = doubleToBits(
                 static_cast<double>(static_cast<s64>(reg(inst.src1))));
             break;
           default: panic("unhandled FP op");

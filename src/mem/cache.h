@@ -60,12 +60,7 @@ class Cache
     const CacheConfig &config() const { return config_; }
     u64 hits() const { return hits_; }
     u64 misses() const { return misses_; }
-    double
-    missRate() const
-    {
-        const u64 total = hits_ + misses_;
-        return total == 0 ? 0.0 : static_cast<double>(misses_) / total;
-    }
+    double missRate() const { return ratioOf(misses_, hits_ + misses_); }
 
     void resetStats();
 

@@ -53,9 +53,10 @@ TransparentTracker::expectedRecycledLength() const
 {
     double num = 0.0, den = 0.0;
     for (u64 len = 2; len <= lengths_.maxSample(); ++len) {
-        const double count = static_cast<double>(lengths_.bucket(len));
-        num += static_cast<double>(len) * len * count;
-        den += static_cast<double>(len) * count;
+        const double count = asDouble(lengths_.bucket(len));
+        const double dlen = asDouble(len);
+        num += dlen * dlen * count;
+        den += dlen * count;
     }
     return den == 0.0 ? 0.0 : num / den;
 }

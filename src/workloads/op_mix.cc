@@ -38,12 +38,12 @@ computeOpMix(const Trace &trace, const TimingModel &timing,
     if (classified == 0)
         return mix;
     const double n = static_cast<double>(classified);
-    mix.mem_hl = counts[0] / n;
-    mix.mem_ll = counts[1] / n;
-    mix.simd = counts[2] / n;
-    mix.other_multi = counts[3] / n;
-    mix.alu_hs = counts[4] / n;
-    mix.alu_ls = counts[5] / n;
+    mix.mem_hl = asDouble(counts[0]) / n;
+    mix.mem_ll = asDouble(counts[1]) / n;
+    mix.simd = asDouble(counts[2]) / n;
+    mix.other_multi = asDouble(counts[3]) / n;
+    mix.alu_hs = asDouble(counts[4]) / n;
+    mix.alu_ls = asDouble(counts[5]) / n;
     return mix;
 }
 

@@ -81,7 +81,8 @@ buildXalanc()
             // Re-walk memory for an existing key: sample a node by a
             // random root-to-leaf descent of random depth.
             Addr n = root_addr;
-            const unsigned steps = probe_rng.below(16);
+            const unsigned steps =
+                static_cast<unsigned>(probe_rng.below(16));
             for (unsigned s = 0; s < steps; ++s) {
                 const Addr child = prepared.memory.peek64(
                     n + (probe_rng.chance(0.5) ? 8 : 16));

@@ -1,0 +1,68 @@
+// Fixture: a clean file built from near-miss constructs — every rule
+// must stay quiet here.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+using Cycle = std::uint64_t;
+
+struct CleanConfig
+{
+    unsigned width = 4;
+    std::string name = "clean";
+    std::map<std::string, int> weights{};
+};
+
+class Clock
+{
+  public:
+    // A member *named* clock is not the C API.
+    const Clock &clock() const { return *this; }
+    Cycle now() const { return now_; }
+
+  private:
+    Cycle now_ = 0;
+};
+
+class Holder
+{
+  public:
+    // Constructor member-init lists are not calls either.
+    Holder() : clock_(), count_(0) {}
+
+  private:
+    Clock clock_;
+    unsigned count_;
+};
+
+unsigned
+busyAt(const std::unordered_map<Cycle, unsigned> &booked, Cycle cycle)
+{
+    // Lookup (not iteration) of an unordered container is fine, and a
+    // cycle passed into a call returning unsigned is not a narrowing.
+    const auto it = booked.find(cycle);
+    const unsigned busy = it == booked.end() ? 0u : it->second;
+    return busy;
+}
+
+unsigned long long
+widePrint(Cycle cycles)
+{
+    // 64-bit casts of cycle values are allowed.
+    return static_cast<unsigned long long>(cycles);
+}
+
+double
+meanOf(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    for (double x : xs) // not a per-cycle loop
+        sum += x;
+    return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: float-accum (R3). Not compiled; lexed by test_lint.
+#include <cstdint>
+
+namespace fixture {
+
+using Cycle = std::uint64_t;
+
+double
+perCycleEnergy(Cycle end_cycle)
+{
+    double energy = 0.0;
+    for (Cycle c = 0; c < end_cycle; ++c) {
+        energy += 0.125;              // line 13: violation
+    }
+
+    // Integer accumulation in the same loop shape is fine.
+    std::uint64_t ticks = 0;
+    for (Cycle c = 0; c < end_cycle; ++c)
+        ticks += 1;
+
+    // Float accumulation outside a per-cycle loop is fine.
+    double mean = 0.0;
+    for (int i = 0; i < 8; ++i)
+        mean += 0.5;
+
+    return energy + mean + static_cast<double>(ticks);
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: nondet-api (R2). Not compiled; lexed by test_lint.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned long long
+badSeed()
+{
+    std::random_device rd;            // line 11: violation
+    unsigned seed = std::rand();      // line 12: violation
+    seed += static_cast<unsigned>(time(nullptr)); // line 13: violation
+    srand(seed);                      // line 14: violation
+    return seed;
+}
+
+} // namespace fixture

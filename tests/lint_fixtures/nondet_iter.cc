@@ -1,0 +1,25 @@
+// Fixture: nondet-iter (R2). Not compiled; lexed by test_lint.
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void
+dumpAll()
+{
+    std::unordered_map<unsigned, double> table;
+    std::unordered_set<unsigned> seen;
+
+    for (const auto &kv : table)      // line 14: violation
+        std::printf("%u %f\n", kv.first, kv.second);
+
+    for (unsigned v : seen)           // line 17: violation
+        std::printf("%u\n", v);
+
+    // Lookup without iteration is fine.
+    if (table.count(3) != 0 && seen.count(4) != 0)
+        std::printf("present\n");
+}
+
+} // namespace fixture

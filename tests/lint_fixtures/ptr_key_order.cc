@@ -1,0 +1,20 @@
+// Fixture: ptr-key-order (R2). Not compiled; lexed by test_lint.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Node
+{
+    int id = 0;
+};
+
+std::map<Node *, int> rank_by_node;        // line 13: violation
+std::set<const Node *> visited;            // line 14: violation
+
+// Value-keyed containers are deterministic.
+std::map<std::string, int> rank_by_name;
+std::map<int, Node *> node_by_id;          // pointer *values* are fine
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: stat-complete (R4) — the equivalence-comparator side.
+#include "stat_complete_stats.h"
+
+namespace fixture {
+
+bool
+statsEqual(const FixStats &a, const FixStats &b)
+{
+    return a.cycles == b.cycles && a.committed == b.committed &&
+           a.dropped == b.dropped && a.half_cached == b.half_cached;
+    // 'skipped' never compared.
+}
+
+} // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: stat-complete (R4) — the serializer side. A field counts
+// as covered only when it appears at least twice (serialize AND
+// deserialize).
+#include "stat_complete_stats.h"
+
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+std::string
+serialize(const FixStats &s)
+{
+    std::ostringstream os;
+    os << "cycles " << s.cycles << '\n';
+    os << "committed " << s.committed << '\n';
+    os << "skipped " << s.skipped << '\n';
+    os << "half_cached " << s.half_cached << '\n';
+    // 'dropped' forgotten entirely.
+    return os.str();
+}
+
+FixStats
+deserialize(std::istringstream &in)
+{
+    FixStats s;
+    std::string tag;
+    in >> tag >> s.cycles;
+    in >> tag >> s.committed;
+    in >> tag >> s.skipped;
+    // 'half_cached' forgotten here: present only once in this file.
+    return s;
+}
+
+} // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: stat-complete (R4) — the stats struct. Paired with
+// stat_complete_serializer.cc / stat_complete_comparator.cc.
+#pragma once
+
+namespace fixture {
+
+struct FixStats
+{
+    unsigned long long cycles = 0;     // everywhere: clean
+    unsigned long long committed = 0;  // everywhere: clean
+    unsigned long long dropped = 0;    // line 11: not serialized
+    unsigned long long skipped = 0;    // line 12: not compared
+    unsigned long long half_cached = 0; // line 13: serialized but
+                                        // never deserialized
+    // Exempted by design (wall-clock time differs between
+    // bit-identical runs).
+    double wall_seconds = 0.0; // redsoc-lint: allow(stat-complete)
+};
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: suppression comments. Every violation here is allowed
+// except the last one, whose allow() names the wrong rule.
+#include <cstdlib>
+#include <cstdint>
+
+namespace fixture {
+
+using Cycle = std::uint64_t;
+
+struct PartialConfig
+{
+    unsigned width = 4;
+    // Deliberate: documented by the preceding-line form.
+    // redsoc-lint: allow(init-field)
+    unsigned depth;
+    bool flag; // redsoc-lint: allow(init-field)
+};
+
+unsigned
+seeded(Cycle cycles)
+{
+    unsigned s = std::rand(); // redsoc-lint: allow(nondet-api)
+    // redsoc-lint: allow(cycle-narrow, nondet-api)
+    s += static_cast<unsigned>(cycles) + std::rand();
+    s += std::rand(); // redsoc-lint: allow(cycle-narrow)  <- wrong id:
+                      // line 25 must still fire nondet-api
+    return s;
+}
+
+} // namespace fixture

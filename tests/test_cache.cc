@@ -197,8 +197,8 @@ TEST(Hierarchy, OffcoreScalingInflatesL2AndDram)
     MemHierarchy mem(cfg);
     const auto cold = mem.access(1, 0x9000, false);
     EXPECT_EQ(cold.latency,
-              cfg.l1_latency + Cycle(cfg.l2_latency * 1.5) +
-                  Cycle(cfg.mem_latency * 1.5));
+              cfg.l1_latency + Cycle(asDouble(cfg.l2_latency) * 1.5) +
+                  Cycle(asDouble(cfg.mem_latency) * 1.5));
     // L1 runs at core speed: unscaled.
     EXPECT_EQ(mem.access(1, 0x9000, false).latency, cfg.l1_latency);
 }

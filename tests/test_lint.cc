@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for redsoc_lint (tools/lint): every rule must fire exactly
+ * where its fixture says, stay quiet on the clean fixture, honour
+ * allow() suppressions, and the real tree must lint clean against
+ * the committed baseline.
+ */
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace redsoc::lint {
+namespace {
+
+#ifndef REDSOC_LINT_FIXTURES
+#error "REDSOC_LINT_FIXTURES must point at tests/lint_fixtures"
+#endif
+#ifndef REDSOC_SOURCE_ROOT
+#error "REDSOC_SOURCE_ROOT must point at the repository root"
+#endif
+
+const std::string kFixtures = REDSOC_LINT_FIXTURES;
+const std::string kRoot = REDSOC_SOURCE_ROOT;
+
+SourceFile
+fixture(const std::string &name)
+{
+    return lexFile(kFixtures + "/" + name, name);
+}
+
+/** (line, rule) pairs for one fixture under the default options. */
+std::vector<std::pair<int, std::string>>
+sites(const std::string &name)
+{
+    const std::vector<Finding> fs = lintFile(fixture(name), Options{});
+    std::vector<std::pair<int, std::string>> out;
+    out.reserve(fs.size());
+    for (const Finding &f : fs)
+        out.emplace_back(f.line, f.rule);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+using Sites = std::vector<std::pair<int, std::string>>;
+
+TEST(LintRules, InitFieldFiresPerUninitializedConfigStatsField)
+{
+    EXPECT_EQ(sites("init_field.h"),
+              (Sites{{20, "init-field"},
+                     {21, "init-field"},
+                     {28, "init-field"}}));
+}
+
+TEST(LintRules, NondetApiFiresOnBannedCalls)
+{
+    EXPECT_EQ(sites("nondet_api.cc"),
+              (Sites{{11, "nondet-api"},
+                     {12, "nondet-api"},
+                     {13, "nondet-api"},
+                     {14, "nondet-api"}}));
+}
+
+TEST(LintRules, NondetIterFiresOnUnorderedRangeFor)
+{
+    EXPECT_EQ(sites("nondet_iter.cc"),
+              (Sites{{14, "nondet-iter"}, {17, "nondet-iter"}}));
+}
+
+TEST(LintRules, PtrKeyOrderFiresOnPointerKeyedContainers)
+{
+    EXPECT_EQ(sites("ptr_key_order.cc"),
+              (Sites{{13, "ptr-key-order"}, {14, "ptr-key-order"}}));
+}
+
+TEST(LintRules, CycleNarrowFiresOnCastAndImplicitNarrowing)
+{
+    EXPECT_EQ(sites("cycle_narrow.cc"),
+              (Sites{{11, "cycle-narrow"}, {12, "cycle-narrow"}}));
+}
+
+TEST(LintRules, FloatAccumFiresOnlyInPerCycleLoops)
+{
+    EXPECT_EQ(sites("float_accum.cc"), (Sites{{13, "float-accum"}}));
+}
+
+TEST(LintRules, FloatAccumExemptsConfiguredPaths)
+{
+    SourceFile sf = fixture("float_accum.cc");
+    sf.path = "src/power/float_accum.cc"; // pretend-location
+    std::vector<Finding> out;
+    ruleFloatAccum(sf, {"src/power"}, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(LintRules, CleanFixtureStaysQuiet)
+{
+    EXPECT_EQ(sites("clean.cc"), Sites{});
+}
+
+TEST(LintSuppression, AllowCommentsSilenceOnlyTheNamedRule)
+{
+    // Every violation in suppressed.cc is allow()ed except the
+    // std::rand() whose comment names the wrong rule.
+    EXPECT_EQ(sites("suppressed.cc"), (Sites{{25, "nondet-api"}}));
+}
+
+TEST(LintSuppression, SameLineAndPrecedingLineFormsWork)
+{
+    const SourceFile sf =
+        lex("t.cc", "int a; // redsoc-lint: allow(x)\n"
+                    "// redsoc-lint: allow(y, z)\n"
+                    "int b;\n");
+    EXPECT_TRUE(sf.allowed(1, "x"));
+    EXPECT_FALSE(sf.allowed(1, "y"));
+    EXPECT_TRUE(sf.allowed(3, "y"));
+    EXPECT_TRUE(sf.allowed(3, "z"));
+    EXPECT_FALSE(sf.allowed(3, "x"));
+
+    const SourceFile all =
+        lex("t.cc", "int c; // redsoc-lint: allow(all)\n");
+    EXPECT_TRUE(all.allowed(1, "anything"));
+}
+
+TEST(LintStatComplete, FiresForEveryUncoveredField)
+{
+    const SourceFile header = fixture("stat_complete_stats.h");
+    const SourceFile ser = fixture("stat_complete_serializer.cc");
+    const SourceFile cmp = fixture("stat_complete_comparator.cc");
+
+    std::vector<Finding> out;
+    ruleStatComplete(header, "FixStats", ser, cmp, out);
+
+    Sites got;
+    for (const Finding &f : out)
+        got.emplace_back(f.line, f.rule);
+    std::sort(got.begin(), got.end());
+    // dropped (11): never serialized; skipped (12): never compared;
+    // half_cached (13): in serialize but not deserialize.
+    // wall_seconds: exempted via allow(stat-complete).
+    EXPECT_EQ(got, (Sites{{11, "stat-complete"},
+                          {12, "stat-complete"},
+                          {13, "stat-complete"}}));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_NE(out[0].message.find("serializer"), std::string::npos);
+    EXPECT_NE(out[1].message.find("comparator"), std::string::npos);
+    EXPECT_NE(out[2].message.find("serializer"), std::string::npos);
+}
+
+TEST(LintStructParser, ExtractsFieldsAndSkipsNonFields)
+{
+    const SourceFile sf = fixture("init_field.h");
+    const auto structs = parseStructs(sf);
+    std::set<std::string> names;
+    for (const auto &s : structs)
+        names.insert(s.name);
+    EXPECT_TRUE(names.count("GoodConfig"));
+    EXPECT_TRUE(names.count("BadStats"));
+
+    for (const auto &s : structs) {
+        if (s.name != "BadStats")
+            continue;
+        ASSERT_EQ(s.fields.size(), 2u); // ipc() and kLimit excluded
+        EXPECT_EQ(s.fields[0].name, "committed");
+        EXPECT_TRUE(s.fields[0].initialized);
+        EXPECT_EQ(s.fields[1].name, "cycles");
+        EXPECT_FALSE(s.fields[1].initialized);
+    }
+}
+
+TEST(LintBaseline, GrandfathersExactKeysOnly)
+{
+    const Finding a{"src/a.cc", 10, "nondet-api", "call to 'rand'"};
+    const Finding b{"src/b.cc", 20, "nondet-api", "call to 'rand'"};
+    const std::set<std::string> base = {a.key()};
+    const auto fresh = newFindings({a, b}, base);
+    ASSERT_EQ(fresh.size(), 1u);
+    EXPECT_EQ(fresh[0].path, "src/b.cc");
+    // Keys are line-free: moving a finding must not invalidate it.
+    const Finding moved{"src/a.cc", 99, "nondet-api", "call to 'rand'"};
+    EXPECT_TRUE(newFindings({moved}, base).empty());
+}
+
+/** The acceptance gate: the real tree lints clean against the
+ *  committed baseline (which is expected to stay empty). */
+TEST(LintTree, RepositoryIsCleanAgainstBaseline)
+{
+    Options opt;
+    opt.root = kRoot;
+    const std::vector<Finding> all = lintTree(opt);
+    const std::set<std::string> base =
+        loadBaseline(kRoot + "/tools/lint/baseline.txt");
+    std::string pretty;
+    for (const Finding &f : newFindings(all, base))
+        pretty += f.pretty() + "\n";
+    EXPECT_EQ(pretty, "");
+}
+
+/** R4 is live on the real tree: drop a field from the serializer
+ *  text and the rule must notice. */
+TEST(LintTree, StatCompleteGuardsTheRealCoreStats)
+{
+    Options opt;
+    opt.root = kRoot;
+    SourceFile header = lexFile(kRoot + "/" + opt.stats_header,
+                                opt.stats_header);
+    SourceFile ser =
+        lexFile(kRoot + "/" + opt.serializer, opt.serializer);
+    SourceFile cmp =
+        lexFile(kRoot + "/" + opt.comparator, opt.comparator);
+
+    std::vector<Finding> ok;
+    ruleStatComplete(header, opt.stats_struct, ser, cmp, ok);
+    EXPECT_TRUE(ok.empty());
+
+    // Simulate "added a stat, forgot the cache format": erase every
+    // mention of recycled_ops from the serializer tokens.
+    SourceFile broken = ser;
+    broken.toks.erase(
+        std::remove_if(broken.toks.begin(), broken.toks.end(),
+                       [](const Token &t) {
+                           return t.text == "recycled_ops";
+                       }),
+        broken.toks.end());
+    std::vector<Finding> out;
+    ruleStatComplete(header, opt.stats_struct, broken, cmp, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "stat-complete");
+    EXPECT_NE(out[0].message.find("recycled_ops"), std::string::npos);
+}
+
+} // namespace
+} // namespace redsoc::lint

@@ -64,7 +64,7 @@ TEST(OpMix, MibenchHasMoreHighSlackAluThanSpec)
         const auto names = workloadNames(suite);
         for (const auto &name : names)
             total += mixOf(name).alu_hs;
-        return total / names.size();
+        return total / asDouble(names.size());
     };
     const double spec = suite_hs(Suite::Spec);
     const double mib = suite_hs(Suite::MiBench);

@@ -102,8 +102,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("crc", "gsm", "xalanc", "act",
                                          "bzip2", "conv"),
                        ::testing::Values("small", "medium", "big")),
-    [](const ::testing::TestParamInfo<SweepParam> &info) {
-        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<SweepParam> &pinfo) {
+        return std::get<0>(pinfo.param) + "_" +
+               std::get<1>(pinfo.param);
     });
 
 class PrecisionSweep : public ::testing::TestWithParam<unsigned>

@@ -40,7 +40,7 @@ TEST(Redsoc, AcceleratesDependentLogicChains)
     const CoreStats red = runCore(trace, cfg(SchedMode::ReDSOC));
     // Narrow logical ops carry >50% slack: pairs execute per cycle
     // via EGPW, approaching 2x on the pure chain.
-    EXPECT_LT(red.cycles, base.cycles * 0.65);
+    EXPECT_LT(asDouble(red.cycles), asDouble(base.cycles) * 0.65);
     EXPECT_GT(red.recycled_ops, 100u);
     EXPECT_EQ(red.committed, base.committed);
 }
@@ -86,9 +86,8 @@ TEST(Redsoc, EgpwIsRequiredToStartChains)
     EXPECT_LT(on.cycles, off.cycles);
     // Without EGPW a serial short-delay chain cannot recycle at all.
     EXPECT_EQ(off.recycled_ops, 0u);
-    EXPECT_NEAR(static_cast<double>(off.cycles),
-                static_cast<double>(base.cycles),
-                base.cycles * 0.02);
+    EXPECT_NEAR(asDouble(off.cycles), asDouble(base.cycles),
+                asDouble(base.cycles) * 0.02);
 }
 
 TEST(Redsoc, ZeroThresholdDisablesRecycling)
@@ -190,8 +189,8 @@ TEST(Redsoc, OperationalMatchesIllustrativeClosely)
     illus.rs_design = RsDesign::Illustrative;
     const CoreStats o = runCore(trace, oper);
     const CoreStats i = runCore(trace, illus);
-    EXPECT_NEAR(static_cast<double>(o.cycles),
-                static_cast<double>(i.cycles), i.cycles * 0.03);
+    EXPECT_NEAR(asDouble(o.cycles), asDouble(i.cycles),
+                asDouble(i.cycles) * 0.03);
     // Illustrative tracks all tags: no last-arrival prediction.
     EXPECT_EQ(i.la_predictions, 0u);
     EXPECT_GT(o.la_predictions, 0u);

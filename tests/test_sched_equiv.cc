@@ -184,7 +184,7 @@ TEST_P(WorkloadDifferential, SmallCoreKernelsBitIdentical)
 INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadDifferential,
                          ::testing::Values("crc", "gsm", "act", "bzip2",
                                            "conv", "xalanc"),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &pinfo) { return pinfo.param; });
 
 // ---------------------------------------------------------------------
 // Layer 2: randomized-trace property test (scan kernel = oracle)
@@ -210,7 +210,9 @@ randomTrace(u64 seed, unsigned n_ops)
     b.movImm(x(10), static_cast<s64>(rng.range(3, 17)));
     b.movImm(x(11), 0x1000);
 
-    auto data_reg = [&] { return x(1 + rng.below(8)); };
+    auto data_reg = [&] {
+        return x(static_cast<unsigned>(1 + rng.below(8)));
+    };
     const Opcode alu_ops[] = {Opcode::ADD, Opcode::SUB, Opcode::AND,
                               Opcode::ORR, Opcode::EOR};
 
@@ -248,7 +250,8 @@ randomTrace(u64 seed, unsigned n_ops)
             ProgramBuilder::Label skip = b.newLabel();
             b.branch(rng.chance(0.5) ? Opcode::BNEZ : Opcode::BGTZ,
                      data_reg(), skip);
-            const unsigned block = 1 + rng.below(3);
+            const unsigned block =
+                static_cast<unsigned>(1 + rng.below(3));
             for (unsigned k = 0; k < block; ++k)
                 b.alui(Opcode::ADD, data_reg(), data_reg(),
                        static_cast<s64>(rng.below(16)));
@@ -437,12 +440,13 @@ TEST(FuPoolTest, FreeSpanMatchesFreeUnitsLoop)
         const auto kind = static_cast<FuPoolKind>(rng.below(4));
         const Cycle c = 100 + rng.below(40);
         if (pool.freeUnits(kind, c) > 0 && pool.freeUnits(kind, c + 1) > 0)
-            pool.book(kind, c, 1 + rng.below(2));
+            pool.book(kind, c,
+                      static_cast<unsigned>(1 + rng.below(2)));
     }
     for (unsigned i = 0; i < 400; ++i) {
         const auto kind = static_cast<FuPoolKind>(rng.below(4));
         const Cycle c = 100 + rng.below(40);
-        const unsigned span = 1 + rng.below(3);
+        const unsigned span = static_cast<unsigned>(1 + rng.below(3));
         bool ref = true;
         for (unsigned k = 0; k < span; ++k)
             if (pool.freeUnits(kind, c + k) == 0)

@@ -178,7 +178,7 @@ main(int argc, char **argv)
                             totals.committed_ops),
                         totals.sim_seconds,
                         totals.sim_seconds > 0.0
-                            ? totals.committed_ops /
+                            ? asDouble(totals.committed_ops) /
                                   totals.sim_seconds / 1e6
                             : 0.0);
         }

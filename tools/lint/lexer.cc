@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tokenizer for redsoc_lint: identifiers, numbers, string/char
+ * literals (raw strings included), punctuation, line tracking, and
+ * "// redsoc-lint: allow(rule,...)" suppression comments.
+ */
+
+#include "lint.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace redsoc::lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Record any "redsoc-lint: allow(a,b)" directives in @p comment. */
+void
+recordAllows(const std::string &comment, int line, SourceFile &sf)
+{
+    const std::string marker = "redsoc-lint:";
+    size_t at = comment.find(marker);
+    while (at != std::string::npos) {
+        size_t open = comment.find("allow(", at);
+        if (open == std::string::npos)
+            break;
+        size_t close = comment.find(')', open);
+        if (close == std::string::npos)
+            break;
+        std::string list =
+            comment.substr(open + 6, close - (open + 6));
+        std::string id;
+        std::istringstream ids(list);
+        while (std::getline(ids, id, ',')) {
+            // Trim surrounding whitespace.
+            size_t b = id.find_first_not_of(" \t");
+            size_t e = id.find_last_not_of(" \t");
+            if (b != std::string::npos)
+                sf.allows[line].insert(id.substr(b, e - b + 1));
+        }
+        at = comment.find(marker, close);
+    }
+}
+
+/** Two-char operators the rules care about (kept minimal so '<'/'>'
+ *  stay single tokens for template-depth tracking). */
+bool
+isTwoCharOp(char a, char b)
+{
+    return (a == ':' && b == ':') || (a == '-' && b == '>') ||
+           (a == '+' && b == '=') || (a == '-' && b == '=') ||
+           (a == '=' && b == '=') || (a == '!' && b == '=') ||
+           (a == '&' && b == '&') || (a == '|' && b == '|');
+}
+
+} // namespace
+
+bool
+SourceFile::allowed(int line, const std::string &rule) const
+{
+    for (int l : {line, line - 1}) {
+        auto it = allows.find(l);
+        if (it == allows.end())
+            continue;
+        if (it->second.count(rule) || it->second.count("all"))
+            return true;
+    }
+    return false;
+}
+
+SourceFile
+lex(std::string path, const std::string &text)
+{
+    SourceFile sf;
+    sf.path = std::move(path);
+
+    const size_t n = text.size();
+    size_t i = 0;
+    int line = 1;
+
+    auto push = [&](TokKind k, std::string t) {
+        sf.toks.push_back(Token{k, std::move(t), line});
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            size_t end = text.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            recordAllows(text.substr(i, end - i), line, sf);
+            i = end;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            size_t end = text.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            const std::string body = text.substr(i, end - i);
+            recordAllows(body, line, sf);
+            for (char bc : body)
+                if (bc == '\n')
+                    ++line;
+            i = end;
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            size_t open = text.find('(', i + 2);
+            if (open != std::string::npos) {
+                const std::string delim =
+                    ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+                size_t end = text.find(delim, open + 1);
+                if (end == std::string::npos)
+                    end = n;
+                else
+                    end += delim.size();
+                for (size_t k = i; k < end && k < n; ++k)
+                    if (text[k] == '\n')
+                        ++line;
+                push(TokKind::String, "\"\"");
+                i = end;
+                continue;
+            }
+        }
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            size_t j = i + 1;
+            while (j < n && text[j] != quote) {
+                if (text[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            push(TokKind::String, std::string(1, quote) + quote);
+            i = (j < n) ? j + 1 : n;
+            continue;
+        }
+        if (identStart(c)) {
+            size_t j = i;
+            while (j < n && identChar(text[j]))
+                ++j;
+            push(TokKind::Ident, text.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            // Good enough for C++ numeric literals incl. hex, digit
+            // separators, suffixes and exponents.
+            while (j < n && (identChar(text[j]) || text[j] == '\'' ||
+                             ((text[j] == '+' || text[j] == '-') &&
+                              j > i &&
+                              (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                               text[j - 1] == 'p' || text[j - 1] == 'P'))))
+                ++j;
+            push(TokKind::Number, text.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        if (i + 1 < n && isTwoCharOp(c, text[i + 1])) {
+            push(TokKind::Punct, text.substr(i, 2));
+            i += 2;
+            continue;
+        }
+        push(TokKind::Punct, std::string(1, c));
+        ++i;
+    }
+    return sf;
+}
+
+SourceFile
+lexFile(const std::string &fs_path, const std::string &report_path)
+{
+    std::ifstream in(fs_path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read " + fs_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return lex(report_path, ss.str());
+}
+
+} // namespace redsoc::lint

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * redsoc_lint driver: file discovery, rule orchestration, baseline
+ * load/compare.
+ */
+
+#include "lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace redsoc::lint {
+
+namespace {
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp";
+}
+
+bool
+excluded(const std::string &rel, const Options &opt)
+{
+    for (const std::string &s : opt.exclude_substrings)
+        if (rel.find(s) != std::string::npos)
+            return true;
+    return false;
+}
+
+std::string
+relPath(const fs::path &p, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    return (ec ? p : rel).generic_string();
+}
+
+} // namespace
+
+std::string
+Finding::pretty() const
+{
+    return path + ":" + std::to_string(line) + ": [" + rule + "] " +
+           message;
+}
+
+std::string
+Finding::key() const
+{
+    return path + " [" + rule + "] " + message;
+}
+
+std::vector<Finding>
+lintFile(const SourceFile &sf, const Options &opt)
+{
+    std::vector<Finding> out;
+    ruleInitField(sf, out);
+    ruleNondetApi(sf, out);
+    ruleNondetIter(sf, out);
+    rulePtrKeyOrder(sf, out);
+    ruleCycleNarrow(sf, out);
+    ruleFloatAccum(sf, opt.float_accum_exempt, out);
+    return out;
+}
+
+std::vector<Finding>
+lintTree(const Options &opt)
+{
+    const fs::path root(opt.root);
+    std::vector<std::string> files;
+    for (const std::string &p : opt.paths) {
+        const fs::path base = root / p;
+        std::error_code ec;
+        if (fs::is_regular_file(base, ec)) {
+            files.push_back(relPath(base, root));
+            continue;
+        }
+        for (auto it = fs::recursive_directory_iterator(base, ec);
+             !ec && it != fs::recursive_directory_iterator();
+             it.increment(ec)) {
+            if (!it->is_regular_file() ||
+                !lintableExtension(it->path()))
+                continue;
+            const std::string rel = relPath(it->path(), root);
+            if (!excluded(rel, opt))
+                files.push_back(rel);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> out;
+    for (const std::string &rel : files) {
+        SourceFile sf = lexFile((root / rel).string(), rel);
+        std::vector<Finding> fs_ = lintFile(sf, opt);
+        out.insert(out.end(), fs_.begin(), fs_.end());
+    }
+
+    // R4 runs once over its designated file triple.
+    std::error_code ec;
+    if (fs::exists(root / opt.stats_header, ec) &&
+        fs::exists(root / opt.serializer, ec) &&
+        fs::exists(root / opt.comparator, ec)) {
+        SourceFile header = lexFile((root / opt.stats_header).string(),
+                                    opt.stats_header);
+        SourceFile ser =
+            lexFile((root / opt.serializer).string(), opt.serializer);
+        SourceFile cmp =
+            lexFile((root / opt.comparator).string(), opt.comparator);
+        ruleStatComplete(header, opt.stats_struct, ser, cmp, out);
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.message < b.message;
+              });
+    return out;
+}
+
+std::set<std::string>
+loadBaseline(const std::string &path)
+{
+    std::set<std::string> keys;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        // Trim trailing CR / whitespace.
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' ' ||
+                line.back() == '\t'))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        keys.insert(line);
+    }
+    return keys;
+}
+
+std::vector<Finding>
+newFindings(const std::vector<Finding> &all,
+            const std::set<std::string> &baseline)
+{
+    std::vector<Finding> fresh;
+    for (const Finding &f : all)
+        if (!baseline.count(f.key()))
+            fresh.push_back(f);
+    return fresh;
+}
+
+} // namespace redsoc::lint

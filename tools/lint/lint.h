@@ -1,0 +1,192 @@
+/**
+ * @file
+ * redsoc_lint — simulator-specific static analysis.
+ *
+ * The simulator's correctness story (the Scan/Event differential
+ * suite, the run-cache checksum, cross-process result reuse) depends
+ * on bit-identical reproducibility, so classes of latent
+ * nondeterminism and UB that would merely perturb a figure in an
+ * ordinary codebase silently invalidate results here. This tool
+ * enforces the determinism rules mechanically over src/, tools/ and
+ * tests/:
+ *
+ *   init-field    (R1) every field of a struct named *Config / *Stats
+ *                 carries an in-class initializer.
+ *   nondet-api    (R2) banned wall-clock / seedless-randomness APIs
+ *                 (rand, srand, time(), std::random_device, ...).
+ *   nondet-iter   (R2) range-for iteration over a std::unordered_map /
+ *                 unordered_set declared in the same file: iteration
+ *                 order is unspecified and varies across libstdc++
+ *                 versions, ASLR and insertion history.
+ *   ptr-key-order (R2) std::map / std::set (or unordered_*) keyed by a
+ *                 pointer type: ordering/hashing follows allocation
+ *                 addresses.
+ *   cycle-narrow  (R3) 64-bit cycle/tick quantities narrowed (cast or
+ *                 implicit) to 32-bit-or-smaller integer types.
+ *   float-accum   (R3) floating-point accumulation (+=) inside a loop
+ *                 whose header mentions cycles/ticks, outside
+ *                 src/power.
+ *   stat-complete (R4) every CoreStats field appears in both the
+ *                 run-cache serializer/deserializer and the
+ *                 kernel-equivalence comparator, so "added a stat,
+ *                 forgot the cache format" cannot recur.
+ *
+ * Findings print as "file:line: [rule-id] message". A finding is
+ * suppressed by a comment "// redsoc-lint: allow(rule-id)" (or
+ * allow(all), comma-separated ids accepted) on the same or the
+ * immediately preceding line. A committed baseline file (line format:
+ * "path [rule-id] message", '#' comments allowed) grandfathers known
+ * findings; the tool exits nonzero only on findings not in the
+ * baseline.
+ *
+ * Parsing is a deliberate tokenizer, not a full C++ front end (the
+ * container ships no libclang development headers): rules are scoped
+ * to constructs the lexer classifies reliably, and every rule is
+ * suppressible where the heuristic is wrong.
+ */
+
+#ifndef REDSOC_TOOLS_LINT_LINT_H
+#define REDSOC_TOOLS_LINT_LINT_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace redsoc::lint {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class TokKind {
+    Ident,  ///< identifier or keyword
+    Number, ///< numeric literal
+    String, ///< string or char literal (text excludes quotes' content)
+    Punct,  ///< operator / punctuation (multi-char only for :: -> +=
+            ///< -= == != && ||)
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 1;
+};
+
+/** One lexed source file plus its suppression comments. */
+struct SourceFile
+{
+    std::string path; ///< as reported in findings (root-relative)
+    std::vector<Token> toks;
+    /** line -> rule-ids allowed there ("all" allows everything). */
+    std::map<int, std::set<std::string>> allows;
+
+    bool allowed(int line, const std::string &rule) const;
+};
+
+/** Lex @p text (suppression comments recorded, comments dropped). */
+SourceFile lex(std::string path, const std::string &text);
+
+/** Load + lex a file from disk; throws std::runtime_error on I/O. */
+SourceFile lexFile(const std::string &fs_path,
+                   const std::string &report_path);
+
+// ---------------------------------------------------------------------
+// Struct-field model (shared by init-field and stat-complete)
+// ---------------------------------------------------------------------
+
+struct FieldInfo
+{
+    std::string name;
+    int line = 0;
+    bool initialized = false;
+};
+
+struct StructInfo
+{
+    std::string name;
+    int line = 0;
+    std::vector<FieldInfo> fields;
+};
+
+/** Every struct/class definition in the file (nested ones included,
+ *  flattened). Instance data members only: functions, static members,
+ *  using-declarations and nested types are excluded. */
+std::vector<StructInfo> parseStructs(const SourceFile &sf);
+
+// ---------------------------------------------------------------------
+// Findings and rules
+// ---------------------------------------------------------------------
+
+struct Finding
+{
+    std::string path;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    /** "path:line: [rule] message" (the printed form). */
+    std::string pretty() const;
+    /** Line-number-free identity used for baseline matching. */
+    std::string key() const;
+};
+
+void ruleInitField(const SourceFile &sf, std::vector<Finding> &out);
+void ruleNondetApi(const SourceFile &sf, std::vector<Finding> &out);
+void ruleNondetIter(const SourceFile &sf, std::vector<Finding> &out);
+void rulePtrKeyOrder(const SourceFile &sf, std::vector<Finding> &out);
+void ruleCycleNarrow(const SourceFile &sf, std::vector<Finding> &out);
+/** @p exempt: skip files whose path starts with any of these
+ *  prefixes (the power model legitimately integrates energy). */
+void ruleFloatAccum(const SourceFile &sf,
+                    const std::vector<std::string> &exempt,
+                    std::vector<Finding> &out);
+
+/** R4: every non-suppressed field of @p struct_name in @p header must
+ *  appear >= 2 times in @p serializer (serialize + deserialize) and
+ *  >= 1 time in @p comparator. */
+void ruleStatComplete(const SourceFile &header,
+                      const std::string &struct_name,
+                      const SourceFile &serializer,
+                      const SourceFile &comparator,
+                      std::vector<Finding> &out);
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+struct Options
+{
+    std::string root = ".";              ///< repo root (paths relative)
+    std::vector<std::string> paths = {"src", "tools", "tests"};
+    std::vector<std::string> exclude_substrings = {
+        "lint_fixtures", "/build", ".git"};
+    std::vector<std::string> float_accum_exempt = {"src/power"};
+
+    // R4 wiring (relative to root; rule skipped if header missing).
+    std::string stats_struct = "CoreStats";
+    std::string stats_header = "src/core/ooo_core.h";
+    std::string serializer = "src/sim/run_cache.cc";
+    std::string comparator = "tests/test_sched_equiv.cc";
+
+    std::string baseline_path;           ///< empty = no baseline
+};
+
+/** All findings for one lexed file (R1-R3; suppressions applied). */
+std::vector<Finding> lintFile(const SourceFile &sf, const Options &opt);
+
+/** Walk opt.paths under opt.root, run every rule (R4 included),
+ *  return findings sorted by path/line. */
+std::vector<Finding> lintTree(const Options &opt);
+
+/** Baseline keys loaded from @p path (empty set if unreadable). */
+std::set<std::string> loadBaseline(const std::string &path);
+
+/** Findings whose key is not in @p baseline. */
+std::vector<Finding> newFindings(const std::vector<Finding> &all,
+                                 const std::set<std::string> &baseline);
+
+} // namespace redsoc::lint
+
+#endif // REDSOC_TOOLS_LINT_LINT_H

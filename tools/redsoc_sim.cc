@@ -185,8 +185,7 @@ main(int argc, char **argv)
             driver.run(workload, make_config(SchedMode::Baseline));
         std::printf("baseline: %llu cycles -> speedup %.2f%%\n",
                     static_cast<unsigned long long>(base.cycles),
-                    (static_cast<double>(base.cycles) / stats.cycles -
-                     1.0) * 100.0);
+                    (ratioOf(base.cycles, stats.cycles) - 1.0) * 100.0);
     }
 
     if (want_stats) {
