@@ -118,6 +118,51 @@ OooCore::selGate(const OpState &op) const
 }
 
 void
+OooCore::emitFrontend(SeqNum seq)
+{
+    // The model's frontend is one macro-stage: all four events carry
+    // the dispatch cycle's tick (trace_events.h).
+    const Tick t = clock_.cycleStart(cycle_);
+    emit(PipeEventKind::Fetch, seq, t);
+    emit(PipeEventKind::Decode, seq, t);
+    emit(PipeEventKind::Rename, seq, t);
+    emit(PipeEventKind::Dispatch, seq, t);
+}
+
+void
+OooCore::emitIssue(const Candidate &cand, const OpState &op)
+{
+    // The entry's conventional wakeup cycle is the select gate; an
+    // EGPW grant (and a MOS fusion) is woken in the grant cycle
+    // itself. Every input below is part of the committed schedule,
+    // so both scheduler kernels emit identical events.
+    const SeqNum last = lastProducer(op);
+    const Cycle wake = cand.speculative
+                           ? cycle_
+                           : std::min(selGate(op), cycle_);
+    emit(PipeEventKind::Wakeup, cand.seq, clock_.cycleStart(wake), 0,
+         last);
+    emit(PipeEventKind::Select, cand.seq, clock_.cycleStart(cycle_),
+         cand.speculative ? u8{1} : u8{0});
+    if (cand.speculative)
+        emit(PipeEventKind::EgpwFire, cand.seq,
+             clock_.cycleStart(cycle_));
+    if (op.transparent) {
+        emit(PipeEventKind::TransparentPass, cand.seq, op.start_tick,
+             ciArg(op.start_tick));
+        emit(PipeEventKind::RecycleLink, cand.seq, op.start_tick, 0,
+             last);
+    }
+    if (op.width_replayed)
+        emit(PipeEventKind::Replay, cand.seq, clock_.cycleStart(cycle_),
+             2);
+    emit(PipeEventKind::ExecBegin, cand.seq, op.start_tick,
+         ciArg(op.start_tick));
+    emit(PipeEventKind::Writeback, cand.seq, op.complete_tick,
+         ciArg(op.complete_tick));
+}
+
+void
 OooCore::dispatchPhase(const Trace &trace)
 {
     if (fetch_blocked_on_ != kNoSeq) {
@@ -158,6 +203,7 @@ OooCore::dispatchPhase(const Trace &trace)
         OpState &op = ops_[seq];
         op.dispatch_cycle = cycle_;
         rob_.push(seq);
+        emitFrontend(seq);
 
         // Direct unconditional control flow is resolved entirely in
         // the front end (target known at decode, RAS for returns):
@@ -168,6 +214,9 @@ OooCore::dispatchPhase(const Trace &trace)
             op.select_cycle = cycle_;
             op.start_tick = clock_.cycleStart(cycle_ + 1);
             op.complete_tick = op.start_tick;
+            // Frontend-resolved: no RS life, straight to writeback.
+            emit(PipeEventKind::Writeback, seq, op.complete_tick,
+                 ciArg(op.complete_tick));
             op.is_branch = isBranch(inst.op);
             if (op.is_branch) {
                 // Rename the link register and predict as usual.
@@ -319,6 +368,8 @@ OooCore::evalConventional(SeqNum seq, Candidate &cand, Cycle *next_try)
         la_pred_.recordOutcome(correct);
         if (!correct) {
             ++stats_.la_mispredictions;
+            emit(PipeEventKind::Replay, seq, clock_.cycleStart(cycle_),
+                 1);
             // Woke early on the wrong tag: replay penalty.
             static constexpr Cycle kLaReplayPenalty = 2;
             op.retry_cycle = true_ready + kLaReplayPenalty;
@@ -556,6 +607,9 @@ OooCore::issueOp(const Candidate &cand)
     if (cand.span == 2 && op.eligible && !op.width_replayed)
         ++stats_.two_cycle_holds;
 
+    if (tracer_)
+        emitIssue(cand, op);
+
     if (event_kernel_)
         broadcastWakeup(cand.seq);
 }
@@ -674,8 +728,16 @@ OooCore::phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
     bool is_req = evalConventional(seq, cand, next_try);
     if (!is_req && interleave_spec) {
         is_req = evalEager(seq, cand);
-        if (is_req)
+        if (is_req) {
             ++stats_.egpw_requests;
+            if (tracer_) {
+                const SeqNum parent = lastProducer(ops_[seq]);
+                emit(PipeEventKind::EgpwArm, seq,
+                     clock_.cycleStart(cycle_), 0,
+                     parent == kNoSeq ? kNoSeq
+                                      : lastProducer(ops_[parent]));
+            }
+        }
     }
     if (!is_req)
         return false;
@@ -690,6 +752,8 @@ OooCore::phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
         if (!cand.recycle_ok) {
             fu_.book(pool, cycle_ + 1, 1);
             ++stats_.egpw_wasted;
+            emit(PipeEventKind::EgpwWaste, seq,
+                 clock_.cycleStart(cycle_), 0);
             return true;
         }
     }
@@ -697,6 +761,8 @@ OooCore::phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
         if (cand.speculative) {
             fu_.book(pool, cycle_ + 1, 1);
             ++stats_.egpw_wasted;
+            emit(PipeEventKind::EgpwWaste, seq,
+                 clock_.cycleStart(cycle_), 1);
         } else {
             fu_denied = true;
         }
@@ -753,6 +819,8 @@ OooCore::tryFuse(const Candidate &pg, SeqNum cseq)
     issueOp(fc);
     cop.fused = true;
     ++stats_.fused_ops;
+    emit(PipeEventKind::Fuse, cseq, clock_.cycleStart(cycle_), 0,
+         pg.seq);
     return true;
 }
 
@@ -812,6 +880,13 @@ OooCore::issuePhase()
             if (!evalEager(seq, cand))
                 return;
             ++stats_.egpw_requests;
+            if (tracer_) {
+                const SeqNum parent = lastProducer(ops_[seq]);
+                emit(PipeEventKind::EgpwArm, seq,
+                     clock_.cycleStart(cycle_), 0,
+                     parent == kNoSeq ? kNoSeq
+                                      : lastProducer(ops_[parent]));
+            }
             const FuPoolKind pool = ops_[seq].pool;
             if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
                 // Not granted (no conventional op was displaced), but
@@ -826,11 +901,15 @@ OooCore::issuePhase()
                 // recycle gating).
                 fu_.book(pool, cycle_ + 1, 1);
                 ++stats_.egpw_wasted;
+                emit(PipeEventKind::EgpwWaste, seq,
+                     clock_.cycleStart(cycle_), 0);
                 return;
             }
             if (!fu_.freeSpan(pool, cycle_ + 1, cand.span)) {
                 fu_.book(pool, cycle_ + 1, 1);
                 ++stats_.egpw_wasted;
+                emit(PipeEventKind::EgpwWaste, seq,
+                     clock_.cycleStart(cycle_), 1);
                 return;
             }
             fu_.book(pool, cycle_ + 1, cand.span);
@@ -953,6 +1032,8 @@ OooCore::commitPhase()
         fold(op.complete_tick);
         fold((op.transparent ? 1u : 0u) | (op.fused ? 2u : 0u));
 
+        emit(PipeEventKind::Commit, seq, now);
+
         ++commit_ptr_;
         ++committed;
         last_commit_cycle_ = cycle_;
@@ -1063,6 +1144,7 @@ OooCore::run(const Trace &trace)
     last_epoch_commits_ = 0;
     stats_.threshold_min = cur_threshold_;
     stats_.threshold_max = cur_threshold_;
+    rs_.clear();
     cons_edges_.clear();
     wake_pq_ = {};
     next_arms_.clear();
@@ -1070,6 +1152,8 @@ OooCore::run(const Trace &trace)
     eager_.clear();
     parked_loads_.clear();
     in_phase_a_ = false;
+    if (tracer_)
+        tracer_->beginRun(clock_.ticksPerCycle());
 
     const bool adapting = config_.dynamic_threshold &&
                           config_.mode == SchedMode::ReDSOC;

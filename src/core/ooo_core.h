@@ -30,6 +30,7 @@
 #include "predictors/branch_predictor.h"
 #include "redsoc/transparent.h"
 #include "timing/slack_lut.h"
+#include "trace/pipe_tracer.h"
 
 namespace redsoc {
 
@@ -127,6 +128,16 @@ class OooCore
 
     /** Simulate the trace to completion and return the statistics. */
     CoreStats run(const Trace &trace);
+
+    /**
+     * Attach (or detach, with nullptr) a pipeline event tracer for
+     * subsequent run()s. The core does not own the tracer. Tracing is
+     * observation-only: every event is emitted at a site both
+     * scheduler kernels execute with identical arguments, and a
+     * traced run's CoreStats are byte-identical to an untraced one
+     * (tests/test_trace_equiv.cc).
+     */
+    void setTracer(PipeTracer *tracer) { tracer_ = tracer; }
 
     const CoreConfig &config() const { return config_; }
 
@@ -267,6 +278,25 @@ class OooCore
 
     bool widthSensitive(const Inst &inst) const;
 
+    /** Trace-emission helper: one predictable branch when detached. */
+    void emit(PipeEventKind kind, SeqNum seq, Tick tick, u8 arg = 0,
+              SeqNum link = kNoSeq)
+    {
+        if (tracer_)
+            tracer_->record(kind, seq, tick, arg, link);
+    }
+    /** The sub-cycle CI payload of a tick: ciOf() < ticks-per-cycle
+     *  (at most 8), so the narrowing is lossless by construction. */
+    u8 ciArg(Tick tick) const
+    {
+        // redsoc-lint: allow(cycle-narrow)
+        return static_cast<u8>(clock_.ciOf(tick));
+    }
+    /** The full frontend ladder (one macro-stage in this model). */
+    void emitFrontend(SeqNum seq);
+    /** All issue-time events for a granted candidate. */
+    void emitIssue(const Candidate &cand, const OpState &op);
+
     CoreConfig config_;
     SubCycleClock clock_;
     TimingModel timing_;
@@ -334,6 +364,8 @@ class OooCore
     /** Loads blocked on an older unresolved store; re-evaluated when
      *  any store issues. */
     std::vector<SeqNum> parked_loads_;
+
+    PipeTracer *tracer_ = nullptr; ///< not owned; nullptr = off
 
     CoreStats stats_;
 };

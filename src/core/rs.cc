@@ -45,6 +45,13 @@ ReservationStations::remove(SeqNum seq)
 }
 
 void
+ReservationStations::clear()
+{
+    slots_.clear();
+    live_ = 0;
+}
+
+void
 ReservationStations::compact()
 {
     slots_.erase(std::remove_if(slots_.begin(), slots_.end(),

@@ -42,6 +42,12 @@ class ReservationStations
     /** Free an entry at issue (O(log n): tombstone + amortized sweep). */
     void remove(SeqNum seq);
 
+    /** Drop all slots, tombstoned or not. A drained pool can still
+     *  hold up to a sweep's worth of tombstones whose raw values
+     *  would trip the program-order assert on the next run; core
+     *  reset clears them. */
+    void clear();
+
     /**
      * Copy the waiting ops, oldest first, into @p out (cleared
      * first). The select loops snapshot into a reusable buffer so

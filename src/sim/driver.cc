@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "sim/thread_pool.h"
+#include "trace/exporters.h"
 
 namespace redsoc {
 
@@ -85,7 +86,22 @@ SimDriver::runFuture(const std::string &workload,
             }
         }
         OooCore core(config);
-        CoreStats stats = core.run(trace(workload));
+        const TraceEnv &tenv = TraceEnv::get();
+        CoreStats stats;
+        if (tenv.active) {
+            // REDSOC_TRACE_DIR: any harness drops one pipeline trace
+            // per simulated (cache-miss) point, no code changes
+            // needed. Tracing is behavior-neutral, so the stats stay
+            // cacheable.
+            PipeTracer tracer(tenv.capacity);
+            core.setTracer(&tracer);
+            stats = core.run(trace(workload));
+            writeTraceFile(tenv.dir + "/" + sanitizeTraceFileName(key) +
+                               traceFormatExtension(tenv.format),
+                           tenv.format, tracer, trace(workload));
+        } else {
+            stats = core.run(trace(workload));
+        }
         if (disk_cache_)
             disk_cache_->store(key, stats);
         prom.set_value(std::move(stats));
@@ -99,6 +115,15 @@ const CoreStats &
 SimDriver::run(const std::string &workload, const CoreConfig &config)
 {
     return runFuture(workload, config).get();
+}
+
+CoreStats
+SimDriver::runTraced(const std::string &workload,
+                     const CoreConfig &config, PipeTracer &tracer)
+{
+    OooCore core(config);
+    core.setTracer(&tracer);
+    return core.run(trace(workload));
 }
 
 void

@@ -31,6 +31,7 @@
 
 #include "core/ooo_core.h"
 #include "sim/run_cache.h"
+#include "trace/pipe_tracer.h"
 #include "workloads/registry.h"
 
 namespace redsoc {
@@ -55,6 +56,16 @@ class SimDriver
      *  concurrency-safe, each point simulates exactly once). */
     const CoreStats &run(const std::string &workload,
                          const CoreConfig &config);
+
+    /**
+     * Simulate one point with @p tracer attached, bypassing both the
+     * in-memory and disk result caches (a cache hit would yield stats
+     * without events). The trace cache is still used. The recorded
+     * buffer is the caller's to export; the returned stats are
+     * byte-identical to an untraced run() of the same point.
+     */
+    CoreStats runTraced(const std::string &workload,
+                        const CoreConfig &config, PipeTracer &tracer);
 
     /**
      * Simulate every point of a matrix across the process-wide

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace exporters: render a recorded PipeTracer buffer as
+ *
+ *  - Chrome `trace_event` JSON (open in chrome://tracing or Perfetto;
+ *    one track per pipeline stage and per FU class, execution spans
+ *    as complete events at tick resolution), or
+ *  - Konata/Kanata text (pipeline visualization in Konata; per-op
+ *    stage ladder with recycle-link dependency arrows and ReDSOC
+ *    annotations in the mouse-over label).
+ *
+ * Both exporters are pure functions of the (tracer, trace) pair and
+ * deterministic: the same run exports byte-identical files, which is
+ * what lets the golden-snapshot test compare Scan- and Event-kernel
+ * traces exactly.
+ */
+
+#ifndef REDSOC_TRACE_EXPORTERS_H
+#define REDSOC_TRACE_EXPORTERS_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "func/trace.h"
+#include "trace/pipe_tracer.h"
+
+namespace redsoc {
+
+enum class TraceFormat : u8 { Chrome, Konata };
+
+/** "chrome" / "konata" (also accepts "kanata"); nullopt otherwise. */
+std::optional<TraceFormat> parseTraceFormat(const std::string &text);
+
+/** Canonical file extension (".trace.json" / ".kanata"). */
+const char *traceFormatExtension(TraceFormat format);
+
+/** Pick a format for @p path: *.json => Chrome, else Konata. */
+TraceFormat traceFormatForPath(const std::string &path);
+
+/** Chrome trace_event JSON ("traceEvents" array form). */
+void exportChromeTrace(const PipeTracer &tracer, const Trace &trace,
+                       std::ostream &os);
+
+/** Konata (Kanata 0004) pipeline-visualizer text. */
+void exportKonata(const PipeTracer &tracer, const Trace &trace,
+                  std::ostream &os);
+
+/** Export to @p path in @p format; fatal() on I/O failure. */
+void writeTraceFile(const std::string &path, TraceFormat format,
+                    const PipeTracer &tracer, const Trace &trace);
+
+/** @p key with every filesystem-hostile character replaced by '_'
+ *  (run keys become file names under REDSOC_TRACE_DIR). */
+std::string sanitizeTraceFileName(const std::string &key);
+
+/**
+ * Process-wide tracing request, read once from the environment:
+ *   REDSOC_TRACE_DIR    directory to drop one trace per simulated
+ *                       point into (SimDriver honours this for every
+ *                       cache-miss run, so any harness is traceable
+ *                       without code changes);
+ *   REDSOC_TRACE_FORMAT "chrome" | "konata" (default konata);
+ *   REDSOC_TRACE_CAP    ring capacity in events (default 1M).
+ */
+struct TraceEnv
+{
+    bool active = false;
+    std::string dir;
+    TraceFormat format = TraceFormat::Konata;
+    size_t capacity = PipeTracer::kDefaultCapacity;
+
+    static const TraceEnv &get();
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_TRACE_EXPORTERS_H

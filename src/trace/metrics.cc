@@ -1,0 +1,173 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/table.h"
+
+namespace redsoc {
+
+namespace {
+
+const char *
+fuClassLabel(FuClass fc)
+{
+    switch (fc) {
+    case FuClass::IntAlu: return "IntAlu";
+    case FuClass::IntMul: return "IntMul";
+    case FuClass::IntDiv: return "IntDiv";
+    case FuClass::Fp: return "Fp";
+    case FuClass::FpDiv: return "FpDiv";
+    case FuClass::SimdAlu: return "SimdAlu";
+    case FuClass::SimdMul: return "SimdMul";
+    case FuClass::MemRead: return "MemRead";
+    case FuClass::MemWrite: return "MemWrite";
+    case FuClass::None: return "None";
+    }
+    return "?";
+}
+
+} // namespace
+
+TraceMetrics::TraceMetrics()
+{
+    for (auto &h : slack_by_class)
+        h = Histogram(kMaxTickSample);
+}
+
+TraceMetrics
+computeTraceMetrics(const PipeTracer &tracer, const Trace &trace)
+{
+    TraceMetrics m;
+    m.events = tracer.size();
+    m.dropped = tracer.dropped();
+    m.ticks_per_cycle = tracer.ticksPerCycle();
+    const Tick tpc = m.ticks_per_cycle;
+
+    // Per-seq scratch state. Lookup/insert only — no iteration, so an
+    // unordered map stays deterministic.
+    std::unordered_map<SeqNum, Cycle> wake_cycle;
+    std::unordered_map<SeqNum, u64> depth;
+
+    tracer.forEach([&](const PipeEvent &e) {
+        switch (e.kind) {
+        case PipeEventKind::Wakeup:
+            wake_cycle[e.seq] = e.tick / tpc;
+            break;
+        case PipeEventKind::Select: {
+            const auto it = wake_cycle.find(e.seq);
+            if (it != wake_cycle.end()) {
+                const Cycle grant = e.tick / tpc;
+                m.wakeup_to_issue.sample(
+                    grant >= it->second ? grant - it->second : 0);
+            }
+            break;
+        }
+        case PipeEventKind::Writeback: {
+            // arg is the completion CI; slack to the cycle boundary.
+            const u64 slack = (tpc - e.arg) % tpc;
+            const auto fc =
+                static_cast<size_t>(fuClass(trace.inst(e.seq).op));
+            m.slack_by_class[fc].sample(slack);
+            break;
+        }
+        case PipeEventKind::RecycleLink: {
+            const auto it = depth.find(e.link);
+            const u64 d = (it == depth.end() ? 1 : it->second) + 1;
+            depth[e.seq] = d;
+            m.chain_depth.sample(d);
+            ++m.recycle_links;
+            break;
+        }
+        case PipeEventKind::EgpwArm:
+            ++m.egpw_arms;
+            break;
+        case PipeEventKind::EgpwFire:
+            ++m.egpw_fires;
+            break;
+        case PipeEventKind::EgpwWaste:
+            if (e.arg == 0)
+                ++m.egpw_wastes_no_slack;
+            else
+                ++m.egpw_wastes_span;
+            break;
+        case PipeEventKind::TransparentPass:
+            ++m.transparent_passes;
+            break;
+        case PipeEventKind::Fuse:
+            ++m.fuses;
+            break;
+        case PipeEventKind::Replay:
+            if (e.arg == 1)
+                ++m.replays_last_arrival;
+            else
+                ++m.replays_width;
+            break;
+        case PipeEventKind::Commit:
+            ++m.commits;
+            break;
+        case PipeEventKind::Squash:
+            ++m.squashes;
+            break;
+        case PipeEventKind::Fetch:
+        case PipeEventKind::Decode:
+        case PipeEventKind::Rename:
+        case PipeEventKind::Dispatch:
+        case PipeEventKind::ExecBegin:
+        case PipeEventKind::NUM:
+            break;
+        }
+    });
+    return m;
+}
+
+std::string
+renderTraceMetrics(const TraceMetrics &m)
+{
+    std::ostringstream os;
+    os << "trace: " << m.events << " events";
+    if (m.dropped != 0)
+        os << " (+" << m.dropped << " dropped, ring wrapped)";
+    os << ", " << m.commits << " commits, " << m.squashes << " squashes, "
+       << m.ticks_per_cycle << " ticks/cycle\n\n";
+
+    Table slack({"fu_class", "ops", "mean_slack", "slack>0"});
+    for (size_t fc = 0; fc < TraceMetrics::kNumFuClasses; ++fc) {
+        const Histogram &h = m.slack_by_class[fc];
+        if (h.count() == 0)
+            continue;
+        slack.addRow({fuClassLabel(static_cast<FuClass>(fc)),
+                      std::to_string(h.count()), Table::num(h.mean()),
+                      Table::pct(static_cast<double>(h.count() -
+                                                     h.bucket(0)) /
+                                 static_cast<double>(h.count()))});
+    }
+    os << "completion slack by FU class (ticks):\n" << slack.render();
+
+    os << "\nwakeup->issue latency: " << m.wakeup_to_issue.count()
+       << " grants, mean " << Table::num(m.wakeup_to_issue.mean())
+       << " cycles, same-cycle "
+       << (m.wakeup_to_issue.count() == 0
+               ? std::string("n/a")
+               : Table::pct(static_cast<double>(
+                                m.wakeup_to_issue.bucket(0)) /
+                            static_cast<double>(m.wakeup_to_issue.count())))
+       << "\n";
+
+    os << "recycle chains: " << m.recycle_links << " links, "
+       << m.transparent_passes << " transparent passes, " << m.fuses
+       << " MOS fusions";
+    if (m.chain_depth.count() != 0)
+        os << ", mean linked depth " << Table::num(m.chain_depth.mean());
+    os << "\n";
+
+    os << "EGPW: " << m.egpw_arms << " arms, " << m.egpw_fires
+       << " fires, " << m.egpw_wastes_no_slack << " wasted (no slack), "
+       << m.egpw_wastes_span << " wasted (span denied)\n";
+    os << "replays: " << m.replays_last_arrival << " last-arrival, "
+       << m.replays_width << " width\n";
+    return os.str();
+}
+
+} // namespace redsoc

@@ -1,0 +1,59 @@
+#include "trace/pipe_tracer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+const char *
+pipeEventName(PipeEventKind kind)
+{
+    switch (kind) {
+    case PipeEventKind::Fetch: return "fetch";
+    case PipeEventKind::Decode: return "decode";
+    case PipeEventKind::Rename: return "rename";
+    case PipeEventKind::Dispatch: return "dispatch";
+    case PipeEventKind::Wakeup: return "wakeup";
+    case PipeEventKind::Select: return "select";
+    case PipeEventKind::ExecBegin: return "exec_begin";
+    case PipeEventKind::Writeback: return "writeback";
+    case PipeEventKind::Commit: return "commit";
+    case PipeEventKind::Squash: return "squash";
+    case PipeEventKind::EgpwArm: return "egpw_arm";
+    case PipeEventKind::EgpwFire: return "egpw_fire";
+    case PipeEventKind::EgpwWaste: return "egpw_waste";
+    case PipeEventKind::TransparentPass: return "transparent_pass";
+    case PipeEventKind::RecycleLink: return "recycle_link";
+    case PipeEventKind::Fuse: return "fuse";
+    case PipeEventKind::Replay: return "replay";
+    case PipeEventKind::NUM: break;
+    }
+    return "unknown";
+}
+
+PipeTracer::PipeTracer(size_t capacity)
+    : ring_(std::max<size_t>(capacity, 1))
+{
+    fatal_if(capacity == 0, "PipeTracer capacity must be positive");
+}
+
+void
+PipeTracer::beginRun(Tick ticks_per_cycle)
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    ticks_per_cycle_ = ticks_per_cycle;
+}
+
+std::vector<PipeEvent>
+PipeTracer::events() const
+{
+    std::vector<PipeEvent> out;
+    out.reserve(size_);
+    forEach([&out](const PipeEvent &e) { out.push_back(e); });
+    return out;
+}
+
+} // namespace redsoc

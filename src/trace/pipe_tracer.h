@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The per-op pipeline event tracer: a preallocated ring buffer of
+ * PipeEvent records. Recording is designed for the simulator's hot
+ * path: the buffer is allocated once, record() is header-inline, and
+ * its first statement is `if (!enabled_) return` — a disabled (or
+ * detached) tracer costs one predictably-not-taken branch per
+ * emission site and nothing else. The trace-off differential suite
+ * (tests/test_trace_equiv.cc) proves the attached path is
+ * behavior-neutral too: CoreStats and the commit-schedule checksum
+ * are byte-identical with and without a tracer.
+ *
+ * When the buffer wraps, the oldest events are overwritten and
+ * counted in dropped(): a bounded trace keeps the *tail* of the run,
+ * which is the window that matters when debugging how a run ended.
+ * Exporters surface the dropped count so truncation is never silent.
+ */
+
+#ifndef REDSOC_TRACE_PIPE_TRACER_H
+#define REDSOC_TRACE_PIPE_TRACER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace_events.h"
+
+namespace redsoc {
+
+class PipeTracer
+{
+  public:
+    /** Default capacity: 1M events (~40 MB), enough for ~100k ops. */
+    static constexpr size_t kDefaultCapacity = size_t{1} << 20;
+
+    explicit PipeTracer(size_t capacity = kDefaultCapacity);
+
+    /** Reset for a fresh core run; @p ticks_per_cycle is the run's
+     *  sub-cycle resolution (needed by exporters and metrics). */
+    void beginRun(Tick ticks_per_cycle);
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /** Record one event. The off path is a single branch. */
+    void record(PipeEventKind kind, SeqNum seq, Tick tick, u8 arg = 0,
+                SeqNum link = kNoSeq)
+    {
+        if (!enabled_)
+            return;
+        PipeEvent &e = ring_[head_];
+        e.tick = tick;
+        e.seq = seq;
+        e.link = link;
+        e.kind = kind;
+        e.arg = arg;
+        ++head_;
+        if (head_ == ring_.size())
+            head_ = 0;
+        if (size_ < ring_.size())
+            ++size_;
+        else
+            ++dropped_;
+    }
+
+    size_t capacity() const { return ring_.size(); }
+    size_t size() const { return size_; }
+    /** Events overwritten after the ring wrapped (0 = complete). */
+    u64 dropped() const { return dropped_; }
+    Tick ticksPerCycle() const { return ticks_per_cycle_; }
+
+    /** Retained events, oldest first. */
+    std::vector<PipeEvent> events() const;
+
+    /** Visit retained events oldest-first without copying. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        const size_t n = size_;
+        const size_t start = (head_ + ring_.size() - n) % ring_.size();
+        for (size_t i = 0; i < n; ++i)
+            fn(ring_[(start + i) % ring_.size()]);
+    }
+
+  private:
+    std::vector<PipeEvent> ring_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    u64 dropped_ = 0;
+    Tick ticks_per_cycle_ = 8;
+    bool enabled_ = true;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_TRACE_PIPE_TRACER_H

@@ -1,0 +1,17 @@
+// Fixture: trace-complete (R5) — the event-kind enum. Paired with
+// trace_complete_exporter.cc.
+#pragma once
+
+namespace fixture {
+
+enum class FixEventKind : unsigned char {
+    Fetch,      // line 8: in both exporter switches: clean
+    Issue = 2,  // line 9: initializer must not confuse the parser
+    Retire,     // line 10: only in one exporter switch
+    Squash,     // line 11: in neither exporter switch
+    // Exempted by design (debug-only kind, intentionally unexported).
+    Probe, // redsoc-lint: allow(trace-complete)
+    NUM,   // count sentinel: always skipped
+};
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: trace-complete (R5) — the exporter translation unit. The
+// rule wants every FixEventKind enumerator mentioned at least twice
+// (once per exporter switch).
+#include "trace_complete_enum.h"
+
+namespace fixture {
+
+int
+exportAlpha(FixEventKind k)
+{
+    switch (k) {
+    case FixEventKind::Fetch: return 1;
+    case FixEventKind::Issue: return 2;
+    case FixEventKind::Retire: return 3; // only mention of Retire
+    default: return 0;
+    }
+}
+
+int
+exportBeta(FixEventKind k)
+{
+    switch (k) {
+    case FixEventKind::Fetch: return 10;
+    case FixEventKind::Issue: return 20;
+    default: return 0; // Retire and Squash fall through, uncovered
+    }
+}
+
+} // namespace fixture

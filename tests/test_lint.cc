@@ -153,6 +153,42 @@ TEST(LintStatComplete, FiresForEveryUncoveredField)
     EXPECT_NE(out[2].message.find("serializer"), std::string::npos);
 }
 
+TEST(LintTraceComplete, FiresForEveryUnexportedKind)
+{
+    const SourceFile header = fixture("trace_complete_enum.h");
+    const SourceFile exp = fixture("trace_complete_exporter.cc");
+
+    std::vector<Finding> out;
+    ruleTraceComplete(header, "FixEventKind", exp, out);
+
+    Sites got;
+    for (const Finding &f : out)
+        got.emplace_back(f.line, f.rule);
+    std::sort(got.begin(), got.end());
+    // Retire (10): only one exporter switch; Squash (11): neither.
+    // Probe: exempted via allow(trace-complete); NUM: sentinel.
+    EXPECT_EQ(got, (Sites{{10, "trace-complete"},
+                          {11, "trace-complete"}}));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out[0].message.find("Retire"), std::string::npos);
+    EXPECT_NE(out[0].message.find("trace_complete_exporter.cc"),
+              std::string::npos);
+    EXPECT_NE(out[1].message.find("Squash"), std::string::npos);
+}
+
+TEST(LintEnumParser, ExtractsEnumeratorsAndSkipsInitializers)
+{
+    const auto enums = parseEnums(fixture("trace_complete_enum.h"));
+    ASSERT_EQ(enums.size(), 1u);
+    EXPECT_EQ(enums[0].name, "FixEventKind");
+    std::vector<std::string> names;
+    for (const auto &e : enums[0].enumerators)
+        names.push_back(e.name);
+    EXPECT_EQ(names, (std::vector<std::string>{
+                         "Fetch", "Issue", "Retire", "Squash", "Probe",
+                         "NUM"}));
+}
+
 TEST(LintStructParser, ExtractsFieldsAndSkipsNonFields)
 {
     const SourceFile sf = fixture("init_field.h");
@@ -233,6 +269,38 @@ TEST(LintTree, StatCompleteGuardsTheRealCoreStats)
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].rule, "stat-complete");
     EXPECT_NE(out[0].message.find("recycled_ops"), std::string::npos);
+}
+
+/** R5 is live on the real tree: drop an event kind from the exporter
+ *  text and the rule must notice. */
+TEST(LintTree, TraceCompleteGuardsTheRealSchema)
+{
+    Options opt;
+    opt.root = kRoot;
+    SourceFile header = lexFile(kRoot + "/" + opt.trace_header,
+                                opt.trace_header);
+    SourceFile exp =
+        lexFile(kRoot + "/" + opt.trace_exporter, opt.trace_exporter);
+
+    std::vector<Finding> ok;
+    ruleTraceComplete(header, opt.trace_enum, exp, ok);
+    EXPECT_TRUE(ok.empty());
+
+    // Simulate "added an event kind, forgot an exporter": erase every
+    // mention of TransparentPass from the exporter tokens.
+    SourceFile broken = exp;
+    broken.toks.erase(
+        std::remove_if(broken.toks.begin(), broken.toks.end(),
+                       [](const Token &t) {
+                           return t.text == "TransparentPass";
+                       }),
+        broken.toks.end());
+    std::vector<Finding> out;
+    ruleTraceComplete(header, opt.trace_enum, broken, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "trace-complete");
+    EXPECT_NE(out[0].message.find("TransparentPass"),
+              std::string::npos);
 }
 
 } // namespace

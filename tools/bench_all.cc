@@ -10,14 +10,17 @@
  * pool.
  *
  *   bench_all [fast] [--bench-dir DIR] [--cache-dir DIR] [--no-cache]
- *             [--profile]
+ *             [--profile] [--trace-dir DIR]
  *
  * "fast" is forwarded to every harness. The cache directory defaults
  * to ".redsoc-cache" in the current directory (created on demand);
  * --no-cache leaves REDSOC_CACHE_DIR untouched. --profile exports
  * REDSOC_PROFILE=1 so every harness (and the bench_sched kernel
  * microbenchmark, which always runs last) prints per-phase host
- * timings.
+ * timings. --trace-dir exports REDSOC_TRACE_DIR so every harness
+ * drops one pipeline trace per simulated point into DIR (note: the
+ * run cache dedups points, so only cache misses simulate and trace;
+ * combine with --no-cache for full coverage).
  */
 
 #include <cstdio>
@@ -99,10 +102,13 @@ main(int argc, char **argv)
             use_cache = false;
         } else if (arg == "--profile") {
             ::setenv("REDSOC_PROFILE", "1", 1);
+        } else if (arg == "--trace-dir" && i + 1 < argc) {
+            ::setenv("REDSOC_TRACE_DIR", argv[++i], 1);
         } else {
             std::fprintf(stderr,
                          "usage: %s [fast] [--bench-dir DIR] "
-                         "[--cache-dir DIR] [--no-cache] [--profile]\n",
+                         "[--cache-dir DIR] [--no-cache] [--profile] "
+                         "[--trace-dir DIR]\n",
                          argv[0]);
             return 2;
         }

@@ -116,6 +116,16 @@ lintTree(const Options &opt)
         ruleStatComplete(header, opt.stats_struct, ser, cmp, out);
     }
 
+    // R5 runs once over the trace-event schema and its exporters.
+    if (fs::exists(root / opt.trace_header, ec) &&
+        fs::exists(root / opt.trace_exporter, ec)) {
+        SourceFile header = lexFile((root / opt.trace_header).string(),
+                                    opt.trace_header);
+        SourceFile exp = lexFile((root / opt.trace_exporter).string(),
+                                 opt.trace_exporter);
+        ruleTraceComplete(header, opt.trace_enum, exp, out);
+    }
+
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.path != b.path)

@@ -30,6 +30,11 @@
  *                 run-cache serializer/deserializer and the
  *                 kernel-equivalence comparator, so "added a stat,
  *                 forgot the cache format" cannot recur.
+ *   trace-complete (R5) every PipeEventKind enumerator (NUM sentinel
+ *                 excluded) appears at least twice in the trace
+ *                 exporter translation unit — once per exporter
+ *                 switch — so "added an event kind, forgot an
+ *                 exporter" cannot recur either.
  *
  * Findings print as "file:line: [rule-id] message". A finding is
  * suppressed by a comment "// redsoc-lint: allow(rule-id)" (or
@@ -116,6 +121,27 @@ struct StructInfo
 std::vector<StructInfo> parseStructs(const SourceFile &sf);
 
 // ---------------------------------------------------------------------
+// Enum model (trace-complete)
+// ---------------------------------------------------------------------
+
+struct EnumeratorInfo
+{
+    std::string name;
+    int line = 0;
+};
+
+struct EnumInfo
+{
+    std::string name;
+    int line = 0;
+    std::vector<EnumeratorInfo> enumerators;
+};
+
+/** Every named enum / enum class definition in the file (forward
+ *  declarations skipped; initializer expressions ignored). */
+std::vector<EnumInfo> parseEnums(const SourceFile &sf);
+
+// ---------------------------------------------------------------------
 // Findings and rules
 // ---------------------------------------------------------------------
 
@@ -152,6 +178,15 @@ void ruleStatComplete(const SourceFile &header,
                       const SourceFile &comparator,
                       std::vector<Finding> &out);
 
+/** R5: every enumerator of @p enum_name in @p header — except the
+ *  NUM count sentinel — must appear >= 2 times in @p exporter (the
+ *  Chrome and Konata exporter switches live in one file; a kind
+ *  missing from either cannot reach two mentions). */
+void ruleTraceComplete(const SourceFile &header,
+                       const std::string &enum_name,
+                       const SourceFile &exporter,
+                       std::vector<Finding> &out);
+
 // ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
@@ -169,6 +204,11 @@ struct Options
     std::string stats_header = "src/core/ooo_core.h";
     std::string serializer = "src/sim/run_cache.cc";
     std::string comparator = "tests/test_sched_equiv.cc";
+
+    // R5 wiring (relative to root; rule skipped if header missing).
+    std::string trace_enum = "PipeEventKind";
+    std::string trace_header = "src/trace/trace_events.h";
+    std::string trace_exporter = "src/trace/exporters.cc";
 
     std::string baseline_path;           ///< empty = no baseline
 };

@@ -46,6 +46,8 @@ listRules()
         "float-accum    float accumulation in per-cycle loops\n"
         "stat-complete  CoreStats fields must reach the run-cache "
         "codec and the equivalence comparator\n"
+        "trace-complete PipeEventKind enumerators must reach every "
+        "trace exporter switch\n"
         "suppress with: // redsoc-lint: allow(rule-id[,rule-id...])\n",
         stdout);
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * The redsoc_lint rule set (R1-R4). Every rule walks the token
+ * The redsoc_lint rule set (R1-R5). Every rule walks the token
  * stream produced by lexer.cc; see lint.h for the rule catalogue and
  * the reasoning behind each.
  */
@@ -657,6 +657,86 @@ countIdent(const SourceFile &sf, const std::string &name)
 }
 
 } // namespace
+
+// -------------------------------------------------------------------
+// Enum parsing + R5: trace-complete
+// -------------------------------------------------------------------
+
+std::vector<EnumInfo>
+parseEnums(const SourceFile &sf)
+{
+    const auto &t = sf.toks;
+    std::vector<EnumInfo> out;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (!isIdent(t[i], "enum"))
+            continue;
+        size_t j = i + 1;
+        if (j < t.size() &&
+            (isIdent(t[j], "class") || isIdent(t[j], "struct")))
+            ++j;
+        if (j >= t.size() || t[j].kind != TokKind::Ident)
+            continue; // unnamed enum: nothing to wire a rule to
+        EnumInfo info;
+        info.name = t[j].text;
+        info.line = t[j].line;
+        // Skip an optional underlying-type clause up to '{'; a ';'
+        // first means this was only a forward declaration.
+        ++j;
+        while (j < t.size() && !isPunct(t[j], "{") &&
+               !isPunct(t[j], ";"))
+            ++j;
+        if (j >= t.size() || !isPunct(t[j], "{"))
+            continue;
+        const size_t close = matchDelim(t, j, "{", "}");
+        for (size_t k = j + 1; k < close; ++k) {
+            if (t[k].kind != TokKind::Ident)
+                continue;
+            info.enumerators.push_back(
+                EnumeratorInfo{t[k].text, t[k].line});
+            // Skip any "= expr" initializer to the next ',' at
+            // enumerator depth (initializers may nest parens/braces).
+            int depth = 0;
+            while (k + 1 < close) {
+                const Token &n = t[k + 1];
+                if (isPunct(n, "(") || isPunct(n, "{"))
+                    ++depth;
+                else if (isPunct(n, ")") || isPunct(n, "}"))
+                    --depth;
+                else if (isPunct(n, ",") && depth == 0)
+                    break;
+                ++k;
+            }
+            ++k; // the ','
+        }
+        out.push_back(std::move(info));
+        i = close;
+    }
+    return out;
+}
+
+void
+ruleTraceComplete(const SourceFile &header,
+                  const std::string &enum_name,
+                  const SourceFile &exporter,
+                  std::vector<Finding> &out)
+{
+    for (const EnumInfo &e : parseEnums(header)) {
+        if (e.name != enum_name)
+            continue;
+        for (const EnumeratorInfo &en : e.enumerators) {
+            if (en.name == "NUM")
+                continue; // count sentinel, never a real event
+            if (countIdent(exporter, en.name) < 2)
+                emit(header, en.line, "trace-complete",
+                     enum_name + " enumerator '" + en.name +
+                         "' is not handled by every trace exporter (" +
+                         exporter.path +
+                         " must mention it at least twice: the Chrome "
+                         "and Konata switches each)",
+                     out);
+        }
+    }
+}
 
 void
 ruleStatComplete(const SourceFile &header,

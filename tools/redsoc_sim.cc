@@ -7,12 +7,23 @@
  *              [--precision BITS] [--dynamic-threshold]
  *              [--rs illustrative|operational] [--no-egpw] [--no-skew]
  *              [--pvt-derate X] [--max-ops N] [--kernel scan|event]
- *              [--profile] [--stats] [--compare]
+ *              [--trace FILE] [--trace-format chrome|konata]
+ *              [--trace-cap N] [--profile] [--stats] [--compare]
  *
  * --compare runs baseline and the selected mode and prints the
  * speedup; --stats dumps the full gem5-style statistics group;
  * --kernel selects the simulation kernel (results are bit-identical,
  * only host speed differs); --profile prints per-phase host timings.
+ *
+ * --trace (or the REDSOC_TRACE environment variable) records a
+ * per-op pipeline event trace of the run and writes it to FILE:
+ * Chrome trace_event JSON for chrome://tracing / Perfetto, or Konata
+ * text for the Konata pipeline visualizer. The format follows
+ * --trace-format when given, else the file extension (.json =>
+ * chrome). --trace-cap bounds the event ring (default 1M events;
+ * the ring keeps the tail of the run). A traced run also prints the
+ * trace-derived metrics report (slack and latency distributions,
+ * recycle-chain depths, EGPW outcomes).
  */
 
 #include <cstdio>
@@ -24,6 +35,8 @@
 #include "common/logging.h"
 #include "sim/driver.h"
 #include "sim/profile.h"
+#include "trace/exporters.h"
+#include "trace/metrics.h"
 
 using namespace redsoc;
 
@@ -40,7 +53,9 @@ usage(const char *argv0)
                  "          [--rs DESIGN] [--no-egpw] [--no-skew] "
                  "[--pvt-derate X]\n"
                  "          [--max-ops N] [--kernel scan|event] "
-                 "[--profile] [--stats] [--compare]\n",
+                 "[--profile] [--stats] [--compare]\n"
+                 "          [--trace FILE] [--trace-format "
+                 "chrome|konata] [--trace-cap N]\n",
                  argv0);
 }
 
@@ -79,6 +94,11 @@ main(int argc, char **argv)
     double pvt_derate = 1.0;
     SchedKernel kernel = SchedKernel::Event;
     bool kernel_set = false;
+    std::string trace_path;
+    if (const char *env = std::getenv("REDSOC_TRACE"))
+        trace_path = env;
+    std::optional<TraceFormat> trace_format;
+    size_t trace_cap = PipeTracer::kDefaultCapacity;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -125,6 +145,17 @@ main(int argc, char **argv)
             else
                 fatal("unknown kernel '", k, "'");
             kernel_set = true;
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--trace-format") {
+            const std::string f = next();
+            trace_format = parseTraceFormat(f);
+            if (!trace_format)
+                fatal("unknown trace format '", f,
+                      "' (chrome or konata)");
+        } else if (arg == "--trace-cap") {
+            trace_cap = std::strtoull(next().c_str(), nullptr, 0);
+            fatal_if(trace_cap == 0, "--trace-cap must be positive");
         } else if (arg == "--profile") {
             prof::setEnabled(true);
         } else if (arg == "--stats") {
@@ -172,7 +203,26 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(trace.size()));
 
     const CoreConfig cfg = make_config(mode);
-    const CoreStats &stats = driver.run(workload, cfg);
+    CoreStats stats;
+    if (!trace_path.empty()) {
+        // A traced run bypasses the result caches (a cache hit has no
+        // events) but produces byte-identical statistics.
+        PipeTracer tracer(trace_cap);
+        stats = driver.runTraced(workload, cfg, tracer);
+        const TraceFormat fmt =
+            trace_format ? *trace_format : traceFormatForPath(trace_path);
+        writeTraceFile(trace_path, fmt, tracer, trace);
+        std::printf("trace: %zu events (%llu dropped) -> %s [%s]\n",
+                    tracer.size(),
+                    static_cast<unsigned long long>(tracer.dropped()),
+                    trace_path.c_str(),
+                    fmt == TraceFormat::Chrome ? "chrome" : "konata");
+        std::fputs(
+            renderTraceMetrics(computeTraceMetrics(tracer, trace)).c_str(),
+            stdout);
+    } else {
+        stats = driver.run(workload, cfg);
+    }
     std::printf("%s/%s: %llu cycles, IPC %.3f\n", core.c_str(),
                 schedModeName(mode),
                 static_cast<unsigned long long>(stats.cycles),
