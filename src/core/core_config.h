@@ -111,6 +111,16 @@ struct CoreConfig
      *  adaptation granularity). */
     Cycle threshold_epoch = 2000;
 
+    /**
+     * Deadlock watchdog: abort the simulation (DeadlockError) once no
+     * op has committed for this many cycles. Both scheduler kernels
+     * abort at exactly last_commit_cycle + horizon + 1 — the event
+     * kernel's idle fast-forward clamps to the horizon so the final
+     * watchdog check runs on the same cycle the scan kernel reaches
+     * step by step (tests/test_fuzz_regress.cc proves the equality).
+     */
+    Cycle no_commit_horizon = 50'000;
+
     /** Enable eager grandparent wakeup (required for same-cycle
      *  parent/child issue; disabling it is an ablation). */
     bool egpw = true;

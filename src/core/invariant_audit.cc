@@ -1,0 +1,237 @@
+#include "core/invariant_audit.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "core/ooo_core.h"
+
+namespace redsoc {
+
+const char *
+invariantAuditName(InvariantAudit kind)
+{
+    switch (kind) {
+      case InvariantAudit::RsAgeOrder: return "rs-age-order";
+      case InvariantAudit::RsPendingCount: return "rs-pending-count";
+      case InvariantAudit::RobProgramOrder: return "rob-program-order";
+      case InvariantAudit::LsqProgramOrder: return "lsq-program-order";
+      case InvariantAudit::CiRange: return "ci-range";
+      case InvariantAudit::EgpwLeftoverSlot: return "egpw-leftover-slot";
+      case InvariantAudit::TransparentLink: return "transparent-link";
+      case InvariantAudit::ReadyRsAgreement:
+        return "ready-rs-agreement";
+      case InvariantAudit::NUM: break;
+    }
+    return "?";
+}
+
+bool
+InvariantAuditor::enabledFromEnv()
+{
+    const char *v = std::getenv("REDSOC_AUDIT");
+    return v && *v && std::string(v) != "0";
+}
+
+namespace {
+
+AuditViolation
+make(InvariantAudit kind, const std::ostringstream &os)
+{
+    return AuditViolation{kind, os.str()};
+}
+
+} // namespace
+
+std::optional<AuditViolation>
+InvariantAuditor::checkAgeOrder(const std::vector<SeqNum> &rs_entries)
+{
+    for (size_t i = 1; i < rs_entries.size(); ++i) {
+        if (rs_entries[i - 1] >= rs_entries[i]) {
+            std::ostringstream os;
+            os << "RS slots out of age order: slot " << i - 1
+               << " holds seq " << rs_entries[i - 1] << " >= slot " << i
+               << " seq " << rs_entries[i];
+            return make(InvariantAudit::RsAgeOrder, os);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<AuditViolation>
+InvariantAuditor::checkPendingCount(SeqNum seq, unsigned recorded,
+                                    unsigned recounted)
+{
+    if (recorded == recounted)
+        return std::nullopt;
+    std::ostringstream os;
+    os << "op " << seq << " records " << recorded
+       << " pending wakeups but " << recounted
+       << " distinct producers are still in the RS";
+    return make(InvariantAudit::RsPendingCount, os);
+}
+
+std::optional<AuditViolation>
+InvariantAuditor::checkProgramOrder(InvariantAudit which,
+                                    const std::vector<SeqNum> &order)
+{
+    panic_if(which != InvariantAudit::RobProgramOrder &&
+                 which != InvariantAudit::LsqProgramOrder,
+             "checkProgramOrder on non-order invariant");
+    const char *what =
+        which == InvariantAudit::RobProgramOrder ? "ROB" : "LSQ";
+    for (size_t i = 1; i < order.size(); ++i) {
+        if (order[i - 1] >= order[i]) {
+            std::ostringstream os;
+            os << what << " violates program order: entry " << i - 1
+               << " holds seq " << order[i - 1] << " >= entry " << i
+               << " seq " << order[i];
+            return make(which, os);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<AuditViolation>
+InvariantAuditor::checkCiRange(SeqNum seq, Tick ci,
+                               Tick ticks_per_cycle)
+{
+    if (ci < ticks_per_cycle)
+        return std::nullopt;
+    std::ostringstream os;
+    os << "op " << seq << " has completion instant " << ci
+       << " outside [0, " << ticks_per_cycle << ")";
+    return make(InvariantAudit::CiRange, os);
+}
+
+std::optional<AuditViolation>
+InvariantAuditor::checkEgpwLeftover(SeqNum seq, unsigned free_units)
+{
+    if (free_units > 0)
+        return std::nullopt;
+    std::ostringstream os;
+    os << "EGPW grant for op " << seq
+       << " with no leftover FU slot (skewed select books "
+          "conventional grants first)";
+    return make(InvariantAudit::EgpwLeftoverSlot, os);
+}
+
+std::optional<AuditViolation>
+InvariantAuditor::checkTransparentLink(SeqNum seq, SeqNum producer,
+                                       Tick producer_complete,
+                                       Tick start_tick, Tick ci)
+{
+    std::ostringstream os;
+    if (producer == kNoSeq) {
+        os << "transparent op " << seq << " names no producer";
+        return make(InvariantAudit::TransparentLink, os);
+    }
+    if (producer_complete != start_tick) {
+        os << "transparent op " << seq << " starts at tick "
+           << start_tick << " but its latched producer " << producer
+           << " wrote back at tick " << producer_complete;
+        return make(InvariantAudit::TransparentLink, os);
+    }
+    if (ci == 0) {
+        os << "transparent op " << seq << " starts on a cycle boundary "
+           << "(tick " << start_tick
+           << "): nothing was recycled mid-cycle";
+        return make(InvariantAudit::TransparentLink, os);
+    }
+    return std::nullopt;
+}
+
+std::optional<AuditViolation>
+InvariantAuditor::checkReadyAgreement(SeqNum seq, unsigned pending,
+                                      Cycle armed_cycle, Cycle now,
+                                      bool parked, bool in_ready_set)
+{
+    if (pending > 0 || parked || in_ready_set)
+        return std::nullopt;
+    if (armed_cycle != kNeverArmed && armed_cycle > now)
+        return std::nullopt;
+    std::ostringstream os;
+    os << "waiting op " << seq << " is unreachable at end of cycle "
+       << now << ": no pending wakeup, not parked, not in a ready "
+       << "set, ";
+    if (armed_cycle == kNeverArmed)
+        os << "never armed";
+    else
+        os << "last armed for past cycle " << armed_cycle;
+    return make(InvariantAudit::ReadyRsAgreement, os);
+}
+
+void
+InvariantAuditor::report(const std::optional<AuditViolation> &v)
+{
+    if (v)
+        panic("invariant-audit [", invariantAuditName(v->kind), "] ",
+              v->message);
+}
+
+void
+InvariantAuditor::onCycleEnd(const OooCore &core)
+{
+    core.rs_.snapshot(rs_scratch_);
+    report(checkAgeOrder(rs_scratch_));
+
+    order_scratch_.assign(core.rob_.entries().begin(),
+                          core.rob_.entries().end());
+    report(checkProgramOrder(InvariantAudit::RobProgramOrder,
+                             order_scratch_));
+    core.lsq_.seqs(order_scratch_);
+    report(checkProgramOrder(InvariantAudit::LsqProgramOrder,
+                             order_scratch_));
+
+    if (!core.event_kernel_)
+        return;
+    for (SeqNum seq : rs_scratch_) {
+        const auto &op = core.ops_[seq];
+        unsigned recount = 0;
+        for (unsigned i = 0; i < op.nprod; ++i) {
+            bool dup = false;
+            for (unsigned j = 0; j < i; ++j)
+                dup = dup || op.prod[j] == op.prod[i];
+            if (!dup &&
+                core.ops_[op.prod[i]].st == OooCore::OpState::St::InRs)
+                ++recount;
+        }
+        report(checkPendingCount(seq, op.pending, recount));
+        const bool parked =
+            std::find(core.parked_loads_.begin(),
+                      core.parked_loads_.end(),
+                      seq) != core.parked_loads_.end();
+        const bool in_ready =
+            core.ready_.nextAtOrAfter(seq, op.pool) == seq;
+        report(checkReadyAgreement(seq, op.pending, op.armed_cycle,
+                                   core.cycle_, parked, in_ready));
+    }
+}
+
+void
+InvariantAuditor::onIssue(const OooCore &core, SeqNum seq)
+{
+    const auto &op = core.ops_[seq];
+    const Tick tpc = core.clock_.ticksPerCycle();
+    report(checkCiRange(seq, core.clock_.ciOf(op.start_tick), tpc));
+    report(checkCiRange(seq, core.clock_.ciOf(op.complete_tick), tpc));
+    if (op.transparent) {
+        const SeqNum producer = core.lastProducer(op);
+        const Tick producer_complete =
+            producer == kNoSeq ? 0 : core.ops_[producer].complete_tick;
+        report(checkTransparentLink(seq, producer, producer_complete,
+                                    op.start_tick,
+                                    core.clock_.ciOf(op.start_tick)));
+    }
+}
+
+void
+InvariantAuditor::onEgpwGrant(const OooCore &core, SeqNum seq,
+                              unsigned free_units)
+{
+    (void)core;
+    report(checkEgpwLeftover(seq, free_units));
+}
+
+} // namespace redsoc

@@ -1,5 +1,7 @@
 #include "core/lsq.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace redsoc {
@@ -21,10 +23,14 @@ Lsq::dispatch(SeqNum seq, bool is_store)
 Lsq::Entry *
 Lsq::find(SeqNum seq)
 {
-    for (Entry &e : entries_)
-        if (e.seq == seq)
-            return &e;
-    return nullptr;
+    // dispatch() asserts program order, so the deque is sorted by
+    // sequence number: resolve/setComplete lookups are O(log n).
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), seq,
+        [](const Entry &e, SeqNum s) { return e.seq < s; });
+    if (it == entries_.end() || it->seq != seq)
+        return nullptr;
+    return &*it;
 }
 
 const Lsq::Entry *
@@ -67,8 +73,22 @@ Lsq::olderStoreUnresolved(SeqNum seq) const
 std::optional<Lsq::ForwardResult>
 Lsq::forwardFrom(SeqNum load_seq, Addr addr, unsigned size) const
 {
-    // Scan youngest-older-store first so the latest producer wins.
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    panic_if(size == 0 || size > 64,
+             "load size outside the byte-mask window");
+    // Youngest-older-store first: a younger store's bytes shadow an
+    // older store's, so each store contributes only the load bytes
+    // still uncovered when the scan reaches it. The load's timing
+    // must honor *every* contributing store — waiting only on the
+    // youngest overlap would read bytes a still-pending older store
+    // owns.
+    const u64 all =
+        size >= 64 ? ~u64{0} : (u64{1} << size) - 1;
+    u64 need = all;
+    unsigned contributors = 0;
+    bool single_store_covers = false;
+    Tick complete = 0;
+    for (auto it = entries_.rbegin();
+         it != entries_.rend() && need != 0; ++it) {
         const Entry &e = *it;
         if (e.seq >= load_seq || !e.is_store || !e.resolved)
             continue;
@@ -76,13 +96,32 @@ Lsq::forwardFrom(SeqNum load_seq, Addr addr, unsigned size) const
         const Addr hi = std::min(e.addr + e.size, addr + size);
         if (lo >= hi)
             continue; // no overlap
-        ForwardResult result;
-        result.store_complete = e.complete;
-        result.full_cover = e.addr <= addr && e.addr + e.size >= addr + size;
-        result.partial = !result.full_cover;
-        return result;
+        const u64 span = hi - lo;
+        const u64 mask =
+            (span >= 64 ? ~u64{0} : (u64{1} << span) - 1) << (lo - addr);
+        if ((mask & need) == 0)
+            continue; // fully shadowed by younger stores
+        need &= ~mask;
+        ++contributors;
+        if (contributors == 1 && mask == all)
+            single_store_covers = true;
+        complete = std::max(complete, e.complete);
     }
-    return std::nullopt;
+    if (contributors == 0)
+        return std::nullopt;
+    ForwardResult result;
+    result.full_cover = single_store_covers;
+    result.partial = !result.full_cover;
+    result.store_complete = complete;
+    return result;
+}
+
+void
+Lsq::seqs(std::vector<SeqNum> &out) const
+{
+    out.clear();
+    for (const Entry &e : entries_)
+        out.push_back(e.seq);
 }
 
 void

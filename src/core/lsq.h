@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
 
@@ -40,17 +41,34 @@ class Lsq
 
     struct ForwardResult
     {
-        bool full_cover = false; ///< store data fully covers the load
-        bool partial = false;    ///< overlap without full cover
-        Tick store_complete = 0; ///< producing store's completion
+        bool full_cover = false; ///< one store sources every byte
+        bool partial = false;    ///< overlap without single-store cover
+        /** Max completion over every *contributing* store (a store
+         *  contributes only the load bytes no younger store covers). */
+        Tick store_complete = 0;
     };
 
     /**
-     * Search older stores (youngest first) for one overlapping
-     * [addr, addr+size). Empty result if none overlap.
+     * Byte-accurate store-to-load forwarding query over the resolved
+     * older stores, youngest first (DESIGN.md §11.4):
+     *
+     *  - a store contributes only the load bytes not covered by a
+     *    younger store; a fully shadowed store has no timing effect;
+     *  - full_cover: exactly one store contributes and it covers the
+     *    whole load — its data can be forwarded;
+     *  - partial: any other overlap (one partial store, or several
+     *    stores jointly sourcing the load). The load must wait for
+     *    every contributing store (store_complete is their max) and
+     *    then read the cache.
+     *
+     * Empty result if no older resolved store overlaps the load.
      */
     std::optional<ForwardResult>
     forwardFrom(SeqNum load_seq, Addr addr, unsigned size) const;
+
+    /** Sequence numbers in queue (program) order, into @p out
+     *  (cleared first): invariant audit / tests. */
+    void seqs(std::vector<SeqNum> &out) const;
 
     /** Release the entry at commit. */
     void commit(SeqNum seq);

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "common/logging.h"
 #include "sim/profile.h"
 
 namespace redsoc {
+
+namespace {
+
+std::string
+deadlockMessage(Cycle cycle, SeqNum committed, SeqNum total)
+{
+    std::ostringstream os;
+    os << "no commit progress at cycle " << cycle << " (committed "
+       << committed << "/" << total << ")";
+    return os.str();
+}
+
+} // namespace
+
+DeadlockError::DeadlockError(Cycle cycle, SeqNum committed, SeqNum total)
+    : std::runtime_error(deadlockMessage(cycle, committed, total)),
+      cycle_(cycle)
+{
+}
 
 StatGroup
 toStatGroup(const CoreStats &stats, const std::string &name)
@@ -67,7 +87,10 @@ OooCore::OooCore(CoreConfig config)
 {
     fatal_if(config_.slack_threshold_ticks > clock_.ticksPerCycle(),
              "slack threshold exceeds a full cycle");
+    fatal_if(config_.no_commit_horizon == 0,
+             "zero no-commit watchdog horizon");
     event_kernel_ = config_.sched_kernel == SchedKernel::Event;
+    audit_on_ = InvariantAuditor::enabledFromEnv();
     // The EGPW candidate set only exists where a separate Phase-B
     // scan does: skewed selection. The non-skewed ablation evaluates
     // EGPW inline in Phase A on the same ready set.
@@ -609,6 +632,8 @@ OooCore::issueOp(const Candidate &cand)
 
     if (tracer_)
         emitIssue(cand, op);
+    if (audit_on_)
+        audit_.onIssue(*this, cand.seq);
 
     if (event_kernel_)
         broadcastWakeup(cand.seq);
@@ -748,6 +773,9 @@ OooCore::phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
             fu_denied = true;
             return true;
         }
+        if (audit_on_)
+            audit_.onEgpwGrant(*this, seq,
+                               fu_.freeUnits(pool, cycle_ + 1));
         ++stats_.egpw_grants;
         if (!cand.recycle_ok) {
             fu_.book(pool, cycle_ + 1, 1);
@@ -894,6 +922,9 @@ OooCore::issuePhase()
                 fu_denied = true;
                 return;
             }
+            if (audit_on_)
+                audit_.onEgpwGrant(*this, seq,
+                                   fu_.freeUnits(pool, cycle_ + 1));
             ++stats_.egpw_grants;
             if (!cand.recycle_ok) {
                 // Granted, but there is no slack to recycle this
@@ -1106,11 +1137,13 @@ OooCore::fastForward(bool adapting)
         }
     }
 
-    // Never jump past the no-commit panic horizon (a deadlocked
+    // Never jump past the no-commit watchdog horizon (a deadlocked
     // simulation must still abort at the same cycle as the scan
-    // kernel), nor past a dynamic-threshold epoch boundary (the
-    // adaptation at each boundary is a side effect of its own).
-    const Cycle horizon = last_commit_cycle_ + 50'000;
+    // kernel: the clamp lands exactly one cycle short of the strict->
+    // check in run(), so both kernels throw at horizon + 1), nor past
+    // a dynamic-threshold epoch boundary (the adaptation at each
+    // boundary is a side effect of its own).
+    const Cycle horizon = last_commit_cycle_ + config_.no_commit_horizon;
     if (target > horizon)
         target = horizon;
     if (adapting) {
@@ -1180,12 +1213,13 @@ OooCore::run(const Trace &trace)
             issuePhase();
             dispatchPhase(trace);
         }
+        if (audit_on_)
+            audit_.onCycleEnd(*this);
         ++cycle_;
         if (adapting && cycle_ % config_.threshold_epoch == 0)
             adaptThreshold();
-        panic_if(cycle_ - last_commit_cycle_ > 50'000,
-                 "no commit for 50k cycles at cycle ", cycle_,
-                 " (commit_ptr ", commit_ptr_, "/", total, ")");
+        if (cycle_ - last_commit_cycle_ > config_.no_commit_horizon)
+            throw DeadlockError(cycle_, commit_ptr_, total);
         if (event_kernel_ && commit_ptr_ < total)
             fastForward(adapting);
     }

@@ -17,11 +17,13 @@
 
 #include <memory>
 #include <queue>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "core/core_config.h"
 #include "core/fu_pool.h"
+#include "core/invariant_audit.h"
 #include "core/lsq.h"
 #include "core/rat.h"
 #include "core/rob.h"
@@ -121,6 +123,24 @@ struct CoreStats
 /** Export run statistics as a named StatGroup (gem5-style dump). */
 StatGroup toStatGroup(const CoreStats &stats, const std::string &name);
 
+/**
+ * Thrown when the no-commit watchdog trips (no op committed for
+ * CoreConfig::no_commit_horizon cycles): the workload deadlocked the
+ * pipeline model. Catchable — the differential harnesses compare the
+ * abort cycle across scheduler kernels — and carries the cycle at
+ * which the watchdog fired.
+ */
+class DeadlockError : public std::runtime_error
+{
+  public:
+    DeadlockError(Cycle cycle, SeqNum committed, SeqNum total);
+
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    Cycle cycle_;
+};
+
 class OooCore
 {
   public:
@@ -142,6 +162,9 @@ class OooCore
     const CoreConfig &config() const { return config_; }
 
   private:
+    /** The runtime invariant audit (REDSOC_AUDIT=1) reads core state
+     *  directly at its hook points. */
+    friend class InvariantAuditor;
     /** "no cycle" sentinel for event-kernel re-arm hints. */
     static constexpr Cycle kNoCycle = ~Cycle{0};
     /** Re-arm hint: parked behind an older unresolved store. */
@@ -366,6 +389,11 @@ class OooCore
     std::vector<SeqNum> parked_loads_;
 
     PipeTracer *tracer_ = nullptr; ///< not owned; nullptr = off
+
+    /** REDSOC_AUDIT=1 at construction: run the invariant audit. When
+     *  off, the whole subsystem costs one branch per hook site. */
+    bool audit_on_ = false;
+    InvariantAuditor audit_;
 
     CoreStats stats_;
 };

@@ -34,6 +34,9 @@ class Rob
     /** Commit the head (must equal @p seq). */
     void pop(SeqNum seq);
 
+    /** In-flight ops, oldest first (invariant audit / tests). */
+    const std::deque<SeqNum> &entries() const { return entries_; }
+
   private:
     unsigned capacity_;
     std::deque<SeqNum> entries_;

@@ -50,6 +50,7 @@ SimDriver::configKey(const CoreConfig &config)
        << config.ci_precision_bits << '|' << config.slack_threshold_ticks
        << '|' << config.egpw << config.skewed_select << '|'
        << config.dynamic_threshold << config.threshold_epoch << '|'
+       << config.no_commit_horizon << '|'
        << config.timing.clock_period_ps << '|'
        << config.timing.pvt_derate << '|'
        << config.memory.offcore_latency_scale << '|'

@@ -24,8 +24,10 @@ namespace redsoc {
 class RunCache
 {
   public:
-    /** Bump when the serialized CoreStats layout changes. */
-    static constexpr unsigned kFormatVersion = 2;
+    /** Bump when the serialized CoreStats layout changes or when
+     *  simulation semantics shift (v3: byte-accurate multi-store
+     *  forwarding changed partial-overlap load timing). */
+    static constexpr unsigned kFormatVersion = 3;
 
     explicit RunCache(std::string dir);
 

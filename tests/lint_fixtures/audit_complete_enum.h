@@ -1,0 +1,16 @@
+// Fixture: audit-complete (R6) — the invariant catalogue. Paired
+// with audit_complete_tests.cc.
+#pragma once
+
+namespace fixture {
+
+enum class FixInvariant : unsigned char {
+    AgeOrder,    // line 8: exercised by a test: clean
+    CiBound = 3, // line 9: initializer must not confuse the parser
+    Leftover,    // line 10: no test mentions it
+    // Exempted by design (only reachable through the e2e run).
+    Sweep, // redsoc-lint: allow(audit-complete)
+    NUM,   // count sentinel: always skipped
+};
+
+} // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: audit-complete (R6) — the test translation unit. The
+// rule wants every FixInvariant enumerator mentioned at least once
+// (each runtime invariant check needs a corrupting unit test).
+#include "audit_complete_enum.h"
+
+namespace fixture {
+
+int
+testAgeOrderFires()
+{
+    return static_cast<int>(FixInvariant::AgeOrder);
+}
+
+int
+testCiBoundFires()
+{
+    return static_cast<int>(FixInvariant::CiBound);
+}
+
+} // namespace fixture

@@ -303,5 +303,58 @@ TEST(LintTree, TraceCompleteGuardsTheRealSchema)
               std::string::npos);
 }
 
+TEST(LintAuditComplete, FiresForEveryUntestedInvariant)
+{
+    const SourceFile header = fixture("audit_complete_enum.h");
+    const SourceFile tst = fixture("audit_complete_tests.cc");
+
+    std::vector<Finding> out;
+    ruleAuditComplete(header, "FixInvariant", tst, out);
+
+    Sites got;
+    for (const Finding &f : out)
+        got.emplace_back(f.line, f.rule);
+    std::sort(got.begin(), got.end());
+    // Leftover (10): no test mentions it. AgeOrder/CiBound: tested;
+    // Sweep: exempted via allow(audit-complete); NUM: sentinel.
+    EXPECT_EQ(got, (Sites{{10, "audit-complete"}}));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NE(out[0].message.find("Leftover"), std::string::npos);
+    EXPECT_NE(out[0].message.find("audit_complete_tests.cc"),
+              std::string::npos);
+}
+
+/** R6 is live on the real tree: drop an invariant's mentions from
+ *  the regression-suite text and the rule must notice. */
+TEST(LintTree, AuditCompleteGuardsTheRealCatalogue)
+{
+    Options opt;
+    opt.root = kRoot;
+    SourceFile header = lexFile(kRoot + "/" + opt.audit_header,
+                                opt.audit_header);
+    SourceFile tst =
+        lexFile(kRoot + "/" + opt.audit_tests, opt.audit_tests);
+
+    std::vector<Finding> ok;
+    ruleAuditComplete(header, opt.audit_enum, tst, ok);
+    EXPECT_TRUE(ok.empty());
+
+    // Simulate "added an invariant, forgot its test": erase every
+    // mention of EgpwLeftoverSlot from the suite's tokens.
+    SourceFile broken = tst;
+    broken.toks.erase(
+        std::remove_if(broken.toks.begin(), broken.toks.end(),
+                       [](const Token &t) {
+                           return t.text == "EgpwLeftoverSlot";
+                       }),
+        broken.toks.end());
+    std::vector<Finding> out;
+    ruleAuditComplete(header, opt.audit_enum, broken, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "audit-complete");
+    EXPECT_NE(out[0].message.find("EgpwLeftoverSlot"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace redsoc::lint

@@ -94,6 +94,103 @@ TEST(Lsq, YoungerStoresDoNotForwardBackwards)
     EXPECT_FALSE(lsq.forwardFrom(1, 0x100, 8).has_value());
 }
 
+TEST(Lsq, YoungerPartialStoreShadowsOlderFullCover)
+{
+    // An older store covers the whole load, but a younger store owns
+    // four of its bytes: no single store sources every byte, so the
+    // load cannot forward and must wait for BOTH stores (the byte
+    // sources) before reading the cache. The youngest-first
+    // early-return used to report only the younger store's (earlier)
+    // completion here.
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, true);
+    lsq.dispatch(3, false);
+    lsq.resolve(1, 0x100, 8, 90); // full cover, completes late
+    lsq.resolve(2, 0x104, 4, 20); // partial shadow, completes early
+    const auto fwd = lsq.forwardFrom(3, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_FALSE(fwd->full_cover);
+    EXPECT_TRUE(fwd->partial);
+    EXPECT_EQ(fwd->store_complete, 90u);
+}
+
+TEST(Lsq, TwoPartialStoresJointlyCoverTheLoad)
+{
+    // Each store owns half the load: jointly covered, but not by a
+    // single store, so it is still a stall (not a forward), gated on
+    // the later of the two contributors.
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, true);
+    lsq.dispatch(3, false);
+    lsq.resolve(1, 0x100, 4, 70);
+    lsq.resolve(2, 0x104, 4, 30);
+    const auto fwd = lsq.forwardFrom(3, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_FALSE(fwd->full_cover);
+    EXPECT_TRUE(fwd->partial);
+    EXPECT_EQ(fwd->store_complete, 70u);
+}
+
+TEST(Lsq, FullyShadowedOlderStoreHasNoTimingEffect)
+{
+    // The youngest store covers the whole load; an older overlapping
+    // store contributes no byte and must not delay (or un-forward)
+    // the load no matter how late it completes.
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, true);
+    lsq.dispatch(3, false);
+    lsq.resolve(1, 0x100, 8, 500); // fully shadowed, very late
+    lsq.resolve(2, 0x100, 8, 20);  // youngest: sources every byte
+    const auto fwd = lsq.forwardFrom(3, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_TRUE(fwd->full_cover);
+    EXPECT_EQ(fwd->store_complete, 20u);
+}
+
+TEST(Lsq, DisjointYoungerStoreDoesNotHideOlderFullCover)
+{
+    // A younger store that does not overlap the load at all leaves an
+    // older full-cover store as the single byte source: forwardable.
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, true);
+    lsq.dispatch(3, false);
+    lsq.resolve(1, 0x100, 8, 60);
+    lsq.resolve(2, 0x200, 8, 10); // disjoint
+    const auto fwd = lsq.forwardFrom(3, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_TRUE(fwd->full_cover);
+    EXPECT_EQ(fwd->store_complete, 60u);
+}
+
+TEST(Lsq, UnresolvedStoreDoesNotContribute)
+{
+    // Only resolved stores enter the byte scan (the conservative
+    // olderStoreUnresolved gate keeps the load from issuing anyway).
+    Lsq lsq(8);
+    lsq.dispatch(1, true);
+    lsq.dispatch(2, true);
+    lsq.dispatch(3, false);
+    lsq.resolve(1, 0x100, 8, 40);
+    const auto fwd = lsq.forwardFrom(3, 0x100, 8);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_TRUE(fwd->full_cover);
+    EXPECT_EQ(fwd->store_complete, 40u);
+}
+
+TEST(Lsq, SeqsReportsProgramOrder)
+{
+    Lsq lsq(4);
+    lsq.dispatch(3, true);
+    lsq.dispatch(5, false);
+    std::vector<SeqNum> out;
+    lsq.seqs(out);
+    EXPECT_EQ(out, (std::vector<SeqNum>{3, 5}));
+}
+
 TEST(Lsq, CommitInProgramOrder)
 {
     Lsq lsq(4);

@@ -1,0 +1,715 @@
+#include "fuzz_lib.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/pipe_tracer.h"
+
+namespace redsoc::fuzz {
+
+namespace {
+
+/** The x1..x8 data web a register selector indexes into. */
+constexpr unsigned kDataRegs = 8;
+
+RegIdx
+dataReg(u8 selector)
+{
+    return x(1u + selector % kDataRegs);
+}
+
+constexpr Opcode kAluOps[] = {Opcode::ADD, Opcode::SUB, Opcode::AND,
+                              Opcode::ORR, Opcode::EOR};
+constexpr Opcode kLoadOps[] = {Opcode::LDR, Opcode::LDRW, Opcode::LDRH,
+                               Opcode::LDRB};
+constexpr Opcode kStoreOps[] = {Opcode::STR, Opcode::STRW, Opcode::STRH,
+                                Opcode::STRB};
+
+/** Aliasing window: byte-granular offsets over a few cache lines so
+ *  different access widths overlap partially, not just exactly. */
+s64
+memOffset(s64 imm)
+{
+    return static_cast<s64>(static_cast<u64>(imm) % 96);
+}
+
+} // namespace
+
+const char *
+fuzzKindName(FuzzInst::Kind kind)
+{
+    switch (kind) {
+      case FuzzInst::Kind::MovImm: return "movimm";
+      case FuzzInst::Kind::Alu: return "alu";
+      case FuzzInst::Kind::AluImm: return "alui";
+      case FuzzInst::Kind::Mul: return "mul";
+      case FuzzInst::Kind::Sdiv: return "sdiv";
+      case FuzzInst::Kind::Load: return "load";
+      case FuzzInst::Kind::Store: return "store";
+      case FuzzInst::Kind::Fop: return "fop";
+      case FuzzInst::Kind::Branch: return "branch";
+      case FuzzInst::Kind::NUM: break;
+    }
+    return "?";
+}
+
+std::optional<FuzzInst::Kind>
+fuzzKindByName(const std::string &name)
+{
+    for (unsigned k = 0; k < static_cast<unsigned>(FuzzInst::Kind::NUM);
+         ++k) {
+        const auto kind = static_cast<FuzzInst::Kind>(k);
+        if (name == fuzzKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------
+
+CoreConfig
+randomConfig(Rng &rng)
+{
+    static const char *kBases[] = {"small", "medium", "big"};
+    CoreConfig cfg = coreByName(kBases[rng.below(3)]);
+
+    cfg.frontend_width = static_cast<unsigned>(1 + rng.below(5));
+    cfg.commit_width = static_cast<unsigned>(1 + rng.below(5));
+    cfg.rob_entries = static_cast<unsigned>(4 + rng.below(93));
+    cfg.rs_entries = static_cast<unsigned>(2 + rng.below(63));
+    cfg.lsq_entries = static_cast<unsigned>(2 + rng.below(31));
+    cfg.alu_units = static_cast<unsigned>(1 + rng.below(4));
+    cfg.simd_units = static_cast<unsigned>(1 + rng.below(3));
+    cfg.fp_units = static_cast<unsigned>(1 + rng.below(3));
+    cfg.mem_ports = static_cast<unsigned>(1 + rng.below(2));
+    cfg.redirect_penalty = 1 + rng.below(14);
+
+    const double mode_roll = rng.uniform();
+    cfg.mode = mode_roll < 0.5   ? SchedMode::ReDSOC
+               : mode_roll < 0.8 ? SchedMode::Baseline
+                                 : SchedMode::MOS;
+    cfg.rs_design = rng.chance(0.5) ? RsDesign::Operational
+                                    : RsDesign::Illustrative;
+
+    // CI precision bounds ticksPerCycle (2^bits); the threshold must
+    // stay within one cycle or the core (correctly) refuses to run.
+    cfg.ci_precision_bits = static_cast<unsigned>(1 + rng.below(4));
+    const Tick tpc = Tick{1} << cfg.ci_precision_bits;
+    cfg.slack_threshold_ticks = rng.below(tpc + 1);
+
+    cfg.dynamic_threshold = rng.chance(0.3);
+    static constexpr Cycle kEpochs[] = {200, 500, 1000, 2000};
+    cfg.threshold_epoch = kEpochs[rng.below(4)];
+    cfg.egpw = rng.chance(0.8);
+    cfg.skewed_select = rng.chance(0.8);
+
+    cfg.memory.l1_latency = 1 + rng.below(3);
+    cfg.memory.l2_latency = 6 + rng.below(10);
+    cfg.memory.mem_latency = 50 + rng.below(250);
+    cfg.memory.prefetch = rng.chance(0.7);
+
+    // Small horizon: a genuine scheduler deadlock aborts quickly, and
+    // the watchdog-cycle equality between kernels gets fuzzed too.
+    cfg.no_commit_horizon = 10'000;
+    return cfg;
+}
+
+namespace {
+
+/** Biased op-mix profiles: each stresses a different interaction. */
+enum class Profile : u8 {
+    AluHeavy,   ///< wide dependence webs, select pressure
+    Chain,      ///< tight serial chains (maximal recycling)
+    MemAlias,   ///< store/load aliasing, parking, forwarding
+    Branchy,    ///< mispredict redirects and squashes
+    MixedWidth, ///< narrow/wide operand swings (width predictor)
+    FpMix,      ///< cross-pool pressure, non-eligible producers
+    NUM,
+};
+
+FuzzInst
+randomInst(Rng &rng, Profile profile)
+{
+    FuzzInst fi;
+    fi.sel = static_cast<u8>(rng.below(256));
+    fi.dst = static_cast<u8>(rng.below(256));
+    fi.a = static_cast<u8>(rng.below(256));
+    fi.b = static_cast<u8>(rng.below(256));
+    fi.imm = static_cast<s64>(rng.below(1u << 16));
+
+    const double roll = rng.uniform();
+    using K = FuzzInst::Kind;
+    switch (profile) {
+      case Profile::AluHeavy:
+        fi.kind = roll < 0.45   ? K::Alu
+                  : roll < 0.8  ? K::AluImm
+                  : roll < 0.9  ? K::Mul
+                  : roll < 0.95 ? K::Load
+                                : K::Store;
+        break;
+      case Profile::Chain:
+        // Serial chain: mostly reuse one register as both source and
+        // destination, salted with long-latency producers.
+        fi.kind = roll < 0.7    ? K::Alu
+                  : roll < 0.85 ? K::Mul
+                                : K::Sdiv;
+        fi.a = fi.dst;
+        if (rng.chance(0.8))
+            fi.b = fi.dst;
+        break;
+      case Profile::MemAlias:
+        fi.kind = roll < 0.3   ? K::Store
+                  : roll < 0.6 ? K::Load
+                  : roll < 0.9 ? K::Alu
+                               : K::Mul;
+        // Tight window: maximal overlap between mixed-width accesses.
+        fi.imm = static_cast<s64>(rng.below(24));
+        break;
+      case Profile::Branchy:
+        fi.kind = roll < 0.35  ? K::Branch
+                  : roll < 0.7 ? K::Alu
+                  : roll < 0.8 ? K::MovImm
+                  : roll < 0.9 ? K::Load
+                               : K::Store;
+        break;
+      case Profile::MixedWidth:
+        fi.kind = roll < 0.3    ? K::MovImm
+                  : roll < 0.75 ? K::Alu
+                  : roll < 0.9  ? K::AluImm
+                                : K::Mul;
+        // Alternate tiny and huge immediates: operand widths swing.
+        if (fi.kind == K::MovImm)
+            fi.imm = rng.chance(0.5)
+                         ? static_cast<s64>(rng.below(4))
+                         : static_cast<s64>(rng.next() >> 8);
+        break;
+      case Profile::FpMix:
+        fi.kind = roll < 0.3    ? K::Fop
+                  : roll < 0.6  ? K::Alu
+                  : roll < 0.75 ? K::Mul
+                  : roll < 0.9  ? K::Load
+                                : K::Branch;
+        break;
+      case Profile::NUM:
+        break;
+    }
+    return fi;
+}
+
+} // namespace
+
+std::vector<FuzzInst>
+randomProgram(Rng &rng)
+{
+    const auto profile = static_cast<Profile>(
+        rng.below(static_cast<u64>(Profile::NUM)));
+    const size_t len = 24 + rng.below(140);
+    std::vector<FuzzInst> prog;
+    prog.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        prog.push_back(randomInst(rng, profile));
+    return prog;
+}
+
+FuzzCase
+randomCase(u64 seed)
+{
+    Rng rng(seed ^ 0x8f0c7a2d11235813ull);
+    FuzzCase fc;
+    fc.name = "seed" + std::to_string(seed);
+    fc.config = randomConfig(rng);
+    fc.prog = randomProgram(rng);
+    return fc;
+}
+
+Trace
+buildTrace(const FuzzCase &fc)
+{
+    ProgramBuilder b(fc.name);
+
+    // Fixed prologue: the register web every recipe indexes into.
+    // x1..x8 data, x9 FP seed, x10 nonzero divisor, x11 memory base.
+    for (unsigned r = 1; r <= kDataRegs; ++r)
+        b.movImm(x(r), static_cast<s64>(7 * r + 1));
+    b.fmovImm(x(9), 1.5);
+    b.movImm(x(10), 7);
+    b.movImm(x(11), 0x1000);
+
+    using K = FuzzInst::Kind;
+    for (const FuzzInst &fi : fc.prog) {
+        switch (fi.kind) {
+          case K::MovImm:
+            b.movImm(dataReg(fi.dst), fi.imm);
+            break;
+          case K::Alu:
+            b.alu(kAluOps[fi.sel % 5], dataReg(fi.dst), dataReg(fi.a),
+                  dataReg(fi.b));
+            break;
+          case K::AluImm:
+            b.alui(kAluOps[fi.sel % 5], dataReg(fi.dst), dataReg(fi.a),
+                   fi.imm & 0x3f);
+            break;
+          case K::Mul:
+            b.mul(dataReg(fi.dst), dataReg(fi.a), dataReg(fi.b));
+            break;
+          case K::Sdiv:
+            b.sdiv(dataReg(fi.dst), dataReg(fi.a), x(10));
+            break;
+          case K::Load:
+            b.load(kLoadOps[fi.sel % 4], dataReg(fi.dst), x(11),
+                   memOffset(fi.imm));
+            break;
+          case K::Store:
+            b.store(kStoreOps[fi.sel % 4], dataReg(fi.a), x(11),
+                    memOffset(fi.imm));
+            break;
+          case K::Fop:
+            b.fop(fi.sel % 2 ? Opcode::FMUL : Opcode::FADD, x(9), x(9),
+                  x(9));
+            break;
+          case K::Branch: {
+            // Forward conditional over a small internal block: the
+            // recipe is self-contained, so any subsequence of recipes
+            // still builds (ddmin never breaks label structure).
+            ProgramBuilder::Label skip = b.newLabel();
+            b.branch(fi.sel % 2 ? Opcode::BNEZ : Opcode::BGTZ,
+                     dataReg(fi.a), skip);
+            const unsigned block =
+                1 + static_cast<unsigned>(static_cast<u64>(fi.imm) % 3);
+            for (unsigned k = 0; k < block; ++k)
+                b.alui(Opcode::ADD, dataReg(fi.dst), dataReg(fi.dst),
+                       static_cast<s64>(k + 1));
+            b.bind(skip);
+            break;
+          }
+          case K::NUM:
+            break;
+        }
+    }
+    b.halt();
+
+    MemoryImage mem;
+    auto program = std::make_shared<const Program>(b.build());
+    return traceProgram(program, mem);
+}
+
+// ---------------------------------------------------------------------
+// Differential oracle
+// ---------------------------------------------------------------------
+
+RunOutcome
+runOne(const Trace &trace, CoreConfig config, SchedKernel kernel,
+       bool traced)
+{
+    config.sched_kernel = kernel;
+    OooCore core(std::move(config));
+    PipeTracer tracer(1u << 14);
+    if (traced)
+        core.setTracer(&tracer);
+    RunOutcome out;
+    try {
+        out.stats = core.run(trace);
+    } catch (const DeadlockError &e) {
+        out.deadlock = true;
+        out.deadlock_cycle = e.cycle();
+    }
+    return out;
+}
+
+std::string
+diffOutcome(const RunOutcome &a, const RunOutcome &b)
+{
+    std::ostringstream os;
+    if (a.deadlock != b.deadlock) {
+        os << "deadlock: " << a.deadlock << " vs " << b.deadlock;
+        return os.str();
+    }
+    if (a.deadlock) {
+        if (a.deadlock_cycle != b.deadlock_cycle) {
+            os << "deadlock_cycle: " << a.deadlock_cycle << " vs "
+               << b.deadlock_cycle;
+            return os.str();
+        }
+        return "";
+    }
+
+    const CoreStats &s = a.stats;
+    const CoreStats &t = b.stats;
+    auto field = [&os](const char *fname, auto va, auto vb) {
+        if (va == vb)
+            return false;
+        os << fname << ": " << va << " vs " << vb;
+        return true;
+    };
+#define REDSOC_FUZZ_FIELD(f)                                           \
+    if (field(#f, s.f, t.f))                                           \
+        return os.str();
+    REDSOC_FUZZ_FIELD(cycles)
+    REDSOC_FUZZ_FIELD(committed)
+    REDSOC_FUZZ_FIELD(fu_stall_cycles)
+    REDSOC_FUZZ_FIELD(recycled_ops)
+    REDSOC_FUZZ_FIELD(two_cycle_holds)
+    REDSOC_FUZZ_FIELD(slack_recycled_ticks)
+    REDSOC_FUZZ_FIELD(egpw_requests)
+    REDSOC_FUZZ_FIELD(egpw_grants)
+    REDSOC_FUZZ_FIELD(egpw_wasted)
+    REDSOC_FUZZ_FIELD(fused_ops)
+    REDSOC_FUZZ_FIELD(la_predictions)
+    REDSOC_FUZZ_FIELD(la_mispredictions)
+    REDSOC_FUZZ_FIELD(width_predictions)
+    REDSOC_FUZZ_FIELD(width_aggressive)
+    REDSOC_FUZZ_FIELD(width_conservative)
+    REDSOC_FUZZ_FIELD(branch_lookups)
+    REDSOC_FUZZ_FIELD(branch_mispredicts)
+    REDSOC_FUZZ_FIELD(loads)
+    REDSOC_FUZZ_FIELD(stores)
+    REDSOC_FUZZ_FIELD(l1_load_misses)
+    REDSOC_FUZZ_FIELD(store_forwards)
+    REDSOC_FUZZ_FIELD(threshold_min)
+    REDSOC_FUZZ_FIELD(threshold_max)
+    REDSOC_FUZZ_FIELD(threshold_final)
+    REDSOC_FUZZ_FIELD(commit_checksum)
+    REDSOC_FUZZ_FIELD(expected_chain_length)
+#undef REDSOC_FUZZ_FIELD
+    if (field("chain_lengths.count", s.chain_lengths.count(),
+              t.chain_lengths.count()))
+        return os.str();
+    if (field("chain_lengths.total", s.chain_lengths.total(),
+              t.chain_lengths.total()))
+        return os.str();
+    if (field("chain_lengths.maxSample", s.chain_lengths.maxSample(),
+              t.chain_lengths.maxSample()))
+        return os.str();
+    if (field("chain_lengths.sumSquares", s.chain_lengths.sumSquares(),
+              t.chain_lengths.sumSquares()))
+        return os.str();
+    if (s.chain_lengths.rawBuckets() != t.chain_lengths.rawBuckets()) {
+        os << "chain_lengths.rawBuckets differ";
+        return os.str();
+    }
+    return "";
+}
+
+std::string
+checkCase(const FuzzCase &fc)
+{
+    const Trace trace = buildTrace(fc);
+    const RunOutcome scan =
+        runOne(trace, fc.config, SchedKernel::Scan, false);
+    const RunOutcome event =
+        runOne(trace, fc.config, SchedKernel::Event, false);
+    std::string d = diffOutcome(scan, event);
+    if (!d.empty())
+        return "scan/event: " + d;
+    const RunOutcome event_traced =
+        runOne(trace, fc.config, SchedKernel::Event, true);
+    d = diffOutcome(event, event_traced);
+    if (!d.empty())
+        return "event traced/untraced: " + d;
+    const RunOutcome scan_traced =
+        runOne(trace, fc.config, SchedKernel::Scan, true);
+    d = diffOutcome(scan, scan_traced);
+    if (!d.empty())
+        return "scan traced/untraced: " + d;
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Minimization
+// ---------------------------------------------------------------------
+
+FuzzCase
+minimizeCase(const FuzzCase &orig)
+{
+    FuzzCase cur = orig;
+    if (checkCase(cur).empty())
+        return cur; // nothing to minimize
+
+    // ddmin over the recipe program: drop chunks while the
+    // divergence persists, halving the chunk until single recipes.
+    size_t chunk = std::max<size_t>(1, cur.prog.size() / 2);
+    while (true) {
+        bool shrunk = false;
+        for (size_t start = 0; start < cur.prog.size();) {
+            const size_t end =
+                std::min(cur.prog.size(), start + chunk);
+            FuzzCase cand = cur;
+            cand.prog.erase(cand.prog.begin() +
+                                static_cast<std::ptrdiff_t>(start),
+                            cand.prog.begin() +
+                                static_cast<std::ptrdiff_t>(end));
+            if (!cand.prog.empty() && !checkCase(cand).empty()) {
+                cur = std::move(cand);
+                shrunk = true; // keep start: the tail shifted down
+            } else {
+                start = end;
+            }
+        }
+        if (chunk == 1) {
+            if (!shrunk)
+                break;
+            continue; // another single-recipe pass until fixpoint
+        }
+        chunk = std::max<size_t>(1, chunk / 2);
+    }
+
+    // Config normalization: reset each knob toward the medium-core
+    // default, keeping a reset only if the divergence survives it.
+    const CoreConfig def = mediumCore();
+    auto try_reset = [&cur](auto mutate) {
+        FuzzCase cand = cur;
+        mutate(cand.config);
+        if (!checkCase(cand).empty())
+            cur = std::move(cand);
+    };
+    try_reset([&](CoreConfig &c) { c.dynamic_threshold =
+                                       def.dynamic_threshold; });
+    try_reset([&](CoreConfig &c) { c.mode = def.mode; });
+    try_reset([&](CoreConfig &c) { c.rs_design = def.rs_design; });
+    try_reset([&](CoreConfig &c) { c.egpw = def.egpw; });
+    try_reset([&](CoreConfig &c) { c.skewed_select = def.skewed_select; });
+    try_reset([&](CoreConfig &c) {
+        c.ci_precision_bits = def.ci_precision_bits;
+        c.slack_threshold_ticks = def.slack_threshold_ticks;
+    });
+    try_reset([&](CoreConfig &c) { c.slack_threshold_ticks =
+                                       def.slack_threshold_ticks; });
+    try_reset([&](CoreConfig &c) { c.threshold_epoch =
+                                       def.threshold_epoch; });
+    try_reset([&](CoreConfig &c) { c.memory = def.memory; });
+    try_reset([&](CoreConfig &c) { c.redirect_penalty =
+                                       def.redirect_penalty; });
+    try_reset([&](CoreConfig &c) {
+        c.frontend_width = def.frontend_width;
+        c.commit_width = def.commit_width;
+    });
+    try_reset([&](CoreConfig &c) {
+        c.rob_entries = def.rob_entries;
+        c.rs_entries = def.rs_entries;
+        c.lsq_entries = def.lsq_entries;
+    });
+    try_reset([&](CoreConfig &c) {
+        c.alu_units = def.alu_units;
+        c.simd_units = def.simd_units;
+        c.fp_units = def.fp_units;
+        c.mem_ports = def.mem_ports;
+    });
+    return cur;
+}
+
+// ---------------------------------------------------------------------
+// Corpus fixtures
+// ---------------------------------------------------------------------
+
+std::string
+serializeCase(const FuzzCase &fc)
+{
+    const CoreConfig &c = fc.config;
+    std::ostringstream os;
+    os << "# redsoc_fuzz fixture (replayed by test_fuzz_regress)\n";
+    os << "name " << fc.name << '\n';
+    os << "config core=" << c.name << " mode=" << schedModeName(c.mode)
+       << " rsd=" << rsDesignName(c.rs_design)
+       << " fw=" << c.frontend_width << " cw=" << c.commit_width
+       << " rob=" << c.rob_entries << " lsq=" << c.lsq_entries
+       << " rs=" << c.rs_entries << " alu=" << c.alu_units
+       << " simd=" << c.simd_units << " fp=" << c.fp_units
+       << " memports=" << c.mem_ports
+       << " redirect=" << c.redirect_penalty
+       << " ci=" << c.ci_precision_bits
+       << " thr=" << c.slack_threshold_ticks
+       << " dyn=" << c.dynamic_threshold
+       << " epoch=" << c.threshold_epoch << " egpw=" << c.egpw
+       << " skew=" << c.skewed_select
+       << " horizon=" << c.no_commit_horizon
+       << " l1=" << c.memory.l1_latency << " l2=" << c.memory.l2_latency
+       << " mem=" << c.memory.mem_latency
+       << " prefetch=" << c.memory.prefetch << '\n';
+    for (const FuzzInst &fi : fc.prog) {
+        os << "inst " << fuzzKindName(fi.kind)
+           << " sel=" << static_cast<unsigned>(fi.sel)
+           << " d=" << static_cast<unsigned>(fi.dst)
+           << " a=" << static_cast<unsigned>(fi.a)
+           << " b=" << static_cast<unsigned>(fi.b) << " imm=" << fi.imm
+           << '\n';
+    }
+    return os.str();
+}
+
+namespace {
+
+[[noreturn]] void
+malformed(const std::string &what)
+{
+    throw std::runtime_error("malformed fuzz fixture: " + what);
+}
+
+/** Split "key=value", throwing on anything else. */
+std::pair<std::string, std::string>
+splitKv(const std::string &tok)
+{
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+        malformed("expected key=value, got '" + tok + "'");
+    return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+s64
+parseNum(const std::string &v)
+{
+    try {
+        size_t used = 0;
+        const s64 n = std::stoll(v, &used);
+        if (used != v.size())
+            malformed("trailing junk in number '" + v + "'");
+        return n;
+    } catch (const std::logic_error &) {
+        malformed("bad number '" + v + "'");
+    }
+}
+
+unsigned
+parseUnsigned(const std::string &v)
+{
+    const s64 n = parseNum(v);
+    if (n < 0)
+        malformed("negative value '" + v + "'");
+    return static_cast<unsigned>(n);
+}
+
+} // namespace
+
+FuzzCase
+parseCase(const std::string &text)
+{
+    FuzzCase fc;
+    bool saw_config = false;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word) || word[0] == '#')
+            continue;
+        if (word == "name") {
+            if (!(ls >> fc.name))
+                malformed("name line without a value");
+        } else if (word == "config") {
+            saw_config = true;
+            // The preset establishes everything not overridden
+            // (cache geometry, predictors, timing model).
+            std::vector<std::pair<std::string, std::string>> kvs;
+            std::string core = "medium";
+            while (ls >> word) {
+                auto [k, v] = splitKv(word);
+                if (k == "core")
+                    core = v;
+                else
+                    kvs.emplace_back(k, v);
+            }
+            if (core != "small" && core != "medium" && core != "big")
+                malformed("unknown core preset '" + core + "'");
+            CoreConfig &c = fc.config;
+            c = coreByName(core);
+            for (const auto &[k, v] : kvs) {
+                if (k == "mode") {
+                    if (v == "baseline")
+                        c.mode = SchedMode::Baseline;
+                    else if (v == "redsoc")
+                        c.mode = SchedMode::ReDSOC;
+                    else if (v == "mos")
+                        c.mode = SchedMode::MOS;
+                    else
+                        malformed("unknown mode '" + v + "'");
+                } else if (k == "rsd") {
+                    if (v == "operational")
+                        c.rs_design = RsDesign::Operational;
+                    else if (v == "illustrative")
+                        c.rs_design = RsDesign::Illustrative;
+                    else
+                        malformed("unknown RS design '" + v + "'");
+                } else if (k == "fw") {
+                    c.frontend_width = parseUnsigned(v);
+                } else if (k == "cw") {
+                    c.commit_width = parseUnsigned(v);
+                } else if (k == "rob") {
+                    c.rob_entries = parseUnsigned(v);
+                } else if (k == "lsq") {
+                    c.lsq_entries = parseUnsigned(v);
+                } else if (k == "rs") {
+                    c.rs_entries = parseUnsigned(v);
+                } else if (k == "alu") {
+                    c.alu_units = parseUnsigned(v);
+                } else if (k == "simd") {
+                    c.simd_units = parseUnsigned(v);
+                } else if (k == "fp") {
+                    c.fp_units = parseUnsigned(v);
+                } else if (k == "memports") {
+                    c.mem_ports = parseUnsigned(v);
+                } else if (k == "redirect") {
+                    c.redirect_penalty = parseUnsigned(v);
+                } else if (k == "ci") {
+                    c.ci_precision_bits = parseUnsigned(v);
+                } else if (k == "thr") {
+                    c.slack_threshold_ticks = parseUnsigned(v);
+                } else if (k == "dyn") {
+                    c.dynamic_threshold = parseUnsigned(v) != 0;
+                } else if (k == "epoch") {
+                    c.threshold_epoch = parseUnsigned(v);
+                } else if (k == "egpw") {
+                    c.egpw = parseUnsigned(v) != 0;
+                } else if (k == "skew") {
+                    c.skewed_select = parseUnsigned(v) != 0;
+                } else if (k == "horizon") {
+                    c.no_commit_horizon = parseUnsigned(v);
+                } else if (k == "l1") {
+                    c.memory.l1_latency = parseUnsigned(v);
+                } else if (k == "l2") {
+                    c.memory.l2_latency = parseUnsigned(v);
+                } else if (k == "mem") {
+                    c.memory.mem_latency = parseUnsigned(v);
+                } else if (k == "prefetch") {
+                    c.memory.prefetch = parseUnsigned(v) != 0;
+                } else {
+                    malformed("unknown config key '" + k + "'");
+                }
+            }
+        } else if (word == "inst") {
+            if (!(ls >> word))
+                malformed("inst line without a kind");
+            const auto kind = fuzzKindByName(word);
+            if (!kind)
+                malformed("unknown inst kind '" + word + "'");
+            FuzzInst fi;
+            fi.kind = *kind;
+            while (ls >> word) {
+                auto [k, v] = splitKv(word);
+                if (k == "sel")
+                    fi.sel = static_cast<u8>(parseUnsigned(v));
+                else if (k == "d")
+                    fi.dst = static_cast<u8>(parseUnsigned(v));
+                else if (k == "a")
+                    fi.a = static_cast<u8>(parseUnsigned(v));
+                else if (k == "b")
+                    fi.b = static_cast<u8>(parseUnsigned(v));
+                else if (k == "imm")
+                    fi.imm = parseNum(v);
+                else
+                    malformed("unknown inst key '" + k + "'");
+            }
+            fc.prog.push_back(fi);
+        } else {
+            malformed("unknown directive '" + word + "'");
+        }
+    }
+    if (!saw_config)
+        malformed("missing config line");
+    if (fc.prog.empty())
+        malformed("empty program");
+    return fc;
+}
+
+} // namespace redsoc::fuzz

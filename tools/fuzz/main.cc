@@ -1,0 +1,221 @@
+/**
+ * @file
+ * redsoc_fuzz CLI — differential fuzzing of the scheduler kernels.
+ *
+ *   redsoc_fuzz --seed 1 --budget 60          # 60s smoke sweep
+ *   redsoc_fuzz --seed 1 --count 5000         # fixed point count
+ *   redsoc_fuzz --seed 1 --count 100 --minimize --out tests/fuzz_corpus
+ *   redsoc_fuzz --replay tests/fuzz_corpus/foo.fuzz
+ *   redsoc_fuzz --dump-seed 42                # print the fixture text
+ *
+ * Exit status 0 when every point agrees, 1 on any divergence (or a
+ * failing replay), 2 on usage errors.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fuzz_lib.h"
+
+namespace {
+
+using namespace redsoc;
+using namespace redsoc::fuzz;
+
+struct Options
+{
+    u64 seed = 1;
+    u64 count = 0;       ///< 0 = budget-driven
+    double budget_s = 0; ///< 0 = count-driven (default: 60s budget)
+    bool minimize = false;
+    std::string out_dir;
+    std::string replay_path;
+    bool dump_seed = false;
+    u64 dump_seed_value = 0;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: redsoc_fuzz [--seed N] [--count N | --budget SECONDS]\n"
+          "                   [--minimize] [--out DIR]\n"
+          "       redsoc_fuzz --replay FIXTURE\n"
+          "       redsoc_fuzz --dump-seed N\n";
+}
+
+std::optional<Options>
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto num_arg = [&](int &i, const char *flag) -> std::optional<u64> {
+        if (i + 1 >= argc) {
+            std::cerr << "redsoc_fuzz: " << flag
+                      << " needs a value\n";
+            return std::nullopt;
+        }
+        return std::strtoull(argv[++i], nullptr, 10);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed") {
+            const auto v = num_arg(i, "--seed");
+            if (!v)
+                return std::nullopt;
+            opt.seed = *v;
+        } else if (arg == "--count") {
+            const auto v = num_arg(i, "--count");
+            if (!v)
+                return std::nullopt;
+            opt.count = *v;
+        } else if (arg == "--budget") {
+            const auto v = num_arg(i, "--budget");
+            if (!v)
+                return std::nullopt;
+            opt.budget_s = static_cast<double>(*v);
+        } else if (arg == "--minimize") {
+            opt.minimize = true;
+        } else if (arg == "--out") {
+            if (i + 1 >= argc) {
+                std::cerr << "redsoc_fuzz: --out needs a directory\n";
+                return std::nullopt;
+            }
+            opt.out_dir = argv[++i];
+        } else if (arg == "--replay") {
+            if (i + 1 >= argc) {
+                std::cerr << "redsoc_fuzz: --replay needs a fixture\n";
+                return std::nullopt;
+            }
+            opt.replay_path = argv[++i];
+        } else if (arg == "--dump-seed") {
+            const auto v = num_arg(i, "--dump-seed");
+            if (!v)
+                return std::nullopt;
+            opt.dump_seed = true;
+            opt.dump_seed_value = *v;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else {
+            std::cerr << "redsoc_fuzz: unknown flag '" << arg << "'\n";
+            usage(std::cerr);
+            return std::nullopt;
+        }
+    }
+    if (opt.count == 0 && opt.budget_s == 0)
+        opt.budget_s = 60;
+    return opt;
+}
+
+int
+replay(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "redsoc_fuzz: cannot open " << path << '\n';
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const FuzzCase fc = parseCase(text.str());
+    const std::string diff = checkCase(fc);
+    if (diff.empty()) {
+        std::cout << path << ": " << fc.name << " agrees ("
+                  << fc.prog.size() << " recipes)\n";
+        return 0;
+    }
+    std::cout << path << ": " << fc.name << " DIVERGES: " << diff
+              << '\n';
+    return 1;
+}
+
+/** Report one divergence, optionally minimizing and writing a
+ *  fixture; returns the fixture path message for the summary. */
+void
+handleDivergence(const Options &opt, const FuzzCase &fc,
+                 const std::string &diff)
+{
+    std::cout << "DIVERGENCE at " << fc.name << ": " << diff << '\n';
+    FuzzCase repro = fc;
+    if (opt.minimize) {
+        repro = minimizeCase(fc);
+        std::cout << "  minimized " << fc.prog.size() << " -> "
+                  << repro.prog.size()
+                  << " recipes; still diverges: " << checkCase(repro)
+                  << '\n';
+    }
+    if (!opt.out_dir.empty()) {
+        const std::string path =
+            opt.out_dir + "/" + repro.name + ".fuzz";
+        std::ofstream out(path);
+        out << serializeCase(repro);
+        std::cout << "  fixture written to " << path << '\n';
+    } else {
+        std::cout << serializeCase(repro);
+    }
+}
+
+int
+sweep(const Options &opt)
+{
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    auto elapsed_s = [&start] {
+        return std::chrono::duration<double>(clock::now() - start)
+            .count();
+    };
+
+    u64 checked = 0;
+    u64 diverged = 0;
+    u64 seed = opt.seed;
+    while (true) {
+        if (opt.count != 0 && checked >= opt.count)
+            break;
+        if (opt.count == 0 && elapsed_s() >= opt.budget_s)
+            break;
+        const FuzzCase fc = randomCase(seed++);
+        const std::string diff = checkCase(fc);
+        ++checked;
+        if (!diff.empty()) {
+            ++diverged;
+            handleDivergence(opt, fc, diff);
+        }
+        if (checked % 500 == 0)
+            std::cout << "  ... " << checked << " points, "
+                      << diverged << " divergent, "
+                      << static_cast<u64>(static_cast<double>(checked) /
+                                          elapsed_s() * 60)
+                      << " points/min\n";
+    }
+
+    const double secs = elapsed_s();
+    std::cout << "redsoc_fuzz: " << checked << " points in " << secs
+              << "s ("
+              << static_cast<u64>(
+                     secs > 0 ? static_cast<double>(checked) / secs * 60
+                              : 0)
+              << " points/min), " << diverged << " divergent\n";
+    return diverged == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = parseArgs(argc, argv);
+    if (!opt) {
+        usage(std::cerr);
+        return 2;
+    }
+    if (opt->dump_seed) {
+        std::cout << serializeCase(randomCase(opt->dump_seed_value));
+        return 0;
+    }
+    if (!opt->replay_path.empty())
+        return replay(opt->replay_path);
+    return sweep(*opt);
+}

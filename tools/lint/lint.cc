@@ -126,6 +126,16 @@ lintTree(const Options &opt)
         ruleTraceComplete(header, opt.trace_enum, exp, out);
     }
 
+    // R6 runs once over the invariant catalogue and its test suite.
+    if (fs::exists(root / opt.audit_header, ec) &&
+        fs::exists(root / opt.audit_tests, ec)) {
+        SourceFile header = lexFile((root / opt.audit_header).string(),
+                                    opt.audit_header);
+        SourceFile tst = lexFile((root / opt.audit_tests).string(),
+                                 opt.audit_tests);
+        ruleAuditComplete(header, opt.audit_enum, tst, out);
+    }
+
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.path != b.path)

@@ -35,6 +35,11 @@
  *                 exporter translation unit — once per exporter
  *                 switch — so "added an event kind, forgot an
  *                 exporter" cannot recur either.
+ *   audit-complete (R6) every InvariantAudit enumerator (NUM sentinel
+ *                 excluded) appears at least once in the fuzzing
+ *                 regression suite, so every runtime invariant check
+ *                 keeps a unit test proving it fires on corrupted
+ *                 state.
  *
  * Findings print as "file:line: [rule-id] message". A finding is
  * suppressed by a comment "// redsoc-lint: allow(rule-id)" (or
@@ -187,6 +192,15 @@ void ruleTraceComplete(const SourceFile &header,
                        const SourceFile &exporter,
                        std::vector<Finding> &out);
 
+/** R6: every enumerator of @p enum_name in @p header — except the
+ *  NUM count sentinel — must appear >= 1 time in @p tests (each
+ *  runtime invariant check needs a unit test that corrupts the
+ *  checked state and proves the violation fires). */
+void ruleAuditComplete(const SourceFile &header,
+                       const std::string &enum_name,
+                       const SourceFile &tests,
+                       std::vector<Finding> &out);
+
 // ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
@@ -209,6 +223,11 @@ struct Options
     std::string trace_enum = "PipeEventKind";
     std::string trace_header = "src/trace/trace_events.h";
     std::string trace_exporter = "src/trace/exporters.cc";
+
+    // R6 wiring (relative to root; rule skipped if header missing).
+    std::string audit_enum = "InvariantAudit";
+    std::string audit_header = "src/core/invariant_audit.h";
+    std::string audit_tests = "tests/test_fuzz_regress.cc";
 
     std::string baseline_path;           ///< empty = no baseline
 };

@@ -48,6 +48,8 @@ listRules()
         "codec and the equivalence comparator\n"
         "trace-complete PipeEventKind enumerators must reach every "
         "trace exporter switch\n"
+        "audit-complete InvariantAudit enumerators must each have a "
+        "corrupting unit test\n"
         "suppress with: // redsoc-lint: allow(rule-id[,rule-id...])\n",
         stdout);
 }

@@ -739,6 +739,31 @@ ruleTraceComplete(const SourceFile &header,
 }
 
 void
+ruleAuditComplete(const SourceFile &header,
+                  const std::string &enum_name,
+                  const SourceFile &tests,
+                  std::vector<Finding> &out)
+{
+    for (const EnumInfo &e : parseEnums(header)) {
+        if (e.name != enum_name)
+            continue;
+        for (const EnumeratorInfo &en : e.enumerators) {
+            if (en.name == "NUM")
+                continue; // count sentinel, never a real invariant
+            if (countIdent(tests, en.name) < 1)
+                emit(header, en.line, "audit-complete",
+                     enum_name + " enumerator '" + en.name +
+                         "' has no corrupting unit test (" +
+                         tests.path +
+                         " must mention it at least once: every "
+                         "runtime invariant check needs a test "
+                         "proving it fires)",
+                     out);
+        }
+    }
+}
+
+void
 ruleStatComplete(const SourceFile &header,
                  const std::string &struct_name,
                  const SourceFile &serializer,
