@@ -74,6 +74,32 @@ FuPool::freeSpan(FuPoolKind kind, Cycle cycle, unsigned span) const
     return true;
 }
 
+Cycle
+FuPool::nextFreeSpanCycle(FuPoolKind kind, Cycle from,
+                          unsigned span) const
+{
+    const unsigned cap = capacity(kind);
+    const auto &per_kind = booked_[static_cast<size_t>(kind)];
+    Cycle base = from;
+    unsigned run = 0;
+    for (Cycle c = from;; ++c) {
+        if (c >= from + kHorizon) {
+            // Bookings live only inside the ring: everything from
+            // here on is free, so the pending run (or this cycle)
+            // completes the span unobstructed.
+            return base;
+        }
+        const unsigned idx = c % kHorizon;
+        const bool full = cycle_tag_[idx] == c && per_kind[idx] >= cap;
+        if (full) {
+            base = c + 1;
+            run = 0;
+        } else if (++run >= span) {
+            return base;
+        }
+    }
+}
+
 void
 FuPool::book(FuPoolKind kind, Cycle cycle, unsigned span)
 {

@@ -35,6 +35,18 @@ class FuPool
      *  without re-hashing the ring slot per freeUnits call. */
     bool freeSpan(FuPoolKind kind, Cycle cycle, unsigned span) const;
 
+    /**
+     * Earliest cycle >= @p from where freeSpan(kind, cycle, span)
+     * holds under the *current* bookings. Because bookings only ever
+     * accumulate (release() has no caller in the simulator) and only
+     * for cycles inside the look-ahead ring, the result is a sound
+     * lower bound on when the span can actually be admitted: the
+     * event kernel parks span-denied steady requesters until then
+     * instead of re-evaluating them every cycle.
+     */
+    Cycle nextFreeSpanCycle(FuPoolKind kind, Cycle from,
+                            unsigned span) const;
+
     /** Book one unit of @p kind for cycles [cycle, cycle+span). */
     void book(FuPoolKind kind, Cycle cycle, unsigned span = 1);
 

@@ -187,42 +187,39 @@ InvariantAuditor::onCycleEnd(const OooCore &core)
     if (!core.event_kernel_)
         return;
     for (SeqNum seq : rs_scratch_) {
-        const auto &op = core.ops_[seq];
+        const auto &oc = core.cold_[seq];
         unsigned recount = 0;
-        for (unsigned i = 0; i < op.nprod; ++i) {
+        for (unsigned i = 0; i < oc.nprod; ++i) {
             bool dup = false;
             for (unsigned j = 0; j < i; ++j)
-                dup = dup || op.prod[j] == op.prod[i];
-            if (!dup &&
-                core.ops_[op.prod[i]].st == OooCore::OpState::St::InRs)
+                dup = dup || oc.prod[j] == oc.prod[i];
+            if (!dup && core.inRs(oc.prod[i]))
                 ++recount;
         }
-        report(checkPendingCount(seq, op.pending, recount));
+        report(checkPendingCount(seq, core.pending_[seq], recount));
         const bool parked =
-            std::find(core.parked_loads_.begin(),
-                      core.parked_loads_.end(),
-                      seq) != core.parked_loads_.end();
-        const bool in_ready =
-            core.ready_.nextAtOrAfter(seq, op.pool) == seq;
-        report(checkReadyAgreement(seq, op.pending, op.armed_cycle,
-                                   core.cycle_, parked, in_ready));
+            core.armed_[seq] == OooCore::kParkLoad;
+        const bool in_ready = core.ready_.contains(seq);
+        report(checkReadyAgreement(seq, core.pending_[seq],
+                                   core.armed_[seq], core.cycle_,
+                                   parked, in_ready));
     }
 }
 
 void
 InvariantAuditor::onIssue(const OooCore &core, SeqNum seq)
 {
-    const auto &op = core.ops_[seq];
+    const Tick start = core.cold_[seq].start_tick;
     const Tick tpc = core.clock_.ticksPerCycle();
-    report(checkCiRange(seq, core.clock_.ciOf(op.start_tick), tpc));
-    report(checkCiRange(seq, core.clock_.ciOf(op.complete_tick), tpc));
-    if (op.transparent) {
-        const SeqNum producer = core.lastProducer(op);
+    report(checkCiRange(seq, core.clock_.ciOf(start), tpc));
+    report(checkCiRange(seq, core.clock_.ciOf(core.done_[seq]), tpc));
+    if (core.cold_[seq].cflags & OooCore::kColdTransparent) {
+        const SeqNum producer = core.lastProducer(seq);
         const Tick producer_complete =
-            producer == kNoSeq ? 0 : core.ops_[producer].complete_tick;
+            producer == kNoSeq ? 0 : core.done_[producer];
         report(checkTransparentLink(seq, producer, producer_complete,
-                                    op.start_tick,
-                                    core.clock_.ciOf(op.start_tick)));
+                                    start,
+                                    core.clock_.ciOf(start)));
     }
 }
 

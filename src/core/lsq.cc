@@ -70,6 +70,19 @@ Lsq::olderStoreUnresolved(SeqNum seq) const
     return false;
 }
 
+SeqNum
+Lsq::youngestUnresolvedStoreBefore(SeqNum seq) const
+{
+    SeqNum found = kNoSeq;
+    for (const Entry &e : entries_) {
+        if (e.seq >= seq)
+            break;
+        if (e.is_store && !e.resolved)
+            found = e.seq; // program order: the last hit is youngest
+    }
+    return found;
+}
+
 std::optional<Lsq::ForwardResult>
 Lsq::forwardFrom(SeqNum load_seq, Addr addr, unsigned size) const
 {

@@ -39,6 +39,16 @@ class Lsq
      */
     bool olderStoreUnresolved(SeqNum seq) const;
 
+    /**
+     * The youngest store older than @p seq whose address is still
+     * unresolved, or kNoSeq when none. The event kernel parks a
+     * blocked load on one concrete blocker and re-evaluates only
+     * when *that* store resolves (re-parking if another older store
+     * is still pending), instead of re-checking every parked load on
+     * every store issue.
+     */
+    SeqNum youngestUnresolvedStoreBefore(SeqNum seq) const;
+
     struct ForwardResult
     {
         bool full_cover = false; ///< one store sources every byte

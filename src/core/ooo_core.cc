@@ -83,7 +83,8 @@ OooCore::OooCore(CoreConfig config)
       rob_(config_.rob_entries),
       lsq_(config_.lsq_entries),
       rs_(config_.rs_entries),
-      fu_(config_)
+      fu_(config_),
+      chains_(config_.rob_entries)
 {
     fatal_if(config_.slack_threshold_ticks > clock_.ticksPerCycle(),
              "slack threshold exceeds a full cycle");
@@ -97,6 +98,15 @@ OooCore::OooCore(CoreConfig config)
     collect_eager_ = event_kernel_ &&
                      config_.mode == SchedMode::ReDSOC && config_.egpw &&
                      config_.skewed_select;
+
+    // Candidate-set rings sized for the in-flight window, and every
+    // per-cycle scratch vector reserved up front: the scheduler loops
+    // must never allocate (redsoc_lint R8 hot-alloc).
+    ready_.configure(config_.rob_entries);
+    eager_.configure(config_.rob_entries);
+    scan_.reserve(config_.rs_entries);
+    conv_grants_.reserve(config_.rs_entries);
+    next_arms_.reserve(2 * config_.rs_entries);
 }
 
 bool
@@ -107,36 +117,87 @@ OooCore::widthSensitive(const Inst &inst) const
     return aluKind(inst.op) == AluKind::Arith;
 }
 
-SeqNum
-OooCore::lastProducer(const OpState &op) const
+void
+OooCore::buildInstMeta(const Program &program)
 {
+    meta_.resize(program.size());
+    for (u32 pc = 0; pc < program.size(); ++pc) {
+        const Inst &inst = program.inst(pc);
+        InstMeta m;
+
+        const bool is_mem = isMem(inst.op);
+        const bool is_halt = inst.op == Opcode::HALT;
+        const bool needs_rs = !is_halt && inst.op != Opcode::B &&
+                              inst.op != Opcode::BL &&
+                              inst.op != Opcode::RET;
+        u8 flags = 0;
+        if (is_mem)
+            flags |= kMetaMem;
+        if (is_halt)
+            flags |= kMetaHalt;
+        if (needs_rs)
+            flags |= kMetaNeedsRs;
+        if (isSimd(inst.op))
+            flags |= kMetaSimd;
+        if (widthSensitive(inst))
+            flags |= kMetaWidthSens;
+        m.flags = flags;
+
+        u8 seed = 0;
+        if (TimingModel::isSlackEligible(inst.op))
+            seed |= kEligible;
+        if (isLoad(inst.op))
+            seed |= kIsLoad;
+        if (isStore(inst.op))
+            seed |= kIsStore;
+        if (isBranch(inst.op))
+            seed |= kIsBranch;
+        m.seed = seed;
+
+        // Frontend-resolved ops never touch a pool: fuPoolKind(None)
+        // is a modelling error by contract, so pin them to Alu|None.
+        const FuClass fu = needs_rs ? fuClass(inst.op) : FuClass::None;
+        m.cls = needs_rs ? packCls(fuPoolKind(fu), fu)
+                         : packCls(FuPoolKind::Alu, FuClass::None);
+        m.mem_size =
+            is_mem ? static_cast<u8>(memAccessSize(inst.op)) : u8{0};
+        meta_[pc] = m;
+    }
+}
+
+SeqNum
+OooCore::lastProducer(SeqNum seq) const
+{
+    const OpCold &oc = cold_[seq];
     SeqNum last = kNoSeq;
     Tick best = 0;
-    for (unsigned i = 0; i < op.nprod; ++i) {
-        const OpState &ps = ops_[op.prod[i]];
-        if (last == kNoSeq || ps.complete_tick >= best) {
-            best = ps.complete_tick;
-            last = op.prod[i];
+    for (unsigned i = 0; i < oc.nprod; ++i) {
+        const SeqNum p = oc.prod[i];
+        if (last == kNoSeq || done_[p] >= best) {
+            best = done_[p];
+            last = p;
         }
     }
     return last;
 }
 
 Tick
-OooCore::producersComplete(const OpState &op) const
+OooCore::producersComplete(SeqNum seq) const
 {
+    const OpCold &oc = cold_[seq];
     Tick t = 0;
-    for (unsigned i = 0; i < op.nprod; ++i)
-        t = std::max(t, ops_[op.prod[i]].complete_tick);
+    for (unsigned i = 0; i < oc.nprod; ++i)
+        t = std::max(t, done_[oc.prod[i]]);
     return t;
 }
 
 Cycle
-OooCore::selGate(const OpState &op) const
+OooCore::selGate(SeqNum seq) const
 {
-    Cycle gate = op.dispatch_cycle + 1;
-    for (unsigned i = 0; i < op.nprod; ++i)
-        gate = std::max(gate, ops_[op.prod[i]].select_cycle + 1);
+    const OpCold &oc = cold_[seq];
+    Cycle gate = oc.dispatch_cycle + 1;
+    for (unsigned i = 0; i < oc.nprod; ++i)
+        gate = std::max(gate, sel_[oc.prod[i]] + 1);
     return gate;
 }
 
@@ -153,52 +214,47 @@ OooCore::emitFrontend(SeqNum seq)
 }
 
 void
-OooCore::emitIssue(const Candidate &cand, const OpState &op)
+OooCore::emitIssue(const Candidate &cand)
 {
     // The entry's conventional wakeup cycle is the select gate; an
     // EGPW grant (and a MOS fusion) is woken in the grant cycle
     // itself. Every input below is part of the committed schedule,
     // so both scheduler kernels emit identical events.
-    const SeqNum last = lastProducer(op);
+    const SeqNum seq = cand.seq;
+    const OpCold &oc = cold_[seq];
+    const SeqNum last = lastProducer(seq);
     const Cycle wake = cand.speculative
                            ? cycle_
-                           : std::min(selGate(op), cycle_);
-    emit(PipeEventKind::Wakeup, cand.seq, clock_.cycleStart(wake), 0,
-         last);
-    emit(PipeEventKind::Select, cand.seq, clock_.cycleStart(cycle_),
+                           : std::min(selGate(seq), cycle_);
+    emit(PipeEventKind::Wakeup, seq, clock_.cycleStart(wake), 0, last);
+    emit(PipeEventKind::Select, seq, clock_.cycleStart(cycle_),
          cand.speculative ? u8{1} : u8{0});
     if (cand.speculative)
-        emit(PipeEventKind::EgpwFire, cand.seq,
-             clock_.cycleStart(cycle_));
-    if (op.transparent) {
-        emit(PipeEventKind::TransparentPass, cand.seq, op.start_tick,
-             ciArg(op.start_tick));
-        emit(PipeEventKind::RecycleLink, cand.seq, op.start_tick, 0,
-             last);
+        emit(PipeEventKind::EgpwFire, seq, clock_.cycleStart(cycle_));
+    if (oc.cflags & kColdTransparent) {
+        emit(PipeEventKind::TransparentPass, seq, oc.start_tick,
+             ciArg(oc.start_tick));
+        emit(PipeEventKind::RecycleLink, seq, oc.start_tick, 0, last);
     }
-    if (op.width_replayed)
-        emit(PipeEventKind::Replay, cand.seq, clock_.cycleStart(cycle_),
-             2);
-    emit(PipeEventKind::ExecBegin, cand.seq, op.start_tick,
-         ciArg(op.start_tick));
-    emit(PipeEventKind::Writeback, cand.seq, op.complete_tick,
-         ciArg(op.complete_tick));
+    if (oc.cflags & kColdWidthReplayed)
+        emit(PipeEventKind::Replay, seq, clock_.cycleStart(cycle_), 2);
+    emit(PipeEventKind::ExecBegin, seq, oc.start_tick,
+         ciArg(oc.start_tick));
+    emit(PipeEventKind::Writeback, seq, done_[seq], ciArg(done_[seq]));
 }
 
 void
 OooCore::dispatchPhase(const Trace &trace)
 {
     if (fetch_blocked_on_ != kNoSeq) {
-        const OpState &blocker = ops_[fetch_blocked_on_];
-        if (blocker.st == OpState::St::InRs ||
-            blocker.st == OpState::St::Fetched) {
+        if (!issued(fetch_blocked_on_))
             return; // mispredicted branch not resolved yet
-        }
         // The redirect starts at the clock edge after the cycle in
         // which resolution finished (a boundary-tick completion
         // belongs to the cycle it ends, hence the -1).
-        fetch_stall_until_ = clock_.cycleOf(blocker.complete_tick - 1) +
-                             1 + config_.redirect_penalty;
+        fetch_stall_until_ =
+            clock_.cycleOf(done_[fetch_blocked_on_] - 1) + 1 +
+            config_.redirect_penalty;
         fetch_blocked_on_ = kNoSeq;
     }
     if (cycle_ < fetch_stall_until_)
@@ -207,13 +263,10 @@ OooCore::dispatchPhase(const Trace &trace)
     for (unsigned w = 0; w < config_.frontend_width; ++w) {
         if (next_fetch_ >= trace.size())
             return;
-        const DynOp &dyn = trace.op(next_fetch_);
-        const Inst &inst = trace.inst(next_fetch_);
-        const bool is_mem = isMem(inst.op);
-        const bool is_halt = inst.op == Opcode::HALT;
-        const bool needs_rs = !is_halt && inst.op != Opcode::B &&
-                              inst.op != Opcode::BL &&
-                              inst.op != Opcode::RET;
+        const DynOp &dyn = dyn_[next_fetch_];
+        const InstMeta &m = meta_[dyn.pc];
+        const bool is_mem = (m.flags & kMetaMem) != 0;
+        const bool needs_rs = (m.flags & kMetaNeedsRs) != 0;
 
         if (rob_.full())
             return;
@@ -223,8 +276,6 @@ OooCore::dispatchPhase(const Trace &trace)
             return;
 
         const SeqNum seq = next_fetch_++;
-        OpState &op = ops_[seq];
-        op.dispatch_cycle = cycle_;
         rob_.push(seq);
         emitFrontend(seq);
 
@@ -232,25 +283,28 @@ OooCore::dispatchPhase(const Trace &trace)
         // the front end (target known at decode, RAS for returns):
         // it occupies a ROB slot but no RS entry or execution port.
         if (!needs_rs) {
-            op.fu = FuClass::None;
-            op.st = OpState::St::Done;
-            op.select_cycle = cycle_;
-            op.start_tick = clock_.cycleStart(cycle_ + 1);
-            op.complete_tick = op.start_tick;
+            st_[seq] = kStDone | (m.seed & kIsBranch);
+            cls_[seq] = packCls(FuPoolKind::Alu, FuClass::None);
+            sel_[seq] = cycle_;
+            OpCold &oc = cold_[seq];
+            oc = OpCold{};
+            oc.dispatch_cycle = cycle_;
+            oc.start_tick = clock_.cycleStart(cycle_ + 1);
+            done_[seq] = oc.start_tick;
             // Frontend-resolved: no RS life, straight to writeback.
-            emit(PipeEventKind::Writeback, seq, op.complete_tick,
-                 ciArg(op.complete_tick));
-            op.is_branch = isBranch(inst.op);
-            if (op.is_branch) {
+            emit(PipeEventKind::Writeback, seq, done_[seq],
+                 ciArg(done_[seq]));
+            if (m.seed & kIsBranch) {
                 // Rename the link register and predict as usual.
+                const Inst &inst = trace.inst(seq);
                 const RegIdx dst = inst.destination();
                 if (dst != kNoReg)
                     rat_.setWriter(dst, seq);
                 ++stats_.branch_lookups;
-                op.predicted_next =
+                oc.predicted_next =
                     branch_pred_.predict(dyn.pc, inst, dyn.pc + 1);
-                op.branch_mispredicted = op.predicted_next != dyn.next_pc;
-                if (op.branch_mispredicted) {
+                if (oc.predicted_next != dyn.next_pc) {
+                    oc.cflags |= kColdBranchMispred;
                     fetch_blocked_on_ = seq;
                     return;
                 }
@@ -258,12 +312,15 @@ OooCore::dispatchPhase(const Trace &trace)
             continue;
         }
 
-        op.fu = fuClass(inst.op);
-        op.pool = fuPoolKind(op.fu);
-        op.eligible = TimingModel::isSlackEligible(inst.op);
-        op.is_load = isLoad(inst.op);
-        op.is_store = isStore(inst.op);
-        op.is_branch = isBranch(inst.op);
+        const Inst &inst = trace.inst(seq);
+        st_[seq] = kStInRs | m.seed;
+        cls_[seq] = m.cls;
+        gate_[seq] = cycle_ + 1;
+        armed_[seq] = kNoCycle;
+        pending_[seq] = 0;
+        OpCold &oc = cold_[seq];
+        oc = OpCold{};
+        oc.dispatch_cycle = cycle_;
 
         // Rename: derive true dependencies and claim the destination.
         for (RegIdx r : inst.sources()) {
@@ -271,7 +328,7 @@ OooCore::dispatchPhase(const Trace &trace)
                 continue;
             const SeqNum writer = rat_.writer(r);
             if (writer != kNoSeq)
-                op.prod[op.nprod++] = writer;
+                oc.prod[oc.nprod++] = writer;
         }
         const RegIdx dst = inst.destination();
         if (dst != kNoReg)
@@ -279,37 +336,44 @@ OooCore::dispatchPhase(const Trace &trace)
 
         // EX-TIME estimate (Sec.IV-C step 5): LUT at decode, using
         // the predicted width class for width-sensitive scalar ops.
-        if (op.eligible) {
-            if (!isSimd(inst.op) && widthSensitive(inst)) {
-                op.pred_wc = width_pred_.predict(dyn.pc);
-                op.actual_wc = classifyWidth(dyn.eff_width);
-                op.width_predicted = true;
+        if (m.seed & kEligible) {
+            if ((m.flags & (kMetaSimd | kMetaWidthSens)) ==
+                kMetaWidthSens) {
+                oc.pred_wc = width_pred_.predict(dyn.pc);
+                oc.actual_wc = classifyWidth(dyn.eff_width);
+                oc.cflags |= kColdWidthPredicted;
                 ++stats_.width_predictions;
             }
-            op.est_ticks = lut_.lookupTicks(inst, op.pred_wc);
+            // Bounded by ticksPerCycle <= 2^ci_precision_bits, so 16
+            // bits are exact. redsoc-lint: allow(cycle-narrow)
+            oc.est_ticks = static_cast<u16>(
+                // redsoc-lint: allow(cycle-narrow)
+                lut_.lookupTicks(inst, oc.pred_wc));
         }
 
         // Operational design: predict the last-arriving parent for
         // two-source slack-eligible ops.
-        if (config_.rs_design == RsDesign::Operational && op.eligible &&
-            op.nprod == 2) {
-            op.pred_last_slot =
+        if (config_.rs_design == RsDesign::Operational &&
+            (m.seed & kEligible) && oc.nprod == 2) {
+            oc.pred_last_slot =
                 static_cast<u8>(la_pred_.predict(dyn.pc));
             ++stats_.la_predictions;
         }
 
-        if (op.is_branch) {
+        if (m.seed & kIsBranch) {
             ++stats_.branch_lookups;
-            op.predicted_next =
+            oc.predicted_next =
                 branch_pred_.predict(dyn.pc, inst, dyn.pc + 1);
-            op.branch_mispredicted = op.predicted_next != dyn.next_pc;
+            if (oc.predicted_next != dyn.next_pc)
+                oc.cflags |= kColdBranchMispred;
         }
 
-        op.st = OpState::St::InRs;
         rs_.insert(seq);
         if (is_mem) {
-            lsq_.dispatch(seq, op.is_store);
-            op.in_lsq = true;
+            lsq_.dispatch(seq, (m.seed & kIsStore) != 0);
+            st_[seq] |= kInLsq;
+            park_head_[seq] = kNoSeq;
+            park_next_[seq] = kNoSeq;
         }
 
         if (event_kernel_) {
@@ -317,29 +381,32 @@ OooCore::dispatchPhase(const Trace &trace)
             // producer still waiting in the RS. An op whose producers
             // are all already scheduled self-arms for its first
             // eligible cycle (dispatch_cycle + 1).
-            for (unsigned i = 0; i < op.nprod; ++i) {
+            u8 pending = 0;
+            for (unsigned i = 0; i < oc.nprod; ++i) {
                 bool dup = false;
                 for (unsigned j = 0; j < i; ++j)
-                    dup = dup || op.prod[j] == op.prod[i];
+                    dup = dup || oc.prod[j] == oc.prod[i];
                 if (dup)
                     continue;
-                OpState &ps = ops_[op.prod[i]];
-                if (ps.st != OpState::St::InRs)
+                const SeqNum p = oc.prod[i];
+                if (!inRs(p))
                     continue;
-                ++op.pending;
+                ++pending;
                 const u32 e = static_cast<u32>(cons_edges_.size());
                 cons_edges_.push_back({seq, kNoEdge});
-                if (ps.cons_tail == kNoEdge)
-                    ps.cons_head = e;
+                OpCold &pcold = cold_[p];
+                if (pcold.cons_tail == kNoEdge)
+                    pcold.cons_head = e;
                 else
-                    cons_edges_[ps.cons_tail].next = e;
-                ps.cons_tail = e;
+                    cons_edges_[pcold.cons_tail].next = e;
+                pcold.cons_tail = e;
             }
-            if (op.pending == 0)
+            pending_[seq] = pending;
+            if (pending == 0)
                 armAt(seq, cycle_ + 1);
         }
 
-        if (op.is_branch && op.branch_mispredicted) {
+        if (oc.cflags & kColdBranchMispred) {
             // Everything younger is wrong-path until this resolves.
             fetch_blocked_on_ = seq;
             return;
@@ -350,95 +417,142 @@ OooCore::dispatchPhase(const Trace &trace)
 bool
 OooCore::evalConventional(SeqNum seq, Candidate &cand, Cycle *next_try)
 {
-    OpState &op = ops_[seq];
-    if (op.st != OpState::St::InRs)
+    const u8 st = st_[seq];
+    if ((st & kStMask) != kStInRs)
         return false;
-    if (cycle_ < op.dispatch_cycle + 1 || cycle_ < op.retry_cycle) {
+    // gate_ folds max(dispatch_cycle + 1, LA-replay retry cycle).
+    if (cycle_ < gate_[seq]) {
         if (next_try)
-            *next_try = std::max(op.dispatch_cycle + 1, op.retry_cycle);
+            *next_try = gate_[seq];
         return false;
     }
 
-    for (unsigned i = 0; i < op.nprod; ++i) {
-        if (ops_[op.prod[i]].st == OpState::St::InRs ||
-            ops_[op.prod[i]].st == OpState::St::Fetched) {
-            return false; // a producer is not yet scheduled
+    // A steady requester (kReadyConv) already passed every monotone
+    // check below on the cycle it was first denied an FU: producers
+    // stay issued, the LA validation latched, the select gate and the
+    // data boundary only recede into the past. Re-running them every
+    // cycle is the single hottest redundancy in ILP-dense workloads,
+    // so the fast path skips straight to the (cycle-dependent)
+    // completion shaping.
+    const bool steady = (st & kReadyConv) != 0;
+    const bool maybe_transparent =
+        config_.mode == SchedMode::ReDSOC && (st & kEligible);
+    OpCold &oc = cold_[seq];
+    if (!steady) {
+        for (unsigned i = 0; i < oc.nprod; ++i) {
+            if (!issued(oc.prod[i]))
+                return false;
         }
-    }
 
-    // Operational design: validate the last-arrival prediction once
-    // all producers are scheduled. A wrong prediction means the entry
-    // woke on the wrong tag and replays (Sec.IV-C).
-    if (!op.la_checked && op.pred_last_slot != 0xff) {
-        op.la_checked = true;
-        auto gate_of = [&](SeqNum p) {
-            const OpState &ps = ops_[p];
-            const Cycle structural = ps.select_cycle + 1;
-            const Cycle data_cycle =
-                clock_.cycleOf(clock_.ceilToBoundary(ps.complete_tick));
-            return std::max(structural,
-                            data_cycle == 0 ? 0 : data_cycle - 1);
-        };
-        Cycle pred_ready = std::max(op.dispatch_cycle + 1,
-                                    gate_of(op.prod[op.pred_last_slot]));
-        Cycle true_ready = op.dispatch_cycle + 1;
-        for (unsigned i = 0; i < op.nprod; ++i)
-            true_ready = std::max(true_ready, gate_of(op.prod[i]));
-        // The scoreboard validation (Sec.IV-C): the prediction is
-        // correct iff the other operand was already available when
-        // the predicted-last tag woke the entry.
-        const bool correct = pred_ready >= true_ready;
-        la_pred_.recordOutcome(correct);
-        if (!correct) {
-            ++stats_.la_mispredictions;
-            emit(PipeEventKind::Replay, seq, clock_.cycleStart(cycle_),
-                 1);
-            // Woke early on the wrong tag: replay penalty.
-            static constexpr Cycle kLaReplayPenalty = 2;
-            op.retry_cycle = true_ready + kLaReplayPenalty;
-            if (next_try)
-                *next_try = op.retry_cycle;
+        // Operational design: validate the last-arrival prediction
+        // once all producers are scheduled. A wrong prediction means
+        // the entry woke on the wrong tag and replays (Sec.IV-C).
+        if (!(oc.cflags & kColdLaChecked) && oc.pred_last_slot != 0xff) {
+            oc.cflags |= kColdLaChecked;
+            auto gate_of = [&](SeqNum p) {
+                const Cycle structural = sel_[p] + 1;
+                const Cycle data_cycle =
+                    clock_.cycleOf(clock_.ceilToBoundary(done_[p]));
+                return std::max(structural,
+                                data_cycle == 0 ? 0 : data_cycle - 1);
+            };
+            Cycle pred_ready =
+                std::max(oc.dispatch_cycle + 1,
+                         gate_of(oc.prod[oc.pred_last_slot]));
+            Cycle true_ready = oc.dispatch_cycle + 1;
+            for (unsigned i = 0; i < oc.nprod; ++i)
+                true_ready = std::max(true_ready, gate_of(oc.prod[i]));
+            // The scoreboard validation (Sec.IV-C): the prediction is
+            // correct iff the other operand was already available when
+            // the predicted-last tag woke the entry.
+            const bool correct = pred_ready >= true_ready;
+            la_pred_.recordOutcome(correct);
+            if (!correct) {
+                ++stats_.la_mispredictions;
+                emit(PipeEventKind::Replay, seq,
+                     clock_.cycleStart(cycle_), 1);
+                // Woke early on the wrong tag: replay penalty.
+                // true_ready >= dispatch_cycle + 1, so the gate fold
+                // stays valid.
+                static constexpr Cycle kLaReplayPenalty = 2;
+                gate_[seq] = true_ready + kLaReplayPenalty;
+                if (next_try)
+                    *next_try = gate_[seq];
+                return false;
+            }
+        }
+
+        const Cycle sg = selGate(seq);
+        if (cycle_ < sg) {
+            if (next_try) {
+                // Fold the data bound into the structural re-arm: the
+                // first cycle whose *evaluation* can request is known
+                // now (the LA validation above has latched, so every
+                // cycle in between fails either this check or the
+                // data check below with no side effect). An eligible
+                // op still lands on c_data - 1 to test transparency.
+                Cycle t = sg;
+                const Tick producers_t = producersComplete(seq);
+                if (producers_t > clock_.cycleStart(sg + 1)) {
+                    const Tick tpc = clock_.ticksPerCycle();
+                    const Cycle c_data =
+                        (producers_t + tpc - 1) / tpc - 1;
+                    const Cycle c_try =
+                        (maybe_transparent && producers_t % tpc != 0)
+                            ? c_data - 1
+                            : c_data;
+                    t = std::max(sg, c_try);
+                }
+                *next_try = t;
+                // The re-arm cycle is chosen so every monotone check
+                // above — and, for a non-eligible op, the data bound
+                // too — is already proven there: promote to steady so
+                // the next evaluation takes the fast path.
+                st_[seq] |= kReadyConv;
+            }
             return false;
         }
     }
 
-    if (cycle_ < selGate(op)) {
-        if (next_try)
-            *next_try = selGate(op);
-        return false;
-    }
-
     const Tick arrival = clock_.cycleStart(cycle_ + 1);
-    const Tick producers_t = producersComplete(op);
 
     bool transparent = false;
     Tick start = arrival;
-    if (producers_t <= arrival) {
-        start = arrival;
-    } else if (config_.mode == SchedMode::ReDSOC && op.eligible &&
-               canRecycle(producers_t, arrival, clock_,
-                          cur_threshold_)) {
-        start = producers_t;
-        transparent = true;
+    if (steady && !maybe_transparent) {
+        // Data availability was proven at the first full evaluation
+        // (producers_t <= that cycle's earlier arrival), and without
+        // recycling eligibility the start is always the boundary.
     } else {
-        if (next_try) {
-            // Data arrives by the boundary entering c_data; the one
-            // cycle in which the producer's mid-cycle completion can
-            // be recycled (arrival < completion < arrival + period)
-            // is c_data - 1, so an eligible consumer re-evaluates
-            // there first to test the (possibly dynamic) threshold.
-            const Tick tpc = clock_.ticksPerCycle();
-            const Cycle c_data = (producers_t + tpc - 1) / tpc - 1;
-            Cycle t = c_data;
-            if (config_.mode == SchedMode::ReDSOC && op.eligible &&
-                producers_t % tpc != 0 && cycle_ < c_data - 1)
-                t = c_data - 1;
-            *next_try = t;
+        const Tick producers_t = producersComplete(seq);
+        if (producers_t <= arrival) {
+            start = arrival;
+        } else if (maybe_transparent &&
+                   canRecycle(producers_t, arrival, clock_,
+                              cur_threshold_)) {
+            start = producers_t;
+            transparent = true;
+        } else {
+            if (next_try) {
+                // Data arrives by the boundary entering c_data; the
+                // one cycle in which the producer's mid-cycle
+                // completion can be recycled (arrival < completion <
+                // arrival + period) is c_data - 1, so an eligible
+                // consumer re-evaluates there first to test the
+                // (possibly dynamic) threshold.
+                const Tick tpc = clock_.ticksPerCycle();
+                const Cycle c_data = (producers_t + tpc - 1) / tpc - 1;
+                Cycle t = c_data;
+                if (maybe_transparent && producers_t % tpc != 0 &&
+                    cycle_ < c_data - 1)
+                    t = c_data - 1;
+                *next_try = t;
+                st_[seq] |= kReadyConv; // proven at t: see above
+            }
+            return false;
         }
-        return false; // data not available (or not recyclable)
     }
 
-    if (op.is_load && lsq_.olderStoreUnresolved(seq)) {
+    if ((st & kIsLoad) && lsq_.olderStoreUnresolved(seq)) {
         if (next_try)
             *next_try = kParkLoad;
         return false;
@@ -447,19 +561,20 @@ OooCore::evalConventional(SeqNum seq, Candidate &cand, Cycle *next_try)
     cand.seq = seq;
     cand.speculative = false;
     cand.recycle_ok = true;
-    fillCompletion(cand, op, arrival, start, transparent);
+    fillCompletion(cand, seq, arrival, start, transparent);
     return true;
 }
 
 void
-OooCore::fillCompletion(Candidate &cand, OpState &op, Tick arrival,
+OooCore::fillCompletion(Candidate &cand, SeqNum seq, Tick arrival,
                         Tick start, bool transparent)
 {
     const Tick tpc = clock_.ticksPerCycle();
+    const u8 st = st_[seq];
     cand.start = start;
     cand.transparent = transparent;
 
-    if (op.is_load || op.is_store) {
+    if (st & (kIsLoad | kIsStore)) {
         // Real completion computed at issue (cache side effects).
         cand.start = arrival;
         cand.transparent = false;
@@ -468,12 +583,13 @@ OooCore::fillCompletion(Candidate &cand, OpState &op, Tick arrival,
         return;
     }
 
-    if (!op.eligible) {
-        const unsigned lat = fuLatency(op.fu);
+    if (!(st & kEligible)) {
+        const FuClass fu = fuOf(seq);
+        const unsigned lat = fuLatency(fu);
         cand.start = arrival;
         cand.transparent = false;
         cand.complete = arrival + Tick{lat} * tpc;
-        cand.span = fuPipelined(op.fu) ? 1 : lat;
+        cand.span = fuPipelined(fu) ? 1 : lat;
         return;
     }
 
@@ -486,63 +602,63 @@ OooCore::fillCompletion(Candidate &cand, OpState &op, Tick arrival,
         return;
     }
 
-    const Inst &inst = trace_->inst(cand.seq);
-    if (op.width_predicted && op.actual_wc > op.pred_wc) {
+    OpCold &oc = cold_[seq];
+    if ((oc.cflags & kColdWidthPredicted) && oc.actual_wc > oc.pred_wc) {
         // Aggressive width misprediction, detected at execute:
         // conservative re-execution from the next boundary
         // (selective-reissue recovery, Sec.II-B).
-        const Tick est = lut_.lookupTicks(inst, op.actual_wc);
+        const Tick est = lut_.lookupTicks(trace_->inst(seq),
+                                          oc.actual_wc);
         cand.start = arrival;
         cand.transparent = false;
         cand.complete = arrival + tpc + est;
         cand.span = 2;
-        op.width_replayed = true;
+        oc.cflags |= kColdWidthReplayed;
         return;
     }
 
-    cand.complete = start + op.est_ticks;
+    cand.complete = start + oc.est_ticks;
     cand.span = clock_.crossesBoundary(start, cand.complete) ? 2 : 1;
 }
 
 bool
 OooCore::evalEager(SeqNum seq, Candidate &cand)
 {
-    OpState &op = ops_[seq];
-    if (op.st != OpState::St::InRs || !op.eligible)
+    const u8 st = st_[seq];
+    if ((st & kStMask) != kStInRs || !(st & kEligible))
         return false;
-    if (cycle_ < op.dispatch_cycle + 1 || cycle_ < op.retry_cycle)
+    if (cycle_ < gate_[seq])
         return false;
-    if (op.nprod == 0)
+    const OpCold &oc = cold_[seq];
+    if (oc.nprod == 0)
         return false;
-    if (op.is_load || op.is_store)
+    if (st & (kIsLoad | kIsStore))
         return false;
 
-    for (unsigned i = 0; i < op.nprod; ++i) {
-        const auto st = ops_[op.prod[i]].st;
-        if (st == OpState::St::InRs || st == OpState::St::Fetched)
+    for (unsigned i = 0; i < oc.nprod; ++i) {
+        if (!issued(oc.prod[i]))
             return false;
     }
 
-    const SeqNum parent = lastProducer(op);
-    const OpState &ps = ops_[parent];
+    const SeqNum parent = lastProducer(seq);
 
     // The EGPW window: the (last-arriving) parent was granted this
     // very cycle, so the child's conventional wakeup is one cycle
     // away, but the grandparent broadcast (last cycle) can wake it.
-    if (ps.select_cycle != cycle_ || ps.st != OpState::St::Done)
+    if (sel_[parent] != cycle_ || stateOf(parent) != St::Done)
         return false;
-    if (ps.nprod == 0)
+    const OpCold &pc = cold_[parent];
+    if (pc.nprod == 0)
         return false; // no grandparent tags ever broadcast
-    for (unsigned i = 0; i < ps.nprod; ++i) {
+    for (unsigned i = 0; i < pc.nprod; ++i) {
         // Grandparents must have broadcast in an earlier cycle.
-        if (ops_[ps.prod[i]].select_cycle >= cycle_)
+        if (sel_[pc.prod[i]] >= cycle_)
             return false;
     }
     // Other parents must have been scheduled before this cycle too
     // (their tags cannot have woken the entry yet otherwise).
-    for (unsigned i = 0; i < op.nprod; ++i) {
-        if (op.prod[i] != parent &&
-            ops_[op.prod[i]].select_cycle >= cycle_)
+    for (unsigned i = 0; i < oc.nprod; ++i) {
+        if (oc.prod[i] != parent && sel_[oc.prod[i]] >= cycle_)
             return false;
     }
 
@@ -550,13 +666,13 @@ OooCore::evalEager(SeqNum seq, Candidate &cand)
         // The single tracked parent tag must be the actual last
         // arriver, and the grandparent tag (the parent's predicted
         // last parent) must be the parent's actual last producer.
-        if (op.pred_last_slot != 0xff &&
-            op.prod[op.pred_last_slot] != parent)
+        if (oc.pred_last_slot != 0xff &&
+            oc.prod[oc.pred_last_slot] != parent)
             return false;
-        if (ps.nprod >= 2) {
-            const SeqNum actual_gp = lastProducer(ps);
+        if (pc.nprod >= 2) {
+            const SeqNum actual_gp = lastProducer(parent);
             const SeqNum predicted_gp =
-                ps.pred_last_slot != 0xff ? ps.prod[ps.pred_last_slot]
+                pc.pred_last_slot != 0xff ? pc.prod[pc.pred_last_slot]
                                           : actual_gp;
             if (predicted_gp != actual_gp)
                 return false;
@@ -564,14 +680,14 @@ OooCore::evalEager(SeqNum seq, Candidate &cand)
     }
 
     const Tick arrival = clock_.cycleStart(cycle_ + 1);
-    const Tick producers_t = producersComplete(op);
+    const Tick producers_t = producersComplete(seq);
 
     cand.seq = seq;
     cand.speculative = true;
     cand.recycle_ok = canRecycle(producers_t, arrival, clock_,
                                  cur_threshold_);
     if (cand.recycle_ok)
-        fillCompletion(cand, op, arrival, producers_t, true);
+        fillCompletion(cand, seq, arrival, producers_t, true);
     else
         cand.span = 1;
     return true;
@@ -580,69 +696,74 @@ OooCore::evalEager(SeqNum seq, Candidate &cand)
 void
 OooCore::issueOp(const Candidate &cand)
 {
-    OpState &op = ops_[cand.seq];
-    op.st = OpState::St::Done;
-    op.select_cycle = cycle_;
-    op.start_tick = cand.start;
-    op.complete_tick = cand.complete;
-    op.transparent = cand.transparent;
-    rs_.remove(cand.seq);
+    const SeqNum seq = cand.seq;
+    setState(seq, St::Done);
+    sel_[seq] = cycle_;
+    OpCold &oc = cold_[seq];
+    oc.start_tick = cand.start;
+    done_[seq] = cand.complete;
+    if (cand.transparent)
+        oc.cflags |= kColdTransparent;
+    rs_.remove(seq);
+    if (event_kernel_)
+        ready_.erase(seq); // may be resident (Phase-A retention)
 
-    if (op.is_load || op.is_store)
-        op.complete_tick = memCompleteTick(cand.seq, cand.start);
+    const u8 st = st_[seq];
+    if (st & (kIsLoad | kIsStore))
+        done_[seq] = memCompleteTick(seq, cand.start);
 
     // Predictors train at execute, where operand values (and the
     // actual arrival order) become visible.
-    if (op.width_predicted) {
-        if (op.actual_wc > op.pred_wc)
+    if (oc.cflags & kColdWidthPredicted) {
+        if (oc.actual_wc > oc.pred_wc)
             ++stats_.width_aggressive;
-        else if (op.actual_wc < op.pred_wc)
+        else if (oc.actual_wc < oc.pred_wc)
             ++stats_.width_conservative;
-        width_pred_.update(trace_->op(cand.seq).pc, op.actual_wc);
+        width_pred_.update(dyn_[seq].pc, oc.actual_wc);
     }
-    if (op.pred_last_slot != 0xff) {
-        const Tick t0 = ops_[op.prod[0]].complete_tick;
-        const Tick t1 = ops_[op.prod[1]].complete_tick;
-        la_pred_.update(trace_->op(cand.seq).pc, t1 > t0 ? 1 : 0);
-        if (!op.la_checked) {
+    if (oc.pred_last_slot != 0xff) {
+        const Tick t0 = done_[oc.prod[0]];
+        const Tick t1 = done_[oc.prod[1]];
+        la_pred_.update(dyn_[seq].pc, t1 > t0 ? 1 : 0);
+        if (!(oc.cflags & kColdLaChecked)) {
             // EGPW-issued: the tracked tag was verified to be the
             // actual last arriver on the eager path.
-            op.la_checked = true;
+            oc.cflags |= kColdLaChecked;
             la_pred_.recordOutcome(true);
         }
     }
 
-    if (op.in_lsq) {
-        const DynOp &dyn = trace_->op(cand.seq);
-        lsq_.resolve(cand.seq, dyn.mem_addr,
-                     memAccessSize(trace_->inst(cand.seq).op),
-                     op.complete_tick);
+    if (st & kInLsq) {
+        const DynOp &dyn = dyn_[seq];
+        lsq_.resolve(seq, dyn.mem_addr, meta_[dyn.pc].mem_size,
+                     done_[seq]);
     }
 
     if (cand.transparent) {
         ++stats_.recycled_ops;
         stats_.slack_recycled_ticks +=
             clock_.ceilToBoundary(cand.start) - cand.start;
-        chains_.onExtend(lastProducer(op), cand.seq);
-    } else if (op.eligible && config_.mode == SchedMode::ReDSOC) {
-        chains_.onRoot(cand.seq);
+        chains_.onExtend(lastProducer(seq), seq);
+    } else if ((st & kEligible) && config_.mode == SchedMode::ReDSOC) {
+        chains_.onRoot(seq);
     }
-    if (cand.span == 2 && op.eligible && !op.width_replayed)
+    if (cand.span == 2 && (st & kEligible) &&
+        !(oc.cflags & kColdWidthReplayed))
         ++stats_.two_cycle_holds;
 
     if (tracer_)
-        emitIssue(cand, op);
+        emitIssue(cand);
     if (audit_on_)
-        audit_.onIssue(*this, cand.seq);
+        audit_.onIssue(*this, seq);
 
     if (event_kernel_)
-        broadcastWakeup(cand.seq);
+        broadcastWakeup(seq);
 }
 
 void
 OooCore::armAt(SeqNum seq, Cycle c)
 {
-    ops_[seq].armed_cycle = c;
+    armed_[seq] = c;
     if (c == cycle_ + 1)
         next_arms_.push_back(seq);
     else
@@ -652,38 +773,41 @@ OooCore::armAt(SeqNum seq, Cycle c)
 void
 OooCore::scheduleEval(SeqNum seq, bool newly_woken)
 {
-    OpState &op = ops_[seq];
     if (in_phase_a_) {
         // The waker is older (smaller seq), so the Phase-A cursor has
         // not reached this entry yet: it gets evaluated this cycle,
         // exactly where the scan kernel's full pass would visit it.
-        ready_.insert(seq, op.pool);
-        op.armed_cycle = cycle_;
+        ready_.insert(seq);
+        armed_[seq] = cycle_;
     } else {
         armAt(seq, cycle_ + 1);
     }
     // A newly-woken entry is an EGPW candidate this same cycle (its
     // last parent was granted this cycle).
     if (newly_woken && collect_eager_)
-        eager_.insert(seq, op.pool);
+        eager_.insert(seq);
 }
 
 void
 OooCore::broadcastWakeup(SeqNum seq)
 {
-    const OpState &op = ops_[seq];
-    for (u32 e = op.cons_head; e != kNoEdge; e = cons_edges_[e].next) {
+    prof::ScopedTimer wt(prof::Phase::Wakeup, profiling_);
+    const OpCold &oc = cold_[seq];
+    for (u32 e = oc.cons_head; e != kNoEdge; e = cons_edges_[e].next) {
         const SeqNum cseq = cons_edges_[e].consumer;
-        if (--ops_[cseq].pending == 0)
+        if (--pending_[cseq] == 0)
             scheduleEval(cseq, true);
     }
-    // A store resolving its address can unblock any younger parked
-    // load (memory-order wakeup rides the same broadcast port).
-    if (op.is_store && !parked_loads_.empty()) {
-        for (SeqNum l : parked_loads_)
-            if (ops_[l].st == OpState::St::InRs)
+    // A store resolving its address unblocks exactly the loads parked
+    // on it (memory-order wakeup rides the same broadcast port). A
+    // woken load still blocked by a different older store re-parks on
+    // that blocker.
+    if (st_[seq] & kIsStore) {
+        for (SeqNum l = park_head_[seq]; l != kNoSeq;
+             l = park_next_[l])
+            if (inRs(l))
                 scheduleEval(l, false);
-        parked_loads_.clear();
+        park_head_[seq] = kNoSeq;
     }
 }
 
@@ -693,20 +817,17 @@ OooCore::drainWakeQueue()
     if (!next_arms_.empty()) {
         // Arms pushed last cycle for this one (fastForward never
         // jumps over a pending next-cycle arm).
-        for (SeqNum seq : next_arms_) {
-            const OpState &op = ops_[seq];
-            if (op.st == OpState::St::InRs && op.armed_cycle == cycle_)
-                ready_.insert(seq, op.pool);
-        }
+        for (SeqNum seq : next_arms_)
+            if (inRs(seq) && armed_[seq] == cycle_)
+                ready_.insert(seq);
         next_arms_.clear();
     }
     while (!wake_pq_.empty() && wake_pq_.top().first <= cycle_) {
         const auto [c, seq] = wake_pq_.top();
         wake_pq_.pop();
-        const OpState &op = ops_[seq];
-        if (op.st != OpState::St::InRs || op.armed_cycle != c)
+        if (!inRs(seq) || armed_[seq] != c)
             continue; // stale arm (issued, or re-armed since)
-        ready_.insert(seq, op.pool);
+        ready_.insert(seq);
     }
 }
 
@@ -714,18 +835,16 @@ Tick
 OooCore::memCompleteTick(SeqNum seq, Tick arrival)
 {
     const Tick tpc = clock_.ticksPerCycle();
-    const DynOp &dyn = trace_->op(seq);
-    const Inst &inst = trace_->inst(seq);
-    OpState &op = ops_[seq];
+    const DynOp &dyn = dyn_[seq];
 
-    if (op.is_store) {
+    if (st_[seq] & kIsStore) {
         ++stats_.stores;
         memory_.access(dyn.pc, dyn.mem_addr, true);
         return arrival + tpc;
     }
 
     ++stats_.loads;
-    const unsigned size = memAccessSize(inst.op);
+    const unsigned size = meta_[dyn.pc].mem_size;
     const auto fwd = lsq_.forwardFrom(seq, dyn.mem_addr, size);
     if (fwd && fwd->full_cover) {
         ++stats_.store_forwards;
@@ -756,18 +875,17 @@ OooCore::phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
         if (is_req) {
             ++stats_.egpw_requests;
             if (tracer_) {
-                const SeqNum parent = lastProducer(ops_[seq]);
+                const SeqNum parent = lastProducer(seq);
                 emit(PipeEventKind::EgpwArm, seq,
                      clock_.cycleStart(cycle_), 0,
-                     parent == kNoSeq ? kNoSeq
-                                      : lastProducer(ops_[parent]));
+                     parent == kNoSeq ? kNoSeq : lastProducer(parent));
             }
         }
     }
     if (!is_req)
         return false;
 
-    const FuPoolKind pool = ops_[seq].pool;
+    const FuPoolKind pool = poolOf(seq);
     if (cand.speculative) {
         if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
             fu_denied = true;
@@ -793,6 +911,25 @@ OooCore::phaseAEntry(SeqNum seq, bool interleave_spec, bool &fu_denied,
                  clock_.cycleStart(cycle_), 1);
         } else {
             fu_denied = true;
+            st_[seq] |= kReadyConv; // steady requester: see Phase A
+            // Park the requester until the pool can plausibly admit
+            // its span. Bookings only accumulate, so the first cycle
+            // where the span fits today is a lower bound on the first
+            // cycle it can ever be granted; every request in between
+            // is a provable re-denial with no simulated side effect.
+            // ReDSOC-eligible entries are exempt: their span/start
+            // shape depends on the (cycle-varying) transparency test,
+            // so they stay resident and re-evaluate. The denied
+            // cycles a parked entry skips still count as FU stalls
+            // via denied_horizon_.
+            if (next_try && !(config_.mode == SchedMode::ReDSOC &&
+                              (st_[seq] & kEligible))) {
+                const Cycle book_at = fu_.nextFreeSpanCycle(
+                    pool, cycle_ + 1, cand.span);
+                *next_try = book_at - 1; // request cycle for book_at
+                denied_horizon_ =
+                    std::max(denied_horizon_, book_at - 1);
+            }
         }
         return true;
     }
@@ -808,44 +945,43 @@ OooCore::tryFuse(const Candidate &pg, SeqNum cseq)
 {
     const Tick tpc = clock_.ticksPerCycle();
     const Tick arrival = clock_.cycleStart(cycle_ + 1);
-    const OpState &pop = ops_[pg.seq];
-    OpState &cop = ops_[cseq];
-    if (cop.st != OpState::St::InRs || !cop.eligible)
+    const u8 cst = st_[cseq];
+    if ((cst & kStMask) != kStInRs || !(cst & kEligible))
         return false;
-    if (cycle_ < cop.dispatch_cycle + 1 || cycle_ < cop.retry_cycle)
+    if (cycle_ < gate_[cseq])
         return false;
-    if (cop.pool != pop.pool)
+    if (poolOf(cseq) != poolOf(pg.seq))
         return false;
+    const OpCold &cc = cold_[cseq];
     bool all_sched = true;
     bool parent_is_last = false;
     Tick others = 0;
-    for (unsigned i = 0; i < cop.nprod; ++i) {
-        const OpState &xs = ops_[cop.prod[i]];
-        if (xs.st == OpState::St::InRs ||
-            xs.st == OpState::St::Fetched) {
+    for (unsigned i = 0; i < cc.nprod; ++i) {
+        const SeqNum p = cc.prod[i];
+        if (!issued(p)) {
             all_sched = false;
             break;
         }
-        if (cop.prod[i] == pg.seq)
+        if (p == pg.seq)
             parent_is_last = true;
         else
-            others = std::max(others, xs.complete_tick);
+            others = std::max(others, done_[p]);
     }
     if (!all_sched || !parent_is_last || others > arrival)
         return false;
-    if (pop.est_ticks + cop.est_ticks > tpc)
+    if (Tick{cold_[pg.seq].est_ticks} + cc.est_ticks > tpc)
         return false;
 
     Candidate fc;
     fc.seq = cseq;
     fc.speculative = false;
     fc.recycle_ok = true;
-    fc.start = arrival + pop.est_ticks;
+    fc.start = arrival + cold_[pg.seq].est_ticks;
     fc.complete = arrival + tpc;
     fc.span = 0;
     fc.transparent = false;
     issueOp(fc);
-    cop.fused = true;
+    cold_[cseq].cflags |= kColdFused;
     ++stats_.fused_ops;
     emit(PipeEventKind::Fuse, cseq, clock_.cycleStart(cycle_), 0,
          pg.seq);
@@ -871,30 +1007,48 @@ OooCore::issuePhase()
         // kernel. Mid-scan wakeups land ahead of the cursor (a
         // consumer is always younger than its producer), preserving
         // the full scan's age-ordered select.
-        drainWakeQueue();
+        {
+            prof::ScopedTimer wt(prof::Phase::Wakeup, profiling_);
+            drainWakeQueue();
+        }
+        prof::ScopedTimer st(prof::Phase::Select, profiling_);
         in_phase_a_ = true;
         SeqNum cur = 0;
         for (SeqNum seq; (seq = ready_.nextAtOrAfter(cur)) != kNoSeq;) {
-            ready_.erase(seq, ops_[seq].pool);
             cur = seq + 1;
             Cycle next_try = kNoCycle;
             const bool requested =
                 phaseAEntry(seq, interleave_spec, fu_denied, &next_try);
-            const OpState &op = ops_[seq];
-            if (op.st != OpState::St::InRs)
-                continue; // issued
-            if (requested)
-                armAt(seq, cycle_ + 1); // denied or wasted: retry
-            else if (next_try == kParkLoad)
-                parked_loads_.push_back(seq);
-            else if (next_try != kNoCycle)
+            if (!inRs(seq))
+                continue; // issued (issueOp erases it from the set)
+            if (requested && next_try == kNoCycle)
+                continue; // denied or wasted: stays resident
+            // Not ready, or denied with a provable re-grant bound
+            // (span parking): sleep until the verdict can change.
+            ready_.erase(seq);
+            if (next_try == kParkLoad) {
+                // Park on one concrete blocker: the youngest older
+                // unresolved store. Its resolve (at issue) re-inserts
+                // this load; if another blocker remains, the load
+                // re-parks on it, consuming one blocker per wake.
+                const SeqNum blocker =
+                    lsq_.youngestUnresolvedStoreBefore(seq);
+                panic_if(blocker == kNoSeq,
+                         "parked load without a blocking store");
+                park_next_[seq] = park_head_[blocker];
+                park_head_[blocker] = seq;
+                armed_[seq] = kParkLoad; // audit: "parked" marker
+            } else if (next_try != kNoCycle) {
                 armAt(seq, next_try);
+            }
             // else: wake-driven (a producer broadcast re-inserts it)
         }
         in_phase_a_ = false;
     } else {
         // Snapshot into the reusable scan buffer: issueOp removes the
-        // granted entry from the RS mid-scan.
+        // granted entry from the RS mid-scan. The oracle deliberately
+        // keeps the copying shape the paper-era kernel had.
+        prof::ScopedTimer st(prof::Phase::Select, profiling_);
         rs_.snapshot(scan_);
         for (SeqNum seq : scan_)
             phaseAEntry(seq, interleave_spec, fu_denied, nullptr);
@@ -903,19 +1057,19 @@ OooCore::issuePhase()
     // Phase B: EGPW speculative requests from leftover units (the
     // skewed-select ordering: conventional grants always first).
     if (redsoc && config_.egpw && !interleave_spec) {
+        prof::ScopedTimer st(prof::Phase::Select, profiling_);
         auto phase_b = [&](SeqNum seq) {
             Candidate cand;
             if (!evalEager(seq, cand))
                 return;
             ++stats_.egpw_requests;
             if (tracer_) {
-                const SeqNum parent = lastProducer(ops_[seq]);
+                const SeqNum parent = lastProducer(seq);
                 emit(PipeEventKind::EgpwArm, seq,
                      clock_.cycleStart(cycle_), 0,
-                     parent == kNoSeq ? kNoSeq
-                                      : lastProducer(ops_[parent]));
+                     parent == kNoSeq ? kNoSeq : lastProducer(parent));
             }
-            const FuPoolKind pool = ops_[seq].pool;
+            const FuPoolKind pool = poolOf(seq);
             if (fu_.freeUnits(pool, cycle_ + 1) == 0) {
                 // Not granted (no conventional op was displaced), but
                 // a ready request stalled on busy units all the same.
@@ -952,47 +1106,64 @@ OooCore::issuePhase()
             // cycle); Phase-B cascades insert ahead of the cursor.
             SeqNum cur = 0;
             for (SeqNum seq;
-                 (seq = eager_.nextAtOrAfter(cur)) != kNoSeq;) {
-                eager_.erase(seq, ops_[seq].pool);
+                 (seq = eager_.popAtOrAfter(cur)) != kNoSeq;) {
                 cur = seq + 1;
                 phase_b(seq);
             }
         } else {
-            rs_.snapshot(scan_);
-            for (SeqNum seq : scan_)
-                phase_b(seq);
+            // Copy-free live-slot walk: issueOp tombstones mid-scan,
+            // and the guard defers compaction until the walk ends.
+            // Entries issued earlier this cycle fail evalEager's
+            // InRs check exactly as they did under the snapshot.
+            ReservationStations::ScanGuard guard(rs_);
+            const size_t nslots = rs_.slotCount();
+            for (size_t i = 0; i < nslots; ++i) {
+                const SeqNum seq = rs_.liveAt(i);
+                if (seq != kNoSeq)
+                    phase_b(seq);
+            }
         }
     }
 
     // MOS: dynamic operation fusion. A granted producer may pull one
     // ready consumer into its own cycle when both computations fit.
-    // One RS view serves the whole cycle: entries issued by earlier
-    // grants in this loop are filtered by the St::InRs check, so the
-    // old per-producer re-snapshot was pure overhead. The event
-    // kernel walks the granted producer's age-ordered consumer list
-    // instead (fusion requires the producer among the consumer's
-    // sources, so non-consumers can never match).
+    // Entries issued by earlier grants in this loop are filtered by
+    // the InRs check in tryFuse. The event kernel walks the granted
+    // producer's age-ordered consumer list instead (fusion requires
+    // the producer among the consumer's sources, so non-consumers can
+    // never match); the scan kernel walks the live RS slots in place.
     if (config_.mode == SchedMode::MOS) {
-        if (!event_kernel_)
-            rs_.snapshot(mos_scan_);
-        for (const Candidate &pg : conv_grants_) {
-            const OpState &pop = ops_[pg.seq];
-            if (!pop.eligible || pop.est_ticks == 0)
-                continue;
-            if (event_kernel_) {
-                for (u32 e = pop.cons_head; e != kNoEdge;
+        prof::ScopedTimer st(prof::Phase::Select, profiling_);
+        if (event_kernel_) {
+            for (const Candidate &pg : conv_grants_) {
+                const OpCold &pcold = cold_[pg.seq];
+                if (!(st_[pg.seq] & kEligible) || pcold.est_ticks == 0)
+                    continue;
+                for (u32 e = pcold.cons_head; e != kNoEdge;
                      e = cons_edges_[e].next)
                     if (tryFuse(pg, cons_edges_[e].consumer))
                         break; // one fusion per producer
-            } else {
-                for (SeqNum cseq : mos_scan_)
-                    if (tryFuse(pg, cseq))
+            }
+        } else {
+            ReservationStations::ScanGuard guard(rs_);
+            const size_t nslots = rs_.slotCount();
+            for (const Candidate &pg : conv_grants_) {
+                if (!(st_[pg.seq] & kEligible) ||
+                    cold_[pg.seq].est_ticks == 0)
+                    continue;
+                for (size_t i = 0; i < nslots; ++i) {
+                    const SeqNum cseq = rs_.liveAt(i);
+                    if (cseq != kNoSeq && tryFuse(pg, cseq))
                         break; // one fusion per producer
+                }
             }
         }
     }
 
-    if (fu_denied)
+    // A cycle under denied_horizon_ holds a parked steady requester
+    // the scan kernel would have evaluated to a request-and-deny, so
+    // it is an FU-stall cycle even when nothing touched the pool here.
+    if (fu_denied || cycle_ < denied_horizon_)
         ++stats_.fu_stall_cycles;
 }
 
@@ -1030,21 +1201,21 @@ OooCore::commitPhase()
     const Tick now = clock_.cycleStart(cycle_);
     while (committed < config_.commit_width && !rob_.empty()) {
         const SeqNum seq = rob_.head();
-        OpState &op = ops_[seq];
-        if (op.st != OpState::St::Done || op.complete_tick > now)
+        if (stateOf(seq) != St::Done || done_[seq] > now)
             break;
 
         rob_.pop(seq);
-        if (op.in_lsq)
+        const u8 st = st_[seq];
+        if (st & kInLsq)
             lsq_.commit(seq);
-        op.st = OpState::St::Committed;
+        setState(seq, St::Committed);
 
-        const DynOp &dyn = trace_->op(seq);
-        const Inst &inst = trace_->inst(seq);
-
-        if (op.is_branch) {
-            if (branch_pred_.resolve(dyn.pc, inst, dyn.taken,
-                                     dyn.next_pc, op.predicted_next))
+        const OpCold &oc = cold_[seq];
+        if (st & kIsBranch) {
+            const DynOp &dyn = dyn_[seq];
+            if (branch_pred_.resolve(dyn.pc, trace_->inst(seq),
+                                     dyn.taken, dyn.next_pc,
+                                     oc.predicted_next))
                 ++stats_.branch_mispredicts;
         }
 
@@ -1058,10 +1229,11 @@ OooCore::commitPhase()
             stats_.commit_checksum *= 0x100000001b3ull;
         };
         fold(seq);
-        fold(op.select_cycle);
-        fold(op.start_tick);
-        fold(op.complete_tick);
-        fold((op.transparent ? 1u : 0u) | (op.fused ? 2u : 0u));
+        fold(sel_[seq]);
+        fold(oc.start_tick);
+        fold(done_[seq]);
+        fold(((oc.cflags & kColdTransparent) ? 1u : 0u) |
+             ((oc.cflags & kColdFused) ? 2u : 0u));
 
         emit(PipeEventKind::Commit, seq, now);
 
@@ -1075,20 +1247,20 @@ void
 OooCore::fastForward(bool adapting)
 {
     // Arms buffered during the just-finished cycle are due exactly
-    // now (cycle_ already advanced): nothing to skip.
-    if (!next_arms_.empty())
+    // now (cycle_ already advanced), and FU-denied entries resident
+    // in the ready set re-request every cycle: nothing to skip.
+    if (!next_arms_.empty() || !ready_.empty())
         return;
 
     // The next cycle the scheduler can do non-trivial work: the
     // earliest live arm in the wake queue. Every waiting RS entry is
-    // either armed here, parked behind an older store (itself an
-    // armed-or-parked chain rooted at an armed entry), or waiting on
-    // a producer broadcast from one of those.
+    // either armed here, resident in the ready set, parked behind an
+    // older store (itself an armed-or-parked chain rooted at an armed
+    // entry), or waiting on a producer broadcast from one of those.
     Cycle target = kNoCycle;
     while (!wake_pq_.empty()) {
         const auto &[c, seq] = wake_pq_.top();
-        const OpState &op = ops_[seq];
-        if (op.st != OpState::St::InRs || op.armed_cycle != c) {
+        if (!inRs(seq) || armed_[seq] != c) {
             wake_pq_.pop(); // stale arm
             continue;
         }
@@ -1099,11 +1271,10 @@ OooCore::fastForward(bool adapting)
     // The next commit: the ROB head's completion boundary. (A head
     // still in the RS becomes Done through a wake-queue event.)
     if (!rob_.empty()) {
-        const OpState &head = ops_[rob_.head()];
-        if (head.st == OpState::St::Done) {
+        const SeqNum head = rob_.head();
+        if (stateOf(head) == St::Done) {
             const Tick tpc = clock_.ticksPerCycle();
-            target =
-                std::min(target, (head.complete_tick + tpc - 1) / tpc);
+            target = std::min(target, (done_[head] + tpc - 1) / tpc);
         }
     }
 
@@ -1113,24 +1284,18 @@ OooCore::fastForward(bool adapting)
     // issues (a wake event) or, once it is Done, at the redirect.
     if (next_fetch_ < trace_->size()) {
         if (fetch_blocked_on_ != kNoSeq) {
-            const OpState &b = ops_[fetch_blocked_on_];
-            if (b.st != OpState::St::InRs &&
-                b.st != OpState::St::Fetched) {
+            if (issued(fetch_blocked_on_)) {
                 const Cycle redirect =
-                    clock_.cycleOf(b.complete_tick - 1) + 1 +
+                    clock_.cycleOf(done_[fetch_blocked_on_] - 1) + 1 +
                     config_.redirect_penalty;
                 target = std::min(target, std::max(cycle_, redirect));
             }
         } else {
-            const Inst &inst = trace_->inst(next_fetch_);
-            const bool is_mem = isMem(inst.op);
-            const bool is_halt = inst.op == Opcode::HALT;
-            const bool needs_rs = !is_halt && inst.op != Opcode::B &&
-                                  inst.op != Opcode::BL &&
-                                  inst.op != Opcode::RET;
-            const bool blocked = rob_.full() ||
-                                 (needs_rs && rs_.full()) ||
-                                 (is_mem && lsq_.full());
+            const InstMeta &m = meta_[dyn_[next_fetch_].pc];
+            const bool blocked =
+                rob_.full() ||
+                ((m.flags & kMetaNeedsRs) != 0 && rs_.full()) ||
+                ((m.flags & kMetaMem) != 0 && lsq_.full());
             if (!blocked)
                 target = std::min(
                     target, std::max(cycle_, fetch_stall_until_));
@@ -1150,8 +1315,14 @@ OooCore::fastForward(bool adapting)
         const Cycle epoch = config_.threshold_epoch;
         target = std::min(target, (cycle_ / epoch + 1) * epoch - 1);
     }
-    if (target > cycle_)
+    if (target > cycle_) {
+        // Cycles skipped under the denied horizon each hold a parked
+        // steady requester the scan kernel would count as FU-stalled.
+        if (cycle_ < denied_horizon_)
+            stats_.fu_stall_cycles +=
+                std::min(target, denied_horizon_) - cycle_;
         cycle_ = target;
+    }
 }
 
 CoreStats
@@ -1159,9 +1330,24 @@ OooCore::run(const Trace &trace)
 {
     const auto wall_start = std::chrono::steady_clock::now();
 
-    // Reset all run state so a core object can be reused.
+    // Reset all run state so a core object can be reused. The SoA
+    // lanes are resized, not cleared: every lane field is written at
+    // the op's dispatch before any read (DESIGN.md §12), so stale
+    // values from a previous run are unobservable.
     trace_ = &trace;
-    ops_.assign(trace.size(), OpState{});
+    dyn_ = trace.ops().data();
+    buildInstMeta(trace.program());
+    const size_t n = static_cast<size_t>(trace.size());
+    st_.resize(n);
+    cls_.resize(n);
+    pending_.resize(n);
+    gate_.resize(n);
+    armed_.resize(n);
+    sel_.resize(n);
+    done_.resize(n);
+    cold_.resize(n);
+    park_head_.resize(n);
+    park_next_.resize(n);
     next_fetch_ = 0;
     commit_ptr_ = 0;
     cycle_ = 0;
@@ -1170,7 +1356,7 @@ OooCore::run(const Trace &trace)
     last_commit_cycle_ = 0;
     rat_.reset();
     stats_ = CoreStats{};
-    chains_ = TransparentTracker{};
+    chains_.reset();
     cur_threshold_ = config_.slack_threshold_ticks;
     adapt_direction_ = 1;
     epoch_start_commits_ = 0;
@@ -1179,18 +1365,30 @@ OooCore::run(const Trace &trace)
     stats_.threshold_max = cur_threshold_;
     rs_.clear();
     cons_edges_.clear();
-    wake_pq_ = {};
+    // Pre-size the consumer-edge pool to the common case (about one
+    // in-RS consumer edge per op); heavier fan-out traces grow it
+    // amortized, outside the per-cycle loops (redsoc_lint R8).
+    cons_edges_.reserve(n);
+    {
+        // Rebuild the wake heap on reserved storage (move-from keeps
+        // the capacity) so steady-state arms never allocate.
+        std::vector<std::pair<Cycle, SeqNum>> pq_store;
+        pq_store.reserve(2 * config_.rs_entries);
+        wake_pq_ = decltype(wake_pq_)(std::greater<>{},
+                                      std::move(pq_store));
+    }
     next_arms_.clear();
     ready_.clear();
     eager_.clear();
-    parked_loads_.clear();
+    denied_horizon_ = 0;
     in_phase_a_ = false;
     if (tracer_)
         tracer_->beginRun(clock_.ticksPerCycle());
 
     const bool adapting = config_.dynamic_threshold &&
                           config_.mode == SchedMode::ReDSOC;
-    const bool profiling = prof::enabled();
+    profiling_ = prof::enabled();
+    const bool profiling = profiling_;
 
     const SeqNum total = trace.size();
     prof::ScopedTimer run_timer(prof::Phase::Run, profiling);

@@ -10,6 +10,14 @@
  *              grandparent wakeup and skewed selection (the paper);
  *  - MOS:      dynamic operation fusion (multiple ops per cycle on
  *              one FU) as the Sec.VI-D comparator.
+ *
+ * Per-op scheduling state is held structure-of-arrays (DESIGN.md
+ * §12): the per-cycle loops touch a handful of dense lanes (status
+ * byte, class byte, pending count, gate/arm/select cycles, completion
+ * tick) that stream contiguously, while everything written once at
+ * dispatch and read once at issue/commit lives in a cache-line-sized
+ * cold record. Both scheduler kernels run on the same lanes, so the
+ * layout cannot perturb the differential bit-identity contract.
  */
 
 #ifndef REDSOC_CORE_OOO_CORE_H
@@ -18,6 +26,7 @@
 #include <memory>
 #include <queue>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -172,54 +181,98 @@ class OooCore
     /** Consumer-edge list terminator. */
     static constexpr u32 kNoEdge = ~u32{0};
 
-    /** Per-dynamic-op scheduling state. */
-    struct OpState
+    // --- Per-op status lane encoding --------------------------------
+    //
+    // One byte per op: the lifecycle state in bits 0-1 plus the op's
+    // immutable scheduling flags. The layout is load-bearing for the
+    // hot loops: "producer not yet scheduled" is the branchless
+    // (st & kStMask) < kStDone, and mem-ness is one masked test.
+
+    enum class St : u8 { Fetched = 0, InRs = 1, Done = 2, Committed = 3 };
+
+    static constexpr u8 kStMask = 0x3;
+    static constexpr u8 kStFetched = 0;
+    static constexpr u8 kStInRs = 1;
+    static constexpr u8 kStDone = 2;
+    static constexpr u8 kStCommitted = 3;
+    static constexpr u8 kEligible = 1u << 2; ///< slack-recycling eligible
+    static constexpr u8 kIsLoad = 1u << 3;
+    static constexpr u8 kIsStore = 1u << 4;
+    static constexpr u8 kIsBranch = 1u << 5;
+    static constexpr u8 kInLsq = 1u << 6;
+    /** Steady conventional requester: a prior full evaluation reached
+     *  the FU check and was denied. Readiness is monotone (producers
+     *  stay issued, the gate and LSQ order only resolve forward), so
+     *  while the entry's pool has no free unit the whole evaluation
+     *  is a provable deny with no simulated side effect and Phase A
+     *  may skip it, leaving the entry resident in the ready set. */
+    static constexpr u8 kReadyConv = 1u << 7;
+
+    // --- Per-op class lane encoding ---------------------------------
+    // FU pool in bits 0-1, FuClass in bits 2-7.
+    static constexpr u8 kClsPoolMask = 0x3;
+    static u8 packCls(FuPoolKind pool, FuClass fu)
     {
-        enum class St : u8 { Fetched, InRs, Done, Committed };
+        return static_cast<u8>(static_cast<u8>(pool) |
+                               (static_cast<u8>(fu) << 2));
+    }
 
-        St st = St::Fetched;
-        FuClass fu = FuClass::None;
-        FuPoolKind pool = FuPoolKind::Alu;
-        bool eligible = false;   ///< slack-recycling eligible
-        bool is_load = false;
-        bool is_store = false;
-        bool is_branch = false;
-        bool in_lsq = false;
+    /** Cold flags (OpCold::cflags): dispatch/issue/commit-time only. */
+    static constexpr u8 kColdWidthPredicted = 1u << 0;
+    static constexpr u8 kColdLaChecked = 1u << 1;
+    static constexpr u8 kColdTransparent = 1u << 2;
+    static constexpr u8 kColdFused = 1u << 3;
+    static constexpr u8 kColdWidthReplayed = 1u << 4;
+    static constexpr u8 kColdBranchMispred = 1u << 5;
 
+    /**
+     * Per-dynamic-op cold record: fields written at dispatch and read
+     * at most once per issue/commit. Everything the per-cycle loops
+     * test repeatedly lives in the dense lanes instead (st_, cls_,
+     * pending_, gate_, armed_, sel_, done_). Kept to one cache line
+     * so a cold touch costs a single fill.
+     */
+    struct OpCold
+    {
         std::array<SeqNum, 3> prod{kNoSeq, kNoSeq, kNoSeq};
-        u8 nprod = 0;
-
-        Tick est_ticks = 0;      ///< LUT estimate (predicted bucket)
-        WidthClass pred_wc = WidthClass::W64;
-        WidthClass actual_wc = WidthClass::W64;
-        bool width_predicted = false;
-
-        /** Operational design: predicted last-arriving producer slot
-         *  (index into prod), 0xff = no prediction needed. */
-        u8 pred_last_slot = 0xff;
-        bool la_checked = false;
-
         Cycle dispatch_cycle = 0;
-        Cycle select_cycle = 0;
-        Cycle retry_cycle = 0;   ///< replay gate after mispredicts
         Tick start_tick = 0;
-        Tick complete_tick = 0;
-        bool transparent = false;
-        bool fused = false;
-        bool width_replayed = false;
-
         u32 predicted_next = 0;  ///< branch predictor outcome
-        bool branch_mispredicted = false;
-
-        // --- Event-kernel wakeup state (SchedKernel::Event only) ---
-        /** Distinct producers still in the RS (wakeups pending). */
-        u8 pending = 0;
-        /** Cycle of this entry's live wake_pq_ arm (stale-guard). */
-        Cycle armed_cycle = kNoCycle;
         /** Head/tail of this op's consumer-edge list (kNoEdge = none). */
         u32 cons_head = kNoEdge;
         u32 cons_tail = kNoEdge;
+        /** LUT estimate (predicted bucket); bounded by ticksPerCycle
+         *  <= 2^ci_precision_bits, so 16 bits are exact. */
+        u16 est_ticks = 0;
+        u8 nprod = 0;
+        /** Operational design: predicted last-arriving producer slot
+         *  (index into prod), 0xff = no prediction needed. */
+        u8 pred_last_slot = 0xff;
+        WidthClass pred_wc = WidthClass::W64;
+        WidthClass actual_wc = WidthClass::W64;
+        u8 cflags = 0;
     };
+
+    /**
+     * Per-static-instruction scheduling metadata, precomputed once
+     * per run so dispatch and fast-forward never re-derive opcode
+     * properties through out-of-line classifier calls.
+     */
+    struct InstMeta
+    {
+        /** Status-lane seed: flag bits (kEligible/kIsLoad/...) without
+         *  state or kInLsq; dispatch ORs the lifecycle state in. */
+        u8 seed = 0;
+        u8 cls = 0;      ///< packed pool|fu
+        u8 flags = 0;    ///< kMeta* properties below
+        u8 mem_size = 0; ///< access bytes (memory ops only)
+    };
+
+    static constexpr u8 kMetaMem = 1u << 0;
+    static constexpr u8 kMetaHalt = 1u << 1;
+    static constexpr u8 kMetaNeedsRs = 1u << 2;
+    static constexpr u8 kMetaSimd = 1u << 3;
+    static constexpr u8 kMetaWidthSens = 1u << 4;
 
     /** A select-stage request assembled during issue. */
     struct Candidate
@@ -232,6 +285,36 @@ class OooCore
         bool transparent;
         bool recycle_ok;    ///< speculative only: conditions hold
     };
+
+    // --- Lane accessors (hot; all inline) ---------------------------
+
+    St stateOf(SeqNum seq) const
+    {
+        return static_cast<St>(st_[seq] & kStMask);
+    }
+    bool inRs(SeqNum seq) const
+    {
+        return (st_[seq] & kStMask) == kStInRs;
+    }
+    /** True iff the op has issued (Done or Committed): branchless
+     *  producer-scheduled test. */
+    bool issued(SeqNum seq) const
+    {
+        return (st_[seq] & kStMask) >= kStDone;
+    }
+    void setState(SeqNum seq, St st)
+    {
+        st_[seq] = static_cast<u8>((st_[seq] & ~kStMask) |
+                                   static_cast<u8>(st));
+    }
+    FuPoolKind poolOf(SeqNum seq) const
+    {
+        return static_cast<FuPoolKind>(cls_[seq] & kClsPoolMask);
+    }
+    FuClass fuOf(SeqNum seq) const
+    {
+        return static_cast<FuClass>(cls_[seq] >> 2);
+    }
 
     void commitPhase();
     void dispatchPhase(const Trace &trace);
@@ -286,20 +369,22 @@ class OooCore
      *  side-effect-free under the scan kernel). */
     void fastForward(bool adapting);
     /** Fill a candidate's start/complete/span per mode and op class. */
-    void fillCompletion(Candidate &cand, OpState &op, Tick arrival,
+    void fillCompletion(Candidate &cand, SeqNum seq, Tick arrival,
                         Tick start, bool transparent);
 
     void issueOp(const Candidate &cand);
     Tick memCompleteTick(SeqNum seq, Tick arrival);
 
-    /** Last-completing producer of @p op (kNoSeq if none). */
-    SeqNum lastProducer(const OpState &op) const;
+    /** Last-completing producer of @p seq (kNoSeq if none). */
+    SeqNum lastProducer(SeqNum seq) const;
     /** Max producer completion tick (0 if no producers). */
-    Tick producersComplete(const OpState &op) const;
+    Tick producersComplete(SeqNum seq) const;
     /** Cycle from which conventional wakeup permits selection. */
-    Cycle selGate(const OpState &op) const;
+    Cycle selGate(SeqNum seq) const;
 
     bool widthSensitive(const Inst &inst) const;
+    /** Precompute meta_ for the trace's program. */
+    void buildInstMeta(const Program &program);
 
     /** Trace-emission helper: one predictable branch when detached. */
     void emit(PipeEventKind kind, SeqNum seq, Tick tick, u8 arg = 0,
@@ -318,7 +403,7 @@ class OooCore
     /** The full frontend ladder (one macro-stage in this model). */
     void emitFrontend(SeqNum seq);
     /** All issue-time events for a granted candidate. */
-    void emitIssue(const Candidate &cand, const OpState &op);
+    void emitIssue(const Candidate &cand);
 
     CoreConfig config_;
     SubCycleClock clock_;
@@ -337,7 +422,28 @@ class OooCore
     TransparentTracker chains_;
 
     const Trace *trace_ = nullptr;
-    std::vector<OpState> ops_;
+
+    // --- SoA scheduler state, keyed by SeqNum (DESIGN.md §12) ------
+    //
+    // Lane ownership: st_/sel_/done_ transition at dispatch, issue and
+    // commit; pending_/armed_ belong to the event kernel's wakeup
+    // network; gate_ is the earliest-eval cycle max(dispatch_cycle+1,
+    // retry_cycle); cold_ is written at dispatch and read at
+    // issue/commit. Lanes are resized (not cleared) per run: every
+    // field is fully initialized at the op's dispatch, and no lane is
+    // read for an undispatched op.
+    std::vector<u8> st_;       ///< lifecycle state + flag bits
+    std::vector<u8> cls_;      ///< packed FU pool | FuClass
+    std::vector<u8> pending_;  ///< producers still in RS (event kernel)
+    std::vector<Cycle> gate_;  ///< earliest conventional-eval cycle
+    std::vector<Cycle> armed_; ///< live wake_pq_ arm (stale-guard)
+    std::vector<Cycle> sel_;   ///< select cycle (valid once issued)
+    std::vector<Tick> done_;   ///< completion tick (valid once issued)
+    std::vector<OpCold> cold_; ///< dispatch/commit-only record
+
+    std::vector<InstMeta> meta_; ///< per static instruction
+    const DynOp *dyn_ = nullptr; ///< trace_->ops().data() (hoisted)
+
     SeqNum next_fetch_ = 0;
     SeqNum commit_ptr_ = 0;
     Cycle cycle_ = 0;
@@ -354,7 +460,6 @@ class OooCore
     // Reusable per-cycle scratch buffers (hot path: issuePhase runs
     // every cycle and must not allocate or copy the RS wholesale).
     std::vector<SeqNum> scan_;        ///< RS snapshot for select scans
-    std::vector<SeqNum> mos_scan_;    ///< RS snapshot for MOS fusion
     std::vector<Candidate> conv_grants_; ///< this cycle's conv. grants
 
     // --- Event-kernel state (SchedKernel::Event) --------------------
@@ -364,7 +469,7 @@ class OooCore
     bool in_phase_a_ = false;
 
     /** Per-producer consumer lists: edge pool + intrusive heads in
-     *  OpState. Edges append at consumer dispatch, so every list is
+     *  OpCold. Edges append at consumer dispatch, so every list is
      *  age-ordered. */
     struct ConsumerEdge
     {
@@ -374,7 +479,7 @@ class OooCore
     std::vector<ConsumerEdge> cons_edges_;
 
     /** Far-future re-evaluations: (cycle, seq) min-heap with lazy
-     *  invalidation via OpState::armed_cycle. */
+     *  invalidation via armed_. */
     std::priority_queue<std::pair<Cycle, SeqNum>,
                         std::vector<std::pair<Cycle, SeqNum>>,
                         std::greater<>> wake_pq_;
@@ -384,9 +489,22 @@ class OooCore
     std::vector<SeqNum> next_arms_;
     ReadySet ready_;  ///< this cycle's Phase-A candidates
     ReadySet eager_;  ///< this cycle's EGPW (Phase-B) candidates
-    /** Loads blocked on an older unresolved store; re-evaluated when
-     *  any store issues. */
-    std::vector<SeqNum> parked_loads_;
+    /** Per-store parked-load lists (SoA lanes, mem ops only): a load
+     *  blocked on an older unresolved store parks on one concrete
+     *  blocker and re-evaluates only when that store resolves at
+     *  issue — not on every store issue. park_head_[store] heads an
+     *  intrusive list threaded through park_next_[load]; a parked
+     *  load is marked by armed_[load] == kParkLoad. Both lanes are
+     *  written at the op's dispatch before any read. */
+    std::vector<SeqNum> park_head_;
+    std::vector<SeqNum> park_next_;
+
+    /** First cycle NOT covered by a parked span-denied steady
+     *  requester. Every cycle below it holds at least one ready
+     *  request the scan kernel would count as FU-stalled, so the
+     *  event kernel charges fu_stall_cycles for simulated and
+     *  fast-forwarded cycles under this horizon alike. */
+    Cycle denied_horizon_ = 0;
 
     PipeTracer *tracer_ = nullptr; ///< not owned; nullptr = off
 
@@ -394,8 +512,33 @@ class OooCore
      *  off, the whole subsystem costs one branch per hook site. */
     bool audit_on_ = false;
     InvariantAuditor audit_;
+    /** prof::enabled() sampled once per run (hoists the check out of
+     *  the per-cycle wakeup/select timers). */
+    bool profiling_ = false;
 
     CoreStats stats_;
+
+    // Lane geometry is part of the perf contract: the status/class/
+    // pending lanes must stay one byte (64 entries per cache line),
+    // the cycle/tick lanes one word, and the cold record one line.
+    static_assert(sizeof(decltype(st_)::value_type) == 1,
+                  "status lane must be 1 byte per op");
+    static_assert(sizeof(decltype(cls_)::value_type) == 1,
+                  "class lane must be 1 byte per op");
+    static_assert(sizeof(decltype(pending_)::value_type) == 1,
+                  "pending lane must be 1 byte per op");
+    static_assert(sizeof(Cycle) == 8 && sizeof(Tick) == 8,
+                  "cycle/tick lanes must be 8-byte words");
+    static_assert(sizeof(OpCold) == 64 && alignof(OpCold) == 8,
+                  "cold record must stay one 64-byte cache line");
+    static_assert(std::is_trivially_copyable_v<OpCold>,
+                  "cold record must be trivially copyable (bulk reset)");
+    static_assert(sizeof(InstMeta) == 4,
+                  "per-static-inst metadata must stay 4 bytes");
+    static_assert(static_cast<u8>(FuPoolKind::NUM) <= 4,
+                  "class lane reserves 2 bits for the FU pool");
+    static_assert(static_cast<u8>(FuClass::None) < 64,
+                  "class lane reserves 6 bits for the FU class");
 };
 
 } // namespace redsoc

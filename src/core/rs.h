@@ -17,8 +17,9 @@
 #ifndef REDSOC_CORE_RS_H
 #define REDSOC_CORE_RS_H
 
-#include <array>
+#include <bit>
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.h"
@@ -50,13 +51,55 @@ class ReservationStations
 
     /**
      * Copy the waiting ops, oldest first, into @p out (cleared
-     * first). The select loops snapshot into a reusable buffer so
-     * they can issue (and thus remove) entries mid-scan.
+     * first). The legacy scan kernel's select loops snapshot into a
+     * reusable buffer so they can issue (and thus remove) entries
+     * mid-scan; the oracle deliberately keeps this shape.
      */
     void snapshot(std::vector<SeqNum> &out) const;
 
     /** Waiting ops, oldest first (convenience/tests). */
     std::vector<SeqNum> entries() const;
+
+    // --- Copy-free live-slot iteration ------------------------------
+    //
+    // The alternative to snapshot(): walk the slot array in place,
+    // oldest first, skipping tombstones. Legal while entries are
+    // being remove()d mid-walk because removal only sets the dead
+    // bit; a ScanGuard defers the amortized compaction (which moves
+    // slots) until every open scan closes. Insertions during a scan
+    // remain illegal (the walkers run before dispatch each cycle).
+
+    /** Raw slot count (live + tombstoned) for index-based walks. */
+    size_t slotCount() const { return slots_.size(); }
+
+    /** The live seq in slot @p i, or kNoSeq when tombstoned. */
+    SeqNum liveAt(size_t i) const
+    {
+        const SeqNum slot = slots_[i];
+        return (slot & kDeadBit) ? kNoSeq : slot;
+    }
+
+    /** RAII compaction deferral for in-place scans. */
+    class ScanGuard
+    {
+      public:
+        explicit ScanGuard(ReservationStations &rs) : rs_(rs)
+        {
+            ++rs_.open_scans_;
+        }
+        ~ScanGuard()
+        {
+            if (--rs_.open_scans_ == 0 && rs_.compact_pending_) {
+                rs_.compact_pending_ = false;
+                rs_.compact();
+            }
+        }
+        ScanGuard(const ScanGuard &) = delete;
+        ScanGuard &operator=(const ScanGuard &) = delete;
+
+      private:
+        ReservationStations &rs_;
+    };
 
   private:
     void compact();
@@ -68,47 +111,86 @@ class ReservationStations
     unsigned capacity_;
     std::vector<SeqNum> slots_; ///< ascending seqs; dead = top bit set
     size_t live_ = 0;
+    unsigned open_scans_ = 0;   ///< live ScanGuards (defer compaction)
+    bool compact_pending_ = false;
 };
 
 /**
- * Age-ordered per-pool candidate sets for the event-driven scheduler
- * kernel (the "ready sets" of the Fig.7 RSE wakeup array, split by
- * execution-port pool). Broadcast wakeups insert newly-woken entries;
- * the select loop walks candidates in global age order via a cursor,
- * which stays valid across mid-iteration insertions because a wakeup
- * can only insert a consumer younger than the op being granted.
+ * The event-driven kernel's candidate set (the "ready set" of the
+ * Fig.7 RSE wakeup array): a windowed ring of 64-bit occupancy words
+ * indexed by sequence number. Wakeup inserts set one bit; the select
+ * loop pops candidates in global age order with a word-at-a-time
+ * count-trailing-zeros scan, which stays valid across mid-iteration
+ * insertions because a wakeup can only insert a consumer younger
+ * than the op being granted.
+ *
+ * The ring exploits the scheduler's windowing discipline: the live
+ * seqs a set ever holds are RS residents, which span at most the ROB
+ * window, so a ring of word slots tagged with their absolute word
+ * index never aliases two live words. A tag mismatch on insert lazily
+ * recycles the stale slot; a live collision (possible only if the
+ * configured window was too small) grows the ring. Scans advance the
+ * conservative lower bound past dead words, so FU-denied entries may
+ * stay resident across cycles (Phase A retention) without the
+ * emptied-set bound reset ever firing.
  */
 class ReadySet
 {
   public:
-    static constexpr size_t kNumPools =
-        static_cast<size_t>(FuPoolKind::NUM);
+    ReadySet() { configure(kDefaultWindow); }
+
+    /** Size the ring for an in-flight window of @p window seqs (the
+     *  ROB bound). Clears the set. */
+    void configure(unsigned window);
 
     bool empty() const { return size_ == 0; }
     size_t size() const { return size_; }
 
-    /** Insert @p seq into the @p pool set (idempotent). */
-    void insert(SeqNum seq, FuPoolKind pool);
+    /** Insert @p seq (idempotent). */
+    void insert(SeqNum seq);
 
-    /** Remove @p seq from the @p pool set (no-op if absent). */
-    void erase(SeqNum seq, FuPoolKind pool);
+    /** Remove @p seq (no-op if absent). */
+    void erase(SeqNum seq);
 
-    /** Oldest candidate with seq >= @p seq across all pools, or
-     *  kNoSeq when none (the global age-order merge point). */
-    SeqNum nextAtOrAfter(SeqNum seq) const;
+    /** True iff @p seq is in the set. */
+    bool contains(SeqNum seq) const;
 
-    /** Oldest candidate of one pool with seq >= @p seq, or kNoSeq. */
-    SeqNum nextAtOrAfter(SeqNum seq, FuPoolKind pool) const;
+    /** Oldest candidate with seq >= @p seq, or kNoSeq when none.
+     *  Non-const: a walk that starts at the conservative lower bound
+     *  advances it past provably-dead words (resident-set scans stay
+     *  O(live span) even when the set never drains). */
+    SeqNum nextAtOrAfter(SeqNum seq);
+
+    /** nextAtOrAfter + erase fused into one word walk (the Phase-A /
+     *  Phase-B pop). */
+    SeqNum popAtOrAfter(SeqNum seq);
 
     void clear();
 
   private:
-    /** Sorted flat vectors: the sets hold at most an RS worth of
-     *  entries (tens), where binary search + memmove beat node-based
-     *  containers and never allocate in steady state. */
-    std::array<std::vector<SeqNum>, kNumPools> pools_;
+    static constexpr unsigned kDefaultWindow = 256;
+    static constexpr u64 kNoWord = ~u64{0}; ///< empty-slot tag
+
+    /** Slot index of absolute word @p w. */
+    size_t slotOf(u64 w) const { return static_cast<size_t>(w) & mask_; }
+
+    /** Ensure @p w owns its slot; grows the ring on a live collision. */
+    size_t claimWord(u64 w);
+
+    void grow();
+
+    std::vector<u64> bits_;    ///< ring of 64-seq occupancy words
+    std::vector<u64> word_id_; ///< absolute word index per slot
+    u64 mask_ = 0;             ///< bits_.size() - 1 (power of two)
     size_t size_ = 0;
+    u64 min_word_ = kNoWord;   ///< conservative live-word bounds
+    u64 max_word_ = 0;
 };
+
+// One cache line holds eight ready-set words = a 512-seq window: the
+// whole set is a handful of lines for any realistic ROB.
+static_assert(sizeof(u64) == 8 && alignof(u64) == 8,
+              "ready-set occupancy lane must be 8-byte words");
 
 } // namespace redsoc
 

@@ -7,10 +7,14 @@
 #include "common/bitutils.h"
 #include "common/logging.h"
 #include "isa/disasm.h"
+#include "sim/profile.h"
 
 namespace redsoc {
 
 namespace {
+
+/** Trace emission block size (ops resized ahead per chunk). */
+constexpr SeqNum kTraceChunk = 4096;
 
 double
 bitsToDouble(u64 raw)
@@ -113,11 +117,11 @@ Interpreter::intAluEffWidth(const Inst &inst, u64 op2) const
     return static_cast<u16>(width);
 }
 
-DynOp
-Interpreter::step()
+void
+Interpreter::stepInto(DynOp &dyn)
 {
     const Inst &inst = program_->inst(pc_);
-    DynOp dyn;
+    dyn = DynOp{};
     dyn.pc = pc_;
     u32 next = pc_ + 1;
 
@@ -328,7 +332,7 @@ Interpreter::step()
             dyn.eff_width = static_cast<u16>(vecElemBits(vt));
             pc_ = next;
             dyn.next_pc = next;
-            return dyn;
+            return;
           }
           default: panic("unhandled SIMD op ", opcodeName(op));
         }
@@ -373,19 +377,34 @@ Interpreter::step()
 
     pc_ = next;
     dyn.next_pc = next;
-    return dyn;
 }
 
 Trace
 Interpreter::run(SeqNum max_ops)
 {
+    prof::ScopedTimer tt(prof::Phase::TraceBuild);
     std::vector<DynOp> ops;
     ops.reserve(std::min<SeqNum>(max_ops, 1 << 20));
-    while (!halted_ && ops.size() < max_ops) {
-        fatal_if(pc_ >= program_->size(),
-                 "pc ", pc_, " fell off program '", program_->name(), "'");
-        ops.push_back(step());
+    // Chunked emission: grow the trace a block at a time and fill the
+    // slots in place, so the decode/execute loop carries no per-op
+    // size/capacity bookkeeping or construct-then-move cost.
+    const u32 psize = program_->size();
+    size_t n = 0;
+    while (!halted_ && n < max_ops) {
+        const size_t chunk = static_cast<size_t>(
+            std::min<SeqNum>(kTraceChunk, max_ops - n));
+        ops.resize(n + chunk);
+        DynOp *out = ops.data() + n;
+        size_t filled = 0;
+        while (filled < chunk && !halted_) {
+            fatal_if(pc_ >= psize, "pc ", pc_, " fell off program '",
+                     program_->name(), "'");
+            stepInto(out[filled]);
+            ++filled;
+        }
+        n += filled;
     }
+    ops.resize(n); // trim the unfilled tail of the last chunk
     return Trace(program_, std::move(ops));
 }
 

@@ -40,8 +40,10 @@ class Interpreter
     bool halted() const { return halted_; }
 
   private:
-    /** Execute the instruction at pc_; returns the retired DynOp. */
-    DynOp step();
+    /** Execute the instruction at pc_, writing the retired op into
+     *  @p dyn (an in-place slot of the trace's chunk-reserved ops
+     *  vector, so the hot decode loop never constructs-then-moves). */
+    void stepInto(DynOp &dyn);
 
     u64 readOperand2(const Inst &inst) const;
     u64 shiftedValue(u64 value, ShiftKind kind, unsigned amount) const;

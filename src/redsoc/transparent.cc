@@ -15,10 +15,54 @@ canRecycle(Tick producer_complete, Tick arrival_tick,
     return clock.ciOf(producer_complete) <= threshold_ticks;
 }
 
+TransparentTracker::TransparentTracker(unsigned window)
+    : lengths_(64)
+{
+    fatal_if(window == 0, "zero-window transparent tracker");
+    const size_t n = std::bit_ceil(static_cast<size_t>(window));
+    slots_.resize(n);
+    mask_ = n - 1;
+}
+
+void
+TransparentTracker::reset()
+{
+    for (Slot &s : slots_)
+        s = Slot{};
+    lengths_ = Histogram(64);
+    links_ = 0;
+}
+
+TransparentTracker::Slot *
+TransparentTracker::find(SeqNum seq)
+{
+    Slot &s = slots_[slotOf(seq)];
+    return s.seq == seq ? &s : nullptr;
+}
+
+TransparentTracker::Slot &
+TransparentTracker::claim(SeqNum seq)
+{
+    Slot &s = slots_[slotOf(seq)];
+    // A live occupant would mean two in-flight ops more than a ROB
+    // window apart — impossible: records live from issue to commit.
+    panic_if(s.seq != kNoSeq && s.seq != seq,
+             "transparent-chain ring collision");
+    s.seq = seq;
+    return s;
+}
+
 void
 TransparentTracker::onRoot(SeqNum seq)
 {
-    live_.emplace(seq, ChainInfo{});
+    // Mirrors the map-era emplace: a re-root of an existing live
+    // chain record keeps the old record.
+    Slot &s = slots_[slotOf(seq)];
+    if (s.seq == seq)
+        return;
+    Slot &c = claim(seq);
+    c.length = 1;
+    c.extended = false;
 }
 
 void
@@ -26,26 +70,27 @@ TransparentTracker::onExtend(SeqNum parent, SeqNum child)
 {
     ++links_;
     u32 parent_len = 1;
-    auto it = live_.find(parent);
-    if (it != live_.end()) {
-        it->second.extended = true;
-        parent_len = it->second.length;
+    if (Slot *p = find(parent)) {
+        p->extended = true;
+        parent_len = p->length;
     }
-    live_[child] = ChainInfo{parent_len + 1, false};
+    Slot &c = claim(child);
+    c.length = parent_len + 1;
+    c.extended = false;
 }
 
 void
 TransparentTracker::onRetire(SeqNum seq)
 {
-    auto it = live_.find(seq);
-    if (it == live_.end())
+    Slot *s = find(seq);
+    if (!s)
         return;
     // Chain tails carry the final sequence length. Note retirement is
     // in program order, so any op that extends this one has already
     // marked it (extension happens at issue, before either commits).
-    if (!it->second.extended)
-        lengths_.sample(it->second.length);
-    live_.erase(it);
+    if (!s->extended)
+        lengths_.sample(s->length);
+    *s = Slot{};
 }
 
 double

@@ -9,7 +9,8 @@
 #ifndef REDSOC_REDSOC_TRANSPARENT_H
 #define REDSOC_REDSOC_TRANSPARENT_H
 
-#include <unordered_map>
+#include <bit>
+#include <vector>
 
 #include "common/stats.h"
 #include "timing/completion_instant.h"
@@ -32,11 +33,22 @@ bool canRecycle(Tick producer_complete, Tick arrival_tick,
  * and extends through each consumer that starts at its producer's
  * completion instant. Lengths are sampled when the chain dies (its
  * tail op is never recycled from).
+ *
+ * Chain records live from issue to commit, so live keys always fall
+ * within one ROB window of each other: a power-of-two ring of
+ * seq-tagged slots indexes them without hashing (the per-issued-op
+ * map operations were a measurable share of ReDSOC-mode runtime).
+ * Distinct live seqs can never share a slot when the ring is at
+ * least the window, which the constructor guarantees.
  */
 class TransparentTracker
 {
   public:
-    TransparentTracker() : lengths_(64) {}
+    /** @p window: the in-flight bound (ROB entries). */
+    explicit TransparentTracker(unsigned window = 256);
+
+    /** Forget all live chains and samples (per-run reset). */
+    void reset();
 
     /** A slack-eligible op issued from a boundary: chain root. */
     void onRoot(SeqNum seq);
@@ -60,13 +72,25 @@ class TransparentTracker
     u64 totalRecycledLinks() const { return links_; }
 
   private:
-    struct ChainInfo
+    struct Slot
     {
+        SeqNum seq = kNoSeq; ///< owner, kNoSeq = free
         u32 length = 1;
         bool extended = false;
     };
 
-    std::unordered_map<SeqNum, ChainInfo> live_;
+    size_t slotOf(SeqNum seq) const
+    {
+        return static_cast<size_t>(seq) & mask_;
+    }
+    /** The live slot of @p seq, or nullptr when absent. */
+    Slot *find(SeqNum seq);
+    /** Take ownership of @p seq's slot (must be free: live keys are
+     *  ROB-window-bounded by construction). */
+    Slot &claim(SeqNum seq);
+
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
     Histogram lengths_;
     u64 links_ = 0;
 };

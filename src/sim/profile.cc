@@ -34,6 +34,8 @@ phaseName(Phase phase)
     switch (phase) {
       case Phase::Commit: return "commit";
       case Phase::Issue: return "issue";
+      case Phase::Wakeup: return "wakeup";
+      case Phase::Select: return "select";
       case Phase::Dispatch: return "dispatch";
       case Phase::TraceBuild: return "trace_build";
       case Phase::Run: return "run";

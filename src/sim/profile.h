@@ -23,10 +23,14 @@
 namespace redsoc {
 namespace prof {
 
-/** Simulator phases with dedicated timers. */
+/** Simulator phases with dedicated timers. Issue envelops Wakeup and
+ *  Select; Wakeup also accrues inside Select when a grant's broadcast
+ *  fires mid-scan (nested timers each charge their own phase). */
 enum class Phase : unsigned {
     Commit,      ///< OooCore commit stage
     Issue,       ///< OooCore wakeup+select stage
+    Wakeup,      ///< wake-queue drain + issue-time broadcasts
+    Select,      ///< Phase-A/B candidate evaluation and granting
     Dispatch,    ///< OooCore fetch/rename/dispatch stage
     TraceBuild,  ///< functional trace construction
     Run,         ///< whole-core simulation (envelops the stages)

@@ -1,0 +1,37 @@
+// hot-alloc (R8) fixture: heap allocation inside per-cycle scheduler
+// functions. The test lexes this file under a pretend src/core/ path.
+#include <functional>
+#include <vector>
+
+struct Core
+{
+    std::vector<int> lanes_;
+    std::vector<int> scratch_;
+    std::vector<int> log_;
+
+    Core() { scratch_.reserve(64); }
+
+    void run() { lanes_.resize(1024); }
+
+    void issuePhase()
+    {
+        int *p = new int(7);            // line 18: new
+        log_.push_back(*p);             // line 19: unreserved growth
+        scratch_.push_back(3);          // reserved in ctor: clean
+        std::function<int(int)> f =     // line 21: type erasure
+            [](int x) { return x; };
+        (void)f(2);
+        delete p;
+    }
+
+    void evalConventional()
+    {
+        // redsoc-lint: allow(hot-alloc)
+        log_.emplace_back(9);           // suppressed
+    }
+
+    void coldReport()
+    {
+        log_.push_back(1); // not a hot function: clean
+    }
+};

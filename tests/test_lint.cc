@@ -99,6 +99,29 @@ TEST(LintRules, FloatAccumExemptsConfiguredPaths)
     EXPECT_TRUE(out.empty());
 }
 
+TEST(LintRules, HotAllocFiresInsidePerCycleFunctionsOnly)
+{
+    // The fixture lives outside src/core/, so the default path gate
+    // must keep it quiet...
+    EXPECT_EQ(sites("hot_alloc.cc"), Sites{});
+
+    // ...and under a pretend scheduler path the rule flags 'new',
+    // unreserved push_back and std::function, skips the reserved
+    // vector and the non-hot function, and honours allow().
+    SourceFile sf = fixture("hot_alloc.cc");
+    sf.path = "src/core/hot_alloc.cc";
+    std::vector<Finding> out;
+    const Options opt;
+    ruleHotAlloc(sf, opt.hot_alloc_paths, opt.hot_functions, out);
+    Sites got;
+    for (const Finding &f : out)
+        got.emplace_back(f.line, f.rule);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (Sites{{18, "hot-alloc"},
+                          {19, "hot-alloc"},
+                          {21, "hot-alloc"}}));
+}
+
 TEST(LintRules, CleanFixtureStaysQuiet)
 {
     EXPECT_EQ(sites("clean.cc"), Sites{});

@@ -140,6 +140,25 @@ differentialConfigs(const std::string &core_name)
         // baselines/timing_speculation.cc runs it.
         c.memory.offcore_latency_scale = 525.0 / 394.0;
     });
+
+    // Capacity boundaries: the kernels must agree exactly where a
+    // structure fills, because those are the cycles where Phase-A
+    // retention, FU-denial parking and wake re-arms diverge first.
+    add("redsoc_rs_full", SchedMode::ReDSOC, [](CoreConfig &c) {
+        c.rs_entries = 3; // RS fills within a few dispatch groups
+        c.frontend_width = 5;
+    });
+    add("redsoc_ready_saturated", SchedMode::ReDSOC, [](CoreConfig &c) {
+        c.rs_entries = 64; // big ready population, starved select
+        c.frontend_width = 5;
+        c.alu_units = 1;
+        c.simd_units = 1;
+        c.fp_units = 1;
+        c.mem_ports = 1;
+    });
+    add("redsoc_lsq_floor", SchedMode::ReDSOC, [](CoreConfig &c) {
+        c.lsq_entries = 2; // every memory op contends for the LSQ
+    });
     return out;
 }
 
@@ -377,51 +396,110 @@ TEST(ReadySetTest, InsertEraseIdempotent)
 {
     ReadySet rs;
     EXPECT_TRUE(rs.empty());
-    rs.insert(5, FuPoolKind::Alu);
-    rs.insert(5, FuPoolKind::Alu); // duplicate: no double count
+    rs.insert(5);
+    rs.insert(5); // duplicate: no double count
     EXPECT_EQ(rs.size(), 1u);
-    rs.erase(5, FuPoolKind::Alu);
-    rs.erase(5, FuPoolKind::Alu); // absent: no-op
+    EXPECT_TRUE(rs.contains(5));
+    rs.erase(5);
+    rs.erase(5); // absent: no-op
     EXPECT_TRUE(rs.empty());
-    rs.erase(42, FuPoolKind::Mem); // never inserted
+    EXPECT_FALSE(rs.contains(5));
+    rs.erase(42); // never inserted
     EXPECT_TRUE(rs.empty());
 }
 
-TEST(ReadySetTest, GlobalAgeOrderAcrossPools)
+TEST(ReadySetTest, GlobalAgeOrder)
 {
     ReadySet rs;
-    rs.insert(30, FuPoolKind::Fp);
-    rs.insert(10, FuPoolKind::Alu);
-    rs.insert(20, FuPoolKind::Mem);
-    rs.insert(25, FuPoolKind::Simd);
+    rs.insert(30);
+    rs.insert(10);
+    rs.insert(20);
+    rs.insert(25);
 
-    // A cursor sweep must see all pools merged oldest-first.
+    // A cursor sweep must see the candidates merged oldest-first.
     std::vector<SeqNum> order;
     SeqNum cur = 0;
     for (SeqNum seq; (seq = rs.nextAtOrAfter(cur)) != kNoSeq;
          cur = seq + 1)
         order.push_back(seq);
     EXPECT_EQ(order, (std::vector<SeqNum>{10, 20, 25, 30}));
-
-    // Per-pool lookups see only their own pool.
-    EXPECT_EQ(rs.nextAtOrAfter(0, FuPoolKind::Mem), 20u);
-    EXPECT_EQ(rs.nextAtOrAfter(21, FuPoolKind::Mem), kNoSeq);
-    EXPECT_EQ(rs.nextAtOrAfter(11, FuPoolKind::Alu), kNoSeq);
 }
 
 TEST(ReadySetTest, NextAtOrAfterIsInclusive)
 {
     ReadySet rs;
-    rs.insert(7, FuPoolKind::Alu);
+    rs.insert(7);
     EXPECT_EQ(rs.nextAtOrAfter(7), 7u);
     EXPECT_EQ(rs.nextAtOrAfter(8), kNoSeq);
+}
+
+TEST(ReadySetTest, PopMatchesNextPlusErase)
+{
+    ReadySet rs;
+    for (SeqNum s : {3u, 64u, 65u, 200u})
+        rs.insert(s);
+    std::vector<SeqNum> popped;
+    SeqNum cur = 0;
+    for (SeqNum seq; (seq = rs.popAtOrAfter(cur)) != kNoSeq;
+         cur = seq + 1)
+        popped.push_back(seq);
+    EXPECT_EQ(popped, (std::vector<SeqNum>{3, 64, 65, 200}));
+    EXPECT_TRUE(rs.empty());
+    EXPECT_EQ(rs.popAtOrAfter(0), kNoSeq);
+}
+
+TEST(ReadySetTest, RingRecyclesAcrossWindows)
+{
+    // The drain discipline: the set empties every cycle, so far-apart
+    // seq windows reuse ring slots. Interleave a full drain between
+    // distant batches and verify age order within each.
+    ReadySet rs;
+    rs.configure(64);
+    for (unsigned round = 0; round < 8; ++round) {
+        const SeqNum base = SeqNum{round} * 100000;
+        for (SeqNum off : {63u, 0u, 31u, 17u})
+            rs.insert(base + off);
+        EXPECT_EQ(rs.size(), 4u);
+        std::vector<SeqNum> order;
+        SeqNum cur = 0;
+        for (SeqNum seq; (seq = rs.popAtOrAfter(cur)) != kNoSeq;
+             cur = seq + 1)
+            order.push_back(seq);
+        EXPECT_EQ(order, (std::vector<SeqNum>{base + 0, base + 17,
+                                              base + 31, base + 63}));
+        EXPECT_TRUE(rs.empty());
+    }
+}
+
+TEST(ReadySetTest, GrowOnLiveCollision)
+{
+    // A deliberately undersized ring: live words that alias force a
+    // grow, after which every candidate must still be present and in
+    // age order.
+    ReadySet rs;
+    rs.configure(1); // handful of word slots
+    std::vector<SeqNum> want;
+    for (unsigned i = 0; i < 64; ++i) {
+        const SeqNum seq = SeqNum{i} * 4096 + i; // distinct words
+        rs.insert(seq);
+        want.push_back(seq);
+    }
+    EXPECT_EQ(rs.size(), want.size());
+    for (SeqNum seq : want)
+        EXPECT_TRUE(rs.contains(seq));
+    std::vector<SeqNum> order;
+    SeqNum cur = 0;
+    for (SeqNum seq; (seq = rs.nextAtOrAfter(cur)) != kNoSeq;
+         cur = seq + 1)
+        order.push_back(seq);
+    EXPECT_EQ(order, want);
 }
 
 TEST(ReadySetTest, ClearResets)
 {
     ReadySet rs;
     for (SeqNum s = 0; s < 8; ++s)
-        rs.insert(s, static_cast<FuPoolKind>(s % 4));
+        rs.insert(s);
     EXPECT_EQ(rs.size(), 8u);
     rs.clear();
     EXPECT_TRUE(rs.empty());

@@ -10,7 +10,7 @@
  * pool.
  *
  *   bench_all [fast] [--bench-dir DIR] [--cache-dir DIR] [--no-cache]
- *             [--profile] [--trace-dir DIR]
+ *             [--profile] [--trace-dir DIR] [--sched-baseline FILE]
  *
  * "fast" is forwarded to every harness. The cache directory defaults
  * to ".redsoc-cache" in the current directory (created on demand);
@@ -20,7 +20,11 @@
  * timings. --trace-dir exports REDSOC_TRACE_DIR so every harness
  * drops one pipeline trace per simulated point into DIR (note: the
  * run cache dedups points, so only cache misses simulate and trace;
- * combine with --no-cache for full coverage).
+ * combine with --no-cache for full coverage). --sched-baseline FILE
+ * is forwarded to bench_sched as --baseline FILE, so the closing
+ * kernel microbenchmark also diffs against the committed
+ * BENCH_sched.json perf baseline (see tools/bench_sched.cc for the
+ * calibrated-wall-clock contract); a diff failure fails bench_all.
  */
 
 #include <cstdio>
@@ -89,6 +93,7 @@ main(int argc, char **argv)
     bool use_cache = true;
     std::string bench_dir = defaultBenchDir();
     std::string cache_dir = ".redsoc-cache";
+    std::string sched_baseline;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -104,11 +109,13 @@ main(int argc, char **argv)
             ::setenv("REDSOC_PROFILE", "1", 1);
         } else if (arg == "--trace-dir" && i + 1 < argc) {
             ::setenv("REDSOC_TRACE_DIR", argv[++i], 1);
+        } else if (arg == "--sched-baseline" && i + 1 < argc) {
+            sched_baseline = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [fast] [--bench-dir DIR] "
                          "[--cache-dir DIR] [--no-cache] [--profile] "
-                         "[--trace-dir DIR]\n",
+                         "[--trace-dir DIR] [--sched-baseline FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -154,6 +161,8 @@ main(int argc, char **argv)
         std::string cmd = "\"" + exeDir() + "/bench_sched\"";
         if (fast)
             cmd += " fast";
+        if (!sched_baseline.empty())
+            cmd += " --baseline \"" + sched_baseline + "\"";
         cmd += " > /dev/null"; // JSON feed; the table goes to stderr
         std::printf("$ %s\n", cmd.c_str());
         std::fflush(stdout);

@@ -111,6 +111,31 @@ randomConfig(Rng &rng)
     cfg.memory.mem_latency = 50 + rng.below(250);
     cfg.memory.prefetch = rng.chance(0.7);
 
+    // Capacity boundaries: a quarter of the cases pin one structure
+    // at its floor (or flood it) so the kernels are differentially
+    // tested exactly where a structure fills — RS-full dispatch
+    // stalls, ready-set saturation under a starved select, and a
+    // floor-sized LSQ where every memory op contends.
+    switch (rng.below(12)) {
+      case 0: // RS fills within a few cycles: wide frontend, tiny RS
+        cfg.rs_entries = static_cast<unsigned>(2 + rng.below(3));
+        cfg.frontend_width = static_cast<unsigned>(4 + rng.below(2));
+        break;
+      case 1: // ready-set saturation: big RS, one unit per pool
+        cfg.rs_entries = static_cast<unsigned>(48 + rng.below(17));
+        cfg.frontend_width = static_cast<unsigned>(4 + rng.below(2));
+        cfg.alu_units = 1;
+        cfg.simd_units = 1;
+        cfg.fp_units = 1;
+        cfg.mem_ports = 1;
+        break;
+      case 2: // LSQ at its floor
+        cfg.lsq_entries = static_cast<unsigned>(2 + rng.below(2));
+        break;
+      default: // leave the uniform draw above untouched
+        break;
+    }
+
     // Small horizon: a genuine scheduler deadlock aborts quickly, and
     // the watchdog-cycle equality between kernels gets fuzzed too.
     cfg.no_commit_horizon = 10'000;
@@ -127,6 +152,7 @@ enum class Profile : u8 {
     Branchy,    ///< mispredict redirects and squashes
     MixedWidth, ///< narrow/wide operand swings (width predictor)
     FpMix,      ///< cross-pool pressure, non-eligible producers
+    FanOut,     ///< one hot producer register read by nearly every op
     NUM,
 };
 
@@ -192,6 +218,21 @@ randomInst(Rng &rng, Profile profile)
                   : roll < 0.75 ? K::Mul
                   : roll < 0.9  ? K::Load
                                 : K::Branch;
+        break;
+      case Profile::FanOut:
+        // Almost every op reads the same hot register, so one
+        // producer's consumer-edge list grows toward the RS limit
+        // (maximum wakeup fanout); the hot register is redefined only
+        // rarely, starting the next fanout web.
+        fi.kind = roll < 0.7    ? K::Alu
+                  : roll < 0.85 ? K::AluImm
+                  : roll < 0.95 ? K::Mul
+                                : K::Load;
+        fi.a = 0;
+        if (rng.chance(0.9))
+            fi.b = 0;
+        if (rng.chance(0.95) && fi.dst % kDataRegs == 0)
+            fi.dst = static_cast<u8>(fi.dst + 1); // keep x1 live
         break;
       case Profile::NUM:
         break;

@@ -66,6 +66,7 @@ lintFile(const SourceFile &sf, const Options &opt)
     rulePtrKeyOrder(sf, out);
     ruleCycleNarrow(sf, out);
     ruleFloatAccum(sf, opt.float_accum_exempt, out);
+    ruleHotAlloc(sf, opt.hot_alloc_paths, opt.hot_functions, out);
     return out;
 }
 

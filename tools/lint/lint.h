@@ -40,6 +40,16 @@
  *                 regression suite, so every runtime invariant check
  *                 keeps a unit test proving it fires on corrupted
  *                 state.
+ *   hot-alloc     (R8) heap allocation inside the per-cycle scheduler
+ *                 functions (the bodies the simulator executes every
+ *                 simulated cycle): 'new', push_back/emplace_back on
+ *                 a vector never reserve()d/resize()d in the same
+ *                 file, and std::function construction. The SoA
+ *                 scheduler pre-sizes every per-op lane at run()
+ *                 start precisely so the hot loops stay
+ *                 allocation-free; an allocation that sneaks back in
+ *                 is a silent throughput regression the differential
+ *                 tests cannot catch.
  *
  * Findings print as "file:line: [rule-id] message". A finding is
  * suppressed by a comment "// redsoc-lint: allow(rule-id)" (or
@@ -201,6 +211,19 @@ void ruleAuditComplete(const SourceFile &header,
                        const SourceFile &tests,
                        std::vector<Finding> &out);
 
+/** R8: no heap allocation inside the bodies of the per-cycle
+ *  scheduler functions. @p hot_paths gates the rule to the scheduler
+ *  sources; @p hot_functions names the function definitions whose
+ *  bodies run every simulated cycle. Flags 'new',
+ *  push_back/emplace_back on a container with no reserve()/resize()
+ *  call anywhere in the same file, and std::function construction.
+ *  Tokenizer heuristics, so allow(hot-alloc) where a flagged site is
+ *  genuinely cold (e.g. a once-per-run slow path). */
+void ruleHotAlloc(const SourceFile &sf,
+                  const std::vector<std::string> &hot_paths,
+                  const std::vector<std::string> &hot_functions,
+                  std::vector<Finding> &out);
+
 // ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
@@ -228,6 +251,17 @@ struct Options
     std::string audit_enum = "InvariantAudit";
     std::string audit_header = "src/core/invariant_audit.h";
     std::string audit_tests = "tests/test_fuzz_regress.cc";
+
+    // R8 wiring: files (path prefixes) and function definitions the
+    // hot-alloc rule scans. The list is the per-cycle call graph of
+    // OooCore::run() plus the ReadySet fast paths it leans on.
+    std::vector<std::string> hot_alloc_paths = {"src/core/"};
+    std::vector<std::string> hot_functions = {
+        "issuePhase",       "dispatchPhase", "commitPhase",
+        "phaseAEntry",      "evalConventional", "evalEager",
+        "broadcastWakeup",  "drainWakeQueue", "scheduleEval",
+        "armAt",            "issueOp",       "nextAtOrAfter",
+        "popAtOrAfter",     "fastForward"};
 
     std::string baseline_path;           ///< empty = no baseline
 };

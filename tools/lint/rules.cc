@@ -1,6 +1,6 @@
 /**
  * @file
- * The redsoc_lint rule set (R1-R5). Every rule walks the token
+ * The redsoc_lint rule set (R1-R8). Every rule walks the token
  * stream produced by lexer.cc; see lint.h for the rule catalogue and
  * the reasoning behind each.
  */
@@ -791,6 +791,114 @@ ruleStatComplete(const SourceFile &header,
                          "not catch a divergence in it",
                      out);
         }
+    }
+}
+
+// -------------------------------------------------------------------
+// R8: hot-alloc
+// -------------------------------------------------------------------
+
+namespace {
+
+/** Keywords whose "(...) {" shape is a control statement, not a
+ *  function definition. */
+bool
+controlKeyword(const std::string &s)
+{
+    return s == "if" || s == "for" || s == "while" || s == "switch" ||
+           s == "catch" || s == "return" || s == "sizeof";
+}
+
+/**
+ * True when @p name names a function *definition* at @p i: the
+ * identifier is followed by a parameter list whose closer leads —
+ * possibly through const/noexcept/override — to a '{'.
+ */
+bool
+isFunctionDefinition(const std::vector<Token> &t, size_t i)
+{
+    if (i + 1 >= t.size() || !isPunct(t[i + 1], "("))
+        return false;
+    size_t j = matchDelim(t, i + 1, "(", ")");
+    if (j >= t.size())
+        return false;
+    ++j;
+    while (j < t.size() &&
+           (isIdent(t[j], "const") || isIdent(t[j], "noexcept") ||
+            isIdent(t[j], "override") || isIdent(t[j], "final")))
+        ++j;
+    return j < t.size() && isPunct(t[j], "{");
+}
+
+} // namespace
+
+void
+ruleHotAlloc(const SourceFile &sf,
+             const std::vector<std::string> &hot_paths,
+             const std::vector<std::string> &hot_functions,
+             std::vector<Finding> &out)
+{
+    bool in_scope = false;
+    for (const std::string &prefix : hot_paths)
+        in_scope = in_scope || sf.path.rfind(prefix, 0) == 0;
+    if (!in_scope)
+        return;
+
+    const auto &t = sf.toks;
+
+    // Containers pre-sized *somewhere in this file* (the SoA lanes
+    // are resize()d at run() start; scratch vectors are reserve()d in
+    // the constructor): push_back into those is amortized-free and
+    // allowed.
+    std::set<std::string> presized;
+    for (size_t i = 0; i + 3 < t.size(); ++i)
+        if (t[i].kind == TokKind::Ident && isPunct(t[i + 1], ".") &&
+            (isIdent(t[i + 2], "reserve") ||
+             isIdent(t[i + 2], "resize")) &&
+            isPunct(t[i + 3], "("))
+            presized.insert(t[i].text);
+
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident ||
+            controlKeyword(t[i].text) ||
+            std::find(hot_functions.begin(), hot_functions.end(),
+                      t[i].text) == hot_functions.end() ||
+            !isFunctionDefinition(t, i))
+            continue;
+        const std::string &fn = t[i].text;
+        size_t body = matchDelim(t, i + 1, "(", ")") + 1;
+        while (body < t.size() && !isPunct(t[body], "{"))
+            ++body;
+        const size_t end = matchDelim(t, body, "{", "}");
+        for (size_t j = body + 1; j < end; ++j) {
+            if (isIdent(t[j], "new")) {
+                emit(sf, t[j].line, "hot-alloc",
+                     "'new' inside per-cycle scheduler function '" +
+                         fn + "': the hot loops must stay "
+                         "allocation-free (pre-size at run() start)",
+                     out);
+            } else if ((isIdent(t[j], "push_back") ||
+                        isIdent(t[j], "emplace_back")) &&
+                       j >= 2 && isPunct(t[j - 1], ".") &&
+                       t[j - 2].kind == TokKind::Ident &&
+                       !presized.count(t[j - 2].text)) {
+                emit(sf, t[j].line, "hot-alloc",
+                     t[j].text + " into '" + t[j - 2].text +
+                         "' inside per-cycle scheduler function '" +
+                         fn + "' with no reserve()/resize() in this "
+                         "file: growth reallocates mid-cycle",
+                     out);
+            } else if (isIdent(t[j], "function") && j + 1 < end &&
+                       isPunct(t[j + 1], "<")) {
+                emit(sf, t[j].line, "hot-alloc",
+                     "std::function constructed inside per-cycle "
+                     "scheduler function '" + fn +
+                         "': type-erased callables heap-allocate; "
+                         "use a template or function pointer",
+                     out);
+            }
+        }
+        i = end;
     }
 }
 
