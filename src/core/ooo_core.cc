@@ -1235,7 +1235,8 @@ OooCore::commitPhase()
         fold(((oc.cflags & kColdTransparent) ? 1u : 0u) |
              ((oc.cflags & kColdFused) ? 2u : 0u));
 
-        emit(PipeEventKind::Commit, seq, now);
+        emit(PipeEventKind::Commit, seq, now,
+             (oc.cflags & kColdBranchMispred) ? u8{1} : u8{0});
 
         ++commit_ptr_;
         ++committed;

@@ -97,6 +97,17 @@ SimDriver::runFuture(const std::string &workload,
             PipeTracer tracer(tenv.capacity);
             core.setTracer(&tracer);
             stats = core.run(trace(workload));
+            if (tracer.droppedEvents() != 0) {
+                // Never truncate silently: tally the run and say so on
+                // stderr (table/JSON output stays on stdout).
+                const u64 runs =
+                    TraceEnv::noteTruncatedRun(tracer.droppedEvents());
+                warn("trace export truncated for ", key, ": ",
+                     tracer.droppedEvents(),
+                     " events dropped from the head of the run (",
+                     runs, " truncated run", runs == 1 ? "" : "s",
+                     " so far; raise REDSOC_TRACE_CAP)");
+            }
             writeTraceFile(tenv.dir + "/" + sanitizeTraceFileName(key) +
                                traceFormatExtension(tenv.format),
                            tenv.format, tracer, trace(workload));

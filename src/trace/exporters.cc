@@ -1,6 +1,7 @@
 #include "trace/exporters.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -540,6 +541,31 @@ sanitizeTraceFileName(const std::string &key)
         out += ok ? c : '_';
     }
     return out;
+}
+
+namespace {
+std::atomic<u64> g_truncated_runs{0};
+std::atomic<u64> g_truncated_events{0};
+} // namespace
+
+u64
+TraceEnv::noteTruncatedRun(u64 dropped_events)
+{
+    g_truncated_events.fetch_add(dropped_events,
+                                 std::memory_order_relaxed);
+    return g_truncated_runs.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+u64
+TraceEnv::truncatedRuns()
+{
+    return g_truncated_runs.load(std::memory_order_relaxed);
+}
+
+u64
+TraceEnv::truncatedEvents()
+{
+    return g_truncated_events.load(std::memory_order_relaxed);
 }
 
 const TraceEnv &

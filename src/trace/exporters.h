@@ -71,6 +71,16 @@ struct TraceEnv
     size_t capacity = PipeTracer::kDefaultCapacity;
 
     static const TraceEnv &get();
+
+    /** Process-wide truncation tally: record that one traced run's
+     *  ring wrapped and its export is missing @p dropped_events from
+     *  the head. Thread-safe (SimDriver traces from pool workers).
+     *  Returns the updated number of truncated runs. */
+    static u64 noteTruncatedRun(u64 dropped_events);
+    /** Traced runs whose export was truncated so far. */
+    static u64 truncatedRuns();
+    /** Events dropped across all truncated runs so far. */
+    static u64 truncatedEvents();
 };
 
 } // namespace redsoc

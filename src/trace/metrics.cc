@@ -41,7 +41,7 @@ computeTraceMetrics(const PipeTracer &tracer, const Trace &trace)
 {
     TraceMetrics m;
     m.events = tracer.size();
-    m.dropped = tracer.dropped();
+    m.dropped = tracer.droppedEvents();
     m.ticks_per_cycle = tracer.ticksPerCycle();
     const Tick tpc = m.ticks_per_cycle;
 

@@ -31,6 +31,10 @@ struct TraceMetrics
     u64 dropped = 0;
     Tick ticks_per_cycle = 8;
 
+    /** Truncation signal surfaced on the metrics path: events the
+     *  recording ring overwrote (0 = the export is complete). */
+    u64 droppedEvents() const { return dropped; }
+
     /** Completion slack in ticks, per producing op's FU class
      *  (recorded at writeback: slack = (tpc - CI) mod tpc). */
     std::array<Histogram, kNumFuClasses> slack_by_class;

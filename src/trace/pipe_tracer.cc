@@ -45,6 +45,8 @@ PipeTracer::beginRun(Tick ticks_per_cycle)
     size_ = 0;
     dropped_ = 0;
     ticks_per_cycle_ = ticks_per_cycle;
+    if (sink_)
+        sink_->onBeginRun(ticks_per_cycle);
 }
 
 std::vector<PipeEvent>

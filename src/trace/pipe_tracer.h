@@ -11,9 +11,17 @@
  * are byte-identical with and without a tracer.
  *
  * When the buffer wraps, the oldest events are overwritten and
- * counted in dropped(): a bounded trace keeps the *tail* of the run,
- * which is the window that matters when debugging how a run ended.
- * Exporters surface the dropped count so truncation is never silent.
+ * counted in droppedEvents(): a bounded trace keeps the *tail* of the
+ * run, which is the window that matters when debugging how a run
+ * ended. Exporters surface the dropped count so truncation is never
+ * silent, and redsoc_sim prints a loud stderr warning when an export
+ * is truncated.
+ *
+ * Consumers that must see the COMPLETE stream — not just the ring's
+ * retained tail — attach a streaming TraceSink: record() forwards
+ * every event to the sink before ring-wrap bookkeeping, so a sink's
+ * view is never bounded by the ring capacity. The critical-path
+ * dependence-graph builder (src/critpath) is the canonical sink.
  */
 
 #ifndef REDSOC_TRACE_PIPE_TRACER_H
@@ -25,6 +33,30 @@
 #include "trace/trace_events.h"
 
 namespace redsoc {
+
+/**
+ * Streaming observer of the pipeline event stream. A sink attached
+ * to a PipeTracer receives every record()ed event in emission order,
+ * regardless of ring capacity: the ring may wrap and drop its head,
+ * the sink never misses an event. onBeginRun() mirrors
+ * PipeTracer::beginRun() so a sink can reset per-run state.
+ *
+ * Emission order is NOT globally tick-sorted: the core emits
+ * ExecBegin/Writeback at issue time with their (future) scheduled
+ * ticks. Sinks that need time-ordered views must reassemble per-op
+ * state, keyed by seq (commit order equals seq order).
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** A fresh core run began at @p ticks_per_cycle resolution. */
+    virtual void onBeginRun(Tick ticks_per_cycle) = 0;
+
+    /** One event, in emission order, before any ring overwrite. */
+    virtual void onEvent(const PipeEvent &event) = 0;
+};
 
 class PipeTracer
 {
@@ -41,6 +73,12 @@ class PipeTracer
     bool enabled() const { return enabled_; }
     void setEnabled(bool enabled) { enabled_ = enabled; }
 
+    /** Attach (or detach, with nullptr) a streaming sink. The sink
+     *  sees every event of every subsequent run; the caller keeps
+     *  ownership and must outlive the tracer's recording. */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+    TraceSink *sink() const { return sink_; }
+
     /** Record one event. The off path is a single branch. */
     void record(PipeEventKind kind, SeqNum seq, Tick tick, u8 arg = 0,
                 SeqNum link = kNoSeq)
@@ -53,6 +91,8 @@ class PipeTracer
         e.link = link;
         e.kind = kind;
         e.arg = arg;
+        if (sink_)
+            sink_->onEvent(e);
         ++head_;
         if (head_ == ring_.size())
             head_ = 0;
@@ -64,7 +104,12 @@ class PipeTracer
 
     size_t capacity() const { return ring_.size(); }
     size_t size() const { return size_; }
-    /** Events overwritten after the ring wrapped (0 = complete). */
+    /** Events overwritten after the ring wrapped (0 = complete).
+     *  This is the metrics-path truncation signal: a nonzero count
+     *  means any export of the retained ring is missing the head of
+     *  the run (attached TraceSinks still saw everything). */
+    u64 droppedEvents() const { return dropped_; }
+    /** Back-compat alias for droppedEvents(). */
     u64 dropped() const { return dropped_; }
     Tick ticksPerCycle() const { return ticks_per_cycle_; }
 
@@ -83,6 +128,7 @@ class PipeTracer
 
   private:
     std::vector<PipeEvent> ring_;
+    TraceSink *sink_ = nullptr;
     size_t head_ = 0;
     size_t size_ = 0;
     u64 dropped_ = 0;

@@ -41,7 +41,8 @@ enum class PipeEventKind : u8 {
     Select,    ///< grant cycle (arg bit0: EGPW-speculative grant)
     ExecBegin, ///< execution start; arg = sub-cycle CI of start tick
     Writeback, ///< completion; arg = sub-cycle CI of complete tick
-    Commit,    ///< in-order retirement
+    Commit,    ///< in-order retirement (arg bit0: the op was a
+               ///< mispredicted branch that redirected the frontend)
     Squash,    ///< terminal flush (reserved: the replay-based model
                ///< never discards a dispatched op today)
 

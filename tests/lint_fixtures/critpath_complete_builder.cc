@@ -1,0 +1,20 @@
+// Fixture: critpath-complete (R9) — the dependence-graph builder
+// translation unit. The rule wants every FixPipeKind enumerator
+// mentioned at least once (consumed or explicitly ignored).
+#include "critpath_complete_enum.h"
+
+namespace fixture {
+
+int
+consumeEvent(FixPipeKind k)
+{
+    switch (k) {
+    case FixPipeKind::Dispatch: return 1;
+    case FixPipeKind::Select: return 2;
+    case FixPipeKind::Writeback:
+        return 0; // timestamp folded into the select edge: ignored
+    default: return 0; // Squash falls through, unhandled
+    }
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: critpath-complete (R9) — the event-kind enum. Paired with
+// critpath_complete_builder.cc.
+#pragma once
+
+namespace fixture {
+
+enum class FixPipeKind : unsigned char {
+    Dispatch,   // line 8: consumed by the builder switch: clean
+    Select = 2, // line 9: initializer must not confuse the parser
+    Writeback,  // line 10: explicitly ignored by the builder: clean
+    Squash,     // line 11: never mentioned by the builder
+    // Exempted by design (visualization-only kind).
+    Heat, // redsoc-lint: allow(critpath-complete)
+    NUM,  // count sentinel: always skipped
+};
+
+} // namespace fixture

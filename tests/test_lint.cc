@@ -379,5 +379,58 @@ TEST(LintTree, AuditCompleteGuardsTheRealCatalogue)
               std::string::npos);
 }
 
+TEST(LintCritpathComplete, FiresForEveryUnconsumedKind)
+{
+    const SourceFile header = fixture("critpath_complete_enum.h");
+    const SourceFile bld = fixture("critpath_complete_builder.cc");
+
+    std::vector<Finding> out;
+    ruleCritpathComplete(header, "FixPipeKind", bld, out);
+
+    Sites got;
+    for (const Finding &f : out)
+        got.emplace_back(f.line, f.rule);
+    std::sort(got.begin(), got.end());
+    // Squash (11): the builder never mentions it. Dispatch/Select:
+    // consumed; Writeback: explicitly ignored (a mention counts);
+    // Heat: exempted via allow(critpath-complete); NUM: sentinel.
+    EXPECT_EQ(got, (Sites{{11, "critpath-complete"}}));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NE(out[0].message.find("Squash"), std::string::npos);
+    EXPECT_NE(out[0].message.find("critpath_complete_builder.cc"),
+              std::string::npos);
+}
+
+/** R9 is live on the real tree: drop an event kind's mentions from
+ *  the dependence-graph builder text and the rule must notice. */
+TEST(LintTree, CritpathCompleteGuardsTheRealBuilder)
+{
+    Options opt;
+    opt.root = kRoot;
+    SourceFile header = lexFile(kRoot + "/" + opt.critpath_header,
+                                opt.critpath_header);
+    SourceFile bld = lexFile(kRoot + "/" + opt.critpath_builder,
+                             opt.critpath_builder);
+
+    std::vector<Finding> ok;
+    ruleCritpathComplete(header, opt.critpath_enum, bld, ok);
+    EXPECT_TRUE(ok.empty());
+
+    // Simulate "added an event kind, forgot the dependence graph":
+    // erase every mention of RecycleLink from the builder's tokens.
+    SourceFile broken = bld;
+    broken.toks.erase(
+        std::remove_if(broken.toks.begin(), broken.toks.end(),
+                       [](const Token &t) {
+                           return t.text == "RecycleLink";
+                       }),
+        broken.toks.end());
+    std::vector<Finding> out;
+    ruleCritpathComplete(header, opt.critpath_enum, broken, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "critpath-complete");
+    EXPECT_NE(out[0].message.find("RecycleLink"), std::string::npos);
+}
+
 } // namespace
 } // namespace redsoc::lint

@@ -11,6 +11,7 @@
  *
  *   bench_all [fast] [--bench-dir DIR] [--cache-dir DIR] [--no-cache]
  *             [--profile] [--trace-dir DIR] [--sched-baseline FILE]
+ *             [--critpath]
  *
  * "fast" is forwarded to every harness. The cache directory defaults
  * to ".redsoc-cache" in the current directory (created on demand);
@@ -25,6 +26,9 @@
  * kernel microbenchmark also diffs against the committed
  * BENCH_sched.json perf baseline (see tools/bench_sched.cc for the
  * calibrated-wall-clock contract); a diff failure fails bench_all.
+ * --critpath appends the analytic what-if engine benchmark
+ * (tools/bench_critpath) to the combined report, forwarding "fast";
+ * its exactness or speedup gate failing fails bench_all.
  */
 
 #include <cstdio>
@@ -91,6 +95,7 @@ main(int argc, char **argv)
 {
     bool fast = false;
     bool use_cache = true;
+    bool critpath = false;
     std::string bench_dir = defaultBenchDir();
     std::string cache_dir = ".redsoc-cache";
     std::string sched_baseline;
@@ -111,11 +116,14 @@ main(int argc, char **argv)
             ::setenv("REDSOC_TRACE_DIR", argv[++i], 1);
         } else if (arg == "--sched-baseline" && i + 1 < argc) {
             sched_baseline = argv[++i];
+        } else if (arg == "--critpath") {
+            critpath = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [fast] [--bench-dir DIR] "
                          "[--cache-dir DIR] [--no-cache] [--profile] "
-                         "[--trace-dir DIR] [--sched-baseline FILE]\n",
+                         "[--trace-dir DIR] [--sched-baseline FILE] "
+                         "[--critpath]\n",
                          argv[0]);
             return 2;
         }
@@ -172,6 +180,27 @@ main(int argc, char **argv)
         if (rc != 0)
             ++failures;
         summary.addRow({"bench_sched", rc == 0 ? "ok" : "FAIL",
+                        Table::num(secs, 2)});
+        std::printf("\n");
+    }
+
+    // --critpath: the analytic what-if engine benchmark. Like
+    // bench_sched it is a tool, not a figure harness; its JSON feed
+    // goes to stdout on its own, so discard it here and keep the
+    // stderr tables.
+    if (critpath) {
+        std::string cmd = "\"" + exeDir() + "/bench_critpath\"";
+        if (fast)
+            cmd += " fast";
+        cmd += " > /dev/null";
+        std::printf("$ %s\n", cmd.c_str());
+        std::fflush(stdout);
+        const auto h0 = std::chrono::steady_clock::now();
+        const int rc = std::system(cmd.c_str());
+        const double secs = seconds(h0, std::chrono::steady_clock::now());
+        if (rc != 0)
+            ++failures;
+        summary.addRow({"bench_critpath", rc == 0 ? "ok" : "FAIL",
                         Table::num(secs, 2)});
         std::printf("\n");
     }

@@ -137,6 +137,18 @@ lintTree(const Options &opt)
         ruleAuditComplete(header, opt.audit_enum, tst, out);
     }
 
+    // R9 runs once over the trace-event schema and the critpath
+    // dependence-graph builder.
+    if (fs::exists(root / opt.critpath_header, ec) &&
+        fs::exists(root / opt.critpath_builder, ec)) {
+        SourceFile header = lexFile(
+            (root / opt.critpath_header).string(), opt.critpath_header);
+        SourceFile bld = lexFile(
+            (root / opt.critpath_builder).string(),
+            opt.critpath_builder);
+        ruleCritpathComplete(header, opt.critpath_enum, bld, out);
+    }
+
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.path != b.path)

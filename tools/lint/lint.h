@@ -40,6 +40,12 @@
  *                 regression suite, so every runtime invariant check
  *                 keeps a unit test proving it fires on corrupted
  *                 state.
+ *   critpath-complete (R9) every PipeEventKind enumerator (NUM
+ *                 sentinel excluded) appears at least once in the
+ *                 critpath DepGraphBuilder translation unit — its
+ *                 event switch must consume or explicitly ignore
+ *                 every kind — so "added an event kind, forgot the
+ *                 dependence graph" cannot recur.
  *   hot-alloc     (R8) heap allocation inside the per-cycle scheduler
  *                 functions (the bodies the simulator executes every
  *                 simulated cycle): 'new', push_back/emplace_back on
@@ -211,6 +217,16 @@ void ruleAuditComplete(const SourceFile &header,
                        const SourceFile &tests,
                        std::vector<Finding> &out);
 
+/** R9: every enumerator of @p enum_name in @p header — except the
+ *  NUM count sentinel — must appear >= 1 time in @p builder (the
+ *  critpath DepGraphBuilder event switch must consume or explicitly
+ *  ignore every event kind; a kind it never mentions is pipeline
+ *  behavior the re-timer silently cannot see). */
+void ruleCritpathComplete(const SourceFile &header,
+                          const std::string &enum_name,
+                          const SourceFile &builder,
+                          std::vector<Finding> &out);
+
 /** R8: no heap allocation inside the bodies of the per-cycle
  *  scheduler functions. @p hot_paths gates the rule to the scheduler
  *  sources; @p hot_functions names the function definitions whose
@@ -251,6 +267,12 @@ struct Options
     std::string audit_enum = "InvariantAudit";
     std::string audit_header = "src/core/invariant_audit.h";
     std::string audit_tests = "tests/test_fuzz_regress.cc";
+
+    // R9 wiring (relative to root; rule skipped if either file is
+    // missing). Reuses the R5 trace-event schema header.
+    std::string critpath_enum = "PipeEventKind";
+    std::string critpath_header = "src/trace/trace_events.h";
+    std::string critpath_builder = "src/critpath/dep_graph_builder.cc";
 
     // R8 wiring: files (path prefixes) and function definitions the
     // hot-alloc rule scans. The list is the per-cycle call graph of

@@ -764,6 +764,31 @@ ruleAuditComplete(const SourceFile &header,
 }
 
 void
+ruleCritpathComplete(const SourceFile &header,
+                     const std::string &enum_name,
+                     const SourceFile &builder,
+                     std::vector<Finding> &out)
+{
+    for (const EnumInfo &e : parseEnums(header)) {
+        if (e.name != enum_name)
+            continue;
+        for (const EnumeratorInfo &en : e.enumerators) {
+            if (en.name == "NUM")
+                continue; // count sentinel, never a real event
+            if (countIdent(builder, en.name) < 1)
+                emit(header, en.line, "critpath-complete",
+                     enum_name + " enumerator '" + en.name +
+                         "' is not handled by the dependence-graph "
+                         "builder (" + builder.path +
+                         " must consume or explicitly ignore it in "
+                         "the event switch, or re-timed sweeps "
+                         "silently lose that pipeline behavior)",
+                     out);
+        }
+    }
+}
+
+void
 ruleStatComplete(const SourceFile &header,
                  const std::string &struct_name,
                  const SourceFile &serializer,

@@ -214,12 +214,25 @@ main(int argc, char **argv)
         writeTraceFile(trace_path, fmt, tracer, trace);
         std::printf("trace: %zu events (%llu dropped) -> %s [%s]\n",
                     tracer.size(),
-                    static_cast<unsigned long long>(tracer.dropped()),
+                    static_cast<unsigned long long>(
+                        tracer.droppedEvents()),
                     trace_path.c_str(),
                     fmt == TraceFormat::Chrome ? "chrome" : "konata");
-        std::fputs(
-            renderTraceMetrics(computeTraceMetrics(tracer, trace)).c_str(),
-            stdout);
+        const TraceMetrics metrics = computeTraceMetrics(tracer, trace);
+        if (metrics.droppedEvents() != 0) {
+            std::fprintf(
+                stderr,
+                "WARNING: trace export TRUNCATED: the event ring "
+                "wrapped and %llu events from the head of the run "
+                "were dropped (kept the most recent %zu). Re-run "
+                "with --trace-cap >= %llu for a complete trace.\n",
+                static_cast<unsigned long long>(
+                    metrics.droppedEvents()),
+                tracer.size(),
+                static_cast<unsigned long long>(
+                    metrics.droppedEvents() + tracer.size()));
+        }
+        std::fputs(renderTraceMetrics(metrics).c_str(), stdout);
     } else {
         stats = driver.run(workload, cfg);
     }
