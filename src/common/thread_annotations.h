@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Thread-safety annotation macros, enforced twice.
+ *
+ * Every concurrent class in the tree declares its lock discipline in
+ * the type itself: which mutex guards which field
+ * (`REDSOC_GUARDED_BY`), which private helpers assume the lock is
+ * already held (`REDSOC_REQUIRES`), which entry points must be called
+ * unlocked (`REDSOC_EXCLUDES`), and which fields are deliberately
+ * unguarded because they are immutable after construction or
+ * externally synchronized (`REDSOC_NOT_GUARDED`). Two independent
+ * checkers consume the annotations:
+ *
+ *  1. **clang `-Wthread-safety`.** Under clang the macros lower to the
+ *     native capability attributes, so `-DREDSOC_THREAD_SAFETY=ON`
+ *     (clang + libc++, see the top-level CMakeLists) verifies the
+ *     discipline with the compiler's flow-sensitive analysis. libc++
+ *     annotates `std::mutex` and `std::lock_guard` when
+ *     `_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS` is defined, which
+ *     that option also sets. libc++ does *not* annotate
+ *     `std::unique_lock`, so the few functions that need manual
+ *     unlock/relock windows or condition-variable waits carry
+ *     `REDSOC_NO_THREAD_SAFETY_ANALYSIS` — checker 2 still covers
+ *     them.
+ *  2. **`redsoc_lint` R10/R11 (`guarded-by` / `lock-order`).** The
+ *     in-tree analyzer parses the same macros with its own scope tree
+ *     and symbol tables (tools/lint/scopes.h, symtab.h), models
+ *     `lock_guard`/`unique_lock`/`scoped_lock` *including* manual
+ *     `.unlock()`/`.lock()` windows, and additionally builds the
+ *     global mutex-acquisition graph to reject lock-order cycles.
+ *     It runs on every build of every compiler, so the discipline is
+ *     machine-checked even where clang is unavailable (this container
+ *     ships only GCC).
+ *
+ * On GCC (and on clang without `REDSOC_THREAD_SAFETY`) every macro
+ * expands to nothing; the annotations are then purely redsoc_lint
+ * input and cost zero.
+ *
+ * Placement: field annotations go after the declarator, before any
+ * initializer (`unsigned active_ REDSOC_GUARDED_BY(mu_) = 0;`);
+ * function annotations go after the parameter list, before the body
+ * or `;` (`bool idle() const REDSOC_REQUIRES(mu_);`).
+ */
+
+#ifndef REDSOC_COMMON_THREAD_ANNOTATIONS_H
+#define REDSOC_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(REDSOC_THREAD_SAFETY)
+#define REDSOC_TS_ATTR(x) __attribute__((x))
+#else
+#define REDSOC_TS_ATTR(x) // no-op outside the clang verification build
+#endif
+
+/** Field is protected by mutex @p x: every read and write must hold
+ *  it (via a guard object or a REDSOC_REQUIRES context). */
+#define REDSOC_GUARDED_BY(x) REDSOC_TS_ATTR(guarded_by(x))
+
+/** Pointee of an annotated pointer field is protected by @p x. */
+#define REDSOC_PT_GUARDED_BY(x) REDSOC_TS_ATTR(pt_guarded_by(x))
+
+/** Function may only be called with the named mutex(es) held. */
+#define REDSOC_REQUIRES(...) \
+    REDSOC_TS_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function may only be called with the named mutex(es) NOT held
+ *  (it acquires them itself; calling locked would self-deadlock). */
+#define REDSOC_EXCLUDES(...) REDSOC_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Function acquires / releases the named mutex(es) (lock wrappers). */
+#define REDSOC_ACQUIRE(...) \
+    REDSOC_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define REDSOC_RELEASE(...) \
+    REDSOC_TS_ATTR(release_capability(__VA_ARGS__))
+
+/** Escape hatch for bodies clang cannot analyze (libc++ leaves
+ *  std::unique_lock and std::condition_variable unannotated). Always
+ *  pair with a comment naming why; redsoc_lint R10 still checks the
+ *  body, so the discipline stays machine-verified. */
+#define REDSOC_NO_THREAD_SAFETY_ANALYSIS \
+    REDSOC_TS_ATTR(no_thread_safety_analysis)
+
+/**
+ * Deliberately unguarded field in a mutex-owning class. Expands to
+ * nothing for every compiler; it exists for redsoc_lint R10's
+ * coverage check, which requires every non-mutex field of a class
+ * that owns a mutex to state its discipline explicitly — either
+ * REDSOC_GUARDED_BY(mu) or this marker (immutable after
+ * construction, or synchronized by some external protocol that the
+ * adjacent comment must name).
+ */
+#define REDSOC_NOT_GUARDED
+
+#endif // REDSOC_COMMON_THREAD_ANNOTATIONS_H

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/ooo_core.h"
 #include "sim/run_cache.h"
 #include "trace/pipe_tracer.h"
@@ -105,12 +106,20 @@ class SimDriver
     std::shared_future<CoreStats> runFuture(const std::string &workload,
                                             const CoreConfig &config);
 
-    SeqNum max_ops_;
-    std::optional<RunCache> disk_cache_;
+    // Both immutable after the constructor; RunCache itself is
+    // stateless (every method const, on-disk writes are atomic
+    // renames), so concurrent use needs no lock.
+    SeqNum max_ops_ REDSOC_NOT_GUARDED;
+    std::optional<RunCache> disk_cache_ REDSOC_NOT_GUARDED;
 
+    // mu_ only guards the future maps: a point's slot is claimed
+    // under the lock, but the simulation itself runs unlocked and
+    // waiters block on the shared_future, never on mu_.
     std::mutex mu_;
-    std::map<std::string, std::shared_future<Trace>> traces_;
-    std::map<std::string, std::shared_future<CoreStats>> results_;
+    std::map<std::string, std::shared_future<Trace>> traces_
+        REDSOC_GUARDED_BY(mu_);
+    std::map<std::string, std::shared_future<CoreStats>> results_
+        REDSOC_GUARDED_BY(mu_);
 };
 
 /** Convenience: preset core with a scheduler mode applied. */

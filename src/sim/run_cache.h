@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "core/ooo_core.h"
 
 namespace redsoc {
@@ -61,7 +62,13 @@ class RunCache
     static Totals scan(const std::string &dir);
 
   private:
-    std::string dir_;
+    // RunCache holds no mutex by design: dir_ is immutable after
+    // construction and all cross-thread/cross-process coordination is
+    // delegated to the filesystem — store() writes a unique temp file
+    // and publishes it with an atomic std::filesystem::rename, load()
+    // treats any torn/mismatched file as a miss. Concurrent harnesses
+    // sharing REDSOC_CACHE_DIR therefore need no locking protocol.
+    std::string dir_ REDSOC_NOT_GUARDED;
 };
 
 /** Text codec for CoreStats (exposed for tests). */

@@ -35,12 +35,18 @@ ThreadPool::submit(std::function<void()> task)
     task_ready_.notify_one();
 }
 
+// wait() and workerLoop() drive a std::unique_lock through a
+// condition-variable protocol; libc++ does not annotate unique_lock,
+// so both bodies are opted out of clang's analysis
+// (REDSOC_NO_THREAD_SAFETY_ANALYSIS on the declarations) and checked
+// by redsoc_lint R10 instead, which models unique_lock including the
+// manual unlock()/lock() window around task().
 void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mu_);
-    all_idle_.wait(lock,
-                   [this] { return queue_.empty() && active_ == 0; });
+    while (!idle())
+        all_idle_.wait(lock);
     if (first_error_) {
         std::exception_ptr err = first_error_;
         first_error_ = nullptr;
@@ -53,8 +59,8 @@ ThreadPool::workerLoop()
 {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-        task_ready_.wait(
-            lock, [this] { return stopping_ || !queue_.empty(); });
+        while (!stopping_ && queue_.empty())
+            task_ready_.wait(lock);
         if (queue_.empty()) {
             if (stopping_)
                 return;
@@ -74,7 +80,7 @@ ThreadPool::workerLoop()
         }
         lock.lock();
         --active_;
-        if (queue_.empty() && active_ == 0)
+        if (idle())
             all_idle_.notify_all();
     }
 }

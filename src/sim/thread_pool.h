@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace redsoc {
 
 class ThreadPool
@@ -40,21 +42,29 @@ class ThreadPool
      * task threw, the first captured exception is rethrown here (the
      * remaining tasks still ran).
      */
-    void wait();
+    void wait() REDSOC_NO_THREAD_SAFETY_ANALYSIS;
 
     unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
 
   private:
-    void workerLoop();
+    void workerLoop() REDSOC_NO_THREAD_SAFETY_ANALYSIS;
+
+    /** Nothing queued and nothing running: wait() may return. */
+    bool idle() const REDSOC_REQUIRES(mu_)
+    {
+        return queue_.empty() && active_ == 0;
+    }
 
     std::mutex mu_;
     std::condition_variable task_ready_;
     std::condition_variable all_idle_;
-    std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> workers_;
-    std::exception_ptr first_error_;
-    unsigned active_ = 0;
-    bool stopping_ = false;
+    std::deque<std::function<void()>> queue_ REDSOC_GUARDED_BY(mu_);
+    // Written only by the constructor, joined only by the destructor;
+    // workers never touch the vector itself.
+    std::vector<std::thread> workers_ REDSOC_NOT_GUARDED;
+    std::exception_ptr first_error_ REDSOC_GUARDED_BY(mu_);
+    unsigned active_ REDSOC_GUARDED_BY(mu_) = 0;
+    bool stopping_ REDSOC_GUARDED_BY(mu_) = false;
 };
 
 /** Process-wide pool shared by every SimDriver batch call. */

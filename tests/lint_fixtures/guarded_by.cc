@@ -1,0 +1,57 @@
+// R10 fixture: lock discipline over the REDSOC_* thread-safety
+// annotations. Lexed, never compiled; expected findings are pinned
+// to exact lines, so keep line numbers stable when editing.
+
+#include <mutex>
+
+struct Counter
+{
+    void bumpLocked()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        hits_ += 1; // clean: the guard holds mu_
+    }
+
+    void bumpRacy()
+    {
+        hits_ += 1; // fires: mu_ not held
+    }
+
+    void windowed()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        hits_ += 1; // clean
+        lk.unlock();
+        hits_ += 1; // fires: inside the unlock window
+        lk.lock();
+        hits_ += 1; // clean again
+    }
+
+    void drainLocked() REDSOC_REQUIRES(mu_)
+    {
+        hits_ = 0; // clean: held by caller contract
+    }
+
+    void callers()
+    {
+        drainLocked(); // fires: REQUIRES(mu_) not held here
+        std::lock_guard<std::mutex> lk(mu_);
+        drainLocked(); // clean
+        rebalance();   // fires: EXCLUDES(mu_) while holding it
+    }
+
+    void rebalance() REDSOC_EXCLUDES(mu_)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        hits_ += 2; // clean
+    }
+
+    void tolerated()
+    {
+        hits_ += 3; // redsoc-lint: allow(guarded-by)
+    }
+
+    std::mutex mu_;
+    long hits_ REDSOC_GUARDED_BY(mu_) = 0;
+    long lossy_ REDSOC_NOT_GUARDED = 0;
+};

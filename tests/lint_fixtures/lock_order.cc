@@ -1,0 +1,43 @@
+// R11 fixture (clean): every nested acquisition agrees on the
+// global order alpha_ -> beta_, so the acquisition graph stays
+// acyclic. test_lint.cc additionally swaps the pair inside debit()
+// to prove the cycle check notices an inversion.
+
+#include <mutex>
+
+struct Ledger
+{
+    void credit()
+    {
+        std::lock_guard<std::mutex> a(alpha_);
+        std::lock_guard<std::mutex> b(beta_);
+        total_ += 1;
+    }
+
+    // The mutation test rewrites alpha_/beta_ tokens on lines 20-24
+    // only; keep debit() exactly there.
+    void debit()
+    {
+        std::lock_guard<std::mutex> a(alpha_);
+        std::lock_guard<std::mutex> b(beta_);
+        total_ -= 1;
+    }
+
+    void audit()
+    {
+        std::scoped_lock both(alpha_, beta_);
+        total_ = 0; // clean: one atomic acquisition group
+    }
+
+    void migrate()
+    {
+        std::lock_guard<std::mutex> b(beta_);
+        // redsoc-lint: allow(lock-order)
+        std::lock_guard<std::mutex> a(alpha_);
+        total_ += 2;
+    }
+
+    std::mutex alpha_;
+    std::mutex beta_;
+    long total_ REDSOC_GUARDED_BY(beta_) = 0;
+};

@@ -1,0 +1,29 @@
+// R11 fixture (firing): an inverted two-lock pair plus a
+// double-acquire. Expected findings are pinned to exact lines.
+
+#include <mutex>
+
+struct Deadlocky
+{
+    void forward()
+    {
+        std::lock_guard<std::mutex> a(first_);
+        std::lock_guard<std::mutex> b(second_); // edge first->second
+    }
+
+    void backward()
+    {
+        std::lock_guard<std::mutex> b(second_);
+        std::lock_guard<std::mutex> a(first_); // edge second->first
+    }
+
+    void reenter()
+    {
+        first_.lock();
+        std::lock_guard<std::mutex> again(first_); // double-acquire
+        first_.unlock();
+    }
+
+    std::mutex first_;
+    std::mutex second_;
+};

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "lint.h"
+#include "symtab.h"
 
 namespace redsoc::lint {
 namespace {
@@ -430,6 +431,258 @@ TEST(LintTree, CritpathCompleteGuardsTheRealBuilder)
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].rule, "critpath-complete");
     EXPECT_NE(out[0].message.find("RecycleLink"), std::string::npos);
+}
+
+TEST(LintScopeTree, ClassifiesScopesAndParsesContracts)
+{
+    const SourceFile sf = lex(
+        "t.cc",
+        "namespace ns {\n"
+        "struct S {\n"
+        "    void m() REDSOC_REQUIRES(mu_) { if (x) { } }\n"
+        "    std::mutex mu_;\n"
+        "};\n"
+        "void free_fn() {\n"
+        "    auto f = [&] { return 1; };\n"
+        "}\n"
+        "S make() { return S{}; }\n"
+        "} // namespace ns\n");
+    const ScopeTree tree = buildScopeTree(sf);
+
+    std::vector<std::pair<ScopeKind, std::string>> got;
+    for (const Scope &sc : tree.scopes)
+        got.emplace_back(sc.kind, sc.name);
+    const std::vector<std::pair<ScopeKind, std::string>> want = {
+        {ScopeKind::File, ""},      {ScopeKind::Namespace, "ns"},
+        {ScopeKind::Class, "S"},    {ScopeKind::Function, "m"},
+        {ScopeKind::Block, ""},     {ScopeKind::Function, "free_fn"},
+        {ScopeKind::Lambda, ""},    {ScopeKind::Function, "make"},
+        {ScopeKind::Block, ""}};
+    EXPECT_EQ(got, want);
+
+    for (const Scope &sc : tree.scopes) {
+        if (sc.kind != ScopeKind::Function || sc.name != "m")
+            continue;
+        EXPECT_EQ(sc.class_name, "S");
+        EXPECT_EQ(sc.requires_, std::vector<std::string>{"mu_"});
+    }
+}
+
+TEST(LintSymtab, ParsesFieldsAnnotationsAndContracts)
+{
+    const SourceFile sf = lex(
+        "t.h",
+        "struct Box {\n"
+        "  public:\n"
+        "    void fill() REDSOC_REQUIRES(mu_);\n"
+        "    void drain() REDSOC_EXCLUDES(mu_);\n"
+        "    Box &operator=(const Box &) = delete;\n"
+        "  private:\n"
+        "    std::mutex mu_;\n"
+        "    std::condition_variable cv_;\n"
+        "    int depth_ REDSOC_GUARDED_BY(mu_) = 0;\n"
+        "    int version_ REDSOC_NOT_GUARDED = 0;\n"
+        "    static int total_;\n"
+        "};\n");
+    const SymbolTable tab = buildSymbolTable(sf, buildScopeTree(sf));
+    const ClassSym *box = tab.find("Box");
+    ASSERT_NE(box, nullptr);
+    EXPECT_TRUE(box->ownsMutex());
+    ASSERT_EQ(box->fields.size(), 4u); // static + operator= excluded
+    ASSERT_NE(box->field("mu_"), nullptr);
+    EXPECT_TRUE(box->field("mu_")->is_mutex);
+    ASSERT_NE(box->field("cv_"), nullptr);
+    EXPECT_TRUE(box->field("cv_")->is_cv);
+    ASSERT_NE(box->field("depth_"), nullptr);
+    EXPECT_EQ(box->field("depth_")->guarded_by, "mu_");
+    ASSERT_NE(box->field("version_"), nullptr);
+    EXPECT_TRUE(box->field("version_")->not_guarded);
+    const MethodSym *fill = box->method("fill");
+    ASSERT_NE(fill, nullptr);
+    EXPECT_EQ(fill->requires_, std::vector<std::string>{"mu_"});
+    const MethodSym *drain = box->method("drain");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->excludes_, std::vector<std::string>{"mu_"});
+}
+
+TEST(LintRules, GuardedByFiresOnUnheldAccessAndContracts)
+{
+    // 17: plain unlocked access; 25: inside a manual unlock window;
+    // 37: calling a REQUIRES method unlocked; 40: calling an
+    // EXCLUDES method locked. 51 is suppressed via allow().
+    EXPECT_EQ(sites("guarded_by.cc"),
+              (Sites{{17, "guarded-by"},
+                     {25, "guarded-by"},
+                     {37, "guarded-by"},
+                     {40, "guarded-by"}}));
+}
+
+TEST(LintRules, GuardedByCoverageDemandsDisciplineUnderSrc)
+{
+    SourceFile sf = fixture("guarded_by.cc");
+    sf.path = "src/sim/guarded_by.cc"; // pretend-location
+    const Options opt;
+    auto run = [&](const SourceFile &f) {
+        const ScopeTree tree = buildScopeTree(f);
+        const SymbolTable tab = buildSymbolTable(f, tree);
+        std::vector<Finding> out;
+        ruleGuardedBy(f, tree, tab, tab, opt.guarded_coverage_paths,
+                      out, nullptr);
+        return out;
+    };
+    // Fully annotated: the coverage arm adds nothing beyond the four
+    // enforcement findings.
+    EXPECT_EQ(run(sf).size(), 4u);
+
+    // Delete the REDSOC_NOT_GUARDED annotation: its field must now
+    // be reported as declaring no discipline.
+    SourceFile broken = sf;
+    std::erase_if(broken.toks, [](const Token &t) {
+        return t.text == "REDSOC_NOT_GUARDED";
+    });
+    const std::vector<Finding> out = run(broken);
+    ASSERT_EQ(out.size(), 5u);
+    bool hit = false;
+    for (const Finding &f : out)
+        hit = hit || (f.line == 56 && f.rule == "guarded-by" &&
+                      f.message.find("lossy_") != std::string::npos);
+    EXPECT_TRUE(hit);
+}
+
+/** R10 is live on the real tree: delete one GUARDED_BY annotation
+ *  from the thread pool header and the coverage arm must notice. */
+TEST(LintTree, GuardedByGuardsTheRealThreadPool)
+{
+    const std::string rel = "src/sim/thread_pool.h";
+    const SourceFile sf = lexFile(kRoot + "/" + rel, rel);
+    const Options opt;
+    auto run = [&](const SourceFile &f) {
+        const ScopeTree tree = buildScopeTree(f);
+        const SymbolTable tab = buildSymbolTable(f, tree);
+        std::vector<Finding> out;
+        ruleGuardedBy(f, tree, tab, tab, opt.guarded_coverage_paths,
+                      out, nullptr);
+        return out;
+    };
+    EXPECT_TRUE(run(sf).empty());
+
+    // Erase the first REDSOC_GUARDED_BY(mu_) group (queue_'s).
+    SourceFile broken = sf;
+    for (size_t i = 0; i + 3 < broken.toks.size(); ++i) {
+        if (broken.toks[i].text == "REDSOC_GUARDED_BY") {
+            broken.toks.erase(broken.toks.begin() +
+                                  static_cast<long>(i),
+                              broken.toks.begin() +
+                                  static_cast<long>(i) + 4);
+            break;
+        }
+    }
+    const std::vector<Finding> out = run(broken);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "guarded-by");
+    EXPECT_NE(out[0].message.find("ThreadPool::queue_"),
+              std::string::npos);
+}
+
+TEST(LintRules, LockOrderFiresOnCycleAndSelfDeadlock)
+{
+    // 11: anchor of the first_/second_ inversion cycle; 23: the
+    // double-acquire self-edge.
+    EXPECT_EQ(sites("lock_order_cycle.cc"),
+              (Sites{{11, "lock-order"}, {23, "lock-order"}}));
+}
+
+/** R11 is live: the consistently-ordered fixture is clean, and
+ *  inverting debit()'s nested pair makes the cycle check fire. */
+TEST(LintRules, LockOrderNoticesAnInvertedPair)
+{
+    EXPECT_EQ(sites("lock_order.cc"), Sites{});
+
+    SourceFile sf = fixture("lock_order.cc");
+    for (Token &t : sf.toks) {
+        if (t.line < 20 || t.line > 24)
+            continue;
+        if (t.text == "alpha_")
+            t.text = "beta_";
+        else if (t.text == "beta_")
+            t.text = "alpha_";
+    }
+    const std::vector<Finding> out = lintFile(sf, Options{});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "lock-order");
+    EXPECT_NE(out[0].message.find("cycle"), std::string::npos);
+    EXPECT_NE(out[0].message.find("Ledger::alpha_"),
+              std::string::npos);
+    EXPECT_NE(out[0].message.find("Ledger::beta_"),
+              std::string::npos);
+}
+
+TEST(LintRules, NondetTaintTracksSourcesThroughLocals)
+{
+    // 22: now() through two locals; 27: wall-clock stat readback;
+    // 36: unordered iteration order; 44: pointer-to-integer cast.
+    // 28 is suppressed via allow(); 24 is killed by an overwrite.
+    EXPECT_EQ(sites("nondet_taint.cc"),
+              (Sites{{22, "nondet-taint"},
+                     {27, "nondet-taint"},
+                     {36, "nondet-taint"},
+                     {44, "nondet-taint"}}));
+}
+
+/** R12 is live on the real core: retarget the one wall-clock write
+ *  from the exempt sim_seconds stat to a determinism sink and the
+ *  taint rule must notice. */
+TEST(LintTree, NondetTaintGuardsTheRealCoreStats)
+{
+    Options opt;
+    opt.root = kRoot;
+    const SourceFile header =
+        lexFile(kRoot + "/" + opt.stats_header, opt.stats_header);
+    const std::string core_rel = "src/core/ooo_core.cc";
+    const SourceFile core =
+        lexFile(kRoot + "/" + core_rel, core_rel);
+
+    auto run = [&](const SourceFile &cc) {
+        SymbolTable tab;
+        tab.addFile(header, buildScopeTree(header));
+        const ScopeTree tree = buildScopeTree(cc);
+        tab.addFile(cc, tree);
+        std::vector<Finding> out;
+        ruleNondetTaint(cc, tree, tab, opt.taint_sink_suffixes,
+                        opt.taint_sink_structs,
+                        opt.taint_exempt_fields, out);
+        return out;
+    };
+    EXPECT_TRUE(run(core).empty());
+
+    // Pretend the steady_clock result were stored into 'cycles'
+    // instead of the designated wall-clock stat.
+    SourceFile broken = core;
+    for (size_t i = 0; i + 1 < broken.toks.size(); ++i)
+        if (broken.toks[i].text == "sim_seconds" &&
+            broken.toks[i + 1].text == "=") {
+            broken.toks[i].text = "cycles";
+            break;
+        }
+    const std::vector<Finding> out = run(broken);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "nondet-taint");
+    EXPECT_NE(out[0].message.find("CoreStats::cycles"),
+              std::string::npos);
+}
+
+/** --jobs must not affect the findings, only the wall clock. */
+TEST(LintTree, FindingsAreIdenticalAcrossJobCounts)
+{
+    Options serial;
+    serial.root = kRoot;
+    Options threaded = serial;
+    threaded.jobs = 4;
+    const std::vector<Finding> a = lintTree(serial);
+    const std::vector<Finding> b = lintTree(threaded);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].pretty(), b[i].pretty());
 }
 
 } // namespace

@@ -56,6 +56,41 @@
  *                 allocation-free; an allocation that sneaks back in
  *                 is a silent throughput regression the differential
  *                 tests cannot catch.
+ *   guarded-by    (R10) lock-discipline enforcement over the
+ *                 src/common/thread_annotations.h macros: every
+ *                 read/write of a REDSOC_GUARDED_BY(mu) field must
+ *                 happen in a scope holding mu — a live
+ *                 lock_guard/unique_lock/scoped_lock (manual
+ *                 .unlock()/.lock() windows modeled), a direct
+ *                 mu.lock() region, or a REDSOC_REQUIRES(mu)
+ *                 function; calls of REQUIRES methods need the lock
+ *                 held, calls of EXCLUDES methods need it free. A
+ *                 coverage arm keeps the annotations honest: in a
+ *                 mutex-owning class under src/ or tools/, every
+ *                 plain field must carry REDSOC_GUARDED_BY or an
+ *                 explicit REDSOC_NOT_GUARDED.
+ *   lock-order    (R11) the global mutex-acquisition graph (an edge
+ *                 A->B per site acquiring B while holding A, merged
+ *                 across every linted file) must be acyclic; any
+ *                 cycle — including a self-edge, i.e. re-acquiring a
+ *                 held non-recursive mutex — is a deadlock the test
+ *                 schedule merely hasn't hit yet. Reported
+ *                 canonically: one finding per strongly connected
+ *                 component, anchored at its lexicographically
+ *                 smallest site, edges listed sorted.
+ *   nondet-taint  (R12) flow-sensitive generalization of R2/R5:
+ *                 values assigned from nondeterministic sources
+ *                 (wall clocks, random/pid/thread-id APIs,
+ *                 pointer-to-integer casts, range-for over unordered
+ *                 containers, reads of the wall-clock-derived
+ *                 sim_seconds stat) taint the local they are stored
+ *                 in, propagate through further assignments, and
+ *                 must never reach a determinism sink: a field of
+ *                 any *Stats struct (sim_seconds itself exempt — it
+ *                 is the one designated wall-clock stat), of
+ *                 PipeEvent, or of Finding. Intra-procedural and
+ *                 assignment-based by design; see DESIGN.md for the
+ *                 soundness boundary.
  *
  * Findings print as "file:line: [rule-id] message". A finding is
  * suppressed by a comment "// redsoc-lint: allow(rule-id)" (or
@@ -227,6 +262,57 @@ void ruleCritpathComplete(const SourceFile &header,
                           const SourceFile &builder,
                           std::vector<Finding> &out);
 
+// Semantic rules (R10-R12). ScopeTree and SymbolTable are defined in
+// scopes.h / symtab.h; the driver builds them once per file and the
+// symbol table is additionally merged across the whole tree so .cc
+// walks see their header's annotations.
+struct ScopeTree;
+struct SymbolTable;
+
+/** One observed nested acquisition: @p second was locked while
+ *  @p first was held, at @p path:@p line. first == second records a
+ *  double-acquire. Mutex names are class-qualified ("C::mu_"). */
+struct LockEdge
+{
+    std::string first;
+    std::string second;
+    std::string path;
+    int line = 0;
+};
+
+/**
+ * R10: guarded-by enforcement + annotation coverage for one file.
+ * @p symtab resolves fields/contracts (tree-merged in tree mode);
+ * @p coverage_tab restricts the coverage arm to classes declared in
+ * this file; @p coverage_paths gates coverage to real code (path
+ * prefixes). When @p edges is non-null the walk also records every
+ * nested acquisition for R11.
+ */
+void ruleGuardedBy(const SourceFile &sf, const ScopeTree &tree,
+                   const SymbolTable &symtab,
+                   const SymbolTable &coverage_tab,
+                   const std::vector<std::string> &coverage_paths,
+                   std::vector<Finding> &out,
+                   std::vector<LockEdge> *edges);
+
+/** R11: cycle check over the merged acquisition graph. Findings are
+ *  deterministic: one per SCC, smallest site first, edges sorted. */
+void ruleLockOrder(const std::vector<LockEdge> &edges,
+                   std::vector<Finding> &out);
+
+/**
+ * R12: nondeterminism taint tracking for one file. Sink fields come
+ * from @p symtab: every field of a class whose name ends in one of
+ * @p sink_suffixes or equals one of @p sink_structs, minus
+ * @p exempt_fields (whose *reads* are instead taint sources).
+ */
+void ruleNondetTaint(const SourceFile &sf, const ScopeTree &tree,
+                     const SymbolTable &symtab,
+                     const std::vector<std::string> &sink_suffixes,
+                     const std::vector<std::string> &sink_structs,
+                     const std::vector<std::string> &exempt_fields,
+                     std::vector<Finding> &out);
+
 /** R8: no heap allocation inside the bodies of the per-cycle
  *  scheduler functions. @p hot_paths gates the rule to the scheduler
  *  sources; @p hot_functions names the function definitions whose
@@ -285,14 +371,37 @@ struct Options
         "armAt",            "issueOp",       "nextAtOrAfter",
         "popAtOrAfter",     "fastForward"};
 
+    // R10 coverage gate: the "every field states its discipline"
+    // arm only applies to real code, not fixtures lexed under test
+    // paths.
+    std::vector<std::string> guarded_coverage_paths = {"src/",
+                                                       "tools/"};
+
+    // R12 sink configuration. sim_seconds is the one stat defined as
+    // wall-clock time; writing it from a clock is its purpose, and
+    // reading it back is itself a taint source.
+    std::vector<std::string> taint_sink_suffixes = {"Stats"};
+    std::vector<std::string> taint_sink_structs = {"PipeEvent",
+                                                   "Finding"};
+    std::vector<std::string> taint_exempt_fields = {"sim_seconds"};
+
+    /** Worker threads for the tree scan (1 = serial). Findings are
+     *  deterministic regardless: per-file results merge in file
+     *  order before the global sort. */
+    unsigned jobs = 1;
+
     std::string baseline_path;           ///< empty = no baseline
 };
 
-/** All findings for one lexed file (R1-R3; suppressions applied). */
+/** All findings for one lexed file (per-file rules: R1-R3, R8,
+ *  R10-R12 with a file-local symbol table, lock-order over the
+ *  file's own acquisition graph; suppressions applied). */
 std::vector<Finding> lintFile(const SourceFile &sf, const Options &opt);
 
-/** Walk opt.paths under opt.root, run every rule (R4 included),
- *  return findings sorted by path/line. */
+/** Walk opt.paths under opt.root, run every rule — per-file rules
+ *  with the tree-merged symbol table (opt.jobs workers), the global
+ *  R11 acquisition graph, and the multi-file completeness rules
+ *  (R4/R5/R6/R9) — and return findings sorted by path/line. */
 std::vector<Finding> lintTree(const Options &opt);
 
 /** Baseline keys loaded from @p path (empty set if unreadable). */

@@ -3,15 +3,19 @@
  * redsoc_lint CLI.
  *
  *   redsoc_lint [--root DIR] [--baseline FILE]
- *               [--write-baseline FILE] [--list-rules] [paths...]
+ *               [--write-baseline FILE] [--jobs N] [--list-rules]
+ *               [paths...]
  *
  * Paths default to src tools tests (relative to --root, default cwd);
- * tests/lint_fixtures and build trees are always excluded. Exits 0
- * when no findings outside the baseline remain, 1 otherwise, 2 on
+ * tests/lint_fixtures and build trees are always excluded. --jobs
+ * parallelizes the per-file scan (the semantic rules lex and walk
+ * every file); findings are byte-identical for every N. Exits 0 when
+ * no findings outside the baseline remain, 1 otherwise, 2 on
  * usage/I-O errors.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -27,8 +31,8 @@ usage()
 {
     std::fputs(
         "usage: redsoc_lint [--root DIR] [--baseline FILE]\n"
-        "                   [--write-baseline FILE] [--list-rules]\n"
-        "                   [paths...]\n"
+        "                   [--write-baseline FILE] [--jobs N]\n"
+        "                   [--list-rules] [paths...]\n"
         "Simulator determinism lint; see DESIGN.md section 9.\n",
         stderr);
 }
@@ -50,6 +54,16 @@ listRules()
         "trace exporter switch\n"
         "audit-complete InvariantAudit enumerators must each have a "
         "corrupting unit test\n"
+        "critpath-complete PipeEventKind enumerators must reach the "
+        "critpath dependence-graph builder\n"
+        "hot-alloc      no heap allocation in per-cycle scheduler "
+        "functions\n"
+        "guarded-by     REDSOC_GUARDED_BY fields only touched with "
+        "their mutex held; mutex-owning classes annotate every field\n"
+        "lock-order     global mutex-acquisition graph must be "
+        "acyclic\n"
+        "nondet-taint   wall-clock/random/pointer-cast/unordered "
+        "values must not flow into stats, trace events or findings\n"
         "suppress with: // redsoc-lint: allow(rule-id[,rule-id...])\n",
         stdout);
 }
@@ -81,7 +95,16 @@ main(int argc, char **argv)
             opt.baseline_path = value("--baseline");
         else if (arg == "--write-baseline")
             write_baseline = value("--write-baseline");
-        else if (arg == "--list-rules") {
+        else if (arg == "--jobs") {
+            const long n = std::strtol(value("--jobs"), nullptr, 10);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "redsoc_lint: --jobs needs a positive "
+                             "integer\n");
+                return 2;
+            }
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--list-rules") {
             listRules();
             return 0;
         } else if (arg == "--help" || arg == "-h") {

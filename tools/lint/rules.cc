@@ -216,6 +216,30 @@ parseStructBody(const SourceFile &sf, size_t open, StructInfo &info,
         int angle = 0;
         while (j < close) {
             const Token &c = t[j];
+            if (c.kind == TokKind::Ident &&
+                c.text.rfind("REDSOC_", 0) == 0) {
+                // Thread-safety annotation macro: its paren group is
+                // not a function parameter list.
+                if (j + 1 < close && isPunct(t[j + 1], "("))
+                    j = matchDelim(t, j + 1, "(", ")");
+                ++j;
+                continue;
+            }
+            if (isIdent(c, "operator")) {
+                // "T &operator=(...)": the '=' in the name is not a
+                // field initializer.
+                is_function = true;
+                while (j < close && !isPunct(t[j], ";")) {
+                    if (isPunct(t[j], "{")) {
+                        j = matchDelim(t, j, "{", "}") + 1;
+                        break;
+                    }
+                    ++j;
+                }
+                if (j < close && isPunct(t[j], ";"))
+                    ++j;
+                break;
+            }
             if (isPunct(c, "<"))
                 ++angle;
             else if (isPunct(c, ">") && angle > 0)
@@ -268,6 +292,21 @@ parseStructBody(const SourceFile &sf, size_t open, StructInfo &info,
             int fline = t[i].line;
             while (k > i) {
                 --k;
+                if (isPunct(t[k], ")")) {
+                    // Skip an annotation's argument group backwards.
+                    int pd = 1;
+                    while (k > i && pd > 0) {
+                        --k;
+                        if (isPunct(t[k], ")"))
+                            ++pd;
+                        else if (isPunct(t[k], "("))
+                            --pd;
+                    }
+                    continue;
+                }
+                if (t[k].kind == TokKind::Ident &&
+                    t[k].text.rfind("REDSOC_", 0) == 0)
+                    continue;
                 if (t[k].kind == TokKind::Ident) {
                     fname = t[k].text;
                     fline = t[k].line;

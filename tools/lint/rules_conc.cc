@@ -1,0 +1,870 @@
+/**
+ * @file
+ * The semantic concurrency rules (R10-R12). All three share the same
+ * substrate: the scope tree locates function bodies and their lock
+ * contracts, the symbol tables resolve fields/annotations across
+ * files, and an intra-procedural forward walk tracks state — held
+ * mutexes for R10/R11, tainted locals for R12.
+ *
+ * The walks are deliberately intra-procedural and flow-forward (no
+ * joins: state at a token is the state the straight-line walk carries
+ * into it). The resulting soundness boundary is documented in
+ * DESIGN.md §9; every rule stays suppressible with
+ * "// redsoc-lint: allow(rule-id)" where the approximation is wrong.
+ */
+
+#include "symtab.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace redsoc::lint {
+
+namespace {
+
+bool
+isPunct(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Punct && t.text == s;
+}
+
+bool
+isIdent(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Ident && t.text == s;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+size_t
+matchForward(const std::vector<Token> &t, size_t open, const char *o,
+             const char *c, size_t end)
+{
+    int depth = 0;
+    for (size_t i = open; i < end; ++i) {
+        if (isPunct(t[i], o))
+            ++depth;
+        else if (isPunct(t[i], c) && --depth == 0)
+            return i;
+    }
+    return end;
+}
+
+void
+emit(const SourceFile &sf, int line, const char *rule,
+     std::string message, std::vector<Finding> &out)
+{
+    if (sf.allowed(line, rule))
+        return;
+    out.push_back(Finding{sf.path, line, rule, std::move(message)});
+}
+
+// -------------------------------------------------------------------
+// R10 guarded-by  (+ acquisition edges for R11)
+// -------------------------------------------------------------------
+
+bool
+guardType(const std::string &s)
+{
+    return s == "lock_guard" || s == "unique_lock" ||
+           s == "scoped_lock" || s == "shared_lock";
+}
+
+/** A live RAII guard (or an anonymous entry for a direct
+ *  mu.lock()). */
+struct Guard
+{
+    std::string var; ///< "" for direct mu.lock() regions
+    std::vector<std::string> mutexes;
+    int depth = 0;   ///< brace depth of the declaration
+    bool engaged = true;
+};
+
+struct Walker
+{
+    const SourceFile &sf;
+    std::vector<LockEdge> *edges;
+
+    const ClassSym *cls = nullptr; ///< enclosing class (may be null)
+    std::string cls_name;
+    std::vector<std::string> base_held; ///< REQUIRES at entry
+    std::vector<Guard> guards;
+    int depth = 1;
+
+    /** Class-qualify a mutex identifier: fields of the enclosing
+     *  class get "C::" so edges and REQUIRES sets line up across
+     *  methods and files. */
+    std::string qualify(const std::string &m) const
+    {
+        if (cls) {
+            const FieldSym *f = cls->field(m);
+            if (f && f->is_mutex)
+                return cls_name + "::" + m;
+        }
+        return m;
+    }
+
+    bool held(const std::string &qualified) const
+    {
+        for (const std::string &m : base_held)
+            if (m == qualified)
+                return true;
+        for (const Guard &g : guards)
+            if (g.engaged)
+                for (const std::string &m : g.mutexes)
+                    if (m == qualified)
+                        return true;
+        return false;
+    }
+
+    std::vector<std::string> heldSet() const
+    {
+        std::vector<std::string> all = base_held;
+        for (const Guard &g : guards)
+            if (g.engaged)
+                all.insert(all.end(), g.mutexes.begin(),
+                           g.mutexes.end());
+        return all;
+    }
+
+    /** Record the R11 edges of acquiring @p acquired (one atomic
+     *  group) while @p prior was held. A mutex already in @p prior
+     *  re-acquired here is a self-edge (double-acquire). */
+    void recordAcquire(const std::vector<std::string> &prior,
+                       const std::vector<std::string> &acquired,
+                       int line)
+    {
+        if (!edges || sf.allowed(line, "lock-order"))
+            return;
+        for (const std::string &m : acquired) {
+            bool dup = false;
+            for (const std::string &h : prior)
+                if (h == m)
+                    dup = true;
+            if (dup)
+                edges->push_back(LockEdge{m, m, sf.path, line});
+            else
+                for (const std::string &h : prior)
+                    edges->push_back(LockEdge{h, m, sf.path, line});
+        }
+    }
+};
+
+/** Walk one function body [open+1, close) checking guarded accesses
+ *  and collecting acquisitions. Nested lambdas/blocks are walked
+ *  inline: held state at the definition site flows in (the soundness
+ *  caveat for deferred callbacks — see DESIGN.md). */
+void
+walkFunction(const SourceFile &sf, const Scope &fn,
+             const SymbolTable &symtab, std::vector<Finding> &out,
+             std::vector<LockEdge> *edges)
+{
+    const auto &t = sf.toks;
+    const size_t open = fn.open_tok;
+    const size_t close = std::min(fn.close_tok, t.size());
+
+    Walker w{sf, edges, nullptr, {}, {}, {}, 1};
+    w.cls_name = fn.class_name;
+    w.cls = fn.class_name.empty() ? nullptr
+                                  : symtab.find(fn.class_name);
+
+    // Held on entry: REQUIRES from the definition signature plus the
+    // in-class declaration's contract.
+    std::vector<std::string> entry = fn.requires_;
+    if (w.cls) {
+        const MethodSym *m = w.cls->method(fn.name);
+        if (m)
+            entry.insert(entry.end(), m->requires_.begin(),
+                         m->requires_.end());
+    }
+    for (const std::string &m : entry) {
+        const std::string q = w.qualify(m);
+        if (!w.held(q))
+            w.base_held.push_back(q);
+    }
+
+    for (size_t i = open + 1; i < close; ++i) {
+        const Token &tok = t[i];
+        if (isPunct(tok, "{")) {
+            ++w.depth;
+            continue;
+        }
+        if (isPunct(tok, "}")) {
+            --w.depth;
+            std::erase_if(w.guards, [&](const Guard &g) {
+                return g.depth > w.depth;
+            });
+            continue;
+        }
+        if (tok.kind != TokKind::Ident)
+            continue;
+
+        // RAII guard declaration:
+        //   [std::] lock_guard[<...>] var(mu[, tag]...);
+        if (guardType(tok.text)) {
+            size_t j = i + 1;
+            if (j < close && isPunct(t[j], "<")) {
+                int ad = 0;
+                for (; j < close; ++j) {
+                    if (isPunct(t[j], "<"))
+                        ++ad;
+                    else if (isPunct(t[j], ">") && --ad == 0)
+                        break;
+                }
+                ++j;
+            }
+            if (j + 1 < close && t[j].kind == TokKind::Ident &&
+                isPunct(t[j + 1], "(")) {
+                Guard g;
+                g.var = t[j].text;
+                g.depth = w.depth;
+                bool adopt = false;
+                for (const std::string &a :
+                     parseMutexArgs(t, j + 1)) {
+                    if (a == "defer_lock") {
+                        g.engaged = false;
+                    } else if (a == "adopt_lock") {
+                        adopt = true; // already acquired via .lock()
+                    } else if (a == "try_to_lock" || a == "this") {
+                        // try_to_lock approximated as acquired
+                    } else {
+                        g.mutexes.push_back(w.qualify(a));
+                    }
+                }
+                if (g.engaged && !adopt)
+                    w.recordAcquire(w.heldSet(), g.mutexes,
+                                    t[j].line);
+                if (adopt) {
+                    // Ownership transfer: drop the matching direct-
+                    // lock entries so unlock bookkeeping follows the
+                    // guard from here on.
+                    std::erase_if(w.guards, [&](const Guard &d) {
+                        return d.var.empty() &&
+                               d.mutexes == g.mutexes;
+                    });
+                }
+                const size_t end =
+                    matchForward(t, j + 1, "(", ")", close);
+                w.guards.push_back(std::move(g));
+                i = end;
+                continue;
+            }
+        }
+
+        // var.lock() / var.unlock() on a guard object, and direct
+        // mu.lock() / mu.unlock() on a known mutex (this-> allowed).
+        if ((tok.text == "lock" || tok.text == "unlock") && i > 0 &&
+            (isPunct(t[i - 1], ".") || isPunct(t[i - 1], "->")) &&
+            i + 1 < close && isPunct(t[i + 1], "(") && i >= 2 &&
+            t[i - 2].kind == TokKind::Ident) {
+            const std::string &obj = t[i - 2].text;
+            const bool locking = tok.text == "lock";
+            Guard *g = nullptr;
+            for (size_t k = w.guards.size(); k-- > 0;)
+                if (w.guards[k].var == obj) {
+                    g = &w.guards[k];
+                    break;
+                }
+            if (g) {
+                if (locking && !g->engaged)
+                    w.recordAcquire(w.heldSet(), g->mutexes,
+                                    tok.line);
+                g->engaged = locking;
+                i += 1;
+                continue;
+            }
+            const std::string q = w.qualify(obj);
+            const bool known_mutex =
+                w.cls && w.cls->field(obj) &&
+                w.cls->field(obj)->is_mutex;
+            if (known_mutex) {
+                if (locking) {
+                    Guard direct;
+                    direct.mutexes = {q};
+                    direct.depth = w.depth;
+                    w.recordAcquire(w.heldSet(), direct.mutexes,
+                                    tok.line);
+                    w.guards.push_back(std::move(direct));
+                } else {
+                    for (size_t k = w.guards.size(); k-- > 0;) {
+                        Guard &d = w.guards[k];
+                        if (d.var.empty() && d.engaged &&
+                            d.mutexes ==
+                                std::vector<std::string>{q}) {
+                            w.guards.erase(w.guards.begin() +
+                                           static_cast<long>(k));
+                            break;
+                        }
+                    }
+                }
+                i += 1;
+                continue;
+            }
+        }
+
+        if (!w.cls)
+            continue;
+
+        // Member access through another object is out of scope for
+        // the intra-procedural walk (we cannot resolve its type).
+        const bool via_this =
+            i >= 2 &&
+            (isPunct(t[i - 1], ".") || isPunct(t[i - 1], "->")) &&
+            isIdent(t[i - 2], "this");
+        const bool via_other =
+            i >= 2 &&
+            (isPunct(t[i - 1], ".") || isPunct(t[i - 1], "->")) &&
+            !isIdent(t[i - 2], "this");
+        if (via_other)
+            continue;
+
+        // Guarded-field access.
+        const FieldSym *f = w.cls->field(tok.text);
+        if (f && !f->guarded_by.empty()) {
+            const std::string need = w.qualify(f->guarded_by);
+            if (!w.held(need)) {
+                emit(sf, tok.line, "guarded-by",
+                     "access to '" + w.cls_name + "::" + tok.text +
+                         "' without holding its "
+                         "REDSOC_GUARDED_BY mutex '" +
+                         f->guarded_by + "'",
+                     out);
+            }
+            continue;
+        }
+
+        // Call-site contract of an own-class method.
+        if (i + 1 < close && isPunct(t[i + 1], "(") &&
+            (via_this || i == 0 ||
+             (!isPunct(t[i - 1], ".") && !isPunct(t[i - 1], "->") &&
+              !isPunct(t[i - 1], "::")))) {
+            const MethodSym *m = w.cls->method(tok.text);
+            if (m) {
+                for (const std::string &r : m->requires_)
+                    if (!w.held(w.qualify(r)))
+                        emit(sf, tok.line, "guarded-by",
+                             "call to '" + w.cls_name +
+                                 "::" + tok.text +
+                                 "' which REDSOC_REQUIRES('" + r +
+                                 "') without holding it",
+                             out);
+                for (const std::string &e : m->excludes_)
+                    if (w.held(w.qualify(e)))
+                        emit(sf, tok.line, "guarded-by",
+                             "call to '" + w.cls_name +
+                                 "::" + tok.text +
+                                 "' which REDSOC_EXCLUDES('" + e +
+                                 "') while holding it "
+                                 "(self-deadlock)",
+                             out);
+            }
+        }
+    }
+}
+
+/** Function scopes nested inside another Function (a local class's
+ *  methods) are already covered by the enclosing walk's linear token
+ *  scan; walking them separately would double-report. */
+bool
+nestedInFunction(const ScopeTree &tree, const Scope &sc)
+{
+    for (int p = sc.parent; p >= 0;
+         p = tree.scopes[static_cast<size_t>(p)].parent)
+        if (tree.scopes[static_cast<size_t>(p)].kind ==
+            ScopeKind::Function)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void
+ruleGuardedBy(const SourceFile &sf, const ScopeTree &tree,
+              const SymbolTable &symtab,
+              const SymbolTable &coverage_tab,
+              const std::vector<std::string> &coverage_paths,
+              std::vector<Finding> &out, std::vector<LockEdge> *edges)
+{
+    // Enforcement arm: walk every top-level function body.
+    for (const Scope &sc : tree.scopes)
+        if (sc.kind == ScopeKind::Function &&
+            !nestedInFunction(tree, sc))
+            walkFunction(sf, sc, symtab, out, edges);
+
+    // Coverage arm: annotations must be complete where they matter,
+    // so that *removing* one is itself a finding rather than a
+    // silent loss of enforcement.
+    bool covered = false;
+    for (const std::string &p : coverage_paths)
+        if (sf.path.rfind(p, 0) == 0)
+            covered = true;
+    if (!covered)
+        return;
+    for (const auto &[name, cls] : coverage_tab.classes) {
+        if (!cls.ownsMutex())
+            continue;
+        for (const FieldSym &f : cls.fields) {
+            if (f.is_mutex || f.is_cv || !f.guarded_by.empty() ||
+                f.not_guarded)
+                continue;
+            emit(sf, f.line, "guarded-by",
+                 "field '" + name + "::" + f.name +
+                     "' of a mutex-owning class declares no "
+                     "discipline: add REDSOC_GUARDED_BY(mu) or an "
+                     "explicit REDSOC_NOT_GUARDED",
+                 out);
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// R11 lock-order
+// -------------------------------------------------------------------
+
+void
+ruleLockOrder(const std::vector<LockEdge> &edges,
+              std::vector<Finding> &out)
+{
+    // Canonical graph: sorted nodes, sorted deduplicated adjacency,
+    // each edge remembering its lexicographically smallest site.
+    struct Site
+    {
+        std::string path;
+        int line = 0;
+    };
+    std::map<std::string, std::map<std::string, Site>> graph;
+    for (const LockEdge &e : edges) {
+        auto [it, fresh] = graph[e.first].try_emplace(
+            e.second, Site{e.path, e.line});
+        if (!fresh) {
+            Site &s = it->second;
+            if (e.path < s.path ||
+                (e.path == s.path && e.line < s.line))
+                s = Site{e.path, e.line};
+        }
+        graph.try_emplace(e.second); // ensure the node exists
+    }
+
+    // Self-edges are deadlocks on their own (non-recursive mutexes).
+    for (const auto &[a, adj] : graph) {
+        auto it = adj.find(a);
+        if (it == adj.end())
+            continue;
+        out.push_back(Finding{
+            it->second.path, it->second.line, "lock-order",
+            "mutex '" + a +
+                "' acquired while already held (self-deadlock on a "
+                "non-recursive mutex)"});
+    }
+
+    // Tarjan SCC over the deterministic adjacency.
+    std::map<std::string, int> index, low;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+    std::vector<std::vector<std::string>> sccs;
+    int next = 0;
+
+    struct Frame
+    {
+        std::string node;
+        std::map<std::string, Site>::const_iterator it, end;
+    };
+    for (const auto &[root, _] : graph) {
+        if (index.count(root))
+            continue;
+        std::vector<Frame> call;
+        call.push_back(Frame{root, graph.at(root).begin(),
+                             graph.at(root).end()});
+        index[root] = low[root] = next++;
+        stack.push_back(root);
+        on_stack.insert(root);
+        while (!call.empty()) {
+            Frame &fr = call.back();
+            if (fr.it != fr.end) {
+                const std::string child = fr.it->first;
+                ++fr.it;
+                if (!index.count(child)) {
+                    index[child] = low[child] = next++;
+                    stack.push_back(child);
+                    on_stack.insert(child);
+                    call.push_back(Frame{child,
+                                         graph.at(child).begin(),
+                                         graph.at(child).end()});
+                } else if (on_stack.count(child)) {
+                    low[fr.node] =
+                        std::min(low[fr.node], index[child]);
+                }
+                continue;
+            }
+            if (low[fr.node] == index[fr.node]) {
+                std::vector<std::string> scc;
+                for (;;) {
+                    std::string n = stack.back();
+                    stack.pop_back();
+                    on_stack.erase(n);
+                    scc.push_back(std::move(n));
+                    if (scc.back() == fr.node)
+                        break;
+                }
+                if (scc.size() > 1) {
+                    std::sort(scc.begin(), scc.end());
+                    sccs.push_back(std::move(scc));
+                }
+            }
+            const std::string done = fr.node;
+            call.pop_back();
+            if (!call.empty())
+                low[call.back().node] =
+                    std::min(low[call.back().node], low[done]);
+        }
+    }
+
+    std::sort(sccs.begin(), sccs.end());
+    for (const auto &scc : sccs) {
+        const std::set<std::string> members(scc.begin(), scc.end());
+        std::string detail;
+        Site anchor;
+        for (const std::string &a : scc) {
+            for (const auto &[b, site] : graph.at(a)) {
+                if (!members.count(b) || a == b)
+                    continue;
+                if (!detail.empty())
+                    detail += ", ";
+                detail += a + " -> " + b + " (" + site.path + ":" +
+                          std::to_string(site.line) + ")";
+                if (anchor.path.empty() || site.path < anchor.path ||
+                    (site.path == anchor.path &&
+                     site.line < anchor.line))
+                    anchor = site;
+            }
+        }
+        out.push_back(Finding{
+            anchor.path, anchor.line, "lock-order",
+            "lock-order cycle (deadlock with the right thread "
+            "interleaving): " +
+                detail +
+                "; acquire these mutexes in one fixed global order "
+                "or collapse them into a std::scoped_lock"});
+    }
+}
+
+// -------------------------------------------------------------------
+// R12 nondet-taint
+// -------------------------------------------------------------------
+
+namespace {
+
+bool
+integralTypeName(const std::string &s)
+{
+    static const std::set<std::string> kIntegral = {
+        "int",       "long",      "short",    "unsigned",  "size_t",
+        "u8",        "u16",       "u32",      "u64",       "s8",
+        "s16",       "s32",       "s64",      "uint8_t",   "uint16_t",
+        "uint32_t",  "uint64_t",  "int8_t",   "int16_t",   "int32_t",
+        "int64_t",   "uintptr_t", "intptr_t", "ptrdiff_t", "SeqNum",
+        "Cycle"};
+    return kIntegral.count(s) != 0;
+}
+
+/** Variables declared in this file with an unordered container type
+ *  (range-for over them yields values in unspecified order). */
+std::set<std::string>
+unorderedContainerVars(const SourceFile &sf)
+{
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    std::set<std::string> vars;
+    const auto &t = sf.toks;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident ||
+            !kUnordered.count(t[i].text))
+            continue;
+        size_t j = i + 1;
+        if (j < t.size() && isPunct(t[j], "<")) {
+            int ad = 0;
+            for (; j < t.size(); ++j) {
+                if (isPunct(t[j], "<"))
+                    ++ad;
+                else if (isPunct(t[j], ">") && --ad == 0)
+                    break;
+            }
+            ++j;
+        }
+        if (j < t.size() && isPunct(t[j], "&"))
+            ++j;
+        if (j < t.size() && t[j].kind == TokKind::Ident &&
+            (j + 1 >= t.size() || !isPunct(t[j + 1], "(")))
+            vars.insert(t[j].text);
+    }
+    return vars;
+}
+
+/** Does [a, b) mention a nondeterministic source? Returns the source
+ *  description, or "" if clean. */
+std::string
+findSource(const std::vector<Token> &t, size_t a, size_t b,
+           const std::vector<std::string> &exempt_fields)
+{
+    static const std::set<std::string> kSourceCalls = {
+        "rand",   "srand",    "rand_r",        "drand48",
+        "lrand48", "random",  "time",          "clock",
+        "gettimeofday", "clock_gettime", "getrandom", "getpid",
+        "get_id"};
+    for (size_t i = a; i < b; ++i) {
+        if (t[i].kind != TokKind::Ident)
+            continue;
+        const std::string &s = t[i].text;
+        if (s == "random_device")
+            return "std::random_device";
+        if (kSourceCalls.count(s) && i + 1 < b &&
+            isPunct(t[i + 1], "(")) {
+            // Mirror R2's guards: member calls, declarations and
+            // non-std qualification are not the banned C API.
+            const bool member_or_decl =
+                i > a && (isPunct(t[i - 1], ".") ||
+                          isPunct(t[i - 1], "->") ||
+                          t[i - 1].kind == TokKind::Ident ||
+                          isPunct(t[i - 1], "&") ||
+                          isPunct(t[i - 1], "*") ||
+                          isPunct(t[i - 1], ":"));
+            const bool foreign_scope =
+                i >= 2 && isPunct(t[i - 1], "::") &&
+                t[i - 2].kind == TokKind::Ident &&
+                t[i - 2].text != "std" &&
+                t[i - 2].text != "this_thread";
+            if (!member_or_decl && !foreign_scope)
+                return "'" + s + "()'";
+            continue;
+        }
+        if (s == "now" && i >= 2 && isPunct(t[i - 1], "::") &&
+            t[i - 2].kind == TokKind::Ident &&
+            endsWith(t[i - 2].text, "_clock"))
+            return "'" + t[i - 2].text + "::now()'";
+        for (const std::string &e : exempt_fields)
+            if (s == e)
+                return "wall-clock stat '" + e + "'";
+        if (s == "reinterpret_cast" && i + 1 < b &&
+            isPunct(t[i + 1], "<")) {
+            // Pointer-to-integer cast: integral target type with no
+            // '*' in the template argument.
+            size_t j = i + 1;
+            int ad = 0;
+            bool has_ptr = false;
+            std::string last_ident;
+            for (; j < b; ++j) {
+                if (isPunct(t[j], "<"))
+                    ++ad;
+                else if (isPunct(t[j], ">") && --ad == 0)
+                    break;
+                else if (isPunct(t[j], "*"))
+                    has_ptr = true;
+                else if (t[j].kind == TokKind::Ident)
+                    last_ident = t[j].text;
+            }
+            if (!has_ptr && integralTypeName(last_ident))
+                return "pointer-to-integer reinterpret_cast";
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+void
+ruleNondetTaint(const SourceFile &sf, const ScopeTree &tree,
+                const SymbolTable &symtab,
+                const std::vector<std::string> &sink_suffixes,
+                const std::vector<std::string> &sink_structs,
+                const std::vector<std::string> &exempt_fields,
+                std::vector<Finding> &out)
+{
+    // Sink field set: field name -> owning sink struct (for the
+    // message). Exempt fields are excluded — they are the designated
+    // wall-clock carriers, and reading them is a *source* instead.
+    std::map<std::string, std::string> sinks;
+    for (const auto &[name, cls] : symtab.classes) {
+        bool is_sink = false;
+        for (const std::string &suf : sink_suffixes)
+            if (endsWith(name, suf))
+                is_sink = true;
+        for (const std::string &sn : sink_structs)
+            if (name == sn)
+                is_sink = true;
+        if (!is_sink)
+            continue;
+        for (const FieldSym &f : cls.fields) {
+            bool exempt = false;
+            for (const std::string &e : exempt_fields)
+                if (f.name == e)
+                    exempt = true;
+            if (!exempt)
+                sinks.try_emplace(f.name, name);
+        }
+    }
+    if (sinks.empty())
+        return;
+
+    const std::set<std::string> unordered =
+        unorderedContainerVars(sf);
+    const auto &t = sf.toks;
+
+    for (const Scope &fn : tree.scopes) {
+        if (fn.kind != ScopeKind::Function ||
+            nestedInFunction(tree, fn))
+            continue;
+        const size_t open = fn.open_tok;
+        const size_t close = std::min(fn.close_tok, t.size());
+        /** tainted local -> description of its original source. */
+        std::map<std::string, std::string> tainted;
+
+        for (size_t i = open + 1; i < close; ++i) {
+            // Range-for over an unordered container taints the loop
+            // variable(s): their sequence is nondeterministic even
+            // though each value is not.
+            if (isIdent(t[i], "for") && i + 1 < close &&
+                isPunct(t[i + 1], "(")) {
+                const size_t po = i + 1;
+                const size_t pc =
+                    matchForward(t, po, "(", ")", close);
+                size_t colon = 0;
+                int depth = 0;
+                for (size_t j = po; j < pc; ++j) {
+                    if (isPunct(t[j], "(") || isPunct(t[j], "[") ||
+                        isPunct(t[j], "{"))
+                        ++depth;
+                    else if (isPunct(t[j], ")") ||
+                             isPunct(t[j], "]") ||
+                             isPunct(t[j], "}"))
+                        --depth;
+                    else if (isPunct(t[j], ":") && depth == 1) {
+                        colon = j;
+                        break;
+                    }
+                }
+                bool over_unordered = false;
+                if (colon)
+                    for (size_t j = colon + 1; j < pc; ++j)
+                        if (t[j].kind == TokKind::Ident &&
+                            unordered.count(t[j].text))
+                            over_unordered = true;
+                if (over_unordered) {
+                    // Loop vars: a structured binding's idents, or
+                    // the last ident before the ':'.
+                    std::string desc =
+                        "range-for over an unordered container";
+                    bool binding = false;
+                    for (size_t j = po + 1; j < colon; ++j) {
+                        if (isPunct(t[j], "["))
+                            binding = true;
+                        else if (isPunct(t[j], "]"))
+                            binding = false;
+                        else if (binding &&
+                                 t[j].kind == TokKind::Ident)
+                            tainted[t[j].text] = desc;
+                    }
+                    for (size_t j = colon; j-- > po + 1;)
+                        if (t[j].kind == TokKind::Ident) {
+                            tainted[t[j].text] = desc;
+                            break;
+                        }
+                }
+                continue;
+            }
+
+            // Assignment forms. The lexer merges += and -= but not
+            // *=, /=, %=, |=, &=, ^=, <<=, >>=; a lone '=' after '<'
+            // or '>' is the comparison <= / >=.
+            bool compound = false;
+            size_t target = 0; ///< token index of the assignee
+            if (isPunct(t[i], "+=") || isPunct(t[i], "-=")) {
+                compound = true;
+                target = i - 1;
+            } else if (isPunct(t[i], "=") && i > open + 1) {
+                const Token &p = t[i - 1];
+                if (isPunct(p, "*") || isPunct(p, "/") ||
+                    isPunct(p, "%") || isPunct(p, "|") ||
+                    isPunct(p, "&") || isPunct(p, "^")) {
+                    compound = true;
+                    target = i - 2;
+                } else if (isPunct(p, "<") || isPunct(p, ">")) {
+                    if (i > open + 2 &&
+                        isPunct(t[i - 2], p.text.c_str())) {
+                        compound = true; // <<= / >>=
+                        target = i - 3;
+                    } else {
+                        continue; // <= / >= comparison
+                    }
+                } else if (p.kind == TokKind::Punct &&
+                           p.text == "=") {
+                    continue; // defensive: should not occur
+                } else {
+                    target = i - 1;
+                }
+            } else {
+                continue;
+            }
+            if (target <= open || t[target].kind != TokKind::Ident)
+                continue;
+
+            // RHS: up to the statement's ';' at this nesting level.
+            size_t rhs_end = i + 1;
+            int depth = 0;
+            while (rhs_end < close) {
+                const Token &c = t[rhs_end];
+                if (isPunct(c, "(") || isPunct(c, "[") ||
+                    isPunct(c, "{"))
+                    ++depth;
+                else if (isPunct(c, ")") || isPunct(c, "]") ||
+                         isPunct(c, "}")) {
+                    if (depth == 0)
+                        break;
+                    --depth;
+                } else if (depth == 0 && isPunct(c, ";"))
+                    break;
+                ++rhs_end;
+            }
+
+            std::string source =
+                findSource(t, i + 1, rhs_end, exempt_fields);
+            if (source.empty())
+                for (size_t j = i + 1; j < rhs_end; ++j)
+                    if (t[j].kind == TokKind::Ident &&
+                        tainted.count(t[j].text)) {
+                        source = tainted[t[j].text] +
+                                 " (through local '" + t[j].text +
+                                 "')";
+                        break;
+                    }
+
+            const bool member =
+                target > open + 1 &&
+                (isPunct(t[target - 1], ".") ||
+                 isPunct(t[target - 1], "->"));
+            const std::string &name = t[target].text;
+            if (member) {
+                auto sink = sinks.find(name);
+                if (sink != sinks.end() && !source.empty())
+                    emit(sf, t[target].line, "nondet-taint",
+                         "nondeterministic value from " + source +
+                             " reaches determinism sink '" +
+                             sink->second + "::" + name + "'",
+                         out);
+            } else if (!source.empty()) {
+                tainted[name] = source;
+            } else if (!compound) {
+                tainted.erase(name); // clean overwrite kills taint
+            }
+        }
+    }
+}
+
+} // namespace redsoc::lint

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Scope-tree construction: one forward pass, every '{' matched and
+ * classified from the statement slice in front of it. See scopes.h
+ * for the contract and the approximation boundaries.
+ */
+
+#include "scopes.h"
+
+namespace redsoc::lint {
+
+namespace {
+
+bool
+isPunct(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Punct && t.text == s;
+}
+
+bool
+isIdent(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Ident && t.text == s;
+}
+
+bool
+isAnnotationIdent(const Token &t)
+{
+    return t.kind == TokKind::Ident &&
+           t.text.rfind("REDSOC_", 0) == 0;
+}
+
+/** Keywords whose statement owns a '{' that is a plain block. */
+bool
+controlKeyword(const std::string &s)
+{
+    return s == "if" || s == "for" || s == "while" || s == "switch" ||
+           s == "do" || s == "else" || s == "try" || s == "catch" ||
+           s == "case" || s == "default" || s == "extern" ||
+           s == "return";
+}
+
+/** Forward match of the '>' closing the '<' at @p open ('<' and '>'
+ *  lex as single-char puncts, so nested template argument lists are
+ *  plain depth counting). Returns @p end if unmatched. */
+size_t
+matchAngle(const std::vector<Token> &t, size_t open, size_t end)
+{
+    int depth = 0;
+    for (size_t i = open; i < end; ++i) {
+        if (isPunct(t[i], "<"))
+            ++depth;
+        else if (isPunct(t[i], ">") && --depth == 0)
+            return i;
+        // A ';' or '{' inside an "argument list" means the '<' was a
+        // comparison after all: give up.
+        else if (isPunct(t[i], ";") || isPunct(t[i], "{"))
+            return end;
+    }
+    return end;
+}
+
+/** Forward match of the ')' closing the '(' at @p open. */
+size_t
+matchParen(const std::vector<Token> &t, size_t open, size_t end)
+{
+    int depth = 0;
+    for (size_t i = open; i < end; ++i) {
+        if (isPunct(t[i], "("))
+            ++depth;
+        else if (isPunct(t[i], ")") && --depth == 0)
+            return i;
+    }
+    return end;
+}
+
+/** Backward match of the '(' opening the ')' at @p close; @p lo is
+ *  the slice start. Returns @p close if unmatched. */
+size_t
+matchParenBack(const std::vector<Token> &t, size_t close, size_t lo)
+{
+    int depth = 0;
+    for (size_t i = close + 1; i-- > lo;) {
+        if (isPunct(t[i], ")"))
+            ++depth;
+        else if (isPunct(t[i], "(") && --depth == 0)
+            return i;
+    }
+    return close;
+}
+
+struct Classified
+{
+    ScopeKind kind = ScopeKind::Block;
+    std::string name;
+    std::string class_name; ///< only the X:: qualifier, Function only
+    std::vector<std::string> requires_;
+    std::vector<std::string> excludes_;
+};
+
+/** Classify the '{' at @p brace from the statement slice
+ *  [@p lo, @p brace). */
+Classified
+classify(const std::vector<Token> &t, size_t lo, size_t brace)
+{
+    Classified c;
+    if (lo >= brace)
+        return c; // empty slice: bare block
+
+    // Skip a leading template<...> head.
+    size_t b = lo;
+    if (isIdent(t[b], "template") && b + 1 < brace &&
+        isPunct(t[b + 1], "<")) {
+        size_t close = matchAngle(t, b + 1, brace);
+        if (close == brace)
+            return c;
+        b = close + 1;
+        if (b >= brace)
+            return c;
+    }
+
+    if (isIdent(t[b], "namespace")) {
+        c.kind = ScopeKind::Namespace;
+        for (size_t i = b + 1; i < brace; ++i)
+            if (t[i].kind == TokKind::Ident)
+                c.name += (c.name.empty() ? "" : "::") + t[i].text;
+        return c;
+    }
+    if (isIdent(t[b], "struct") || isIdent(t[b], "class") ||
+        isIdent(t[b], "union")) {
+        c.kind = ScopeKind::Class;
+        for (size_t i = b + 1; i < brace; ++i) {
+            if (isAnnotationIdent(t[i])) { // e.g. a capability attr
+                if (i + 1 < brace && isPunct(t[i + 1], "("))
+                    i = matchParen(t, i + 1, brace);
+                continue;
+            }
+            if (t[i].kind == TokKind::Ident) {
+                c.name = t[i].text;
+                break;
+            }
+            if (isPunct(t[i], ":")) // unnamed with base? stop anyway
+                break;
+        }
+        return c;
+    }
+    if (isIdent(t[b], "enum")) {
+        c.kind = ScopeKind::Enum;
+        for (size_t i = b + 1; i < brace; ++i) {
+            if (isIdent(t[i], "class") || isIdent(t[i], "struct"))
+                continue;
+            if (isPunct(t[i], ":"))
+                break;
+            if (t[i].kind == TokKind::Ident) {
+                c.name = t[i].text;
+                break;
+            }
+        }
+        return c;
+    }
+    if (t[b].kind == TokKind::Ident && controlKeyword(t[b].text))
+        return c; // Block
+
+    // Lambda: slice ends with "...]" or "...](params) specifiers".
+    {
+        size_t e = brace;
+        while (e > b) {
+            const Token &tk = t[e - 1];
+            if (tk.kind == TokKind::Ident || isPunct(tk, "->") ||
+                isPunct(tk, "&") || isPunct(tk, "*") ||
+                isPunct(tk, "::")) {
+                --e;
+                continue;
+            }
+            if (isPunct(tk, ">")) {
+                // Skip a template-argument group of a trailing
+                // return type, backwards.
+                int depth = 0;
+                size_t i = e;
+                while (i-- > b) {
+                    if (isPunct(t[i], ">"))
+                        ++depth;
+                    else if (isPunct(t[i], "<") && --depth == 0)
+                        break;
+                }
+                if (depth != 0)
+                    break;
+                e = i;
+                continue;
+            }
+            break;
+        }
+        if (e > b && isPunct(t[e - 1], "]")) {
+            c.kind = ScopeKind::Lambda;
+            return c;
+        }
+        if (e > b && isPunct(t[e - 1], ")")) {
+            size_t open = matchParenBack(t, e - 1, b);
+            if (open != e - 1 && open > b && isPunct(t[open - 1], "]")) {
+                c.kind = ScopeKind::Lambda;
+                return c;
+            }
+        }
+    }
+
+    // Brace initializer: "Type name = {...}" / "auto x = Foo{...}".
+    {
+        int pd = 0, ad = 0;
+        for (size_t i = b; i < brace; ++i) {
+            if (isPunct(t[i], "("))
+                ++pd;
+            else if (isPunct(t[i], ")"))
+                --pd;
+            else if (pd == 0 && isPunct(t[i], "<"))
+                ++ad;
+            else if (pd == 0 && ad > 0 && isPunct(t[i], ">"))
+                --ad;
+            else if (pd == 0 && ad == 0 && isPunct(t[i], "=") &&
+                     (i == b || (!isPunct(t[i - 1], "<") &&
+                                 !isPunct(t[i - 1], ">"))))
+                return c; // Block
+        }
+    }
+
+    // Constructor member-initializer with brace init ("...: v_{1}"):
+    // the '{' after "v_" is an initializer, not the body.
+    if (t[brace - 1].kind != TokKind::Punct) {
+        int pd = 0;
+        bool after_parens = false;
+        for (size_t i = b; i < brace; ++i) {
+            if (isPunct(t[i], "("))
+                ++pd;
+            else if (isPunct(t[i], ")")) {
+                --pd;
+                after_parens = true;
+            } else if (pd == 0 && after_parens && isPunct(t[i], ":"))
+                return c; // Block (and so is the real body: caveat)
+        }
+    }
+
+    // Function definition: first top-level '(' preceded by a plain
+    // identifier names the function (constructors included — their
+    // member-initializer parens come later).
+    {
+        int ad = 0;
+        for (size_t i = b; i < brace; ++i) {
+            if (isPunct(t[i], "<")) {
+                size_t close = matchAngle(t, i, brace);
+                if (close != brace) {
+                    i = close;
+                    continue;
+                }
+                ++ad;
+            } else if (isPunct(t[i], ">") && ad > 0) {
+                --ad;
+            } else if (ad == 0 && isPunct(t[i], "(") && i > b &&
+                       t[i - 1].kind == TokKind::Ident) {
+                if (isAnnotationIdent(t[i - 1])) {
+                    i = matchParen(t, i, brace);
+                    continue;
+                }
+                c.kind = ScopeKind::Function;
+                c.name = t[i - 1].text;
+                // X:: qualifier (destructors: skip the '~').
+                size_t n = i - 1;
+                if (n > b && isPunct(t[n - 1], "~"))
+                    --n;
+                if (n >= b + 2 && isPunct(t[n - 1], "::") &&
+                    t[n - 2].kind == TokKind::Ident)
+                    c.class_name = t[n - 2].text;
+                // Annotations between the parameter list and '{'.
+                size_t close = matchParen(t, i, brace);
+                for (size_t j = close; j < brace; ++j) {
+                    if (t[j].kind != TokKind::Ident ||
+                        j + 1 >= brace || !isPunct(t[j + 1], "("))
+                        continue;
+                    if (t[j].text == "REDSOC_REQUIRES")
+                        for (std::string &m :
+                             parseMutexArgs(t, j + 1))
+                            c.requires_.push_back(std::move(m));
+                    else if (t[j].text == "REDSOC_EXCLUDES")
+                        for (std::string &m :
+                             parseMutexArgs(t, j + 1))
+                            c.excludes_.push_back(std::move(m));
+                }
+                return c;
+            }
+        }
+    }
+    return c; // Block
+}
+
+} // namespace
+
+std::vector<std::string>
+parseMutexArgs(const std::vector<Token> &toks, size_t open)
+{
+    std::vector<std::string> names;
+    const size_t close = matchParen(toks, open, toks.size());
+    std::string last;
+    int depth = 0;
+    for (size_t i = open + 1; i < close; ++i) {
+        if (isPunct(toks[i], "(") || isPunct(toks[i], "[") ||
+            isPunct(toks[i], "{"))
+            ++depth;
+        else if (isPunct(toks[i], ")") || isPunct(toks[i], "]") ||
+                 isPunct(toks[i], "}"))
+            --depth;
+        else if (depth == 0 && isPunct(toks[i], ",")) {
+            if (!last.empty())
+                names.push_back(last);
+            last.clear();
+        } else if (toks[i].kind == TokKind::Ident) {
+            last = toks[i].text;
+        }
+    }
+    if (!last.empty())
+        names.push_back(last);
+    return names;
+}
+
+ScopeTree
+buildScopeTree(const SourceFile &sf)
+{
+    const auto &t = sf.toks;
+    ScopeTree tree;
+    Scope file;
+    file.kind = ScopeKind::File;
+    file.open_tok = 0;
+    file.close_tok = t.size();
+    file.line = t.empty() ? 1 : t.front().line;
+    tree.scopes.push_back(std::move(file));
+
+    std::vector<int> stack = {0}; ///< open scope indices
+    size_t anchor = 0;            ///< start of the current statement
+
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (isPunct(t[i], "#")) {
+            // Preprocessor directive: consume to the end of its line
+            // so "#include <x>" in front of a declaration cannot
+            // pollute the classifying statement slice (backslash
+            // continuations are out of contract, like all macros).
+            const int line = t[i].line;
+            while (i + 1 < t.size() && t[i + 1].line == line)
+                ++i;
+            anchor = i + 1;
+            continue;
+        }
+        if (isPunct(t[i], ";")) {
+            anchor = i + 1;
+            continue;
+        }
+        if (isPunct(t[i], "}")) {
+            anchor = i + 1;
+            if (stack.size() > 1) {
+                tree.scopes[static_cast<size_t>(stack.back())]
+                    .close_tok = i;
+                stack.pop_back();
+            }
+            continue;
+        }
+        if (!isPunct(t[i], "{"))
+            continue;
+
+        Classified c = classify(t, anchor, i);
+        Scope s;
+        s.kind = c.kind;
+        s.name = std::move(c.name);
+        s.class_name = std::move(c.class_name);
+        s.requires_ = std::move(c.requires_);
+        s.excludes_ = std::move(c.excludes_);
+        s.line = t[i].line;
+        s.open_tok = i;
+        s.close_tok = t.size(); // fixed up when the '}' arrives
+        s.parent = stack.back();
+
+        if (s.kind == ScopeKind::Function && s.class_name.empty()) {
+            // Method defined inside its class body: qualify from the
+            // nearest enclosing Class scope.
+            for (size_t k = stack.size(); k-- > 0;) {
+                const Scope &up =
+                    tree.scopes[static_cast<size_t>(stack[k])];
+                if (up.kind == ScopeKind::Class) {
+                    s.class_name = up.name;
+                    break;
+                }
+                if (up.kind == ScopeKind::Function ||
+                    up.kind == ScopeKind::Namespace)
+                    break; // a local class's methods stay local
+            }
+        }
+
+        const int idx = static_cast<int>(tree.scopes.size());
+        tree.scopes[static_cast<size_t>(stack.back())]
+            .children.push_back(idx);
+        tree.scopes.push_back(std::move(s));
+        stack.push_back(idx);
+        anchor = i + 1;
+    }
+    return tree;
+}
+
+} // namespace redsoc::lint

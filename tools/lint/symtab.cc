@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Symbol-table construction: a statement walk over each Class scope
+ * of the scope tree, annotation-aware where rules.cc's field parser
+ * (which predates the thread-safety macros) is not.
+ */
+
+#include "symtab.h"
+
+#include <algorithm>
+
+namespace redsoc::lint {
+
+namespace {
+
+bool
+isPunct(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Punct && t.text == s;
+}
+
+bool
+isIdent(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Ident && t.text == s;
+}
+
+bool
+isAnnotationIdent(const Token &t)
+{
+    return t.kind == TokKind::Ident &&
+           t.text.rfind("REDSOC_", 0) == 0;
+}
+
+size_t
+matchForward(const std::vector<Token> &t, size_t open, const char *o,
+             const char *c, size_t end)
+{
+    int depth = 0;
+    for (size_t i = open; i < end; ++i) {
+        if (isPunct(t[i], o))
+            ++depth;
+        else if (isPunct(t[i], c) && --depth == 0)
+            return i;
+    }
+    return end;
+}
+
+bool
+mutexType(const std::string &s)
+{
+    return s == "mutex" || s == "shared_mutex" ||
+           s == "recursive_mutex" || s == "timed_mutex" ||
+           s == "recursive_timed_mutex" || s == "shared_timed_mutex";
+}
+
+bool
+cvType(const std::string &s)
+{
+    return s == "condition_variable" || s == "condition_variable_any";
+}
+
+/** Member statements that declare no instance field or method. */
+bool
+skipLeader(const std::string &s)
+{
+    return s == "static" || s == "using" || s == "typedef" ||
+           s == "friend" || s == "static_assert" || s == "template" ||
+           s == "operator";
+}
+
+} // namespace
+
+const FieldSym *
+ClassSym::field(const std::string &n) const
+{
+    for (const FieldSym &f : fields)
+        if (f.name == n)
+            return &f;
+    return nullptr;
+}
+
+const MethodSym *
+ClassSym::method(const std::string &n) const
+{
+    const MethodSym *found = nullptr;
+    for (const MethodSym &m : methods) {
+        if (m.name != n)
+            continue;
+        // Prefer the declaration carrying a lock contract: the
+        // header's annotated declaration over a bare redeclaration.
+        if (!m.requires_.empty() || !m.excludes_.empty())
+            return &m;
+        if (!found)
+            found = &m;
+    }
+    return found;
+}
+
+bool
+ClassSym::ownsMutex() const
+{
+    return std::any_of(fields.begin(), fields.end(),
+                       [](const FieldSym &f) { return f.is_mutex; });
+}
+
+void
+SymbolTable::addFile(const SourceFile &sf, const ScopeTree &tree)
+{
+    const auto &t = sf.toks;
+    for (const Scope &sc : tree.scopes) {
+        if (sc.kind != ScopeKind::Class || sc.name.empty())
+            continue;
+        ClassSym &cls = classes[sc.name];
+        cls.name = sc.name;
+
+        const size_t close = std::min(sc.close_tok, t.size());
+        size_t i = sc.open_tok + 1;
+        while (i < close) {
+            const Token &tok = t[i];
+            if (isPunct(tok, ";")) {
+                ++i;
+                continue;
+            }
+            // Access specifiers are two-token separators, not
+            // statement leaders.
+            if ((isIdent(tok, "public") || isIdent(tok, "private") ||
+                 isIdent(tok, "protected")) &&
+                i + 1 < close && isPunct(t[i + 1], ":")) {
+                i += 2;
+                continue;
+            }
+            // Nested types and non-member statements: skip to the
+            // statement's ';', jumping over any body.
+            if (isIdent(tok, "struct") || isIdent(tok, "class") ||
+                isIdent(tok, "union") || isIdent(tok, "enum") ||
+                (tok.kind == TokKind::Ident && skipLeader(tok.text))) {
+                size_t j = i;
+                while (j < close && !isPunct(t[j], ";")) {
+                    if (isPunct(t[j], "{"))
+                        j = matchForward(t, j, "{", "}", close);
+                    ++j;
+                }
+                i = j + 1;
+                continue;
+            }
+            if (isPunct(tok, "~")) { // destructor
+                size_t j = i;
+                while (j < close && !isPunct(t[j], "{") &&
+                       !isPunct(t[j], ";"))
+                    ++j;
+                if (j < close && isPunct(t[j], "{"))
+                    j = matchForward(t, j, "{", "}", close);
+                i = j + 1;
+                continue;
+            }
+
+            // One member statement: classify by the first structural
+            // token, collecting annotation macros along the way.
+            size_t j = i;
+            size_t name_end = close; ///< terminator index (fields)
+            bool is_function = false;
+            std::string guarded_by;
+            bool not_guarded = false;
+            MethodSym method;
+            int angle = 0;
+            while (j < close) {
+                const Token &c = t[j];
+                if (isAnnotationIdent(c)) {
+                    const bool has_args =
+                        j + 1 < close && isPunct(t[j + 1], "(");
+                    if (c.text == "REDSOC_NOT_GUARDED")
+                        not_guarded = true;
+                    if (has_args) {
+                        if (c.text == "REDSOC_GUARDED_BY") {
+                            auto args = parseMutexArgs(t, j + 1);
+                            if (!args.empty())
+                                guarded_by = args.front();
+                        }
+                        j = matchForward(t, j + 1, "(", ")", close);
+                    }
+                    ++j;
+                    continue;
+                }
+                if (isIdent(c, "operator")) {
+                    // Operator member ("T &operator=(...) = delete"):
+                    // the '=' in the name would otherwise classify it
+                    // as an initialized field.
+                    is_function = true;
+                    while (j < close && !isPunct(t[j], ";")) {
+                        if (isPunct(t[j], "{"))
+                            j = matchForward(t, j, "{", "}", close);
+                        ++j;
+                    }
+                    ++j;
+                    break;
+                }
+                if (isPunct(c, "<")) {
+                    ++angle;
+                } else if (isPunct(c, ">") && angle > 0) {
+                    --angle;
+                } else if (angle == 0 && isPunct(c, "(")) {
+                    is_function = true;
+                    if (j > i && t[j - 1].kind == TokKind::Ident) {
+                        method.name = t[j - 1].text;
+                        method.line = t[j - 1].line;
+                    }
+                    j = matchForward(t, j, "(", ")", close) + 1;
+                    // Specifiers + annotations, then body / ';' /
+                    // '= default'.
+                    while (j < close && !isPunct(t[j], "{") &&
+                           !isPunct(t[j], ";") && !isPunct(t[j], "=")) {
+                        if (isAnnotationIdent(t[j]) && j + 1 < close &&
+                            isPunct(t[j + 1], "(")) {
+                            auto args = parseMutexArgs(t, j + 1);
+                            if (t[j].text == "REDSOC_REQUIRES")
+                                method.requires_ = std::move(args);
+                            else if (t[j].text == "REDSOC_EXCLUDES")
+                                method.excludes_ = std::move(args);
+                            j = matchForward(t, j + 1, "(", ")",
+                                             close);
+                        }
+                        ++j;
+                    }
+                    if (j < close && isPunct(t[j], "="))
+                        while (j < close && !isPunct(t[j], ";"))
+                            ++j;
+                    if (j < close && isPunct(t[j], "{"))
+                        j = matchForward(t, j, "{", "}", close);
+                    ++j;
+                    break;
+                } else if (angle == 0 &&
+                           (isPunct(c, "=") || isPunct(c, "{"))) {
+                    name_end = j;
+                    while (j < close && !isPunct(t[j], ";")) {
+                        if (isPunct(t[j], "{"))
+                            j = matchForward(t, j, "{", "}", close);
+                        ++j;
+                    }
+                    ++j;
+                    break;
+                } else if (angle == 0 && isPunct(c, ";")) {
+                    name_end = j;
+                    ++j;
+                    break;
+                }
+                ++j;
+            }
+
+            if (is_function) {
+                if (!method.name.empty() &&
+                    (!cls.method(method.name) ||
+                     !method.requires_.empty() ||
+                     !method.excludes_.empty()))
+                    cls.methods.push_back(std::move(method));
+            } else if (name_end > i && name_end < close) {
+                // Field name: last plain identifier before the
+                // terminator, skipping annotation groups, array
+                // extents and bitfield widths.
+                size_t k = name_end;
+                FieldSym field;
+                while (k > i) {
+                    --k;
+                    if (isPunct(t[k], ")") || isPunct(t[k], "]")) {
+                        const char *open =
+                            isPunct(t[k], ")") ? "(" : "[";
+                        const char *cl = isPunct(t[k], ")") ? ")" : "]";
+                        int depth = 1;
+                        while (k > i && depth > 0) {
+                            --k;
+                            if (isPunct(t[k], cl))
+                                ++depth;
+                            else if (isPunct(t[k], open))
+                                --depth;
+                        }
+                        continue;
+                    }
+                    if (isAnnotationIdent(t[k]))
+                        continue;
+                    if (t[k].kind == TokKind::Ident &&
+                        t[k].text != "const" &&
+                        t[k].text != "mutable") {
+                        field.name = t[k].text;
+                        field.line = t[k].line;
+                        break;
+                    }
+                }
+                if (!field.name.empty() && !cls.field(field.name)) {
+                    field.guarded_by = std::move(guarded_by);
+                    field.not_guarded = not_guarded;
+                    for (size_t m = i; m < name_end; ++m) {
+                        if (t[m].kind != TokKind::Ident)
+                            continue;
+                        if (mutexType(t[m].text))
+                            field.is_mutex = true;
+                        else if (cvType(t[m].text))
+                            field.is_cv = true;
+                    }
+                    cls.fields.push_back(std::move(field));
+                }
+            }
+            i = (j > i) ? j : i + 1;
+        }
+    }
+}
+
+const ClassSym *
+SymbolTable::find(const std::string &name) const
+{
+    auto it = classes.find(name);
+    return it == classes.end() ? nullptr : &it->second;
+}
+
+SymbolTable
+buildSymbolTable(const SourceFile &sf, const ScopeTree &tree)
+{
+    SymbolTable tab;
+    tab.addFile(sf, tree);
+    return tab;
+}
+
+} // namespace redsoc::lint

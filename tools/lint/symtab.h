@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-class symbol tables for the semantic rules: every class's
+ * instance fields (with their thread-safety annotations and whether
+ * they are themselves mutexes / condition variables) and every
+ * method's REDSOC_REQUIRES / REDSOC_EXCLUDES contract. Built from
+ * the scope tree; tables from many files merge by class name, so the
+ * R10 walk over a .cc file sees the annotations its header declared.
+ *
+ * Only what the concurrency rules consume is modeled: instance data
+ * members and method lock contracts. Types are not resolved beyond
+ * "is this declarator a std::mutex / condition_variable"; overloads
+ * collapse onto one method entry per name (their lock contracts are
+ * expected to agree — they describe the protected state, not the
+ * signature).
+ */
+
+#ifndef REDSOC_TOOLS_LINT_SYMTAB_H
+#define REDSOC_TOOLS_LINT_SYMTAB_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scopes.h"
+
+namespace redsoc::lint {
+
+struct FieldSym
+{
+    std::string name;
+    int line = 0;
+    /** Mutex named by REDSOC_GUARDED_BY ("" when unannotated). */
+    std::string guarded_by;
+    /** Carries the explicit REDSOC_NOT_GUARDED marker. */
+    bool not_guarded = false;
+    bool is_mutex = false; ///< std::mutex / shared/recursive/timed
+    bool is_cv = false;    ///< std::condition_variable(_any)
+};
+
+struct MethodSym
+{
+    std::string name;
+    int line = 0;
+    std::vector<std::string> requires_; ///< mutexes held on entry
+    std::vector<std::string> excludes_; ///< mutexes that must be free
+};
+
+struct ClassSym
+{
+    std::string name;
+    std::vector<FieldSym> fields;
+    std::vector<MethodSym> methods;
+
+    const FieldSym *field(const std::string &n) const;
+    const MethodSym *method(const std::string &n) const;
+    bool ownsMutex() const;
+};
+
+struct SymbolTable
+{
+    std::map<std::string, ClassSym> classes;
+
+    /** Parse every Class scope of @p tree and merge into the table
+     *  (fields dedupe by name, first declaration wins — the header
+     *  is lexed before the .cc in tree order). */
+    void addFile(const SourceFile &sf, const ScopeTree &tree);
+
+    const ClassSym *find(const std::string &name) const;
+};
+
+/** Convenience: table of a single file. */
+SymbolTable buildSymbolTable(const SourceFile &sf,
+                             const ScopeTree &tree);
+
+} // namespace redsoc::lint
+
+#endif // REDSOC_TOOLS_LINT_SYMTAB_H
