@@ -839,7 +839,7 @@ OooCore::memCompleteTick(SeqNum seq, Tick arrival)
 
     if (st_[seq] & kIsStore) {
         ++stats_.stores;
-        memory_.access(dyn.pc, dyn.mem_addr, true);
+        memory_.access(dyn.pc, dyn.mem_addr, true, cycle_);
         return arrival + tpc;
     }
 
@@ -858,7 +858,8 @@ OooCore::memCompleteTick(SeqNum seq, Tick arrival)
     if (fwd && fwd->partial)
         ready = std::max(arrival,
                          clock_.ceilToBoundary(fwd->store_complete));
-    const auto result = memory_.access(dyn.pc, dyn.mem_addr, false);
+    const auto result =
+        memory_.access(dyn.pc, dyn.mem_addr, false, cycle_);
     if (!result.l1_hit)
         ++stats_.l1_load_misses;
     return ready + Tick{result.latency} * tpc;
@@ -1326,10 +1327,10 @@ OooCore::fastForward(bool adapting)
     }
 }
 
-CoreStats
-OooCore::run(const Trace &trace)
+void
+OooCore::beginRun(const Trace &trace)
 {
-    const auto wall_start = std::chrono::steady_clock::now();
+    wall_start_ = std::chrono::steady_clock::now();
 
     // Reset all run state so a core object can be reused. The SoA
     // lanes are resized, not cleared: every lane field is written at
@@ -1386,53 +1387,70 @@ OooCore::run(const Trace &trace)
     if (tracer_)
         tracer_->beginRun(clock_.ticksPerCycle());
 
-    const bool adapting = config_.dynamic_threshold &&
-                          config_.mode == SchedMode::ReDSOC;
+    adapting_ = config_.dynamic_threshold &&
+                config_.mode == SchedMode::ReDSOC;
     profiling_ = prof::enabled();
-    const bool profiling = profiling_;
+}
 
-    const SeqNum total = trace.size();
-    prof::ScopedTimer run_timer(prof::Phase::Run, profiling);
-    while (commit_ptr_ < total) {
-        if (profiling) {
-            {
-                prof::ScopedTimer t(prof::Phase::Commit, true);
-                commitPhase();
-            }
-            {
-                prof::ScopedTimer t(prof::Phase::Issue, true);
-                issuePhase();
-            }
-            {
-                prof::ScopedTimer t(prof::Phase::Dispatch, true);
-                dispatchPhase(trace);
-            }
-        } else {
+bool
+OooCore::stepRun()
+{
+    const SeqNum total = trace_->size();
+    if (commit_ptr_ >= total)
+        return false;
+    if (profiling_) {
+        {
+            prof::ScopedTimer t(prof::Phase::Commit, true);
             commitPhase();
-            issuePhase();
-            dispatchPhase(trace);
         }
-        if (audit_on_)
-            audit_.onCycleEnd(*this);
-        ++cycle_;
-        if (adapting && cycle_ % config_.threshold_epoch == 0)
-            adaptThreshold();
-        if (cycle_ - last_commit_cycle_ > config_.no_commit_horizon)
-            throw DeadlockError(cycle_, commit_ptr_, total);
-        if (event_kernel_ && commit_ptr_ < total)
-            fastForward(adapting);
+        {
+            prof::ScopedTimer t(prof::Phase::Issue, true);
+            issuePhase();
+        }
+        {
+            prof::ScopedTimer t(prof::Phase::Dispatch, true);
+            dispatchPhase(*trace_);
+        }
+    } else {
+        commitPhase();
+        issuePhase();
+        dispatchPhase(*trace_);
     }
+    if (audit_on_)
+        audit_.onCycleEnd(*this);
+    ++cycle_;
+    if (adapting_ && cycle_ % config_.threshold_epoch == 0)
+        adaptThreshold();
+    if (cycle_ - last_commit_cycle_ > config_.no_commit_horizon)
+        throw DeadlockError(cycle_, commit_ptr_, total);
+    if (event_kernel_ && commit_ptr_ < total)
+        fastForward(adapting_);
+    return commit_ptr_ < total;
+}
 
+CoreStats
+OooCore::finishRun()
+{
     stats_.threshold_final = cur_threshold_;
     stats_.cycles = cycle_;
-    stats_.committed = total;
+    stats_.committed = trace_->size();
     stats_.chain_lengths = chains_.lengths();
     stats_.expected_chain_length = chains_.expectedRecycledLength();
     stats_.sim_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
+                                      wall_start_)
             .count();
     return stats_;
+}
+
+CoreStats
+OooCore::run(const Trace &trace)
+{
+    beginRun(trace);
+    prof::ScopedTimer run_timer(prof::Phase::Run, profiling_);
+    while (stepRun()) {
+    }
+    return finishRun();
 }
 
 } // namespace redsoc

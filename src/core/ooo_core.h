@@ -23,6 +23,7 @@
 #ifndef REDSOC_CORE_OOO_CORE_H
 #define REDSOC_CORE_OOO_CORE_H
 
+#include <chrono>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -157,6 +158,45 @@ class OooCore
 
     /** Simulate the trace to completion and return the statistics. */
     CoreStats run(const Trace &trace);
+
+    // --- Incremental stepping (the multi-core Processor driver) -----
+    //
+    // run() is exactly beginRun(); while (stepRun()) {}; finishRun().
+    // The split exists so a Processor can interleave several cores in
+    // deterministic global-cycle order while each core keeps its
+    // whole single-core pipeline model untouched — a core stepped to
+    // completion this way is bit-identical to a plain run()
+    // (tests/test_proc_equiv.cc proves it on the acceptance grid).
+
+    /** Reset all per-run state and attach @p trace (kept by
+     *  reference until finishRun()). */
+    void beginRun(const Trace &trace);
+
+    /**
+     * Simulate one iteration of the main loop: commit/issue/dispatch
+     * for the current cycle, then advance (the event kernel may
+     * fast-forward over provably idle cycles). Returns false once the
+     * trace has fully committed. Throws DeadlockError exactly as
+     * run() does.
+     */
+    bool stepRun();
+
+    /** Finalize and return the statistics of the stepped run. */
+    CoreStats finishRun();
+
+    /** Current simulated cycle (the Processor's lockstep key). */
+    Cycle currentCycle() const { return cycle_; }
+
+    /** True once every op of the attached trace has committed. */
+    bool runDone() const
+    {
+        return trace_ == nullptr || commit_ptr_ >= trace_->size();
+    }
+
+    /** The private memory hierarchy (the Processor attaches the
+     *  shared LLC and the per-core address-space offset here). */
+    MemHierarchy &memory() { return memory_; }
+    const MemHierarchy &memory() const { return memory_; }
 
     /**
      * Attach (or detach, with nullptr) a pipeline event tracer for
@@ -515,6 +555,10 @@ class OooCore
     /** prof::enabled() sampled once per run (hoists the check out of
      *  the per-cycle wakeup/select timers). */
     bool profiling_ = false;
+    /** Dynamic-threshold adaptation active this run (mode + config). */
+    bool adapting_ = false;
+    /** beginRun() timestamp for the sim_seconds observability stat. */
+    std::chrono::steady_clock::time_point wall_start_{};
 
     CoreStats stats_;
 

@@ -8,6 +8,12 @@ namespace redsoc {
 Cache::Cache(CacheConfig config)
     : config_(std::move(config)), line_bytes_(config_.line_bytes)
 {
+    fatal_if(config_.size_bytes == 0, "zero cache size");
+    // Overflow guard: the tag array is materialized, so a corrupt or
+    // adversarial size (e.g. a fuzzer knob gone wrong) must fail
+    // loudly instead of attempting a multi-terabyte allocation.
+    fatal_if(config_.size_bytes > (u64{1} << 32),
+             "cache size over 4 GiB: likely an overflowing config");
     fatal_if(!isPowerOfTwo(config_.line_bytes), "line size not pow2");
     fatal_if(config_.assoc == 0, "zero associativity");
     fatal_if(config_.size_bytes % (config_.line_bytes * config_.assoc) != 0,
@@ -93,18 +99,23 @@ Cache::contains(Addr addr) const
     return findLine(addr) != nullptr;
 }
 
-bool
+Cache::InsertResult
 Cache::insert(Addr addr)
 {
+    InsertResult result;
     if (findLine(addr))
-        return false;
+        return result;
     // Reuse demand-allocation machinery but do not count stats:
     // prefetch fills are not demand accesses.
     const u64 saved_hits = hits_, saved_misses = misses_;
-    access(addr, false);
+    const AccessResult fill = access(addr, false);
     hits_ = saved_hits;
     misses_ = saved_misses;
-    return true;
+    result.allocated = true;
+    result.writeback = fill.writeback;
+    result.victim_line = fill.victim_line;
+    result.had_victim = fill.had_victim;
+    return result;
 }
 
 bool

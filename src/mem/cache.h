@@ -46,11 +46,22 @@ class Cache
     /** Tag probe without allocation or LRU update. */
     bool contains(Addr addr) const;
 
+    /** Result of a non-demand fill (insert()). */
+    struct InsertResult
+    {
+        bool allocated = false;   ///< the line was newly brought in
+        bool writeback = false;   ///< a dirty victim was evicted
+        Addr victim_line = 0;     ///< line address of the victim
+        bool had_victim = false;
+    };
+
     /**
      * Insert a line without demand semantics (prefetch fill).
-     * Returns true if the line was newly allocated.
+     * `allocated` is false when the line was already present; an
+     * inclusive outer level needs the victim fields to back-
+     * invalidate inner copies.
      */
-    bool insert(Addr addr);
+    InsertResult insert(Addr addr);
 
     /** Invalidate a line if present (returns true if it was dirty). */
     bool invalidate(Addr addr);

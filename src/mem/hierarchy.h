@@ -17,6 +17,8 @@
 
 namespace redsoc {
 
+class SharedLlc;
+
 struct HierarchyConfig
 {
     CacheConfig l1{"l1d", 64 * 1024, 4, 64};
@@ -62,8 +64,27 @@ class MemHierarchy
      * @param is_store store accesses mark lines dirty; their latency
      *        is the L1 pipeline latency (a store buffer absorbs miss
      *        latency), but tags still allocate so later loads hit.
+     * @param now current core cycle. Only the shared-LLC path reads
+     *        it (MSHR merge windows and DRAM bank queues are timed in
+     *        global cycles); the private path ignores it, so
+     *        single-hierarchy callers may omit it.
      */
-    AccessResult access(u32 pc, Addr addr, bool is_store);
+    AccessResult access(u32 pc, Addr addr, bool is_store,
+                        Cycle now = 0);
+
+    /**
+     * Replace the private L2 with a shared last-level cache: all L1
+     * misses are routed to @p llc as core @p core_id, with
+     * @p addr_offset added to every address first (the per-core
+     * address-space tag of multi-programmed mixes; 0 shares the
+     * space). The L2/DRAM latencies still come from this hierarchy's
+     * config — the LLC only decides hit/merge/miss and contributes
+     * cross-core wait cycles — so a 1-core attachment with LLC
+     * geometry equal to the private L2 is bit-identical to the
+     * unattached hierarchy (DESIGN.md §14). Pass nullptr to detach.
+     */
+    void attachSharedLlc(SharedLlc *llc, unsigned core_id,
+                         Addr addr_offset);
 
     Cache &l1() { return l1_; }
     Cache &l2() { return l2_; }
@@ -82,6 +103,11 @@ class MemHierarchy
     Cache l1_;
     Cache l2_;
     StridePrefetcher prefetcher_;
+
+    // Shared-LLC attachment (null = private L2, today's default).
+    SharedLlc *llc_ = nullptr;
+    unsigned core_id_ = 0;
+    Addr addr_offset_ = 0;
 };
 
 } // namespace redsoc

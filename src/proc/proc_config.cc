@@ -1,0 +1,25 @@
+#include "proc/proc_config.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+void
+validateProcConfig(const ProcConfig &config)
+{
+    fatal_if(config.num_cores == 0, "processor with zero cores");
+    fatal_if(config.num_cores > 64,
+             "more than 64 cores: likely an overflowing config");
+    fatal_if(config.llc.line_bytes != config.core.memory.l1.line_bytes,
+             "LLC line size must match the core L1 line size "
+             "(back-invalidation is line-granular)");
+    fatal_if(config.dram.banks == 0, "zero DRAM banks");
+    // Cache geometry (power-of-two lines/sets, non-zero and
+    // non-overflowing sizes) is validated by the Cache constructor;
+    // build a throwaway tag array so a bad LLC geometry fails here,
+    // at configuration time, instead of mid-construction.
+    Cache probe(config.llc);
+    (void)probe;
+}
+
+} // namespace redsoc

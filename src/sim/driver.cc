@@ -54,7 +54,25 @@ SimDriver::configKey(const CoreConfig &config)
        << config.timing.clock_period_ps << '|'
        << config.timing.pvt_derate << '|'
        << config.memory.offcore_latency_scale << '|'
-       << config.memory.prefetch;
+       << config.memory.prefetch << config.memory.prefetch_fill_l1
+       << '|' << config.memory.l1.size_bytes << '/'
+       << config.memory.l1.assoc << '/' << config.memory.l1.line_bytes
+       << '|' << config.memory.l2.size_bytes << '/'
+       << config.memory.l2.assoc << '|' << config.memory.l1_latency
+       << ',' << config.memory.l2_latency << ','
+       << config.memory.mem_latency;
+    return os.str();
+}
+
+std::string
+SimDriver::procConfigKey(const ProcConfig &config)
+{
+    std::ostringstream os;
+    os << configKey(config.core) << "|cores=" << config.num_cores
+       << "|llc=" << config.llc.size_bytes << '/' << config.llc.assoc
+       << '/' << config.llc.line_bytes << "|dram=" << config.dram.banks
+       << '/' << config.dram.bank_occupancy
+       << "|shared=" << config.share_address_space;
     return os.str();
 }
 
@@ -63,6 +81,20 @@ SimDriver::runKey(const std::string &workload,
                   const CoreConfig &config) const
 {
     return workload + "@" + configKey(config) +
+           "#ops=" + std::to_string(max_ops_);
+}
+
+std::string
+SimDriver::procRunKey(const std::vector<std::string> &mix,
+                      const ProcConfig &config) const
+{
+    std::string joined;
+    for (const std::string &w : mix) {
+        if (!joined.empty())
+            joined += '+';
+        joined += w;
+    }
+    return joined + "@" + procConfigKey(config) +
            "#ops=" + std::to_string(max_ops_);
 }
 
@@ -127,6 +159,51 @@ const CoreStats &
 SimDriver::run(const std::string &workload, const CoreConfig &config)
 {
     return runFuture(workload, config).get();
+}
+
+std::shared_future<ProcStats>
+SimDriver::procFuture(const std::vector<std::string> &mix,
+                      const ProcConfig &config)
+{
+    const std::string key = procRunKey(mix, config);
+    std::promise<ProcStats> prom;
+    std::shared_future<ProcStats> fut = prom.get_future().share();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = proc_results_.try_emplace(key, fut);
+        if (!inserted)
+            return it->second; // point already claimed: share it
+    }
+    try {
+        panic_if(mix.empty(), "empty workload mix");
+        if (disk_cache_) {
+            if (auto hit = disk_cache_->loadProc(key)) {
+                prom.set_value(std::move(*hit));
+                return fut;
+            }
+        }
+        // Build the mix's traces first (shared with single-core runs
+        // of the same workloads), then run the sequential lockstep.
+        std::vector<const Trace *> traces;
+        traces.reserve(config.num_cores);
+        for (unsigned i = 0; i < config.num_cores; ++i)
+            traces.push_back(&trace(mix[i % mix.size()]));
+        Processor proc(config);
+        ProcStats stats = proc.run(traces);
+        if (disk_cache_)
+            disk_cache_->storeProc(key, stats);
+        prom.set_value(std::move(stats));
+    } catch (...) {
+        prom.set_exception(std::current_exception());
+    }
+    return fut;
+}
+
+const ProcStats &
+SimDriver::runProc(const std::vector<std::string> &mix,
+                   const ProcConfig &config)
+{
+    return procFuture(mix, config).get();
 }
 
 CoreStats

@@ -31,6 +31,7 @@
 
 #include "common/thread_annotations.h"
 #include "core/ooo_core.h"
+#include "proc/processor.h"
 #include "sim/run_cache.h"
 #include "trace/pipe_tracer.h"
 #include "workloads/registry.h"
@@ -83,6 +84,17 @@ class SimDriver
     void prefetchTraces(const std::vector<std::string> &workloads);
 
     /**
+     * Simulate a multi-programmed mix on an N-core Processor: core i
+     * runs workload mix[i % mix.size()] (so a short mix tiles across
+     * the cores). Cached exactly like run() — in memory behind a
+     * per-key shared_future and on disk as a ".pstats" entry — and
+     * deterministic regardless of host thread count (the Processor
+     * lockstep is sequential).
+     */
+    const ProcStats &runProc(const std::vector<std::string> &mix,
+                             const ProcConfig &config);
+
+    /**
      * Wall-clock-equivalent speedup of @p variant over @p base on a
      * workload (same clock period: cycle ratio).
      */
@@ -92,12 +104,22 @@ class SimDriver
     /** Arithmetic mean (the paper reports arithmetic suite means). */
     static double mean(const std::vector<double> &values);
 
-    /** Configuration fingerprint used as the cache key. */
+    /** Configuration fingerprint used as the cache key (includes the
+     *  full cache-hierarchy geometry — v4 key dimension). */
     static std::string configKey(const CoreConfig &config);
+
+    /** Multi-core fingerprint: core template key + core count, LLC
+     *  geometry, DRAM banking and address-space sharing. */
+    static std::string procConfigKey(const ProcConfig &config);
 
     /** Full run key: workload @ configKey # trace length cap. */
     std::string runKey(const std::string &workload,
                        const CoreConfig &config) const;
+
+    /** Full multi-core run key: the '+'-joined mix @ procConfigKey
+     *  # trace length cap. */
+    std::string procRunKey(const std::vector<std::string> &mix,
+                           const ProcConfig &config) const;
 
     SeqNum maxOps() const { return max_ops_; }
 
@@ -105,6 +127,9 @@ class SimDriver
     std::shared_future<Trace> traceFuture(const std::string &workload);
     std::shared_future<CoreStats> runFuture(const std::string &workload,
                                             const CoreConfig &config);
+    std::shared_future<ProcStats>
+    procFuture(const std::vector<std::string> &mix,
+               const ProcConfig &config);
 
     // Both immutable after the constructor; RunCache itself is
     // stateless (every method const, on-disk writes are atomic
@@ -119,6 +144,8 @@ class SimDriver
     std::map<std::string, std::shared_future<Trace>> traces_
         REDSOC_GUARDED_BY(mu_);
     std::map<std::string, std::shared_future<CoreStats>> results_
+        REDSOC_GUARDED_BY(mu_);
+    std::map<std::string, std::shared_future<ProcStats>> proc_results_
         REDSOC_GUARDED_BY(mu_);
 };
 

@@ -18,6 +18,7 @@ namespace redsoc {
 namespace {
 
 constexpr const char *kMagic = "redsoc-stats";
+constexpr const char *kProcMagic = "redsoc-pstats";
 
 /** FNV-1a, for stable filenames independent of key length. */
 u64
@@ -78,14 +79,14 @@ class FieldReader
     bool ok_ = true;
 };
 
-} // namespace
-
-std::string
-serializeStats(const std::string &key, const CoreStats &stats)
+/**
+ * Body shared by the single-core and multi-core codecs: every
+ * CoreStats field, named, in a fixed order, ending with the
+ * chain-length histogram line.
+ */
+void
+writeCoreFields(std::ostringstream &os, const CoreStats &stats)
 {
-    std::ostringstream os;
-    os << kMagic << " v" << RunCache::kFormatVersion << '\n';
-    os << "key " << key << '\n';
     putU64(os, "cycles", stats.cycles);
     putU64(os, "committed", stats.committed);
     putU64(os, "fu_stall_cycles", stats.fu_stall_cycles);
@@ -120,30 +121,12 @@ serializeStats(const std::string &key, const CoreStats &stats)
     for (u64 b : h.rawBuckets())
         os << ' ' << b;
     os << '\n';
-    os << "end\n";
-    return os.str();
 }
 
+/** Read back exactly what writeCoreFields wrote. */
 std::optional<CoreStats>
-deserializeStats(const std::string &text, const std::string &expect_key)
+readCoreFields(std::istream &in)
 {
-    std::istringstream in(text);
-
-    std::string magic, version;
-    if (!(in >> magic >> version) || magic != kMagic ||
-        version != "v" + std::to_string(RunCache::kFormatVersion)) {
-        return std::nullopt;
-    }
-
-    std::string tag, key;
-    if (!(in >> tag) || tag != "key" || !std::getline(in, key))
-        return std::nullopt;
-    // Strip the single separator space after "key".
-    if (!key.empty() && key.front() == ' ')
-        key.erase(0, 1);
-    if (!expect_key.empty() && key != expect_key)
-        return std::nullopt; // hash collision or stale rename
-
     CoreStats s;
     FieldReader r(in);
     s.cycles = r.u("cycles");
@@ -188,6 +171,152 @@ deserializeStats(const std::string &text, const std::string &expect_key)
             return std::nullopt;
     s.chain_lengths = Histogram::fromRaw(max_sample, std::move(buckets),
                                          count, sum, sum_sq);
+    return s;
+}
+
+/** "<magic> vN\nkey <key>\n" header; false on any mismatch. */
+bool
+readHeader(std::istream &in, const char *magic,
+           const std::string &expect_key)
+{
+    std::string got_magic, version;
+    if (!(in >> got_magic >> version) || got_magic != magic ||
+        version != "v" + std::to_string(RunCache::kFormatVersion)) {
+        return false;
+    }
+    std::string tag, key;
+    if (!(in >> tag) || tag != "key" || !std::getline(in, key))
+        return false;
+    // Strip the single separator space after "key".
+    if (!key.empty() && key.front() == ' ')
+        key.erase(0, 1);
+    if (!expect_key.empty() && key != expect_key)
+        return false; // hash collision or stale rename
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeStats(const std::string &key, const CoreStats &stats)
+{
+    std::ostringstream os;
+    os << kMagic << " v" << RunCache::kFormatVersion << '\n';
+    os << "key " << key << '\n';
+    writeCoreFields(os, stats);
+    os << "end\n";
+    return os.str();
+}
+
+std::optional<CoreStats>
+deserializeStats(const std::string &text, const std::string &expect_key)
+{
+    std::istringstream in(text);
+    if (!readHeader(in, kMagic, expect_key))
+        return std::nullopt;
+
+    auto s = readCoreFields(in);
+    if (!s)
+        return std::nullopt;
+
+    std::string endtag;
+    if (!(in >> endtag) || endtag != "end")
+        return std::nullopt; // truncated write
+    return s;
+}
+
+std::string
+serializeProcStats(const std::string &key, const ProcStats &stats)
+{
+    std::ostringstream os;
+    os << kProcMagic << " v" << RunCache::kFormatVersion << '\n';
+    os << "key " << key << '\n';
+    putU64(os, "cycles", stats.cycles);
+    putU64(os, "cores", stats.cores.size());
+    for (size_t i = 0; i < stats.cores.size(); ++i) {
+        os << "core " << i << '\n';
+        writeCoreFields(os, stats.cores[i]);
+    }
+    os << "llc\n";
+    putU64(os, "evictions", stats.llc.evictions);
+    putU64(os, "writebacks", stats.llc.writebacks);
+    putU64(os, "per_core", stats.llc.per_core.size());
+    for (size_t i = 0; i < stats.llc.per_core.size(); ++i) {
+        const LlcCoreStats &cs = stats.llc.per_core[i];
+        os << "llc_core " << i << '\n';
+        putU64(os, "accesses", cs.accesses);
+        putU64(os, "hits", cs.hits);
+        putU64(os, "misses", cs.misses);
+        putU64(os, "mshr_merges", cs.mshr_merges);
+        putU64(os, "prefetch_fills", cs.prefetch_fills);
+        putU64(os, "bank_wait_cycles", cs.bank_wait_cycles);
+        putU64(os, "back_invalidations", cs.back_invalidations);
+        putU64(os, "lines_owned", cs.lines_owned);
+    }
+    os << "end\n";
+    return os.str();
+}
+
+std::optional<ProcStats>
+deserializeProcStats(const std::string &text,
+                     const std::string &expect_key)
+{
+    std::istringstream in(text);
+    if (!readHeader(in, kProcMagic, expect_key))
+        return std::nullopt;
+
+    ProcStats s;
+    u64 cores = 0;
+    {
+        FieldReader r(in);
+        s.cycles = r.u("cycles");
+        cores = r.u("cores");
+        if (!r.ok() || cores > 1024)
+            return std::nullopt;
+        s.cores.reserve(cores);
+    }
+    for (size_t i = 0; i < cores; ++i) {
+        std::string tag;
+        u64 id = 0;
+        if (!(in >> tag >> id) || tag != "core" || id != i)
+            return std::nullopt;
+        auto core = readCoreFields(in);
+        if (!core)
+            return std::nullopt;
+        s.cores.push_back(std::move(*core));
+    }
+
+    std::string llc_tag;
+    if (!(in >> llc_tag) || llc_tag != "llc")
+        return std::nullopt;
+    u64 slices = 0;
+    {
+        FieldReader r(in);
+        s.llc.evictions = r.u("evictions");
+        s.llc.writebacks = r.u("writebacks");
+        slices = r.u("per_core");
+        if (!r.ok() || slices > 1024)
+            return std::nullopt;
+    }
+    s.llc.per_core.resize(slices);
+    for (size_t i = 0; i < slices; ++i) {
+        std::string tag;
+        u64 id = 0;
+        if (!(in >> tag >> id) || tag != "llc_core" || id != i)
+            return std::nullopt;
+        LlcCoreStats &cs = s.llc.per_core[i];
+        FieldReader r(in);
+        cs.accesses = r.u("accesses");
+        cs.hits = r.u("hits");
+        cs.misses = r.u("misses");
+        cs.mshr_merges = r.u("mshr_merges");
+        cs.prefetch_fills = r.u("prefetch_fills");
+        cs.bank_wait_cycles = r.u("bank_wait_cycles");
+        cs.back_invalidations = r.u("back_invalidations");
+        cs.lines_owned = r.u("lines_owned");
+        if (!r.ok())
+            return std::nullopt;
+    }
 
     std::string endtag;
     if (!(in >> endtag) || endtag != "end")
@@ -235,11 +364,43 @@ RunCache::load(const std::string &key) const
 void
 RunCache::store(const std::string &key, const CoreStats &stats) const
 {
-    const std::string final_path = entryPath(key);
+    storeText(entryPath(key), serializeStats(key, stats));
+}
+
+std::string
+RunCache::procEntryPath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.pstats",
+                  static_cast<unsigned long long>(hashKey(key)));
+    return (fs::path(dir_) / name).string();
+}
+
+std::optional<ProcStats>
+RunCache::loadProc(const std::string &key) const
+{
+    std::ifstream in(procEntryPath(key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return deserializeProcStats(text.str(), key);
+}
+
+void
+RunCache::storeProc(const std::string &key, const ProcStats &stats) const
+{
+    storeText(procEntryPath(key), serializeProcStats(key, stats));
+}
+
+void
+RunCache::storeText(const std::string &final_path,
+                    const std::string &text) const
+{
     std::ostringstream tmp_name;
     tmp_name << ".tmp-" << ::getpid() << '-'
              << std::this_thread::get_id() << '-'
-             << (hashKey(key) & 0xffff);
+             << (hashKey(final_path) & 0xffff);
     const fs::path tmp_path = fs::path(dir_) / tmp_name.str();
 
     {
@@ -248,7 +409,7 @@ RunCache::store(const std::string &key, const CoreStats &stats) const
             warn("run cache: cannot write '", tmp_path.string(), "'");
             return;
         }
-        out << serializeStats(key, stats);
+        out << text;
         if (!out.good()) {
             warn("run cache: short write to '", tmp_path.string(), "'");
             return;

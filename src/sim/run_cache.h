@@ -19,16 +19,19 @@
 
 #include "common/thread_annotations.h"
 #include "core/ooo_core.h"
+#include "proc/processor.h"
 
 namespace redsoc {
 
 class RunCache
 {
   public:
-    /** Bump when the serialized CoreStats layout changes or when
-     *  simulation semantics shift (v3: byte-accurate multi-store
-     *  forwarding changed partial-overlap load timing). */
-    static constexpr unsigned kFormatVersion = 3;
+    /** Bump when a serialized stats layout changes or when simulation
+     *  semantics shift (v3: byte-accurate multi-store forwarding
+     *  changed partial-overlap load timing; v4: run keys carry the
+     *  full cache-hierarchy geometry and multi-core ProcStats entries
+     *  joined the cache). */
+    static constexpr unsigned kFormatVersion = 4;
 
     explicit RunCache(std::string dir);
 
@@ -46,10 +49,18 @@ class RunCache
      *  against concurrent harnesses sharing the directory). */
     void store(const std::string &key, const CoreStats &stats) const;
 
+    /** Multi-core entries: same contract as load()/store(), separate
+     *  ".pstats" namespace (scan() totals ignore them). */
+    std::optional<ProcStats> loadProc(const std::string &key) const;
+    void storeProc(const std::string &key, const ProcStats &stats) const;
+
     const std::string &dir() const { return dir_; }
 
     /** Path of the entry file for @p key (testing/inspection). */
     std::string entryPath(const std::string &key) const;
+
+    /** Path of the multi-core entry file for @p key. */
+    std::string procEntryPath(const std::string &key) const;
 
     /** Aggregate totals over every readable entry in a cache dir
      *  (the bench_all throughput summary). */
@@ -62,6 +73,10 @@ class RunCache
     static Totals scan(const std::string &dir);
 
   private:
+    /** Write @p text then publish via atomic rename. */
+    void storeText(const std::string &final_path,
+                   const std::string &text) const;
+
     // RunCache holds no mutex by design: dir_ is immutable after
     // construction and all cross-thread/cross-process coordination is
     // delegated to the filesystem — store() writes a unique temp file
@@ -75,6 +90,14 @@ class RunCache
 std::string serializeStats(const std::string &key, const CoreStats &stats);
 std::optional<CoreStats> deserializeStats(const std::string &text,
                                           const std::string &expect_key);
+
+/** Text codec for multi-core ProcStats: per-core CoreStats blocks in
+ *  core-id order followed by the shared-LLC block (exposed for tests
+ *  — the determinism harness byte-compares serializations). */
+std::string serializeProcStats(const std::string &key,
+                               const ProcStats &stats);
+std::optional<ProcStats> deserializeProcStats(const std::string &text,
+                                              const std::string &expect_key);
 
 } // namespace redsoc
 

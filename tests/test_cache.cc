@@ -57,8 +57,8 @@ TEST(Cache, DirtyVictimReportsWriteback)
 TEST(Cache, InsertDoesNotPerturbDemandStats)
 {
     Cache c(tinyCache());
-    EXPECT_TRUE(c.insert(0x8000));
-    EXPECT_FALSE(c.insert(0x8000)); // already present
+    EXPECT_TRUE(c.insert(0x8000).allocated);
+    EXPECT_FALSE(c.insert(0x8000).allocated); // already present
     EXPECT_EQ(c.hits(), 0u);
     EXPECT_EQ(c.misses(), 0u);
     EXPECT_TRUE(c.contains(0x8000));

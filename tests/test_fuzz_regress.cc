@@ -163,6 +163,114 @@ TEST(FuzzHarness, ParserRejectsMalformedFixtures)
 }
 
 // ---------------------------------------------------------------------
+// Multi-core points: generator, oracle, and fixture format
+// ---------------------------------------------------------------------
+
+TEST(FuzzProc, GenerationIsDeterministicPerSeed)
+{
+    EXPECT_EQ(serializeCase(randomProcCase(42)),
+              serializeCase(randomProcCase(42)));
+    EXPECT_NE(serializeCase(randomProcCase(42)),
+              serializeCase(randomProcCase(43)));
+    // The proc and scalar streams are salted differently.
+    EXPECT_NE(serializeCase(randomProcCase(42)),
+              serializeCase(randomCase(42)));
+}
+
+TEST(FuzzProc, EveryGeneratedPointBuildsAndAgrees)
+{
+    bool saw_multi = false;
+    for (u64 seed = 2000; seed < 2010; ++seed) {
+        const FuzzCase fc = randomProcCase(seed);
+        EXPECT_FALSE(fc.prog.empty());
+        EXPECT_EQ(fc.extra_progs.size(), fc.cores - 1);
+        saw_multi |= fc.cores > 1;
+        EXPECT_EQ(checkCase(fc), "") << "proc seed " << seed;
+    }
+    EXPECT_TRUE(saw_multi) << "distribution never drew > 1 core";
+}
+
+TEST(FuzzProc, FixtureRoundTripsMultiCoreCases)
+{
+    for (u64 seed = 2000; seed < 2010; ++seed) {
+        const FuzzCase fc = randomProcCase(seed);
+        const FuzzCase again = parseCase(serializeCase(fc));
+        EXPECT_EQ(serializeCase(again), serializeCase(fc))
+            << "proc seed " << seed;
+        EXPECT_EQ(again.cores, fc.cores);
+        EXPECT_EQ(again.extra_progs.size(), fc.extra_progs.size());
+        // The shared-hierarchy knobs are inert (and deliberately not
+        // serialized) for a single-core draw.
+        if (fc.cores > 1) {
+            EXPECT_EQ(again.llc_kb, fc.llc_kb);
+            EXPECT_EQ(again.dram_banks, fc.dram_banks);
+            EXPECT_EQ(again.bank_occupancy, fc.bank_occupancy);
+            EXPECT_EQ(again.share_addr, fc.share_addr);
+        }
+    }
+}
+
+TEST(FuzzProc, ParserRejectsMalformedProcFixtures)
+{
+    const std::string base =
+        "config core=small\ninst alu sel=1 d=1 a=1 b=1 imm=0\n";
+    // Zero or absurd core counts.
+    EXPECT_THROW(parseCase(base + "proc cores=0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCase(base + "proc cores=65\n"),
+                 std::runtime_error);
+    // A core section with no proc line, or out of sequence.
+    EXPECT_THROW(parseCase(base + "core 1\ninst alu sel=1 d=1 a=1 "
+                                  "b=1 imm=0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCase(base + "proc cores=3\ncore 2\ninst alu "
+                                  "sel=1 d=1 a=1 b=1 imm=0\n"),
+                 std::runtime_error);
+    // Missing or empty extra-core programs.
+    EXPECT_THROW(parseCase(base + "proc cores=2\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCase(base + "proc cores=2\ncore 1\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCase(base + "proc bogus=1\n"),
+                 std::runtime_error);
+}
+
+TEST(FuzzProc, DiffProcOutcomeWalksEveryLayer)
+{
+    ProcOutcome a;
+    a.stats.cycles = 500;
+    a.stats.cores.resize(2);
+    a.stats.llc.per_core.resize(2);
+    ProcOutcome b = a;
+    EXPECT_EQ(diffProcOutcome(a, b), "");
+
+    b.stats.cycles = 501;
+    EXPECT_NE(diffProcOutcome(a, b).find("cycles"), std::string::npos);
+
+    b = a;
+    b.stats.cores[1].commit_checksum ^= 1;
+    const std::string core_diff = diffProcOutcome(a, b);
+    EXPECT_NE(core_diff.find("core 1"), std::string::npos);
+    EXPECT_NE(core_diff.find("commit_checksum"), std::string::npos);
+
+    b = a;
+    b.stats.llc.per_core[0].mshr_merges = 9;
+    const std::string llc_diff = diffProcOutcome(a, b);
+    EXPECT_NE(llc_diff.find("llc core 0"), std::string::npos);
+    EXPECT_NE(llc_diff.find("mshr_merges"), std::string::npos);
+
+    b = a;
+    b.stats.llc.writebacks = 3;
+    EXPECT_NE(diffProcOutcome(a, b).find("llc.writebacks"),
+              std::string::npos);
+
+    b = a;
+    b.deadlock = true;
+    EXPECT_NE(diffProcOutcome(a, b).find("deadlock"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
 // 2. Deadlock-watchdog boundary
 // ---------------------------------------------------------------------
 

@@ -7,6 +7,7 @@
  */
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -293,6 +294,67 @@ TEST(LintTree, StatCompleteGuardsTheRealCoreStats)
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].rule, "stat-complete");
     EXPECT_NE(out[0].message.find("recycled_ops"), std::string::npos);
+}
+
+/** R4 is live on every multi-core stats block: dropping a field
+ *  mention from the ProcStats codec or the equivalence comparator
+ *  must surface for each wired struct. */
+TEST(LintTree, StatCompleteGuardsTheMultiCoreBlocks)
+{
+    Options opt;
+    opt.root = kRoot;
+    ASSERT_EQ(opt.extra_stat_blocks.size(), 3u);
+
+    // Unique probe field per block: erasing its serializer mentions
+    // must produce exactly one finding naming it.
+    const std::map<std::string, std::string> probes = {
+        {"LlcCoreStats", "mshr_merges"},
+        {"LlcStats", "writebacks"},
+        {"ProcStats", "cores"},
+    };
+    for (const Options::StatBlock &blk : opt.extra_stat_blocks) {
+        SourceFile header =
+            lexFile(kRoot + "/" + blk.header, blk.header);
+        SourceFile ser =
+            lexFile(kRoot + "/" + blk.serializer, blk.serializer);
+        SourceFile cmp =
+            lexFile(kRoot + "/" + blk.comparator, blk.comparator);
+
+        std::vector<Finding> ok;
+        ruleStatComplete(header, blk.struct_name, ser, cmp, ok);
+        EXPECT_TRUE(ok.empty()) << blk.struct_name;
+
+        const std::string probe = probes.at(blk.struct_name);
+        SourceFile broken = ser;
+        broken.toks.erase(
+            std::remove_if(broken.toks.begin(), broken.toks.end(),
+                           [&probe](const Token &t) {
+                               return t.text == probe;
+                           }),
+            broken.toks.end());
+        std::vector<Finding> out;
+        ruleStatComplete(header, blk.struct_name, broken, cmp, out);
+        ASSERT_EQ(out.size(), 1u) << blk.struct_name;
+        EXPECT_EQ(out[0].rule, "stat-complete");
+        EXPECT_NE(out[0].message.find(probe), std::string::npos)
+            << blk.struct_name;
+
+        // The comparator leg is live too.
+        SourceFile no_cmp = cmp;
+        no_cmp.toks.erase(
+            std::remove_if(no_cmp.toks.begin(), no_cmp.toks.end(),
+                           [&probe](const Token &t) {
+                               return t.text == probe;
+                           }),
+            no_cmp.toks.end());
+        std::vector<Finding> cmp_out;
+        ruleStatComplete(header, blk.struct_name, ser, no_cmp,
+                         cmp_out);
+        ASSERT_EQ(cmp_out.size(), 1u) << blk.struct_name;
+        EXPECT_NE(cmp_out[0].message.find("comparator"),
+                  std::string::npos)
+            << blk.struct_name;
+    }
 }
 
 /** R5 is live on the real tree: drop an event kind from the exporter

@@ -1,18 +1,26 @@
 /**
  * @file
  * Pipeline-structure tests: ROB ordering, LSQ ordering/forwarding,
- * reservation stations, RAT, and FU-pool booking (including the
- * 2-cycle transparent holds).
+ * reservation stations, RAT, FU-pool booking (including the 2-cycle
+ * transparent holds), and the cache-model property suite (LRU state
+ * equality, prefetcher replay determinism, shared-LLC inclusion and
+ * MSHR accounting).
  */
+
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "core/fu_pool.h"
 #include "core/lsq.h"
 #include "isa/builder.h"
 #include "core/rat.h"
 #include "core/rob.h"
 #include "core/rs.h"
+#include "mem/cache.h"
+#include "mem/prefetcher.h"
+#include "proc/llc.h"
 
 namespace redsoc {
 namespace {
@@ -340,6 +348,156 @@ TEST(FuPool, ReleaseUnbookedPanics)
 {
     FuPool fu(smallCore());
     EXPECT_THROW(fu.release(FuPoolKind::Fp, 3), std::logic_error);
+}
+
+// --- Cache-model properties (DESIGN.md §14) --------------------------
+
+/**
+ * Inclusion invariant: with L1s attached, every L1-resident line is
+ * also LLC-resident at all times. The LLC is deliberately smaller
+ * than the combined L1 footprint so capacity evictions must fire
+ * back-invalidations to keep the invariant.
+ */
+TEST(CacheProperties, SharedLlcPreservesInclusionUnderEviction)
+{
+    SharedLlc llc(CacheConfig{"llc", 4 * 1024, 2, 64},
+                  DramConfig{4, 0}, 2, 100);
+    Cache l1a(CacheConfig{"l1a", 8 * 1024, 4, 64});
+    Cache l1b(CacheConfig{"l1b", 8 * 1024, 4, 64});
+    llc.attachL1(0, &l1a);
+    llc.attachL1(1, &l1b);
+
+    std::vector<Addr> touched;
+    Rng rng(41);
+    for (Cycle now = 0; now < 400; ++now) {
+        const Addr addr = Addr{rng.range(0, 255)} * 64;
+        const bool is_write = rng.chance(0.3);
+        const unsigned core = static_cast<unsigned>(rng.range(0, 1));
+        Cache &l1 = core == 0 ? l1a : l1b;
+        l1.access(addr, is_write);
+        llc.access(core, addr, is_write, now);
+        touched.push_back(addr);
+
+        for (Addr line : touched) {
+            if (l1a.contains(line) || l1b.contains(line)) {
+                ASSERT_TRUE(llc.tags().contains(line))
+                    << "L1 line 0x" << std::hex << line
+                    << " not backed by the LLC";
+            }
+        }
+    }
+
+    const LlcStats stats = llc.collectStats();
+    EXPECT_GT(stats.evictions, 0u) << "grid too small to evict";
+    u64 back_invals = 0;
+    for (const LlcCoreStats &cs : stats.per_core)
+        back_invals += cs.back_invalidations;
+    EXPECT_GT(back_invals, 0u)
+        << "evictions never found an L1 copy to invalidate";
+}
+
+/**
+ * MSHR accounting: a cross-core access inside another core's fill
+ * window rides the in-flight fill (one merge), never a second miss,
+ * and per-core accesses always decompose as hits + misses + merges.
+ */
+TEST(CacheProperties, MshrMergeNeverDoubleCountsAMiss)
+{
+    SharedLlc llc(CacheConfig{"llc", 64 * 1024, 4, 64},
+                  DramConfig{1, 0}, 2, 100);
+    const Addr line = 0x4000;
+
+    auto first = llc.access(0, line, false, 0);
+    EXPECT_EQ(first.level, SharedLlc::Level::Miss);
+    EXPECT_EQ(first.wait, 0u); // no cross-core bank conflict yet
+
+    // Core 1 arrives mid-fill: merge, paying only the remainder.
+    auto merged = llc.access(1, line, false, 10);
+    EXPECT_EQ(merged.level, SharedLlc::Level::Merge);
+    EXPECT_EQ(merged.wait, 90u);
+
+    // Core 0 re-touches its own in-flight fill: free (infinite
+    // same-core MLP, the seed model's rule).
+    auto own = llc.access(0, line, false, 20);
+    EXPECT_EQ(own.level, SharedLlc::Level::Hit);
+    EXPECT_EQ(own.wait, 0u);
+
+    // After completion the line is simply resident.
+    auto late = llc.access(1, line, false, 500);
+    EXPECT_EQ(late.level, SharedLlc::Level::Hit);
+    EXPECT_EQ(late.wait, 0u);
+
+    const LlcStats stats = llc.collectStats();
+    ASSERT_EQ(stats.per_core.size(), 2u);
+    u64 total_misses = 0;
+    for (const LlcCoreStats &cs : stats.per_core) {
+        EXPECT_EQ(cs.accesses, cs.hits + cs.misses + cs.mshr_merges);
+        total_misses += cs.misses;
+    }
+    EXPECT_EQ(total_misses, 1u) << "merge was double-counted as a miss";
+    EXPECT_EQ(stats.per_core[0].misses, 1u);
+    EXPECT_EQ(stats.per_core[1].mshr_merges, 1u);
+}
+
+/**
+ * Stride-prefetcher training is a pure function of the observed
+ * (pc, addr) stream: replaying the identical stream through a fresh
+ * instance reproduces the identical prefetch stream.
+ */
+TEST(CacheProperties, StridePrefetcherTrainingIsReplayDeterministic)
+{
+    std::vector<std::pair<u32, Addr>> stream;
+    Rng rng(43);
+    Addr cursors[4] = {0x1000, 0x8000, 0x20000, 0x40000};
+    const s64 strides[4] = {64, 128, -64, 192};
+    for (int i = 0; i < 500; ++i) {
+        const unsigned s = static_cast<unsigned>(rng.range(0, 3));
+        stream.emplace_back(0x400 + s * 4, cursors[s]);
+        cursors[s] = static_cast<Addr>(
+            static_cast<s64>(cursors[s]) + strides[s]);
+        if (rng.chance(0.1)) // noise access on a fifth pc
+            stream.emplace_back(0x900, Addr{rng.next()} & 0xffffc0);
+    }
+
+    StridePrefetcher a;
+    StridePrefetcher b;
+    for (const auto &[pc, addr] : stream) {
+        const std::vector<Addr> pa = a.observe(pc, addr);
+        const std::vector<Addr> pb = b.observe(pc, addr);
+        ASSERT_EQ(pa, pb);
+    }
+    EXPECT_EQ(a.issued(), b.issued());
+    EXPECT_GT(a.issued(), 0u) << "streams never trained to confidence";
+}
+
+/**
+ * True-LRU state is fully determined by the access history: two
+ * caches fed the identical sequence agree access-for-access on every
+ * observable (hit, victim choice, writeback) from then on.
+ */
+TEST(CacheProperties, LruStateEqualAfterIdenticalAccessSequences)
+{
+    const CacheConfig cfg{"lru", 1024, 4, 64}; // 4 sets x 4 ways
+    Cache a(cfg);
+    Cache b(cfg);
+
+    Rng rng(47);
+    std::vector<Addr> touched;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = Addr{rng.range(0, 63)} * 64;
+        const bool is_write = rng.chance(0.4);
+        touched.push_back(addr);
+        const auto ra = a.access(addr, is_write);
+        const auto rb = b.access(addr, is_write);
+        ASSERT_EQ(ra.hit, rb.hit) << "at access " << i;
+        ASSERT_EQ(ra.had_victim, rb.had_victim) << "at access " << i;
+        ASSERT_EQ(ra.victim_line, rb.victim_line) << "at access " << i;
+        ASSERT_EQ(ra.writeback, rb.writeback) << "at access " << i;
+    }
+    EXPECT_EQ(a.hits(), b.hits());
+    EXPECT_EQ(a.misses(), b.misses());
+    for (Addr line : touched)
+        ASSERT_EQ(a.contains(line), b.contains(line));
 }
 
 } // namespace

@@ -1,6 +1,7 @@
 #include "fuzz_lib.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -110,6 +111,21 @@ randomConfig(Rng &rng)
     cfg.memory.l2_latency = 6 + rng.below(10);
     cfg.memory.mem_latency = 50 + rng.below(250);
     cfg.memory.prefetch = rng.chance(0.7);
+    cfg.memory.prefetch_fill_l1 = rng.chance(0.3);
+
+    // Hierarchy geometry: power-of-two sizes/associativities only
+    // (the tag model requires power-of-two set counts). Tiny L1s
+    // push the workload into the L2/LLC where the shared-path timing
+    // actually differs.
+    cfg.memory.l1.size_bytes = u64{8 * 1024} << rng.below(4);
+    cfg.memory.l1.assoc = 1u << rng.below(4);
+    cfg.memory.l2.size_bytes = u64{256 * 1024} << rng.below(4);
+    cfg.memory.l2.assoc = 4u << rng.below(3);
+
+    // Timing-speculation rescale of off-core latencies (>= 1.0; the
+    // hierarchy rejects shrinking memory latency with the core clock).
+    static constexpr double kScales[] = {1.0, 1.0, 1.25, 1.5, 2.0};
+    cfg.memory.offcore_latency_scale = kScales[rng.below(5)];
 
     // Capacity boundaries: a quarter of the cases pin one structure
     // at its floor (or flood it) so the kernels are differentially
@@ -266,10 +282,52 @@ randomCase(u64 seed)
     return fc;
 }
 
-Trace
-buildTrace(const FuzzCase &fc)
+FuzzCase
+randomProcCase(u64 seed)
 {
-    ProgramBuilder b(fc.name);
+    Rng rng(seed ^ 0x3c6ef372fe94f82bull);
+    FuzzCase fc;
+    fc.name = "proc" + std::to_string(seed);
+    fc.config = randomConfig(rng);
+    fc.prog = randomProgram(rng);
+
+    fc.cores = static_cast<unsigned>(1 + rng.below(3));
+    for (unsigned i = 1; i < fc.cores; ++i)
+        fc.extra_progs.push_back(randomProgram(rng));
+
+    // LLC geometry down to a quarter of the big-core L2 so capacity
+    // contention (and back-invalidation) actually fires; DRAM from a
+    // single serializing bank up to the default eight.
+    fc.llc_kb = u64{256} << rng.below(4);
+    fc.llc_assoc = 4u << rng.below(3);
+    fc.dram_banks = 1u << rng.below(4);
+    static constexpr Cycle kOccupancies[] = {0, 8, 16, 64};
+    fc.bank_occupancy = kOccupancies[rng.below(4)];
+    fc.share_addr = rng.chance(0.25);
+    return fc;
+}
+
+ProcConfig
+procConfigOf(const FuzzCase &fc)
+{
+    ProcConfig pc;
+    pc.num_cores = fc.cores;
+    pc.core = fc.config;
+    pc.llc.size_bytes = fc.llc_kb * 1024;
+    pc.llc.assoc = fc.llc_assoc;
+    pc.llc.line_bytes = fc.config.memory.l1.line_bytes;
+    pc.dram.banks = fc.dram_banks;
+    pc.dram.bank_occupancy = fc.bank_occupancy;
+    pc.share_address_space = fc.share_addr;
+    return pc;
+}
+
+namespace {
+
+Trace
+buildProgTrace(const std::string &name, const std::vector<FuzzInst> &prog)
+{
+    ProgramBuilder b(name);
 
     // Fixed prologue: the register web every recipe indexes into.
     // x1..x8 data, x9 FP seed, x10 nonzero divisor, x11 memory base.
@@ -280,7 +338,7 @@ buildTrace(const FuzzCase &fc)
     b.movImm(x(11), 0x1000);
 
     using K = FuzzInst::Kind;
-    for (const FuzzInst &fi : fc.prog) {
+    for (const FuzzInst &fi : prog) {
         switch (fi.kind) {
           case K::MovImm:
             b.movImm(dataReg(fi.dst), fi.imm);
@@ -335,6 +393,26 @@ buildTrace(const FuzzCase &fc)
     MemoryImage mem;
     auto program = std::make_shared<const Program>(b.build());
     return traceProgram(program, mem);
+}
+
+} // namespace
+
+Trace
+buildTrace(const FuzzCase &fc)
+{
+    return buildProgTrace(fc.name, fc.prog);
+}
+
+std::vector<Trace>
+buildTraces(const FuzzCase &fc)
+{
+    std::vector<Trace> traces;
+    traces.push_back(buildProgTrace(fc.name, fc.prog));
+    for (size_t i = 0; i < fc.extra_progs.size(); ++i)
+        traces.push_back(buildProgTrace(
+            fc.name + ".core" + std::to_string(i + 1),
+            fc.extra_progs[i]));
+    return traces;
 }
 
 // ---------------------------------------------------------------------
@@ -434,9 +512,142 @@ diffOutcome(const RunOutcome &a, const RunOutcome &b)
     return "";
 }
 
+ProcOutcome
+runProcOne(const std::vector<Trace> &traces, ProcConfig config,
+           SchedKernel kernel, bool traced)
+{
+    config.core.sched_kernel = kernel;
+    Processor proc(config);
+    std::vector<std::unique_ptr<PipeTracer>> tracers;
+    if (traced) {
+        for (unsigned i = 0; i < proc.numCores(); ++i) {
+            tracers.push_back(std::make_unique<PipeTracer>(1u << 14));
+            proc.setTracer(i, tracers.back().get());
+        }
+    }
+    std::vector<const Trace *> ptrs;
+    ptrs.reserve(traces.size());
+    for (const Trace &t : traces)
+        ptrs.push_back(&t);
+    ProcOutcome out;
+    try {
+        out.stats = proc.run(ptrs);
+    } catch (const DeadlockError &e) {
+        out.deadlock = true;
+        out.deadlock_cycle = e.cycle();
+    }
+    return out;
+}
+
+std::string
+diffProcOutcome(const ProcOutcome &a, const ProcOutcome &b)
+{
+    std::ostringstream os;
+    if (a.deadlock != b.deadlock) {
+        os << "deadlock: " << a.deadlock << " vs " << b.deadlock;
+        return os.str();
+    }
+    if (a.deadlock) {
+        if (a.deadlock_cycle != b.deadlock_cycle) {
+            os << "deadlock_cycle: " << a.deadlock_cycle << " vs "
+               << b.deadlock_cycle;
+            return os.str();
+        }
+        return "";
+    }
+
+    if (a.stats.cycles != b.stats.cycles) {
+        os << "cycles: " << a.stats.cycles << " vs " << b.stats.cycles;
+        return os.str();
+    }
+    if (a.stats.cores.size() != b.stats.cores.size()) {
+        os << "core count: " << a.stats.cores.size() << " vs "
+           << b.stats.cores.size();
+        return os.str();
+    }
+    for (size_t i = 0; i < a.stats.cores.size(); ++i) {
+        // Reuse the single-core field walk on each core's stats.
+        RunOutcome ra;
+        RunOutcome rb;
+        ra.stats = a.stats.cores[i];
+        rb.stats = b.stats.cores[i];
+        const std::string d = diffOutcome(ra, rb);
+        if (!d.empty())
+            return "core " + std::to_string(i) + " " + d;
+    }
+
+    const LlcStats &la = a.stats.llc;
+    const LlcStats &lb = b.stats.llc;
+    auto field = [&os](const char *fname, u64 va, u64 vb) {
+        if (va == vb)
+            return false;
+        os << fname << ": " << va << " vs " << vb;
+        return true;
+    };
+    if (field("llc.evictions", la.evictions, lb.evictions))
+        return os.str();
+    if (field("llc.writebacks", la.writebacks, lb.writebacks))
+        return os.str();
+    if (la.per_core.size() != lb.per_core.size()) {
+        os << "llc.per_core size: " << la.per_core.size() << " vs "
+           << lb.per_core.size();
+        return os.str();
+    }
+    for (size_t i = 0; i < la.per_core.size(); ++i) {
+        const LlcCoreStats &s = la.per_core[i];
+        const LlcCoreStats &t = lb.per_core[i];
+        os << "llc core " << i << ' ';
+#define REDSOC_FUZZ_LLC_FIELD(f)                                       \
+    if (field(#f, s.f, t.f))                                           \
+        return os.str();
+        REDSOC_FUZZ_LLC_FIELD(accesses)
+        REDSOC_FUZZ_LLC_FIELD(hits)
+        REDSOC_FUZZ_LLC_FIELD(misses)
+        REDSOC_FUZZ_LLC_FIELD(mshr_merges)
+        REDSOC_FUZZ_LLC_FIELD(prefetch_fills)
+        REDSOC_FUZZ_LLC_FIELD(bank_wait_cycles)
+        REDSOC_FUZZ_LLC_FIELD(back_invalidations)
+        REDSOC_FUZZ_LLC_FIELD(lines_owned)
+#undef REDSOC_FUZZ_LLC_FIELD
+        os.str(""); // slice agreed: drop the speculative prefix
+    }
+    return "";
+}
+
+namespace {
+
+std::string
+checkProcCase(const FuzzCase &fc)
+{
+    const std::vector<Trace> traces = buildTraces(fc);
+    const ProcConfig config = procConfigOf(fc);
+    const ProcOutcome scan =
+        runProcOne(traces, config, SchedKernel::Scan, false);
+    const ProcOutcome event =
+        runProcOne(traces, config, SchedKernel::Event, false);
+    std::string d = diffProcOutcome(scan, event);
+    if (!d.empty())
+        return "proc scan/event: " + d;
+    const ProcOutcome event_traced =
+        runProcOne(traces, config, SchedKernel::Event, true);
+    d = diffProcOutcome(event, event_traced);
+    if (!d.empty())
+        return "proc event traced/untraced: " + d;
+    const ProcOutcome scan_traced =
+        runProcOne(traces, config, SchedKernel::Scan, true);
+    d = diffProcOutcome(scan, scan_traced);
+    if (!d.empty())
+        return "proc scan traced/untraced: " + d;
+    return "";
+}
+
+} // namespace
+
 std::string
 checkCase(const FuzzCase &fc)
 {
+    if (fc.cores > 1)
+        return checkProcCase(fc);
     const Trace trace = buildTrace(fc);
     const RunOutcome scan =
         runOne(trace, fc.config, SchedKernel::Scan, false);
@@ -469,33 +680,82 @@ minimizeCase(const FuzzCase &orig)
     if (checkCase(cur).empty())
         return cur; // nothing to minimize
 
-    // ddmin over the recipe program: drop chunks while the
-    // divergence persists, halving the chunk until single recipes.
-    size_t chunk = std::max<size_t>(1, cur.prog.size() / 2);
-    while (true) {
-        bool shrunk = false;
-        for (size_t start = 0; start < cur.prog.size();) {
-            const size_t end =
-                std::min(cur.prog.size(), start + chunk);
-            FuzzCase cand = cur;
-            cand.prog.erase(cand.prog.begin() +
-                                static_cast<std::ptrdiff_t>(start),
-                            cand.prog.begin() +
-                                static_cast<std::ptrdiff_t>(end));
-            if (!cand.prog.empty() && !checkCase(cand).empty()) {
-                cur = std::move(cand);
-                shrunk = true; // keep start: the tail shifted down
-            } else {
-                start = end;
+    // Multi-core collapse first: a divergence that survives with one
+    // core is a scalar-kernel bug and gets the (far cheaper) scalar
+    // repro; otherwise shed cores one at a time, then normalize the
+    // shared-hierarchy knobs toward their defaults.
+    if (cur.cores > 1) {
+        FuzzCase solo = cur;
+        solo.cores = 1;
+        solo.extra_progs.clear();
+        if (!checkCase(solo).empty()) {
+            cur = std::move(solo);
+        } else {
+            while (cur.cores > 2) {
+                FuzzCase fewer = cur;
+                --fewer.cores;
+                fewer.extra_progs.pop_back();
+                if (checkCase(fewer).empty())
+                    break;
+                cur = std::move(fewer);
             }
         }
-        if (chunk == 1) {
-            if (!shrunk)
-                break;
-            continue; // another single-recipe pass until fixpoint
-        }
-        chunk = std::max<size_t>(1, chunk / 2);
     }
+    if (cur.cores > 1) {
+        const FuzzCase def;
+        auto try_proc = [&cur](auto mutate) {
+            FuzzCase cand = cur;
+            mutate(cand);
+            if (!checkCase(cand).empty())
+                cur = std::move(cand);
+        };
+        try_proc([](FuzzCase &c) { c.share_addr = false; });
+        try_proc([&](FuzzCase &c) {
+            c.bank_occupancy = def.bank_occupancy;
+        });
+        try_proc([&](FuzzCase &c) { c.dram_banks = def.dram_banks; });
+        try_proc([&](FuzzCase &c) {
+            c.llc_kb = def.llc_kb;
+            c.llc_assoc = def.llc_assoc;
+        });
+    }
+
+    // ddmin over each surviving recipe program: drop chunks while
+    // the divergence persists, halving the chunk until single
+    // recipes.
+    auto ddmin = [&cur](auto prog_of) {
+        size_t chunk = std::max<size_t>(1, prog_of(cur).size() / 2);
+        while (true) {
+            bool shrunk = false;
+            for (size_t start = 0; start < prog_of(cur).size();) {
+                const size_t end =
+                    std::min(prog_of(cur).size(), start + chunk);
+                FuzzCase cand = cur;
+                std::vector<FuzzInst> &prog = prog_of(cand);
+                prog.erase(prog.begin() +
+                               static_cast<std::ptrdiff_t>(start),
+                           prog.begin() +
+                               static_cast<std::ptrdiff_t>(end));
+                if (!prog.empty() && !checkCase(cand).empty()) {
+                    cur = std::move(cand);
+                    shrunk = true; // keep start: the tail shifted down
+                } else {
+                    start = end;
+                }
+            }
+            if (chunk == 1) {
+                if (!shrunk)
+                    break;
+                continue; // another single-recipe pass until fixpoint
+            }
+            chunk = std::max<size_t>(1, chunk / 2);
+        }
+    };
+    ddmin([](FuzzCase &c) -> std::vector<FuzzInst> & { return c.prog; });
+    for (size_t i = 0; i < cur.extra_progs.size(); ++i)
+        ddmin([i](FuzzCase &c) -> std::vector<FuzzInst> & {
+            return c.extra_progs[i];
+        });
 
     // Config normalization: reset each knob toward the medium-core
     // default, keeping a reset only if the divergence survives it.
@@ -568,14 +828,34 @@ serializeCase(const FuzzCase &fc)
        << " horizon=" << c.no_commit_horizon
        << " l1=" << c.memory.l1_latency << " l2=" << c.memory.l2_latency
        << " mem=" << c.memory.mem_latency
-       << " prefetch=" << c.memory.prefetch << '\n';
-    for (const FuzzInst &fi : fc.prog) {
-        os << "inst " << fuzzKindName(fi.kind)
-           << " sel=" << static_cast<unsigned>(fi.sel)
-           << " d=" << static_cast<unsigned>(fi.dst)
-           << " a=" << static_cast<unsigned>(fi.a)
-           << " b=" << static_cast<unsigned>(fi.b) << " imm=" << fi.imm
-           << '\n';
+       << " prefetch=" << c.memory.prefetch
+       << " pfl1=" << c.memory.prefetch_fill_l1
+       << " l1kb=" << c.memory.l1.size_bytes / 1024
+       << " l1assoc=" << c.memory.l1.assoc
+       << " l2kb=" << c.memory.l2.size_bytes / 1024
+       << " l2assoc=" << c.memory.l2.assoc
+       << " scale=" << c.memory.offcore_latency_scale << '\n';
+    if (fc.cores > 1) {
+        os << "proc cores=" << fc.cores << " llckb=" << fc.llc_kb
+           << " llcassoc=" << fc.llc_assoc
+           << " banks=" << fc.dram_banks
+           << " occ=" << fc.bank_occupancy
+           << " share=" << fc.share_addr << '\n';
+    }
+    auto emit_prog = [&os](const std::vector<FuzzInst> &prog) {
+        for (const FuzzInst &fi : prog) {
+            os << "inst " << fuzzKindName(fi.kind)
+               << " sel=" << static_cast<unsigned>(fi.sel)
+               << " d=" << static_cast<unsigned>(fi.dst)
+               << " a=" << static_cast<unsigned>(fi.a)
+               << " b=" << static_cast<unsigned>(fi.b)
+               << " imm=" << fi.imm << '\n';
+        }
+    };
+    emit_prog(fc.prog);
+    for (size_t i = 0; i < fc.extra_progs.size(); ++i) {
+        os << "core " << (i + 1) << '\n';
+        emit_prog(fc.extra_progs[i]);
     }
     return os.str();
 }
@@ -619,6 +899,20 @@ parseUnsigned(const std::string &v)
     if (n < 0)
         malformed("negative value '" + v + "'");
     return static_cast<unsigned>(n);
+}
+
+double
+parseDouble(const std::string &v)
+{
+    try {
+        size_t used = 0;
+        const double d = std::stod(v, &used);
+        if (used != v.size())
+            malformed("trailing junk in number '" + v + "'");
+        return d;
+    } catch (const std::logic_error &) {
+        malformed("bad number '" + v + "'");
+    }
 }
 
 } // namespace
@@ -714,10 +1008,51 @@ parseCase(const std::string &text)
                     c.memory.mem_latency = parseUnsigned(v);
                 } else if (k == "prefetch") {
                     c.memory.prefetch = parseUnsigned(v) != 0;
+                } else if (k == "pfl1") {
+                    c.memory.prefetch_fill_l1 = parseUnsigned(v) != 0;
+                } else if (k == "l1kb") {
+                    c.memory.l1.size_bytes =
+                        u64{parseUnsigned(v)} * 1024;
+                } else if (k == "l1assoc") {
+                    c.memory.l1.assoc = parseUnsigned(v);
+                } else if (k == "l2kb") {
+                    c.memory.l2.size_bytes =
+                        u64{parseUnsigned(v)} * 1024;
+                } else if (k == "l2assoc") {
+                    c.memory.l2.assoc = parseUnsigned(v);
+                } else if (k == "scale") {
+                    c.memory.offcore_latency_scale = parseDouble(v);
                 } else {
                     malformed("unknown config key '" + k + "'");
                 }
             }
+        } else if (word == "proc") {
+            while (ls >> word) {
+                auto [k, v] = splitKv(word);
+                if (k == "cores")
+                    fc.cores = parseUnsigned(v);
+                else if (k == "llckb")
+                    fc.llc_kb = parseUnsigned(v);
+                else if (k == "llcassoc")
+                    fc.llc_assoc = parseUnsigned(v);
+                else if (k == "banks")
+                    fc.dram_banks = parseUnsigned(v);
+                else if (k == "occ")
+                    fc.bank_occupancy = parseUnsigned(v);
+                else if (k == "share")
+                    fc.share_addr = parseUnsigned(v) != 0;
+                else
+                    malformed("unknown proc key '" + k + "'");
+            }
+            if (fc.cores == 0 || fc.cores > 64)
+                malformed("proc cores out of range");
+        } else if (word == "core") {
+            if (!(ls >> word))
+                malformed("core line without an index");
+            const unsigned idx = parseUnsigned(word);
+            if (idx != fc.extra_progs.size() + 1 || idx >= fc.cores)
+                malformed("core index " + word + " out of sequence");
+            fc.extra_progs.emplace_back();
         } else if (word == "inst") {
             if (!(ls >> word))
                 malformed("inst line without a kind");
@@ -741,7 +1076,10 @@ parseCase(const std::string &text)
                 else
                     malformed("unknown inst key '" + k + "'");
             }
-            fc.prog.push_back(fi);
+            if (fc.extra_progs.empty())
+                fc.prog.push_back(fi);
+            else
+                fc.extra_progs.back().push_back(fi);
         } else {
             malformed("unknown directive '" + word + "'");
         }
@@ -750,6 +1088,15 @@ parseCase(const std::string &text)
         malformed("missing config line");
     if (fc.prog.empty())
         malformed("empty program");
+    if (fc.cores > 1 && fc.extra_progs.size() != fc.cores - 1)
+        malformed("expected " + std::to_string(fc.cores - 1) +
+                  " extra core programs, got " +
+                  std::to_string(fc.extra_progs.size()));
+    if (fc.cores == 1 && !fc.extra_progs.empty())
+        malformed("core sections without a multi-core proc line");
+    for (const std::vector<FuzzInst> &prog : fc.extra_progs)
+        if (prog.empty())
+            malformed("empty core program");
     return fc;
 }
 

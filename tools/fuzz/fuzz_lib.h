@@ -30,6 +30,7 @@
 #include "core/ooo_core.h"
 #include "func/interpreter.h"
 #include "isa/builder.h"
+#include "proc/processor.h"
 
 namespace redsoc::fuzz {
 
@@ -66,13 +67,32 @@ struct FuzzInst
 const char *fuzzKindName(FuzzInst::Kind kind);
 std::optional<FuzzInst::Kind> fuzzKindByName(const std::string &name);
 
-/** One fuzz point: a recipe program plus a full core configuration. */
+/**
+ * One fuzz point: a recipe program plus a full core configuration.
+ * With `cores > 1` the point is a multi-programmed Processor mix:
+ * core 0 runs `prog`, core i runs `extra_progs[i-1]`, and the LLC /
+ * DRAM knobs shape the shared hierarchy (DESIGN.md §14). `cores == 1`
+ * is the classic single-core differential point.
+ */
 struct FuzzCase
 {
     std::string name = "case";
     CoreConfig config{};
     std::vector<FuzzInst> prog;
+
+    // Multi-core section (inert at the default cores == 1).
+    unsigned cores = 1;
+    std::vector<std::vector<FuzzInst>> extra_progs{};
+    u64 llc_kb = 2048;
+    unsigned llc_assoc = 16;
+    unsigned dram_banks = 8;
+    Cycle bank_occupancy = 16;
+    bool share_addr = false;
 };
+
+/** The ProcConfig a multi-core case describes (LLC line size pinned
+ *  to the core's L1 line, as validateProcConfig requires). */
+ProcConfig procConfigOf(const FuzzCase &fc);
 
 // ---------------------------------------------------------------------
 // Generation
@@ -90,9 +110,18 @@ std::vector<FuzzInst> randomProgram(Rng &rng);
 /** A full random point derived from @p seed (deterministic). */
 FuzzCase randomCase(u64 seed);
 
+/** A random multi-core point: 1-3 cores with independent programs,
+ *  randomized LLC geometry, DRAM banking, and address-space sharing
+ *  on top of the same config/program distributions. */
+FuzzCase randomProcCase(u64 seed);
+
 /** Build the executable trace: register-seed prologue, recipes,
  *  HALT. Any recipe sequence builds and halts. */
 Trace buildTrace(const FuzzCase &fc);
+
+/** One trace per core: core 0 from `prog`, the rest from
+ *  `extra_progs`. */
+std::vector<Trace> buildTraces(const FuzzCase &fc);
 
 // ---------------------------------------------------------------------
 // Differential oracle
@@ -116,10 +145,32 @@ RunOutcome runOne(const Trace &trace, CoreConfig config,
  *  commit checksum, and the chain-length histogram. */
 std::string diffOutcome(const RunOutcome &a, const RunOutcome &b);
 
+/** Result of one multi-core run: per-core + LLC stats, or the first
+ *  deadlock-watchdog cycle. */
+struct ProcOutcome
+{
+    bool deadlock = false;
+    Cycle deadlock_cycle = 0;
+    ProcStats stats{};
+};
+
+/** Run the mix under @p kernel (optionally traced), catching the
+ *  deadlock watchdog. */
+ProcOutcome runProcOne(const std::vector<Trace> &traces,
+                       ProcConfig config, SchedKernel kernel,
+                       bool traced);
+
+/** First differing field between two multi-core outcomes ("" if
+ *  identical): total cycles, every per-core CoreStats field, and
+ *  every LLC counter down to the per-core slices. */
+std::string diffProcOutcome(const ProcOutcome &a, const ProcOutcome &b);
+
 /**
  * The full oracle for one point: Scan vs Event untraced, then
  * traced-vs-untraced under each kernel. Returns "" when every pair
- * agrees, else a description of the first divergence.
+ * agrees, else a description of the first divergence. Multi-core
+ * cases run the same three pairs through the Processor, comparing
+ * per-core and LLC statistics.
  */
 std::string checkCase(const FuzzCase &fc);
 
@@ -128,11 +179,12 @@ std::string checkCase(const FuzzCase &fc);
 // ---------------------------------------------------------------------
 
 /**
- * Shrink a diverging case: ddmin over the recipe program (drop
- * chunks, halving the chunk size, while the divergence persists),
- * then per-field config normalization toward the medium-core
- * defaults. Requires checkCase(fc) to be non-empty; the returned case
- * still diverges.
+ * Shrink a diverging case: for multi-core points, first try
+ * collapsing to one core and normalizing the LLC/DRAM knobs; then
+ * ddmin over every surviving recipe program (drop chunks, halving
+ * the chunk size, while the divergence persists), then per-field
+ * config normalization toward the medium-core defaults. Requires
+ * checkCase(fc) to be non-empty; the returned case still diverges.
  */
 FuzzCase minimizeCase(const FuzzCase &fc);
 

@@ -5,8 +5,13 @@
  *   redsoc_fuzz --seed 1 --budget 60          # 60s smoke sweep
  *   redsoc_fuzz --seed 1 --count 5000         # fixed point count
  *   redsoc_fuzz --seed 1 --count 100 --minimize --out tests/fuzz_corpus
+ *   redsoc_fuzz --proc --seed 1 --budget 60   # multi-core mixes
  *   redsoc_fuzz --replay tests/fuzz_corpus/foo.fuzz
  *   redsoc_fuzz --dump-seed 42                # print the fixture text
+ *
+ * --proc draws multi-core Processor points (1-3 cores, randomized
+ * LLC geometry, DRAM banking, shared/split address spaces) and runs
+ * the differential oracle over per-core and LLC statistics.
  *
  * Exit status 0 when every point agrees, 1 on any divergence (or a
  * failing replay), 2 on usage errors.
@@ -32,6 +37,7 @@ struct Options
     u64 count = 0;       ///< 0 = budget-driven
     double budget_s = 0; ///< 0 = count-driven (default: 60s budget)
     bool minimize = false;
+    bool proc = false; ///< sweep multi-core Processor points
     std::string out_dir;
     std::string replay_path;
     bool dump_seed = false;
@@ -42,9 +48,9 @@ void
 usage(std::ostream &os)
 {
     os << "usage: redsoc_fuzz [--seed N] [--count N | --budget SECONDS]\n"
-          "                   [--minimize] [--out DIR]\n"
+          "                   [--proc] [--minimize] [--out DIR]\n"
           "       redsoc_fuzz --replay FIXTURE\n"
-          "       redsoc_fuzz --dump-seed N\n";
+          "       redsoc_fuzz [--proc] --dump-seed N\n";
 }
 
 std::optional<Options>
@@ -78,6 +84,8 @@ parseArgs(int argc, char **argv)
             opt.budget_s = static_cast<double>(*v);
         } else if (arg == "--minimize") {
             opt.minimize = true;
+        } else if (arg == "--proc") {
+            opt.proc = true;
         } else if (arg == "--out") {
             if (i + 1 >= argc) {
                 std::cerr << "redsoc_fuzz: --out needs a directory\n";
@@ -176,7 +184,8 @@ sweep(const Options &opt)
             break;
         if (opt.count == 0 && elapsed_s() >= opt.budget_s)
             break;
-        const FuzzCase fc = randomCase(seed++);
+        const FuzzCase fc =
+            opt.proc ? randomProcCase(seed++) : randomCase(seed++);
         const std::string diff = checkCase(fc);
         ++checked;
         if (!diff.empty()) {
@@ -212,7 +221,9 @@ main(int argc, char **argv)
         return 2;
     }
     if (opt->dump_seed) {
-        std::cout << serializeCase(randomCase(opt->dump_seed_value));
+        std::cout << serializeCase(
+            opt->proc ? randomProcCase(opt->dump_seed_value)
+                      : randomCase(opt->dump_seed_value));
         return 0;
     }
     if (!opt->replay_path.empty())

@@ -187,18 +187,26 @@ lintTree(const Options &opt)
     // R11 runs once over the merged acquisition graph.
     ruleLockOrder(edges, out);
 
-    // R4 runs once over its designated file triple.
+    // R4 runs once per wired stats block: the CoreStats triple plus
+    // the multi-core LLC/Processor blocks.
     std::error_code ec;
-    if (fs::exists(root / opt.stats_header, ec) &&
-        fs::exists(root / opt.serializer, ec) &&
-        fs::exists(root / opt.comparator, ec)) {
-        SourceFile header = lexFile((root / opt.stats_header).string(),
-                                    opt.stats_header);
+    std::vector<Options::StatBlock> stat_blocks;
+    stat_blocks.push_back({opt.stats_struct, opt.stats_header,
+                           opt.serializer, opt.comparator});
+    stat_blocks.insert(stat_blocks.end(), opt.extra_stat_blocks.begin(),
+                       opt.extra_stat_blocks.end());
+    for (const Options::StatBlock &blk : stat_blocks) {
+        if (!fs::exists(root / blk.header, ec) ||
+            !fs::exists(root / blk.serializer, ec) ||
+            !fs::exists(root / blk.comparator, ec))
+            continue;
+        SourceFile header =
+            lexFile((root / blk.header).string(), blk.header);
         SourceFile ser =
-            lexFile((root / opt.serializer).string(), opt.serializer);
+            lexFile((root / blk.serializer).string(), blk.serializer);
         SourceFile cmp =
-            lexFile((root / opt.comparator).string(), opt.comparator);
-        ruleStatComplete(header, opt.stats_struct, ser, cmp, out);
+            lexFile((root / blk.comparator).string(), blk.comparator);
+        ruleStatComplete(header, blk.struct_name, ser, cmp, out);
     }
 
     // R5 runs once over the trace-event schema and its exporters.

@@ -26,10 +26,12 @@
  *   float-accum   (R3) floating-point accumulation (+=) inside a loop
  *                 whose header mentions cycles/ticks, outside
  *                 src/power.
- *   stat-complete (R4) every CoreStats field appears in both the
- *                 run-cache serializer/deserializer and the
- *                 kernel-equivalence comparator, so "added a stat,
- *                 forgot the cache format" cannot recur.
+ *   stat-complete (R4) every field of each wired stats block —
+ *                 CoreStats plus the multi-core LlcCoreStats /
+ *                 LlcStats / ProcStats blocks — appears in both its
+ *                 run-cache serializer/deserializer and its
+ *                 equivalence comparator, so "added a stat, forgot
+ *                 the cache format" cannot recur.
  *   trace-complete (R5) every PipeEventKind enumerator (NUM sentinel
  *                 excluded) appears at least twice in the trace
  *                 exporter translation unit — once per exporter
@@ -343,6 +345,31 @@ struct Options
     std::string stats_header = "src/core/ooo_core.h";
     std::string serializer = "src/sim/run_cache.cc";
     std::string comparator = "tests/test_sched_equiv.cc";
+
+    /** One additional R4 block: @p struct_name in @p header must be
+     *  fully mentioned in @p serializer (>= 2, serialize +
+     *  deserialize) and @p comparator (>= 1). */
+    struct StatBlock
+    {
+        std::string struct_name;
+        std::string header;
+        std::string serializer;
+        std::string comparator;
+    };
+
+    /** The multi-core stats blocks R4 guards beyond the CoreStats
+     *  triple: the per-core LLC slices, the LLC totals, and the
+     *  Processor roll-up (DESIGN.md §14). Their serializer is the
+     *  run-cache ProcStats codec; their comparator is the multi-core
+     *  equivalence suite's field-by-field expectations. */
+    std::vector<StatBlock> extra_stat_blocks = {
+        {"LlcCoreStats", "src/proc/llc.h", "src/sim/run_cache.cc",
+         "tests/test_proc_equiv.cc"},
+        {"LlcStats", "src/proc/llc.h", "src/sim/run_cache.cc",
+         "tests/test_proc_equiv.cc"},
+        {"ProcStats", "src/proc/processor.h", "src/sim/run_cache.cc",
+         "tests/test_proc_equiv.cc"},
+    };
 
     // R5 wiring (relative to root; rule skipped if header missing).
     std::string trace_enum = "PipeEventKind";

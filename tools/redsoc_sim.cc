@@ -7,8 +7,19 @@
  *              [--precision BITS] [--dynamic-threshold]
  *              [--rs illustrative|operational] [--no-egpw] [--no-skew]
  *              [--pvt-derate X] [--max-ops N] [--kernel scan|event]
+ *              [--cores N] [--mix A,B,...] [--llc-kb N]
+ *              [--dram-banks N] [--bank-occupancy N] [--share-addr]
  *              [--trace FILE] [--trace-format chrome|konata]
  *              [--trace-cap N] [--profile] [--stats] [--compare]
+ *
+ * --cores (or --mix) switches to the multi-core Processor: N copies
+ * of the selected core configuration in front of one shared inclusive
+ * LLC (--llc-kb, default the core's private L2 size) and a banked
+ * DRAM backend (--dram-banks/--bank-occupancy). --mix names the
+ * multi-programmed workloads comma-separated; core i runs entry
+ * i mod len, so "--cores 4 --mix crc,act" alternates the two. Output
+ * adds one line per core plus the LLC contention table. With --trace,
+ * each core's pipeline events land in FILE.core<i>.
  *
  * --compare runs baseline and the selected mode and prints the
  * speedup; --stats dumps the full gem5-style statistics group;
@@ -30,7 +41,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "sim/driver.h"
@@ -54,9 +67,32 @@ usage(const char *argv0)
                  "[--pvt-derate X]\n"
                  "          [--max-ops N] [--kernel scan|event] "
                  "[--profile] [--stats] [--compare]\n"
+                 "          [--cores N] [--mix A,B,...] [--llc-kb N] "
+                 "[--dram-banks N]\n"
+                 "          [--bank-occupancy N] [--share-addr]\n"
                  "          [--trace FILE] [--trace-format "
                  "chrome|konata] [--trace-cap N]\n",
                  argv0);
+}
+
+std::vector<std::string>
+splitMix(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : spec) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    fatal_if(out.empty(), "empty --mix");
+    return out;
 }
 
 SchedMode
@@ -99,6 +135,14 @@ main(int argc, char **argv)
         trace_path = env;
     std::optional<TraceFormat> trace_format;
     size_t trace_cap = PipeTracer::kDefaultCapacity;
+
+    unsigned num_cores = 1;
+    bool proc_mode = false;
+    std::string mix_spec;
+    u64 llc_kb = 0; // 0 = the core's private L2 size
+    unsigned dram_banks = 8;
+    Cycle bank_occupancy = 16;
+    bool share_addr = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -145,6 +189,24 @@ main(int argc, char **argv)
             else
                 fatal("unknown kernel '", k, "'");
             kernel_set = true;
+        } else if (arg == "--cores") {
+            num_cores =
+                static_cast<unsigned>(std::strtoul(next().c_str(),
+                                                   nullptr, 0));
+            proc_mode = true;
+        } else if (arg == "--mix") {
+            mix_spec = next();
+            proc_mode = true;
+        } else if (arg == "--llc-kb") {
+            llc_kb = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--dram-banks") {
+            dram_banks =
+                static_cast<unsigned>(std::strtoul(next().c_str(),
+                                                   nullptr, 0));
+        } else if (arg == "--bank-occupancy") {
+            bank_occupancy = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--share-addr") {
+            share_addr = true;
         } else if (arg == "--trace") {
             trace_path = next();
         } else if (arg == "--trace-format") {
@@ -198,6 +260,77 @@ main(int argc, char **argv)
     };
 
     SimDriver driver(max_ops);
+
+    if (proc_mode) {
+        const std::vector<std::string> mix =
+            splitMix(mix_spec.empty() ? workload : mix_spec);
+
+        ProcConfig pcfg;
+        pcfg.num_cores = num_cores;
+        pcfg.core = make_config(mode);
+        if (llc_kb != 0)
+            pcfg.llc.size_bytes = llc_kb * 1024;
+        else
+            pcfg.llc.size_bytes = pcfg.core.memory.l2.size_bytes;
+        pcfg.llc.line_bytes = pcfg.core.memory.l1.line_bytes;
+        pcfg.dram.banks = dram_banks;
+        pcfg.dram.bank_occupancy = bank_occupancy;
+        pcfg.share_address_space = share_addr;
+
+        ProcStats pstats;
+        if (!trace_path.empty()) {
+            // Traced multi-core run: uncached (like runTraced), one
+            // tracer and one FILE.core<i> output per core.
+            std::vector<const Trace *> traces;
+            for (unsigned i = 0; i < pcfg.num_cores; ++i)
+                traces.push_back(&driver.trace(mix[i % mix.size()]));
+            Processor proc(pcfg);
+            std::vector<std::unique_ptr<PipeTracer>> tracers;
+            for (unsigned i = 0; i < pcfg.num_cores; ++i) {
+                tracers.push_back(
+                    std::make_unique<PipeTracer>(trace_cap));
+                proc.setTracer(i, tracers.back().get());
+            }
+            pstats = proc.run(traces);
+            for (unsigned i = 0; i < pcfg.num_cores; ++i) {
+                const std::string path =
+                    trace_path + ".core" + std::to_string(i);
+                const TraceFormat fmt =
+                    trace_format ? *trace_format
+                                 : traceFormatForPath(trace_path);
+                writeTraceFile(path, fmt, *tracers[i], *traces[i]);
+                std::printf("trace core %u: %zu events -> %s\n", i,
+                            tracers[i]->size(), path.c_str());
+            }
+        } else {
+            pstats = driver.runProc(mix, pcfg);
+        }
+
+        for (size_t i = 0; i < pstats.cores.size(); ++i) {
+            const CoreStats &cs = pstats.cores[i];
+            std::printf("core %zu (%s): %llu cycles, IPC %.3f\n", i,
+                        mix[i % mix.size()].c_str(),
+                        static_cast<unsigned long long>(cs.cycles),
+                        cs.ipc());
+        }
+        std::printf("%u-core %s/%s: %llu cycles to drain the mix\n",
+                    pcfg.num_cores, core.c_str(), schedModeName(mode),
+                    static_cast<unsigned long long>(pstats.cycles));
+        std::fputs(renderContention(pstats).c_str(), stdout);
+        if (want_stats) {
+            for (size_t i = 0; i < pstats.cores.size(); ++i) {
+                const std::string name = core + ".core" +
+                                         std::to_string(i) + "." +
+                                         schedModeName(mode);
+                std::fputs(
+                    toStatGroup(pstats.cores[i], name).dump().c_str(),
+                    stdout);
+            }
+        }
+        prof::report(std::cerr);
+        return 0;
+    }
+
     const Trace &trace = driver.trace(workload);
     std::printf("workload '%s': %llu dynamic ops\n", workload.c_str(),
                 static_cast<unsigned long long>(trace.size()));
