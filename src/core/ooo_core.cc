@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/shutdown.h"
 #include "sim/profile.h"
 
 namespace redsoc {
@@ -1448,7 +1449,14 @@ OooCore::run(const Trace &trace)
 {
     beginRun(trace);
     prof::ScopedTimer run_timer(prof::Phase::Run, profiling_);
+    // The shutdown poll lives here rather than in stepRun() so the
+    // Processor lockstep (which drives stepRun() directly) stays
+    // byte-identical to the seed hot path; Processor::run has its own
+    // poll at the same granularity.
+    u64 steps = 0;
     while (stepRun()) {
+        if ((++steps & 0x3fffu) == 0 && simAbortRequested())
+            throw ShutdownInterrupt();
     }
     return finishRun();
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/shutdown.h"
 #include "common/table.h"
 
 namespace redsoc {
@@ -60,6 +61,7 @@ Processor::run(const std::vector<const Trace *> &traces)
     // the smallest current cycle (ties to the lowest id), so every
     // LLC access happens in one well-defined global order no matter
     // how the host schedules us.
+    u64 steps = 0;
     for (;;) {
         size_t pick = cores_.size();
         for (size_t i = 0; i < cores_.size(); ++i) {
@@ -72,6 +74,8 @@ Processor::run(const std::vector<const Trace *> &traces)
         if (pick == cores_.size())
             break;
         live[pick] = cores_[pick]->stepRun();
+        if ((++steps & 0x3fffu) == 0 && simAbortRequested())
+            throw ShutdownInterrupt();
     }
 
     ProcStats out;

@@ -1,0 +1,382 @@
+#include "server/config_codec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace redsoc {
+
+namespace {
+
+constexpr const char *kCoreMagic = "redsoc-core-config v1";
+constexpr const char *kProcMagic = "redsoc-proc-config v1";
+
+void
+putStr(std::ostringstream &os, const char *key, const std::string &v)
+{
+    os << key << '=' << v << '\n';
+}
+
+void
+putU64(std::ostringstream &os, const char *key, u64 v)
+{
+    os << key << '=' << v << '\n';
+}
+
+void
+putBool(std::ostringstream &os, const char *key, bool v)
+{
+    os << key << '=' << (v ? 1 : 0) << '\n';
+}
+
+void
+putF64(std::ostringstream &os, const char *key, double v)
+{
+    char buf[40];
+    // Same 17-significant-digit discipline as the run-cache codec:
+    // round-trips any IEEE754 double exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << key << '=' << buf << '\n';
+}
+
+/** Strict in-order "key=value" line reader (run_cache FieldReader's
+ *  sibling, but failure is a soft nullopt at the call site). */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &text) : in_(text) {}
+
+    bool expectLine(const char *literal)
+    {
+        std::string line;
+        return !failed_ && std::getline(in_, line) && line == literal;
+    }
+
+    std::optional<std::string> str(const char *key)
+    {
+        std::string line;
+        if (failed_ || !std::getline(in_, line)) {
+            failed_ = true;
+            return std::nullopt;
+        }
+        const std::string prefix = std::string(key) + "=";
+        if (line.compare(0, prefix.size(), prefix) != 0) {
+            failed_ = true;
+            return std::nullopt;
+        }
+        return line.substr(prefix.size());
+    }
+
+    std::optional<u64> u(const char *key)
+    {
+        const auto v = str(key);
+        if (!v)
+            return std::nullopt;
+        char *end = nullptr;
+        const u64 parsed = std::strtoull(v->c_str(), &end, 10);
+        if (end == v->c_str() || *end != '\0') {
+            failed_ = true;
+            return std::nullopt;
+        }
+        return parsed;
+    }
+
+    std::optional<bool> b(const char *key)
+    {
+        const auto v = u(key);
+        if (!v || *v > 1) {
+            failed_ = true;
+            return std::nullopt;
+        }
+        return *v == 1;
+    }
+
+    std::optional<double> f(const char *key)
+    {
+        const auto v = str(key);
+        if (!v)
+            return std::nullopt;
+        char *end = nullptr;
+        const double parsed = std::strtod(v->c_str(), &end);
+        if (end == v->c_str() || *end != '\0') {
+            failed_ = true;
+            return std::nullopt;
+        }
+        return parsed;
+    }
+
+    bool failed() const { return failed_; }
+    std::istringstream &in() { return in_; }
+
+  private:
+    std::istringstream in_;
+    bool failed_ = false;
+};
+
+std::optional<SchedMode>
+parseSchedMode(const std::string &name)
+{
+    if (name == "baseline")
+        return SchedMode::Baseline;
+    if (name == "redsoc")
+        return SchedMode::ReDSOC;
+    if (name == "mos")
+        return SchedMode::MOS;
+    return std::nullopt;
+}
+
+std::optional<RsDesign>
+parseRsDesign(const std::string &name)
+{
+    if (name == "illustrative")
+        return RsDesign::Illustrative;
+    if (name == "operational")
+        return RsDesign::Operational;
+    return std::nullopt;
+}
+
+std::optional<SchedKernel>
+parseSchedKernel(const std::string &name)
+{
+    if (name == "scan")
+        return SchedKernel::Scan;
+    if (name == "event")
+        return SchedKernel::Event;
+    return std::nullopt;
+}
+
+void
+putCache(std::ostringstream &os, const char *prefix, const CacheConfig &c)
+{
+    os << prefix << ".name=" << c.name << '\n';
+    os << prefix << ".size_bytes=" << c.size_bytes << '\n';
+    os << prefix << ".assoc=" << c.assoc << '\n';
+    os << prefix << ".line_bytes=" << c.line_bytes << '\n';
+}
+
+bool
+readCache(Reader &r, const char *prefix, CacheConfig &c)
+{
+    const std::string p(prefix);
+    const auto name = r.str((p + ".name").c_str());
+    const auto size = r.u((p + ".size_bytes").c_str());
+    const auto assoc = r.u((p + ".assoc").c_str());
+    const auto line = r.u((p + ".line_bytes").c_str());
+    if (!name || !size || !assoc || !line)
+        return false;
+    c.name = *name;
+    c.size_bytes = *size;
+    c.assoc = static_cast<unsigned>(*assoc);
+    c.line_bytes = static_cast<unsigned>(*line);
+    return true;
+}
+
+void
+writeCoreBody(std::ostringstream &os, const CoreConfig &c)
+{
+    putStr(os, "name", c.name);
+    putU64(os, "frontend_width", c.frontend_width);
+    putU64(os, "commit_width", c.commit_width);
+    putU64(os, "rob_entries", c.rob_entries);
+    putU64(os, "lsq_entries", c.lsq_entries);
+    putU64(os, "rs_entries", c.rs_entries);
+    putU64(os, "alu_units", c.alu_units);
+    putU64(os, "simd_units", c.simd_units);
+    putU64(os, "fp_units", c.fp_units);
+    putU64(os, "mem_ports", c.mem_ports);
+    putU64(os, "redirect_penalty", c.redirect_penalty);
+    putCache(os, "l1", c.memory.l1);
+    putCache(os, "l2", c.memory.l2);
+    putBool(os, "prefetch", c.memory.prefetch);
+    putBool(os, "prefetch_fill_l1", c.memory.prefetch_fill_l1);
+    putU64(os, "prefetcher.entries", c.memory.prefetcher.entries);
+    putU64(os, "prefetcher.degree", c.memory.prefetcher.degree);
+    putU64(os, "prefetcher.min_confidence",
+           c.memory.prefetcher.min_confidence);
+    putU64(os, "l1_latency", c.memory.l1_latency);
+    putU64(os, "l2_latency", c.memory.l2_latency);
+    putU64(os, "mem_latency", c.memory.mem_latency);
+    putF64(os, "offcore_latency_scale", c.memory.offcore_latency_scale);
+    putU64(os, "clock_period_ps", c.timing.clock_period_ps);
+    putF64(os, "pvt_derate", c.timing.pvt_derate);
+    putU64(os, "branch_pred.table_bits", c.branch_pred.table_bits);
+    putU64(os, "branch_pred.ras_entries", c.branch_pred.ras_entries);
+    putU64(os, "width_pred.entries", c.width_pred.entries);
+    putU64(os, "width_pred.confidence_bits", c.width_pred.confidence_bits);
+    putU64(os, "last_arrival.entries", c.last_arrival.entries);
+    putStr(os, "mode", schedModeName(c.mode));
+    putStr(os, "rs_design", rsDesignName(c.rs_design));
+    putStr(os, "sched_kernel", schedKernelName(c.sched_kernel));
+    putU64(os, "ci_precision_bits", c.ci_precision_bits);
+    putU64(os, "slack_threshold_ticks", c.slack_threshold_ticks);
+    putBool(os, "dynamic_threshold", c.dynamic_threshold);
+    putU64(os, "threshold_epoch", c.threshold_epoch);
+    putU64(os, "no_commit_horizon", c.no_commit_horizon);
+    putBool(os, "egpw", c.egpw);
+    putBool(os, "skewed_select", c.skewed_select);
+}
+
+bool
+readCoreBody(Reader &r, CoreConfig &c)
+{
+    const auto name = r.str("name");
+    const auto fw = r.u("frontend_width");
+    const auto cw = r.u("commit_width");
+    const auto rob = r.u("rob_entries");
+    const auto lsq = r.u("lsq_entries");
+    const auto rs = r.u("rs_entries");
+    const auto alu = r.u("alu_units");
+    const auto simd = r.u("simd_units");
+    const auto fp = r.u("fp_units");
+    const auto memp = r.u("mem_ports");
+    const auto redirect = r.u("redirect_penalty");
+    if (!name || !redirect)
+        return false;
+    c.name = *name;
+    c.frontend_width = static_cast<unsigned>(*fw);
+    c.commit_width = static_cast<unsigned>(*cw);
+    c.rob_entries = static_cast<unsigned>(*rob);
+    c.lsq_entries = static_cast<unsigned>(*lsq);
+    c.rs_entries = static_cast<unsigned>(*rs);
+    c.alu_units = static_cast<unsigned>(*alu);
+    c.simd_units = static_cast<unsigned>(*simd);
+    c.fp_units = static_cast<unsigned>(*fp);
+    c.mem_ports = static_cast<unsigned>(*memp);
+    c.redirect_penalty = *redirect;
+    if (!readCache(r, "l1", c.memory.l1) ||
+        !readCache(r, "l2", c.memory.l2))
+        return false;
+    const auto pf = r.b("prefetch");
+    const auto pf_l1 = r.b("prefetch_fill_l1");
+    const auto pf_entries = r.u("prefetcher.entries");
+    const auto pf_degree = r.u("prefetcher.degree");
+    const auto pf_conf = r.u("prefetcher.min_confidence");
+    const auto l1_lat = r.u("l1_latency");
+    const auto l2_lat = r.u("l2_latency");
+    const auto mem_lat = r.u("mem_latency");
+    const auto offcore = r.f("offcore_latency_scale");
+    const auto period = r.u("clock_period_ps");
+    const auto derate = r.f("pvt_derate");
+    if (!pf || !offcore || !derate)
+        return false;
+    c.memory.prefetch = *pf;
+    c.memory.prefetch_fill_l1 = *pf_l1;
+    c.memory.prefetcher.entries = static_cast<unsigned>(*pf_entries);
+    c.memory.prefetcher.degree = static_cast<unsigned>(*pf_degree);
+    c.memory.prefetcher.min_confidence = static_cast<unsigned>(*pf_conf);
+    c.memory.l1_latency = *l1_lat;
+    c.memory.l2_latency = *l2_lat;
+    c.memory.mem_latency = *mem_lat;
+    c.memory.offcore_latency_scale = *offcore;
+    c.timing.clock_period_ps = static_cast<Picos>(*period);
+    c.timing.pvt_derate = *derate;
+    const auto bp_bits = r.u("branch_pred.table_bits");
+    const auto bp_ras = r.u("branch_pred.ras_entries");
+    const auto wp_entries = r.u("width_pred.entries");
+    const auto wp_conf = r.u("width_pred.confidence_bits");
+    const auto la_entries = r.u("last_arrival.entries");
+    const auto mode = r.str("mode");
+    const auto design = r.str("rs_design");
+    const auto kernel = r.str("sched_kernel");
+    const auto ci = r.u("ci_precision_bits");
+    const auto slack = r.u("slack_threshold_ticks");
+    const auto dyn = r.b("dynamic_threshold");
+    const auto epoch = r.u("threshold_epoch");
+    const auto horizon = r.u("no_commit_horizon");
+    const auto egpw = r.b("egpw");
+    const auto skew = r.b("skewed_select");
+    if (!mode || !design || !kernel || !dyn || !egpw || !skew)
+        return false;
+    c.branch_pred.table_bits = static_cast<unsigned>(*bp_bits);
+    c.branch_pred.ras_entries = static_cast<unsigned>(*bp_ras);
+    c.width_pred.entries = static_cast<unsigned>(*wp_entries);
+    c.width_pred.confidence_bits = static_cast<unsigned>(*wp_conf);
+    c.last_arrival.entries = static_cast<unsigned>(*la_entries);
+    const auto parsed_mode = parseSchedMode(*mode);
+    const auto parsed_design = parseRsDesign(*design);
+    const auto parsed_kernel = parseSchedKernel(*kernel);
+    if (!parsed_mode || !parsed_design || !parsed_kernel)
+        return false;
+    c.mode = *parsed_mode;
+    c.rs_design = *parsed_design;
+    c.sched_kernel = *parsed_kernel;
+    c.ci_precision_bits = static_cast<unsigned>(*ci);
+    c.slack_threshold_ticks = *slack;
+    c.dynamic_threshold = *dyn;
+    c.threshold_epoch = *epoch;
+    c.no_commit_horizon = *horizon;
+    c.egpw = *egpw;
+    c.skewed_select = *skew;
+    return !r.failed();
+}
+
+} // namespace
+
+std::string
+serializeCoreConfig(const CoreConfig &config)
+{
+    std::ostringstream os;
+    os << kCoreMagic << '\n';
+    writeCoreBody(os, config);
+    return os.str();
+}
+
+std::optional<CoreConfig>
+deserializeCoreConfig(const std::string &text)
+{
+    Reader r(text);
+    if (!r.expectLine(kCoreMagic))
+        return std::nullopt;
+    CoreConfig c;
+    if (!readCoreBody(r, c))
+        return std::nullopt;
+    std::string rest;
+    if (std::getline(r.in(), rest))
+        return std::nullopt; // trailing lines: layout mismatch
+    return c;
+}
+
+std::string
+serializeProcConfig(const ProcConfig &config)
+{
+    std::ostringstream os;
+    os << kProcMagic << '\n';
+    putU64(os, "num_cores", config.num_cores);
+    putCache(os, "llc", config.llc);
+    putU64(os, "dram.banks", config.dram.banks);
+    putU64(os, "dram.bank_occupancy", config.dram.bank_occupancy);
+    putBool(os, "share_address_space", config.share_address_space);
+    writeCoreBody(os, config.core);
+    return os.str();
+}
+
+std::optional<ProcConfig>
+deserializeProcConfig(const std::string &text)
+{
+    Reader r(text);
+    if (!r.expectLine(kProcMagic))
+        return std::nullopt;
+    ProcConfig c;
+    const auto cores = r.u("num_cores");
+    if (!cores)
+        return std::nullopt;
+    c.num_cores = static_cast<unsigned>(*cores);
+    if (!readCache(r, "llc", c.llc))
+        return std::nullopt;
+    const auto banks = r.u("dram.banks");
+    const auto occ = r.u("dram.bank_occupancy");
+    const auto shared = r.b("share_address_space");
+    if (!banks || !occ || !shared)
+        return std::nullopt;
+    c.dram.banks = static_cast<unsigned>(*banks);
+    c.dram.bank_occupancy = static_cast<unsigned>(*occ);
+    c.share_address_space = *shared;
+    if (!readCoreBody(r, c.core))
+        return std::nullopt;
+    std::string rest;
+    if (std::getline(r.in(), rest))
+        return std::nullopt;
+    return c;
+}
+
+} // namespace redsoc

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Exact text codec for CoreConfig/ProcConfig, used as the wire form
+ * of a simulation request. Every field is carried explicitly — the
+ * codec is deliberately total, so a config mutated by any harness
+ * (mode, ablation flags, RS geometry, latency scales, ...) reaches
+ * the server bit-exactly and SimDriver::configKey(decode(encode(c)))
+ * == configKey(c) always holds (tests/test_server.cc proves it over
+ * the sched-equiv grid).
+ *
+ * Format: one "key=value" per line, fixed order, versioned header.
+ * Decoding is strict — any missing/extra/reordered line fails — so a
+ * client and server disagreeing about the config layout can never
+ * silently simulate different machines.
+ */
+
+#ifndef REDSOC_SERVER_CONFIG_CODEC_H
+#define REDSOC_SERVER_CONFIG_CODEC_H
+
+#include <optional>
+#include <string>
+
+#include "core/core_config.h"
+#include "proc/proc_config.h"
+
+namespace redsoc {
+
+std::string serializeCoreConfig(const CoreConfig &config);
+std::optional<CoreConfig> deserializeCoreConfig(const std::string &text);
+
+std::string serializeProcConfig(const ProcConfig &config);
+std::optional<ProcConfig> deserializeProcConfig(const std::string &text);
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_CONFIG_CODEC_H

@@ -1,0 +1,190 @@
+#include "server/job_queue.h"
+
+namespace redsoc {
+
+JobQueue::JobQueue(Options opts) : capacity_(opts.capacity)
+{
+    if (capacity_ == 0)
+        capacity_ = 1;
+    unsigned n = opts.workers;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+JobQueue::~JobQueue()
+{
+    close();
+    discardPending();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // closed_ + empty queue makes every worker exit its wait.
+    }
+    job_ready_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+JobQueue::Slot *
+JobQueue::allocSlot()
+{
+    if (free_list_ == nullptr) {
+        // Temporal-slab harvest under the mutex the submit path
+        // already owns; completions never touched it.
+        Slot *chain = recycle_.harvest();
+        while (chain != nullptr) {
+            Slot *next = chain->recycle_next;
+            chain->recycle_queued.store(false, std::memory_order_relaxed);
+            chain->recycle_next = free_list_;
+            free_list_ = chain;
+            ++stats_.slots_harvested;
+            chain = next;
+        }
+    }
+    if (free_list_ != nullptr) {
+        Slot *s = free_list_;
+        free_list_ = s->recycle_next;
+        s->recycle_next = nullptr;
+        return s;
+    }
+    owned_.push_back(std::make_unique<Slot>());
+    ++stats_.slots_allocated;
+    return owned_.back().get();
+}
+
+bool
+JobQueue::tryEnqueue(std::vector<std::function<void()>> jobs)
+{
+    if (jobs.empty())
+        return true;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || queued_ + jobs.size() > capacity_) {
+            ++stats_.rejected_batches;
+            return false;
+        }
+        for (auto &fn : jobs) {
+            Slot *s = allocSlot();
+            s->fn = std::move(fn);
+            s->queue_next = nullptr;
+            if (queue_tail_ != nullptr)
+                queue_tail_->queue_next = s;
+            else
+                queue_head_ = s;
+            queue_tail_ = s;
+            ++queued_;
+        }
+        stats_.queued = queued_;
+        if (queued_ > stats_.peak_queued)
+            stats_.peak_queued = queued_;
+    }
+    if (jobs.size() == 1)
+        job_ready_.notify_one();
+    else
+        job_ready_.notify_all();
+    return true;
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    job_ready_.notify_all();
+}
+
+size_t
+JobQueue::discardPending()
+{
+    Slot *dropped = nullptr;
+    size_t n = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        dropped = queue_head_;
+        queue_head_ = queue_tail_ = nullptr;
+        n = queued_;
+        queued_ = 0;
+        stats_.queued = 0;
+        stats_.discarded += n;
+        if (running_ == 0)
+            idle_.notify_all();
+    }
+    // Destroy the closures outside the lock (a dropped job's closure
+    // typically fails a cache claim, waking arbitrary waiters), then
+    // recycle the slots lock-free like any completion.
+    while (dropped != nullptr) {
+        Slot *next = dropped->queue_next;
+        dropped->queue_next = nullptr;
+        dropped->fn = nullptr;
+        recycle_.push(dropped);
+        dropped = next;
+    }
+    return n;
+}
+
+void
+JobQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (queued_ != 0 || running_ != 0)
+        idle_.wait(lock);
+}
+
+JobQueue::Counters
+JobQueue::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Counters out = stats_;
+    out.queued = queued_;
+    out.running = running_;
+    return out;
+}
+
+void
+JobQueue::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        while (queue_head_ == nullptr && !closed_)
+            job_ready_.wait(lock);
+        if (queue_head_ == nullptr) {
+            if (closed_)
+                return;
+            continue;
+        }
+        Slot *s = queue_head_;
+        queue_head_ = s->queue_next;
+        if (queue_head_ == nullptr)
+            queue_tail_ = nullptr;
+        s->queue_next = nullptr;
+        --queued_;
+        stats_.queued = queued_;
+        ++running_;
+        lock.unlock();
+
+        // Job closures own their error handling (they fail the cache
+        // claim); an escaped exception here would be a server bug.
+        s->fn();
+        s->fn = nullptr;
+        // Lock-free completion: the slot goes home via the recycle
+        // stack, not the queue mutex.
+        s->recycle_next = nullptr;
+        recycle_.push(s);
+
+        lock.lock();
+        ++stats_.executed;
+        ++stats_.slots_recycled;
+        --running_;
+        if (queued_ == 0 && running_ == 0)
+            idle_.notify_all();
+    }
+}
+
+} // namespace redsoc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bounded multi-worker job queue with batch backpressure, the
+ * execution engine behind the sweep server.
+ *
+ * Unlike sim/thread_pool.h (unbounded, used by in-process batch
+ * APIs), this queue enforces a capacity: a batch submit is accepted
+ * all-or-nothing only while the queued backlog stays under the cap,
+ * and otherwise rejected so the server can answer busy +
+ * retry-after instead of buffering unbounded client demand.
+ *
+ * Job slots are intrusive nodes recycled through the same
+ * temporal-slab MPSC discipline as the shard cache: a worker that
+ * finishes a job pushes the empty slot onto a lock-free stack
+ * *without* touching the queue mutex, and the submit path harvests
+ * the stack under the mutex it already holds. Submit-vs-complete
+ * lock contention therefore never grows with throughput.
+ *
+ * Shutdown is two-stage to match the daemon's signal protocol:
+ * close() stops new submissions and lets the backlog drain;
+ * discardPending() additionally drops not-yet-started jobs (each
+ * dropped job's closure is destroyed, which fails its cache claim).
+ */
+
+#ifndef REDSOC_SERVER_JOB_QUEUE_H
+#define REDSOC_SERVER_JOB_QUEUE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "server/recycle_queue.h"
+
+namespace redsoc {
+
+class JobQueue
+{
+  public:
+    struct Options
+    {
+        /** Max queued (not yet running) jobs; submissions that would
+         *  exceed it are rejected. */
+        size_t capacity = 512;
+        /** Worker threads; 0 = hardware concurrency. */
+        unsigned workers = 0;
+    };
+
+    struct Counters
+    {
+        u64 executed = 0;
+        u64 rejected_batches = 0;
+        u64 discarded = 0;
+        u64 slots_allocated = 0;
+        u64 slots_recycled = 0;
+        u64 slots_harvested = 0;
+        u64 queued = 0;      ///< current backlog
+        u64 running = 0;     ///< jobs executing right now
+        u64 peak_queued = 0;
+    };
+
+    explicit JobQueue(Options opts);
+    ~JobQueue();
+
+    JobQueue(const JobQueue &) = delete;
+    JobQueue &operator=(const JobQueue &) = delete;
+
+    /**
+     * Enqueue @p jobs atomically: either every job is accepted or —
+     * when the backlog would exceed capacity or the queue is closed —
+     * none is. Rejection is the backpressure signal; the caller
+     * translates it into busy + retry_after_ms.
+     */
+    bool tryEnqueue(std::vector<std::function<void()>> jobs);
+
+    /** Stop accepting work (idempotent). Queued jobs still run. */
+    void close();
+
+    /** Drop every queued-but-not-started job (their closures are
+     *  destroyed). Running jobs are unaffected. */
+    size_t discardPending();
+
+    /** Block until the backlog is empty and workers are idle. */
+    void drain() REDSOC_NO_THREAD_SAFETY_ANALYSIS;
+
+    Counters counters() const;
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    struct Slot
+    {
+        std::function<void()> fn;
+        Slot *queue_next = nullptr;
+        // MpscFreeStack<Slot> intrusive hooks.
+        Slot *recycle_next = nullptr;
+        std::atomic<bool> recycle_queued{false};
+    };
+
+    void workerLoop() REDSOC_NO_THREAD_SAFETY_ANALYSIS;
+    Slot *allocSlot() REDSOC_REQUIRES(mu_);
+
+    mutable std::mutex mu_;
+    std::condition_variable job_ready_;
+    std::condition_variable idle_;
+    // Intrusive FIFO of pending slots.
+    Slot *queue_head_ REDSOC_GUARDED_BY(mu_) = nullptr;
+    Slot *queue_tail_ REDSOC_GUARDED_BY(mu_) = nullptr;
+    size_t queued_ REDSOC_GUARDED_BY(mu_) = 0;
+    unsigned running_ REDSOC_GUARDED_BY(mu_) = 0;
+    bool closed_ REDSOC_GUARDED_BY(mu_) = false;
+    Slot *free_list_ REDSOC_GUARDED_BY(mu_) = nullptr;
+    /** Lock-free completion side (workers push finished slots here);
+     *  harvested under mu_ by the submit path. */
+    MpscFreeStack<Slot> recycle_ REDSOC_NOT_GUARDED;
+    std::vector<std::unique_ptr<Slot>> owned_ REDSOC_GUARDED_BY(mu_);
+    Counters stats_ REDSOC_GUARDED_BY(mu_);
+    size_t capacity_ REDSOC_NOT_GUARDED = 0; ///< immutable
+    // Created in the constructor, joined in the destructor only.
+    std::vector<std::thread> threads_ REDSOC_NOT_GUARDED;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_JOB_QUEUE_H

@@ -1,0 +1,149 @@
+#include "server/offload.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+#include "server/sweep_client.h"
+
+namespace redsoc {
+
+namespace {
+
+/**
+ * Process-wide offload policy: the env var is read once and any
+ * failure disables offload for the whole process (warning once).
+ * Connections themselves are per-thread — a point request blocks on
+ * the daemon until its simulation finishes, so pool workers fanning
+ * out a batch each need their own socket to overlap server-side.
+ */
+class OffloadPolicy
+{
+  public:
+    static OffloadPolicy &get()
+    {
+        static OffloadPolicy policy;
+        return policy;
+    }
+
+    /** Socket path when offload is live; nullopt when disabled or
+     *  unconfigured. */
+    std::optional<std::string> address()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (disabled_)
+            return std::nullopt;
+        if (!addr_.empty())
+            return addr_;
+        const char *env = std::getenv("REDSOC_SWEEP_SERVER");
+        if (env == nullptr || *env == '\0') {
+            // Not configured: permanently local (the variable is read
+            // once; tests use resetServerOffloadForTest()).
+            disabled_ = true;
+            return std::nullopt;
+        }
+        addr_ = env;
+        return addr_;
+    }
+
+    void disable(const std::string &why)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (disabled_)
+            return;
+        // Warn once: a dead daemon must not spam one warning per
+        // point of a thousand-point sweep.
+        warn("sweep offload disabled, simulating locally (", why, ")");
+        disabled_ = true;
+    }
+
+    bool disabled()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return disabled_;
+    }
+
+    void reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        disabled_ = false;
+        addr_.clear();
+        ++epoch_;
+    }
+
+    u64 epoch()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return epoch_;
+    }
+
+  private:
+    std::mutex mu_;
+    bool disabled_ REDSOC_GUARDED_BY(mu_) = false;
+    std::string addr_ REDSOC_GUARDED_BY(mu_);
+    u64 epoch_ REDSOC_GUARDED_BY(mu_) = 0;
+};
+
+/** Per-thread connection, re-dialed when the policy epoch moves
+ *  (test reset) or the previous socket died. */
+SweepClient *
+threadClient()
+{
+    OffloadPolicy &policy = OffloadPolicy::get();
+    const auto addr = policy.address();
+    if (!addr)
+        return nullptr;
+    thread_local std::unique_ptr<SweepClient> client;
+    thread_local u64 client_epoch = 0;
+    const u64 now = policy.epoch();
+    if (client && client_epoch != now)
+        client.reset();
+    if (!client) {
+        client = SweepClient::connect(*addr);
+        client_epoch = now;
+        if (!client || !client->ping()) {
+            client.reset();
+            policy.disable("cannot reach daemon at '" + *addr + "'");
+            return nullptr;
+        }
+    }
+    return client.get();
+}
+
+} // namespace
+
+std::optional<CoreStats>
+serverOffloadRun(const std::string &workload, const CoreConfig &config,
+                 SeqNum max_ops)
+{
+    SweepClient *client = threadClient();
+    if (client == nullptr)
+        return std::nullopt;
+    auto stats = client->runPoint(workload, config, max_ops);
+    if (!stats)
+        OffloadPolicy::get().disable("point request failed");
+    return stats;
+}
+
+std::optional<ProcStats>
+serverOffloadRunProc(const std::vector<std::string> &mix,
+                     const ProcConfig &config, SeqNum max_ops)
+{
+    SweepClient *client = threadClient();
+    if (client == nullptr)
+        return std::nullopt;
+    auto stats = client->runProcPoint(mix, config, max_ops);
+    if (!stats)
+        OffloadPolicy::get().disable("proc point request failed");
+    return stats;
+}
+
+void
+resetServerOffloadForTest()
+{
+    OffloadPolicy::get().reset();
+}
+
+} // namespace redsoc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Transparent sweep-server offload for SimDriver.
+ *
+ * When REDSOC_SWEEP_SERVER names a daemon socket, SimDriver routes
+ * every cache-missing point here instead of simulating in-process
+ * (bench_all --server sets the variable for exactly this effect).
+ * The returned stats are bit-identical to a local run — the server
+ * replies with the run-cache text serialization — so offload is a
+ * pure placement decision.
+ *
+ * Failure is never fatal: if the daemon is unreachable or any
+ * request errors, the offload warns once, disables itself for the
+ * rest of the process, and every caller falls back to local
+ * simulation. The daemon itself unsets the variable at startup, so a
+ * server can never recursively offload to itself.
+ */
+
+#ifndef REDSOC_SERVER_OFFLOAD_H
+#define REDSOC_SERVER_OFFLOAD_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ooo_core.h"
+#include "proc/processor.h"
+
+namespace redsoc {
+
+/** Offload one core point; nullopt = simulate locally (offload not
+ *  configured, disabled after an error, or this point failed). */
+std::optional<CoreStats> serverOffloadRun(const std::string &workload,
+                                          const CoreConfig &config,
+                                          SeqNum max_ops);
+
+/** Offload one multi-core point. */
+std::optional<ProcStats>
+serverOffloadRunProc(const std::vector<std::string> &mix,
+                     const ProcConfig &config, SeqNum max_ops);
+
+/** Test hook: drop the cached connection + failure latch so a test
+ *  can point REDSOC_SWEEP_SERVER somewhere new. */
+void resetServerOffloadForTest();
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_OFFLOAD_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lock-free MPSC free-object stack, after the temporal-slab recycling
+ * idiom (SNIPPETS.md): releasing threads push retired nodes onto an
+ * atomic Treiber stack without taking any lock, and the allocating
+ * side harvests the whole stack in one atomic exchange *under a lock
+ * it already holds* for other reasons. Recycling is thereby decoupled
+ * from reclamation — a release never contends with an allocation, and
+ * the harvest adds zero extra lock acquisitions.
+ *
+ * Node requirements (intrusive):
+ *   - `Node *recycle_next` link, owned by this stack while enqueued;
+ *   - `std::atomic<bool> recycle_queued` flag, false while the node
+ *     is live. The flag makes release idempotent: whichever caller
+ *     flips it first owns the push, any racing second release is a
+ *     no-op instead of a double-enqueue (the slab idiom's "queued"
+ *     bit).
+ */
+
+#ifndef REDSOC_SERVER_RECYCLE_QUEUE_H
+#define REDSOC_SERVER_RECYCLE_QUEUE_H
+
+#include <atomic>
+
+namespace redsoc {
+
+template <typename Node>
+class MpscFreeStack
+{
+  public:
+    MpscFreeStack() = default;
+    MpscFreeStack(const MpscFreeStack &) = delete;
+    MpscFreeStack &operator=(const MpscFreeStack &) = delete;
+
+    /**
+     * Release @p node for reuse (any thread, lock-free). Returns
+     * false — and does nothing — if the node is already enqueued.
+     */
+    bool push(Node *node)
+    {
+        if (node->recycle_queued.exchange(true,
+                                          std::memory_order_acq_rel))
+            return false;
+        Node *head = head_.load(std::memory_order_relaxed);
+        do {
+            node->recycle_next = head;
+        } while (!head_.compare_exchange_weak(head, node,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+        return true;
+    }
+
+    /**
+     * Detach every pushed node in one exchange (single consumer; the
+     * caller is expected to already hold its allocation lock). The
+     * returned chain is linked through `recycle_next`; the caller
+     * must clear each node's `recycle_queued` flag before reusing it.
+     */
+    Node *harvest() { return head_.exchange(nullptr, std::memory_order_acquire); }
+
+    bool empty() const
+    {
+        return head_.load(std::memory_order_relaxed) == nullptr;
+    }
+
+  private:
+    std::atomic<Node *> head_{nullptr};
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_RECYCLE_QUEUE_H

@@ -1,0 +1,205 @@
+#include "server/shard_cache.h"
+
+#include "common/logging.h"
+
+namespace redsoc {
+
+namespace {
+
+u64
+fnv1a(const std::string &s)
+{
+    u64 h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+ShardedResultCache::ShardedResultCache(Options opts)
+    : capacity_per_shard_(opts.capacity_per_shard)
+{
+    const unsigned n = opts.shards == 0 ? 1 : opts.shards;
+    shards_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    panic_if(capacity_per_shard_ == 0, "shard capacity must be nonzero");
+}
+
+ShardedResultCache::~ShardedResultCache() = default;
+
+ShardedResultCache::Shard &
+ShardedResultCache::shardFor(const std::string &key)
+{
+    return *shards_[fnv1a(key) % shards_.size()];
+}
+
+ShardedResultCache::Entry *
+ShardedResultCache::allocEntry(Shard &shard, const std::string &key)
+{
+    // Temporal-slab harvest: claim everything the release side pushed
+    // since the last allocation, in one exchange, under the shard
+    // lock we already hold — the free path never took it.
+    if (shard.free_list == nullptr) {
+        Entry *chain = shard.recycle.harvest();
+        while (chain != nullptr) {
+            Entry *next = chain->recycle_next;
+            chain->recycle_queued.store(false, std::memory_order_relaxed);
+            chain->recycle_next = shard.free_list;
+            shard.free_list = chain;
+            ++shard.stats.harvested;
+            chain = next;
+        }
+    }
+
+    Entry *e = nullptr;
+    if (shard.free_list != nullptr) {
+        e = shard.free_list;
+        shard.free_list = e->recycle_next;
+        e->recycle_next = nullptr;
+    } else {
+        shard.owned.push_back(std::make_unique<Entry>());
+        e = shard.owned.back().get();
+        ++shard.stats.allocated;
+    }
+
+    e->key = key;
+    e->prom = std::promise<std::string>();
+    e->fut = e->prom.get_future().share();
+    e->ready = false;
+    e->lru_prev = e->lru_next = nullptr;
+    return e;
+}
+
+void
+ShardedResultCache::lruUnlink(Shard &shard, Entry *e)
+{
+    if (e->lru_prev != nullptr)
+        e->lru_prev->lru_next = e->lru_next;
+    else if (shard.lru_head == e)
+        shard.lru_head = e->lru_next;
+    if (e->lru_next != nullptr)
+        e->lru_next->lru_prev = e->lru_prev;
+    else if (shard.lru_tail == e)
+        shard.lru_tail = e->lru_prev;
+    e->lru_prev = e->lru_next = nullptr;
+}
+
+void
+ShardedResultCache::lruPushFront(Shard &shard, Entry *e)
+{
+    e->lru_prev = nullptr;
+    e->lru_next = shard.lru_head;
+    if (shard.lru_head != nullptr)
+        shard.lru_head->lru_prev = e;
+    shard.lru_head = e;
+    if (shard.lru_tail == nullptr)
+        shard.lru_tail = e;
+}
+
+void
+ShardedResultCache::evictOver(Shard &shard)
+{
+    while (shard.map.size() > capacity_per_shard_ &&
+           shard.lru_tail != nullptr) {
+        Entry *victim = shard.lru_tail;
+        lruUnlink(shard, victim);
+        shard.map.erase(victim->key);
+        ++shard.stats.evictions;
+        // Waiters that already hold the future keep the shared state
+        // alive on their own; the node itself goes back through the
+        // recycle stack (push cannot fail here: the node just left
+        // the map, so no racing release exists).
+        if (shard.recycle.push(victim))
+            ++shard.stats.recycled;
+    }
+}
+
+ShardedResultCache::Claim
+ShardedResultCache::lookupOrClaim(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        Entry *e = it->second;
+        if (e->ready) {
+            lruUnlink(shard, e);
+            lruPushFront(shard, e);
+        }
+        ++shard.stats.hits;
+        return Claim{e->fut, false};
+    }
+    Entry *e = allocEntry(shard, key);
+    shard.map.emplace(key, e);
+    ++shard.stats.misses;
+    return Claim{e->fut, true};
+}
+
+void
+ShardedResultCache::publish(const std::string &key, std::string payload)
+{
+    Shard &shard = shardFor(key);
+    std::promise<std::string> prom;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        panic_if(it == shard.map.end() || it->second->ready,
+                 "publish without claim: ", key);
+        Entry *e = it->second;
+        // Move the promise out so set_value runs after unlock: waking
+        // every waiter of a hot key inside the shard critical section
+        // would serialize unrelated lookups behind it.
+        prom = std::move(e->prom);
+        e->ready = true;
+        lruPushFront(shard, e);
+        evictOver(shard);
+        shard.stats.entries = shard.map.size();
+    }
+    prom.set_value(std::move(payload));
+}
+
+void
+ShardedResultCache::fail(const std::string &key, std::exception_ptr error)
+{
+    Shard &shard = shardFor(key);
+    std::promise<std::string> prom;
+    Entry *e = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        panic_if(it == shard.map.end() || it->second->ready,
+                 "fail without claim: ", key);
+        e = it->second;
+        prom = std::move(e->prom);
+        shard.map.erase(it);
+        ++shard.stats.failures;
+        if (shard.recycle.push(e))
+            ++shard.stats.recycled;
+        shard.stats.entries = shard.map.size();
+    }
+    prom.set_exception(std::move(error));
+}
+
+ShardedResultCache::Counters
+ShardedResultCache::counters() const
+{
+    Counters total;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total.hits += shard->stats.hits;
+        total.misses += shard->stats.misses;
+        total.evictions += shard->stats.evictions;
+        total.failures += shard->stats.failures;
+        total.recycled += shard->stats.recycled;
+        total.harvested += shard->stats.harvested;
+        total.allocated += shard->stats.allocated;
+        total.entries += shard->map.size();
+    }
+    return total;
+}
+
+} // namespace redsoc

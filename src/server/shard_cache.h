@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Sharded in-memory result cache with per-key deduplication.
+ *
+ * The server-side analogue of SimDriver's memoization map, engineered
+ * for many concurrent clients: keys are distributed over N shards
+ * (shard = FNV-1a(key) % N), each with its own mutex, so requests for
+ * unrelated keys never contend on a lock. Within a shard the
+ * SimDriver discipline is kept exactly: the first requester claims
+ * the key and later computes/publishes outside the lock, every
+ * concurrent requester receives the same std::shared_future and
+ * blocks on it (per-key latch).
+ *
+ * Capacity is bounded per shard with LRU eviction over *published*
+ * entries only (an in-flight computation is never evicted — its
+ * future is the dedup point). Evicted entry nodes are not freed or
+ * reused inline: they are pushed onto a temporal-slab-style MPSC
+ * recycle stack (recycle_queue.h) and harvested in one exchange under
+ * the shard lock at the next allocation, decoupling recycling from
+ * reclamation exactly as the slab allocator in SNIPPETS.md does.
+ *
+ * Payloads are opaque strings — in the sweep server they are the
+ * run-cache text serializations of CoreStats/ProcStats, whose
+ * byte-equality implies bit-identical stats.
+ */
+
+#ifndef REDSOC_SERVER_SHARD_CACHE_H
+#define REDSOC_SERVER_SHARD_CACHE_H
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "server/recycle_queue.h"
+
+namespace redsoc {
+
+class ShardedResultCache
+{
+  public:
+    struct Options
+    {
+        unsigned shards = 8;
+        /** Max published entries per shard before LRU eviction. */
+        size_t capacity_per_shard = 4096;
+    };
+
+    /** Aggregated counters (summed over shards; see statsJson use). */
+    struct Counters
+    {
+        u64 hits = 0;        ///< lookups that found the key (any state)
+        u64 misses = 0;      ///< lookups that claimed the key
+        u64 evictions = 0;   ///< published entries LRU-evicted
+        u64 failures = 0;    ///< claims completed with fail()
+        u64 recycled = 0;    ///< nodes pushed onto the recycle stacks
+        u64 harvested = 0;   ///< nodes reclaimed from the stacks
+        u64 allocated = 0;   ///< fresh node allocations
+        u64 entries = 0;     ///< entries currently resident
+    };
+
+    explicit ShardedResultCache(Options opts);
+    ~ShardedResultCache();
+
+    ShardedResultCache(const ShardedResultCache &) = delete;
+    ShardedResultCache &operator=(const ShardedResultCache &) = delete;
+
+    struct Claim
+    {
+        /** Latch for the key's payload; valid in either case. */
+        std::shared_future<std::string> future;
+        /** True when this caller owns the key and must publish() or
+         *  fail() it exactly once. */
+        bool claimed = false;
+    };
+
+    /** Find @p key or claim it for computation (the SimDriver
+     *  try_emplace discipline, per shard). */
+    Claim lookupOrClaim(const std::string &key);
+
+    /** Fulfil a claimed key with @p payload; the entry becomes
+     *  LRU-resident and eviction may run. */
+    void publish(const std::string &key, std::string payload);
+
+    /** Fulfil a claimed key with an error; the entry is removed so a
+     *  later request retries, and its node is recycled. */
+    void fail(const std::string &key, std::exception_ptr error);
+
+    Counters counters() const;
+
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::promise<std::string> prom;
+        std::shared_future<std::string> fut;
+        bool ready = false;
+        // Intrusive LRU links (only meaningful while ready).
+        Entry *lru_prev = nullptr;
+        Entry *lru_next = nullptr;
+        // MpscFreeStack<Entry> intrusive hooks.
+        Entry *recycle_next = nullptr;
+        std::atomic<bool> recycle_queued{false};
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::map<std::string, Entry *> map REDSOC_GUARDED_BY(mu);
+        Entry *lru_head REDSOC_GUARDED_BY(mu) = nullptr; ///< MRU end
+        Entry *lru_tail REDSOC_GUARDED_BY(mu) = nullptr; ///< LRU end
+        /** Harvested nodes ready for reuse (singly linked through
+         *  recycle_next, flags already cleared). */
+        Entry *free_list REDSOC_GUARDED_BY(mu) = nullptr;
+        /** Lock-free release side; harvested under mu at allocation
+         *  (single consumer by construction). */
+        MpscFreeStack<Entry> recycle REDSOC_NOT_GUARDED;
+        /** Every node this shard ever allocated (ownership; nodes
+         *  cycle between map/LRU/recycle/free but are freed once,
+         *  here). Only grows, only touched under mu. */
+        std::vector<std::unique_ptr<Entry>> owned REDSOC_GUARDED_BY(mu);
+        Counters stats REDSOC_GUARDED_BY(mu);
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    /** Pop a reusable node (harvesting first) or allocate one. */
+    Entry *allocEntry(Shard &shard, const std::string &key)
+        REDSOC_REQUIRES(shard.mu);
+
+    void lruUnlink(Shard &shard, Entry *e) REDSOC_REQUIRES(shard.mu);
+    void lruPushFront(Shard &shard, Entry *e) REDSOC_REQUIRES(shard.mu);
+    void evictOver(Shard &shard) REDSOC_REQUIRES(shard.mu);
+
+    // Immutable after construction (shard array and capacity).
+    std::vector<std::unique_ptr<Shard>> shards_ REDSOC_NOT_GUARDED;
+    size_t capacity_per_shard_ REDSOC_NOT_GUARDED = 0;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_SHARD_CACHE_H

@@ -1,0 +1,223 @@
+#include "server/sweep_client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "server/config_codec.h"
+#include "sim/run_cache.h"
+
+namespace redsoc {
+
+SweepClient::SweepClient(int fd) : chan_(fd) {}
+
+SweepClient::~SweepClient()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chan_.fd() >= 0)
+        ::close(chan_.fd());
+}
+
+std::unique_ptr<SweepClient>
+SweepClient::connect(const std::string &socket_path)
+{
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path))
+        return nullptr;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return nullptr;
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<SweepClient>(new SweepClient(fd));
+}
+
+std::optional<JsonValue>
+SweepClient::roundTrip(const std::string &request)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!chan_.writeLine(request))
+        return std::nullopt;
+    const auto reply = chan_.readLine();
+    if (!reply)
+        return std::nullopt;
+    return parseJson(*reply);
+}
+
+bool
+SweepClient::ping()
+{
+    JsonObjectWriter w;
+    w.field("op", "ping");
+    const auto reply = roundTrip(std::move(w).str());
+    return reply && reply->getBool("ok") &&
+           reply->getU64("proto") == 1;
+}
+
+std::optional<std::string>
+SweepClient::submit(const std::vector<PointRequest> &points,
+                    unsigned busy_retries)
+{
+    if (points.empty())
+        return std::nullopt;
+    std::string arr = "[";
+    bool first = true;
+    for (const PointRequest &p : points) {
+        JsonObjectWriter o;
+        if (p.is_proc) {
+            o.field("kind", "proc");
+            std::string mix = "[";
+            for (size_t i = 0; i < p.mix.size(); ++i) {
+                if (i > 0)
+                    mix.push_back(',');
+                mix += jsonQuote(p.mix[i]);
+            }
+            mix.push_back(']');
+            o.fieldRaw("mix", mix);
+        } else {
+            o.field("kind", "core");
+            o.field("workload", p.workload);
+        }
+        o.field("max_ops", p.max_ops);
+        o.field("config", p.config_text);
+        if (!first)
+            arr.push_back(',');
+        first = false;
+        arr += std::move(o).str();
+    }
+    arr.push_back(']');
+
+    JsonObjectWriter w;
+    w.field("op", "submit");
+    w.fieldRaw("points", arr);
+    const std::string request = std::move(w).str();
+
+    for (unsigned attempt = 0; attempt <= busy_retries; ++attempt) {
+        const auto reply = roundTrip(request);
+        if (!reply)
+            return std::nullopt;
+        if (reply->getBool("ok"))
+            return reply->getStr("ticket");
+        if (!reply->getBool("busy"))
+            return std::nullopt; // hard protocol error
+        // Backpressure: honor the server's pacing hint and retry the
+        // identical batch (claims were released server-side).
+        const u64 ms = reply->getU64("retry_after_ms", 200);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(ms == 0 ? 50 : ms));
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<SweepClient::PointResult>>
+SweepClient::fetch(const std::string &ticket)
+{
+    JsonObjectWriter w;
+    w.field("op", "fetch");
+    w.field("ticket", ticket);
+    const auto reply = roundTrip(std::move(w).str());
+    if (!reply || !reply->getBool("ok"))
+        return std::nullopt;
+    const JsonValue *results = reply->get("results");
+    if (results == nullptr || results->kind != JsonValue::Kind::Arr)
+        return std::nullopt;
+    std::vector<PointResult> out;
+    out.reserve(results->arr.size());
+    for (const JsonValue &r : results->arr) {
+        PointResult pr;
+        pr.key = r.getStr("key");
+        pr.ok = r.getBool("ok");
+        pr.payload = r.getStr("payload");
+        pr.error = r.getStr("error");
+        out.push_back(std::move(pr));
+    }
+    return out;
+}
+
+std::optional<std::vector<SweepClient::PointResult>>
+SweepClient::runBatch(const std::vector<PointRequest> &points)
+{
+    const auto ticket = submit(points);
+    if (!ticket)
+        return std::nullopt;
+    return fetch(*ticket);
+}
+
+std::optional<CoreStats>
+SweepClient::runPoint(const std::string &workload,
+                      const CoreConfig &config, SeqNum max_ops)
+{
+    PointRequest p;
+    p.workload = workload;
+    p.config_text = serializeCoreConfig(config);
+    p.max_ops = max_ops;
+    const auto results = runBatch({p});
+    if (!results || results->size() != 1 || !(*results)[0].ok)
+        return std::nullopt;
+    return deserializeStats((*results)[0].payload, (*results)[0].key);
+}
+
+std::optional<ProcStats>
+SweepClient::runProcPoint(const std::vector<std::string> &mix,
+                          const ProcConfig &config, SeqNum max_ops)
+{
+    PointRequest p;
+    p.is_proc = true;
+    p.mix = mix;
+    p.config_text = serializeProcConfig(config);
+    p.max_ops = max_ops;
+    const auto results = runBatch({p});
+    if (!results || results->size() != 1 || !(*results)[0].ok)
+        return std::nullopt;
+    return deserializeProcStats((*results)[0].payload,
+                                (*results)[0].key);
+}
+
+std::string
+SweepClient::statsJson()
+{
+    JsonObjectWriter w;
+    w.field("op", "stats");
+    const auto reply = roundTrip(std::move(w).str());
+    if (!reply || !reply->getBool("ok"))
+        return "";
+    // Hand the raw counters back as received: the reply *is* the
+    // stats JSON object.
+    JsonObjectWriter out;
+    for (const auto &[k, v] : reply->members) {
+        switch (v.kind) {
+          case JsonValue::Kind::Bool: out.field(k, v.boolean); break;
+          case JsonValue::Kind::Num:
+            if (v.is_uint)
+                out.field(k, v.uint);
+            else
+                out.fieldDouble(k, v.num);
+            break;
+          case JsonValue::Kind::Str: out.field(k, v.str); break;
+          default: break;
+        }
+    }
+    return std::move(out).str();
+}
+
+bool
+SweepClient::requestShutdown()
+{
+    JsonObjectWriter w;
+    w.field("op", "shutdown");
+    const auto reply = roundTrip(std::move(w).str());
+    return reply && reply->getBool("ok");
+}
+
+} // namespace redsoc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SweepClient: library side of the sweep-server protocol. One
+ * instance owns one AF_UNIX connection; requests on it are
+ * serialized behind a mutex (the protocol is strictly
+ * request/response), so a SimDriver fanning a batch out across pool
+ * workers can share a single client.
+ *
+ * submit() transparently retries busy responses with the server's
+ * suggested backoff — backpressure is invisible to callers beyond
+ * latency. runPoint()/runProcPoint() are the one-call conveniences
+ * the env-var offload path (server/offload.h) uses.
+ */
+
+#ifndef REDSOC_SERVER_SWEEP_CLIENT_H
+#define REDSOC_SERVER_SWEEP_CLIENT_H
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/ooo_core.h"
+#include "proc/processor.h"
+#include "server/wire.h"
+
+namespace redsoc {
+
+class SweepClient
+{
+  public:
+    /** One requested simulation point. */
+    struct PointRequest
+    {
+        bool is_proc = false;
+        std::string workload = "";        ///< core points
+        std::vector<std::string> mix;     ///< proc points
+        std::string config_text = "";     ///< config-codec text
+        SeqNum max_ops = 0;
+    };
+
+    /** One returned point, in submission order. */
+    struct PointResult
+    {
+        std::string key = "";
+        bool ok = false;
+        std::string payload = ""; ///< run-cache stats text when ok
+        std::string error = "";
+    };
+
+    /** Connect to a daemon; nullptr on failure. */
+    static std::unique_ptr<SweepClient>
+    connect(const std::string &socket_path);
+
+    ~SweepClient();
+
+    SweepClient(const SweepClient &) = delete;
+    SweepClient &operator=(const SweepClient &) = delete;
+
+    /** Round-trip liveness + protocol check. */
+    bool ping();
+
+    /**
+     * Submit a batch; returns the ticket id, or nullopt on a
+     * protocol/transport error. Busy responses are retried with the
+     * server's retry_after_ms, up to @p busy_retries times.
+     */
+    std::optional<std::string>
+    submit(const std::vector<PointRequest> &points,
+           unsigned busy_retries = 50);
+
+    /** Block until @p ticket completes and return every result
+     *  (submission order); nullopt on transport error. */
+    std::optional<std::vector<PointResult>>
+    fetch(const std::string &ticket);
+
+    /** submit + fetch in one call. */
+    std::optional<std::vector<PointResult>>
+    runBatch(const std::vector<PointRequest> &points);
+
+    /** Single core point, decoded: nullopt on any failure. */
+    std::optional<CoreStats> runPoint(const std::string &workload,
+                                      const CoreConfig &config,
+                                      SeqNum max_ops);
+
+    /** Single multi-core point, decoded. */
+    std::optional<ProcStats>
+    runProcPoint(const std::vector<std::string> &mix,
+                 const ProcConfig &config, SeqNum max_ops);
+
+    /** Server counters as a JSON line ("" on error). */
+    std::string statsJson();
+
+    /** Ask the daemon to exit (drain semantics). */
+    bool requestShutdown();
+
+  private:
+    explicit SweepClient(int fd);
+
+    /** Serialized request/response exchange. */
+    std::optional<JsonValue> roundTrip(const std::string &request)
+        REDSOC_EXCLUDES(mu_);
+
+    std::mutex mu_;
+    LineChannel chan_ REDSOC_GUARDED_BY(mu_);
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_SWEEP_CLIENT_H

@@ -1,0 +1,594 @@
+#include "server/sweep_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "server/config_codec.h"
+#include "server/wire.h"
+
+namespace redsoc {
+
+namespace {
+
+std::string
+errorReply(const std::string &message)
+{
+    JsonObjectWriter w;
+    w.field("ok", false);
+    w.field("error", message);
+    return std::move(w).str();
+}
+
+} // namespace
+
+/** RAII completion guard for a claimed point: whoever destroys the
+ *  job closure without running it (queue discard during shutdown,
+ *  busy-rejection after claiming) fails the claim so every waiter
+ *  unblocks with an error instead of hanging on the latch. */
+class SweepServer::ClaimGuard
+{
+  public:
+    ClaimGuard(ShardedResultCache &cache, std::string key)
+        : cache_(cache), key_(std::move(key))
+    {
+    }
+
+    ~ClaimGuard()
+    {
+        if (!done_) {
+            cache_.fail(key_, std::make_exception_ptr(std::runtime_error(
+                                  "point discarded before simulation")));
+        }
+    }
+
+    ClaimGuard(const ClaimGuard &) = delete;
+    ClaimGuard &operator=(const ClaimGuard &) = delete;
+
+    /** The job ran (and published or failed the claim itself). */
+    void complete() { done_ = true; }
+
+    const std::string &key() const { return key_; }
+
+  private:
+    ShardedResultCache &cache_;
+    std::string key_;
+    bool done_ = false;
+};
+
+SweepServer::SweepServer(SweepServerOptions opts)
+    : opts_(std::move(opts)),
+      cache_(ShardedResultCache::Options{
+          opts_.shards == 0 ? 1 : opts_.shards, opts_.shard_capacity}),
+      queue_(JobQueue::Options{opts_.queue_capacity, opts_.workers})
+{
+    if (!opts_.cache_dir.empty())
+        disk_cache_.emplace(opts_.cache_dir);
+}
+
+SweepServer::~SweepServer()
+{
+    stop();
+}
+
+bool
+SweepServer::start()
+{
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+        warn("sweep server: socket path too long: ", opts_.socket_path);
+        return false;
+    }
+    std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+                opts_.socket_path.size() + 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+        warn("sweep server: socket(): ", std::strerror(errno));
+        return false;
+    }
+    // A previous daemon's socket file would make bind fail; it is
+    // dead by definition (we own the path), so remove it.
+    std::error_code ec;
+    std::filesystem::remove(opts_.socket_path, ec);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        warn("sweep server: bind/listen '", opts_.socket_path,
+             "': ", std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+        warn("sweep server: pipe(): ", std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    stop_pipe_rd_ = fds[0];
+    stop_pipe_wr_ = fds[1];
+
+    stopping_.store(false, std::memory_order_relaxed);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+SweepServer::stop()
+{
+    if (listen_fd_ < 0 && !accept_thread_.joinable())
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    if (stop_pipe_wr_ >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(stop_pipe_wr_, &byte, 1);
+    }
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    // Kick every connection off its blocking read, then join.
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        for (const int fd : conn_fds_)
+            ::shutdown(fd, SHUT_RDWR);
+        conns.swap(conn_threads_);
+    }
+    for (std::thread &t : conns)
+        t.join();
+
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        std::error_code ec;
+        std::filesystem::remove(opts_.socket_path, ec);
+    }
+    if (stop_pipe_rd_ >= 0) {
+        ::close(stop_pipe_rd_);
+        ::close(stop_pipe_wr_);
+        stop_pipe_rd_ = stop_pipe_wr_ = -1;
+    }
+}
+
+void
+SweepServer::closeQueue()
+{
+    queue_.close();
+}
+
+bool
+SweepServer::queueIdle() const
+{
+    const JobQueue::Counters c = queue_.counters();
+    return c.queued == 0 && c.running == 0;
+}
+
+bool
+SweepServer::waitQueueIdleFor(unsigned ms) const
+{
+    // Simple bounded poll (the queue's own drain() is unbounded; the
+    // daemon needs to interleave signal checks).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    for (;;) {
+        if (queueIdle())
+            return true;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+size_t
+SweepServer::discardPendingJobs()
+{
+    return queue_.discardPending();
+}
+
+void
+SweepServer::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {};
+        fds[0].fd = listen_fd_;
+        fds[0].events = POLLIN;
+        fds[1].fd = stop_pipe_rd_;
+        fds[1].events = POLLIN;
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (stopping_.load(std::memory_order_relaxed) ||
+            (fds[1].revents & POLLIN) != 0)
+            return;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int conn = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        conn_fds_.push_back(conn);
+        conn_threads_.emplace_back([this, conn] { serveConnection(conn); });
+    }
+}
+
+void
+SweepServer::serveConnection(int fd)
+{
+    LineChannel chan(fd);
+    for (;;) {
+        const auto line = chan.readLine();
+        if (!line)
+            break;
+        if (line->empty())
+            continue;
+        if (!chan.writeLine(handleRequest(*line)))
+            break;
+    }
+    ::close(fd);
+    // Drop the fd from the live set so stop() never shutdown()s a
+    // number the kernel has since reused for a new connection.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < conn_fds_.size(); ++i) {
+        if (conn_fds_[i] == fd) {
+            conn_fds_.erase(conn_fds_.begin() +
+                            static_cast<long>(i));
+            break;
+        }
+    }
+}
+
+std::string
+SweepServer::handleRequest(const std::string &line)
+{
+    const auto req = parseJson(line);
+    if (!req)
+        return errorReply("malformed JSON request");
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        ++requests_served_;
+    }
+    const std::string op = req->getStr("op");
+    if (op == "ping") {
+        JsonObjectWriter w;
+        w.field("ok", true);
+        w.field("op", "ping");
+        w.field("proto", u64{kProtocolVersion});
+        return std::move(w).str();
+    }
+    if (op == "submit")
+        return handleSubmit(*req);
+    if (op == "poll")
+        return handlePoll(*req);
+    if (op == "fetch")
+        return handleFetch(*req);
+    if (op == "stats") {
+        return statsJson();
+    }
+    if (op == "shutdown") {
+        shutdown_op_.store(true, std::memory_order_relaxed);
+        JsonObjectWriter w;
+        w.field("ok", true);
+        w.field("op", "shutdown");
+        return std::move(w).str();
+    }
+    return errorReply("unknown op '" + op + "'");
+}
+
+SimDriver &
+SweepServer::driverFor(SeqNum max_ops)
+{
+    std::lock_guard<std::mutex> lock(drivers_mu_);
+    auto it = drivers_.find(max_ops);
+    if (it == drivers_.end())
+        it = drivers_.emplace(max_ops,
+                              std::make_unique<SimDriver>(max_ops)).first;
+    return *it->second;
+}
+
+void
+SweepServer::runCorePoint(const std::string &key,
+                          const std::string &workload,
+                          const CoreConfig &config, SeqNum max_ops)
+{
+    try {
+        // Read-through: the persistent store may already have the
+        // point (an earlier daemon run, or an in-process harness
+        // sharing the directory).
+        if (disk_cache_) {
+            if (auto hit = disk_cache_->load(key)) {
+                cache_.publish(key, serializeStats(key, *hit));
+                return;
+            }
+        }
+        const Trace &tr = driverFor(max_ops).trace(workload);
+        OooCore core(config);
+        const CoreStats stats = core.run(tr);
+        // Publish first (clients unblock), persist behind (the store
+        // is atomic-rename, failure only costs a future recompute).
+        cache_.publish(key, serializeStats(key, stats));
+        if (disk_cache_)
+            disk_cache_->store(key, stats);
+    } catch (...) {
+        cache_.fail(key, std::current_exception());
+    }
+}
+
+void
+SweepServer::runProcPoint(const std::string &key,
+                          const std::vector<std::string> &mix,
+                          const ProcConfig &config, SeqNum max_ops)
+{
+    try {
+        if (disk_cache_) {
+            if (auto hit = disk_cache_->loadProc(key)) {
+                cache_.publish(key, serializeProcStats(key, *hit));
+                return;
+            }
+        }
+        SimDriver &driver = driverFor(max_ops);
+        std::vector<const Trace *> traces;
+        traces.reserve(config.num_cores);
+        for (unsigned i = 0; i < config.num_cores; ++i)
+            traces.push_back(&driver.trace(mix[i % mix.size()]));
+        Processor proc(config);
+        const ProcStats stats = proc.run(traces);
+        cache_.publish(key, serializeProcStats(key, stats));
+        if (disk_cache_)
+            disk_cache_->storeProc(key, stats);
+    } catch (...) {
+        cache_.fail(key, std::current_exception());
+    }
+}
+
+std::string
+SweepServer::handleSubmit(const JsonValue &req)
+{
+    const JsonValue *points = req.get("points");
+    if (points == nullptr || points->kind != JsonValue::Kind::Arr ||
+        points->arr.empty())
+        return errorReply("submit needs a non-empty 'points' array");
+
+    // Cheap pre-check before claiming anything: if the backlog is
+    // already hopeless, reject without disturbing the shard cache
+    // (the post-claim tryEnqueue below is still authoritative).
+    if (queue_.counters().queued + points->arr.size() >
+        opts_.queue_capacity) {
+        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        JsonObjectWriter w;
+        w.field("ok", false);
+        w.field("busy", true);
+        w.field("retry_after_ms", u64{opts_.retry_after_ms});
+        return std::move(w).str();
+    }
+
+    auto ticket = std::make_shared<Ticket>();
+    std::vector<std::function<void()>> jobs;
+    for (const JsonValue &p : points->arr) {
+        const std::string kind = p.getStr("kind", "core");
+        const SeqNum max_ops = p.getU64("max_ops");
+        const std::string config_text = p.getStr("config");
+        if (max_ops == 0)
+            return errorReply("point needs a nonzero 'max_ops'");
+
+        if (kind == "core") {
+            const std::string workload = p.getStr("workload");
+            const auto config = deserializeCoreConfig(config_text);
+            if (workload.empty() || !config)
+                return errorReply("bad core point (workload/config)");
+            const std::string key =
+                driverFor(max_ops).runKey(workload, *config);
+            auto claim = cache_.lookupOrClaim(key);
+            ticket->points.emplace_back(key, claim.future);
+            if (claim.claimed) {
+                auto guard =
+                    std::make_shared<ClaimGuard>(cache_, key);
+                jobs.push_back([this, guard, workload,
+                                config = *config, max_ops] {
+                    runCorePoint(guard->key(), workload, config,
+                                 max_ops);
+                    guard->complete();
+                });
+            }
+        } else if (kind == "proc") {
+            const JsonValue *mix_v = p.get("mix");
+            const auto config = deserializeProcConfig(config_text);
+            if (mix_v == nullptr ||
+                mix_v->kind != JsonValue::Kind::Arr ||
+                mix_v->arr.empty() || !config)
+                return errorReply("bad proc point (mix/config)");
+            std::vector<std::string> mix;
+            mix.reserve(mix_v->arr.size());
+            for (const JsonValue &m : mix_v->arr) {
+                if (m.kind != JsonValue::Kind::Str)
+                    return errorReply("proc mix must be strings");
+                mix.push_back(m.str);
+            }
+            const std::string key =
+                driverFor(max_ops).procRunKey(mix, *config);
+            auto claim = cache_.lookupOrClaim(key);
+            ticket->points.emplace_back(key, claim.future);
+            if (claim.claimed) {
+                auto guard =
+                    std::make_shared<ClaimGuard>(cache_, key);
+                jobs.push_back([this, guard, mix, config = *config,
+                                max_ops] {
+                    runProcPoint(guard->key(), mix, config, max_ops);
+                    guard->complete();
+                });
+            }
+        } else {
+            return errorReply("unknown point kind '" + kind + "'");
+        }
+    }
+
+    const size_t enqueued = jobs.size();
+    if (!queue_.tryEnqueue(std::move(jobs))) {
+        // Destroying the rejected closures fails their fresh claims
+        // via ClaimGuard, so a later retry re-claims cleanly.
+        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        JsonObjectWriter w;
+        w.field("ok", false);
+        w.field("busy", true);
+        w.field("retry_after_ms", u64{opts_.retry_after_ms});
+        return std::move(w).str();
+    }
+
+    std::string id;
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        id = "t-" + std::to_string(++next_ticket_);
+        points_submitted_ += ticket->points.size();
+        tickets_.emplace(id, ticket);
+    }
+    JsonObjectWriter w;
+    w.field("ok", true);
+    w.field("ticket", id);
+    w.field("points", u64{ticket->points.size()});
+    w.field("enqueued", u64{enqueued});
+    return std::move(w).str();
+}
+
+std::string
+SweepServer::handlePoll(const JsonValue &req)
+{
+    std::shared_ptr<Ticket> ticket;
+    const std::string id = req.getStr("ticket");
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        auto it = tickets_.find(id);
+        if (it != tickets_.end())
+            ticket = it->second;
+    }
+    if (!ticket)
+        return errorReply("unknown ticket '" + id + "'");
+
+    u64 done = 0;
+    u64 failed = 0;
+    for (const auto &[key, fut] : ticket->points) {
+        if (fut.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            continue;
+        try {
+            fut.get();
+            ++done;
+        } catch (...) {
+            ++failed;
+        }
+    }
+    JsonObjectWriter w;
+    w.field("ok", true);
+    w.field("ticket", id);
+    w.field("total", u64{ticket->points.size()});
+    w.field("done", done);
+    w.field("failed", failed);
+    return std::move(w).str();
+}
+
+std::string
+SweepServer::handleFetch(const JsonValue &req)
+{
+    std::shared_ptr<Ticket> ticket;
+    const std::string id = req.getStr("ticket");
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        auto it = tickets_.find(id);
+        if (it != tickets_.end()) {
+            ticket = it->second;
+            tickets_.erase(it); // fetch consumes the ticket
+        }
+    }
+    if (!ticket)
+        return errorReply("unknown ticket '" + id + "'");
+
+    std::string results = "[";
+    bool first = true;
+    for (const auto &[key, fut] : ticket->points) {
+        JsonObjectWriter r;
+        r.field("key", key);
+        try {
+            // Blocks until the point completes (fetch is the barrier
+            // op; poll first for incremental progress).
+            const std::string &payload = fut.get();
+            r.field("ok", true);
+            r.field("payload", payload);
+        } catch (const std::exception &e) {
+            r.field("ok", false);
+            r.field("error", e.what());
+        } catch (...) {
+            r.field("ok", false);
+            r.field("error", "unknown simulation error");
+        }
+        if (!first)
+            results.push_back(',');
+        first = false;
+        results += std::move(r).str();
+    }
+    results.push_back(']');
+
+    JsonObjectWriter w;
+    w.field("ok", true);
+    w.field("ticket", id);
+    w.fieldRaw("results", results);
+    return std::move(w).str();
+}
+
+std::string
+SweepServer::statsJson() const
+{
+    const ShardedResultCache::Counters c = cache_.counters();
+    const JobQueue::Counters q = queue_.counters();
+    u64 tickets = 0;
+    u64 points = 0;
+    u64 requests = 0;
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        tickets = tickets_.size();
+        points = points_submitted_;
+        requests = requests_served_;
+    }
+    JsonObjectWriter w;
+    w.field("ok", true);
+    w.field("op", "stats");
+    w.field("proto", u64{kProtocolVersion});
+    w.field("shards", u64{cache_.shards()});
+    w.field("cache_hits", c.hits);
+    w.field("cache_misses", c.misses);
+    w.field("cache_evictions", c.evictions);
+    w.field("cache_failures", c.failures);
+    w.field("cache_entries", c.entries);
+    w.field("slots_recycled", c.recycled);
+    w.field("slots_harvested", c.harvested);
+    w.field("slots_allocated", c.allocated);
+    w.field("queue_executed", q.executed);
+    w.field("busy_rejections",
+            busy_rejections_.load(std::memory_order_relaxed));
+    w.field("queue_rejected_batches", q.rejected_batches);
+    w.field("queue_discarded", q.discarded);
+    w.field("queue_depth", q.queued);
+    w.field("queue_peak_depth", q.peak_queued);
+    w.field("queue_slots_allocated", q.slots_allocated);
+    w.field("queue_slots_recycled", q.slots_recycled);
+    w.field("queue_slots_harvested", q.slots_harvested);
+    w.field("workers", u64{queue_.workers()});
+    w.field("tickets_open", tickets);
+    w.field("points_submitted", points);
+    w.field("requests_served", requests);
+    w.field("disk_cache", disk_cache_.has_value());
+    return std::move(w).str();
+}
+
+} // namespace redsoc

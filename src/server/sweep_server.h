@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The sweep server: serves simulation points over an AF_UNIX socket
+ * with a newline-delimited JSON protocol (one request or response
+ * object per line). See DESIGN.md §15 for the full wire protocol.
+ *
+ * Request ops:
+ *   ping      liveness + protocol version
+ *   submit    batch of points; replies with a ticket, or busy +
+ *             retry_after_ms when the job queue is at capacity
+ *   poll      per-ticket progress (done/failed/total)
+ *   fetch     block until a ticket completes, return every payload
+ *   stats     shard-cache/job-queue/server counters as JSON
+ *   shutdown  ask the daemon to exit (drain semantics, like SIGTERM)
+ *
+ * Results are the run-cache text serializations of CoreStats /
+ * ProcStats: byte equality of that text implies bit-identical stats,
+ * which is what the server-vs-in-process differential test asserts.
+ * Keys are SimDriver::runKey/procRunKey strings, so the daemon's
+ * disk cache interoperates with every in-process harness sharing the
+ * same REDSOC_CACHE_DIR.
+ */
+
+#ifndef REDSOC_SERVER_SWEEP_SERVER_H
+#define REDSOC_SERVER_SWEEP_SERVER_H
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "server/job_queue.h"
+#include "server/shard_cache.h"
+#include "sim/driver.h"
+#include "sim/run_cache.h"
+
+namespace redsoc {
+
+struct JsonValue;
+
+struct SweepServerOptions
+{
+    /** AF_UNIX socket path (must fit sun_path, ~100 bytes). */
+    std::string socket_path = "";
+    unsigned shards = 8;
+    size_t shard_capacity = 4096;
+    size_t queue_capacity = 512;
+    /** Simulation worker threads; 0 = hardware concurrency. */
+    unsigned workers = 0;
+    /** Suggested client backoff when the queue rejects a batch. */
+    unsigned retry_after_ms = 200;
+    /** Persistent backing store (read-through/write-behind); "" =
+     *  in-memory only. */
+    std::string cache_dir = "";
+};
+
+class SweepServer
+{
+  public:
+    static constexpr unsigned kProtocolVersion = 1;
+
+    explicit SweepServer(SweepServerOptions opts);
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** Bind, listen, and spawn the accept loop; false on socket
+     *  errors (path too long, bind failure, ...). */
+    bool start();
+
+    /**
+     * Stop serving: close the listener, shut down every open
+     * connection, join all threads. Queued jobs are NOT waited for —
+     * call closeQueue()/waitQueueIdleFor() (drain) or
+     * discardPendingJobs() first for an orderly daemon exit.
+     */
+    void stop();
+
+    /** Stop accepting new submissions (drain stage 1). */
+    void closeQueue();
+
+    /** True when no job is queued or running. */
+    bool queueIdle() const;
+
+    /** Bounded wait for queue idleness; true when idle. */
+    bool waitQueueIdleFor(unsigned ms) const;
+
+    /** Drop every not-yet-started job (drain stage 2, second
+     *  signal); their tickets complete with an error. */
+    size_t discardPendingJobs();
+
+    /** True once some client issued the shutdown op. */
+    bool shutdownOpReceived() const
+    {
+        return shutdown_op_.load(std::memory_order_relaxed);
+    }
+
+    /** One-line JSON object with every server counter. */
+    std::string statsJson() const;
+
+    const std::string &socketPath() const { return opts_.socket_path; }
+
+  private:
+    struct Ticket
+    {
+        /** Point keys in submission order, each with its latch. */
+        std::vector<std::pair<std::string,
+                              std::shared_future<std::string>>> points;
+    };
+
+    /** Fails its claim on destruction unless the job ran: a job
+     *  discarded during shutdown completes its waiters with an error
+     *  instead of leaving them blocked forever. */
+    class ClaimGuard;
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    std::string handleRequest(const std::string &line);
+    std::string handleSubmit(const JsonValue &req);
+    std::string handlePoll(const JsonValue &req);
+    std::string handleFetch(const JsonValue &req);
+
+    /** Per-max_ops SimDriver, used only as the process-wide trace
+     *  cache (its own result memoization is bypassed: the shard
+     *  cache owns dedup here, with bounded capacity). */
+    SimDriver &driverFor(SeqNum max_ops);
+
+    void runCorePoint(const std::string &key, const std::string &workload,
+                      const CoreConfig &config, SeqNum max_ops);
+    void runProcPoint(const std::string &key,
+                      const std::vector<std::string> &mix,
+                      const ProcConfig &config, SeqNum max_ops);
+
+    // Immutable after the constructor (cache_/queue_ are internally
+    // synchronized; RunCache is stateless, every method const).
+    SweepServerOptions opts_ REDSOC_NOT_GUARDED;
+    ShardedResultCache cache_ REDSOC_NOT_GUARDED;
+    JobQueue queue_ REDSOC_NOT_GUARDED;
+    std::optional<RunCache> disk_cache_ REDSOC_NOT_GUARDED;
+
+    std::mutex drivers_mu_;
+    std::map<SeqNum, std::unique_ptr<SimDriver>> drivers_
+        REDSOC_GUARDED_BY(drivers_mu_);
+
+    mutable std::mutex tickets_mu_;
+    std::map<std::string, std::shared_ptr<Ticket>> tickets_
+        REDSOC_GUARDED_BY(tickets_mu_);
+    u64 next_ticket_ REDSOC_GUARDED_BY(tickets_mu_) = 0;
+    u64 points_submitted_ REDSOC_GUARDED_BY(tickets_mu_) = 0;
+    u64 requests_served_ REDSOC_GUARDED_BY(tickets_mu_) = 0;
+
+    std::mutex conn_mu_;
+    std::vector<std::thread> conn_threads_ REDSOC_GUARDED_BY(conn_mu_);
+    std::vector<int> conn_fds_ REDSOC_GUARDED_BY(conn_mu_);
+
+    // Lifecycle flags/fds: set up in start(), torn down in stop().
+    std::atomic<bool> stopping_ REDSOC_NOT_GUARDED{false};
+    std::atomic<bool> shutdown_op_ REDSOC_NOT_GUARDED{false};
+    /** Submissions answered busy (pre-check or enqueue race). */
+    std::atomic<u64> busy_rejections_ REDSOC_NOT_GUARDED{0};
+    int listen_fd_ REDSOC_NOT_GUARDED = -1;
+    int stop_pipe_rd_ REDSOC_NOT_GUARDED = -1;
+    int stop_pipe_wr_ REDSOC_NOT_GUARDED = -1;
+    std::thread accept_thread_ REDSOC_NOT_GUARDED;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_SWEEP_SERVER_H

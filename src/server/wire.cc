@@ -1,0 +1,432 @@
+#include "server/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace redsoc {
+
+// ---------------------------------------------------------------- JsonValue
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind != Kind::Obj)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::getStr(const std::string &key, const std::string &fallback) const
+{
+    const JsonValue *v = get(key);
+    return v != nullptr && v->kind == Kind::Str ? v->str : fallback;
+}
+
+u64
+JsonValue::getU64(const std::string &key, u64 fallback) const
+{
+    const JsonValue *v = get(key);
+    if (v == nullptr || v->kind != Kind::Num)
+        return fallback;
+    if (v->is_uint)
+        return v->uint;
+    return v->num < 0.0 ? fallback : static_cast<u64>(v->num);
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = get(key);
+    return v != nullptr && v->kind == Kind::Bool ? v->boolean : fallback;
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    std::optional<JsonValue> parse()
+    {
+        JsonValue v;
+        if (!value(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != s_.size())
+            return std::nullopt; // trailing garbage
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r' ||
+                s_[pos_] == '\n'))
+            ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool value(JsonValue &out) // NOLINT(misc-no-recursion)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        switch (c) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"':
+            out.kind = JsonValue::Kind::Str;
+            return string(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default: return number(out);
+        }
+    }
+
+    bool object(JsonValue &out) // NOLINT(misc-no-recursion)
+    {
+        out.kind = JsonValue::Kind::Obj;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array(JsonValue &out) // NOLINT(misc-no-recursion)
+    {
+        out.kind = JsonValue::Kind::Arr;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue elem;
+            if (!value(elem))
+                return false;
+            out.arr.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return false;
+            const char esc = s_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                // Payloads are ASCII; decode BMP escapes to UTF-8 so
+                // any well-formed peer round-trips.
+                if (pos_ + 4 > s_.size())
+                    return false;
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xC0u | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0u | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80u | ((cp >> 6) & 0x3Fu)));
+                    out.push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+                }
+                break;
+              }
+              default: return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool number(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        bool integral = true;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c >= '0' && c <= '9') {
+                digits = true;
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!digits)
+            return false;
+        const std::string tok = s_.substr(start, pos_ - start);
+        out.kind = JsonValue::Kind::Num;
+        out.num = std::strtod(tok.c_str(), nullptr);
+        if (integral && tok[0] != '-') {
+            out.uint = std::strtoull(tok.c_str(), nullptr, 10);
+            out.is_uint = true;
+        }
+        return true;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+// ------------------------------------------------------------------ writer
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonObjectWriter::comma()
+{
+    if (!first_)
+        out_.push_back(',');
+    first_ = false;
+}
+
+void
+JsonObjectWriter::field(const std::string &key, const std::string &value)
+{
+    comma();
+    out_ += jsonQuote(key);
+    out_.push_back(':');
+    out_ += jsonQuote(value);
+}
+
+void
+JsonObjectWriter::field(const std::string &key, const char *value)
+{
+    field(key, std::string(value));
+}
+
+void
+JsonObjectWriter::field(const std::string &key, u64 value)
+{
+    comma();
+    out_ += jsonQuote(key);
+    out_.push_back(':');
+    out_ += std::to_string(value);
+}
+
+void
+JsonObjectWriter::field(const std::string &key, bool value)
+{
+    comma();
+    out_ += jsonQuote(key);
+    out_ += value ? ":true" : ":false";
+}
+
+void
+JsonObjectWriter::fieldDouble(const std::string &key, double value)
+{
+    comma();
+    out_ += jsonQuote(key);
+    out_.push_back(':');
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+}
+
+void
+JsonObjectWriter::fieldRaw(const std::string &key,
+                           const std::string &raw_json)
+{
+    comma();
+    out_ += jsonQuote(key);
+    out_.push_back(':');
+    out_ += raw_json;
+}
+
+std::string
+JsonObjectWriter::str() &&
+{
+    out_.push_back('}');
+    return std::move(out_);
+}
+
+// ------------------------------------------------------------- LineChannel
+
+std::optional<std::string>
+LineChannel::readLine()
+{
+    for (;;) {
+        const size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return line;
+        }
+        if (buf_.size() > kMaxLine)
+            return std::nullopt;
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return std::nullopt; // EOF or hard error
+    }
+}
+
+bool
+LineChannel::writeLine(const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd_, framed.data() + off, framed.size() - off);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace redsoc

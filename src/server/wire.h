@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Minimal newline-delimited JSON wire layer for the sweep server.
+ *
+ * One request or response per line; values are standard JSON. This is
+ * deliberately a tiny subset-of-JSON codec (objects, arrays, strings,
+ * integers/doubles, booleans, null) rather than a dependency: the
+ * protocol's payloads are opaque strings (the run-cache text
+ * serializations and the config-codec text), so the JSON layer only
+ * ever carries a flat envelope around them.
+ *
+ * Parsed objects keep their members in arrival order in a plain
+ * vector — no unordered containers anywhere near iteration
+ * (redsoc_lint nondet-iter), and no allocation-heavy DOM for what is
+ * a handful of fields per message.
+ */
+
+#ifndef REDSOC_SERVER_WIRE_H
+#define REDSOC_SERVER_WIRE_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace redsoc {
+
+struct JsonValue
+{
+    enum class Kind : u8 { Null, Bool, Num, Str, Arr, Obj };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double num = 0.0;
+    /** Exact integer view of Num when the token was a plain unsigned
+     *  integer literal (doubles lose u64 precision past 2^53). */
+    u64 uint = 0;
+    bool is_uint = false;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Convenience typed accessors (fallback when absent/mistyped). */
+    std::string getStr(const std::string &key,
+                       const std::string &fallback = "") const;
+    u64 getU64(const std::string &key, u64 fallback = 0) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+};
+
+/** Parse one JSON document (typically one line, sans newline);
+ *  nullopt on any syntax error. Trailing garbage is an error. */
+std::optional<JsonValue> parseJson(const std::string &text);
+
+/** Escape + quote @p s as a JSON string literal. */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Incremental writer for one JSON object line. Keys are emitted in
+ * call order; the caller is responsible for writing each key once.
+ */
+class JsonObjectWriter
+{
+  public:
+    JsonObjectWriter() : out_("{") {}
+
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, u64 value);
+    void field(const std::string &key, bool value);
+    void fieldDouble(const std::string &key, double value);
+    /** Insert @p raw_json verbatim (already-encoded array/object). */
+    void fieldRaw(const std::string &key, const std::string &raw_json);
+
+    /** Finish and return the object (no trailing newline). */
+    std::string str() &&;
+
+  private:
+    void comma();
+    std::string out_;
+    bool first_ = true;
+};
+
+/**
+ * Buffered line framing over a socket/pipe fd. Reading returns one
+ * '\n'-terminated line at a time (newline stripped); writing appends
+ * the newline and loops over short writes.
+ */
+class LineChannel
+{
+  public:
+    explicit LineChannel(int fd) : fd_(fd) {}
+
+    /** Read the next line; nullopt on EOF or error. Lines longer than
+     *  kMaxLine bytes abort the connection (protocol violation). */
+    std::optional<std::string> readLine();
+
+    /** Write @p line plus '\n'; false on error. */
+    bool writeLine(const std::string &line);
+
+    int fd() const { return fd_; }
+
+    static constexpr size_t kMaxLine = 64u * 1024 * 1024;
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace redsoc
+
+#endif // REDSOC_SERVER_WIRE_H

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/shutdown.h"
+#include "server/offload.h"
 #include "sim/thread_pool.h"
 #include "trace/exporters.h"
 
@@ -51,6 +53,24 @@ SimDriver::configKey(const CoreConfig &config)
        << '|' << config.egpw << config.skewed_select << '|'
        << config.dynamic_threshold << config.threshold_epoch << '|'
        << config.no_commit_horizon << '|'
+       // Structural capacities (v5 key dimension): before these were
+       // fingerprinted, two configs differing only in e.g. rs_entries
+       // silently aliased to one cache entry — harmless for the named
+       // presets (the name disambiguates) but wrong for the sweep
+       // server, which dedups arbitrary client configs by this key.
+       << config.frontend_width << ',' << config.commit_width << '|'
+       << config.rob_entries << ',' << config.lsq_entries << ','
+       << config.rs_entries << '|' << config.alu_units << ','
+       << config.simd_units << ',' << config.fp_units << ','
+       << config.mem_ports << '|' << config.redirect_penalty << '|'
+       << config.branch_pred.table_bits << ','
+       << config.branch_pred.ras_entries << '|'
+       << config.width_pred.entries << ','
+       << config.width_pred.confidence_bits << '|'
+       << config.last_arrival.entries << '|'
+       << config.memory.prefetcher.entries << ','
+       << config.memory.prefetcher.degree << ','
+       << config.memory.prefetcher.min_confidence << '|'
        << config.timing.clock_period_ps << '|'
        << config.timing.pvt_derate << '|'
        << config.memory.offcore_latency_scale << '|'
@@ -118,6 +138,15 @@ SimDriver::runFuture(const std::string &workload,
                 return fut;
             }
         }
+        // REDSOC_SWEEP_SERVER: offload the point to a running
+        // redsoc_sweepd instead of simulating here (transparent: any
+        // failure falls back to the local path below, see offload.cc).
+        if (auto remote = serverOffloadRun(workload, config, max_ops_)) {
+            if (disk_cache_)
+                disk_cache_->store(key, *remote);
+            prom.set_value(std::move(*remote));
+            return fut;
+        }
         OooCore core(config);
         const TraceEnv &tenv = TraceEnv::get();
         CoreStats stats;
@@ -182,6 +211,12 @@ SimDriver::procFuture(const std::vector<std::string> &mix,
                 return fut;
             }
         }
+        if (auto remote = serverOffloadRunProc(mix, config, max_ops_)) {
+            if (disk_cache_)
+                disk_cache_->storeProc(key, *remote);
+            prom.set_value(std::move(*remote));
+            return fut;
+        }
         // Build the mix's traces first (shared with single-core runs
         // of the same workloads), then run the sequential lockstep.
         std::vector<const Trace *> traces;
@@ -222,7 +257,16 @@ SimDriver::prefetch(const std::vector<Point> &points)
         return;
     ThreadPool &pool = globalSimPool();
     for (const Point &p : points) {
-        pool.submit([this, p] { (void)run(p.workload, p.config); });
+        if (shutdownRequested())
+            break; // stop feeding the queue once a signal arrived
+        pool.submit([this, p] {
+            // Queued before the signal, started after: skip instead of
+            // simulating, so a shutdown drains the backlog in
+            // milliseconds. The point stays uncomputed (and uncached).
+            if (shutdownRequested())
+                return;
+            (void)run(p.workload, p.config);
+        });
     }
     pool.wait();
 }
@@ -231,6 +275,10 @@ std::vector<CoreStats>
 SimDriver::runAll(const std::vector<Point> &points)
 {
     prefetch(points);
+    // Don't silently re-simulate skipped points synchronously — an
+    // interrupted batch is an interrupted batch.
+    if (shutdownRequested())
+        throw ShutdownInterrupt();
     std::vector<CoreStats> out;
     out.reserve(points.size());
     for (const Point &p : points)
@@ -244,8 +292,15 @@ SimDriver::prefetchTraces(const std::vector<std::string> &workloads)
     if (workloads.empty())
         return;
     ThreadPool &pool = globalSimPool();
-    for (const std::string &w : workloads)
-        pool.submit([this, w] { (void)trace(w); });
+    for (const std::string &w : workloads) {
+        if (shutdownRequested())
+            break;
+        pool.submit([this, w] {
+            if (shutdownRequested())
+                return;
+            (void)trace(w);
+        });
+    }
     pool.wait();
 }
 

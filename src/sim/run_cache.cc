@@ -330,6 +330,50 @@ RunCache::RunCache(std::string dir) : dir_(std::move(dir))
     fs::create_directories(dir_, ec);
     if (ec)
         warn("run cache: cannot create '", dir_, "': ", ec.message());
+
+    // Crash recovery: a process killed between staging-file creation
+    // and the publishing rename (SIGKILL, OOM, power) leaks its
+    // ".tmp-*" file forever — no later run ever touches that unique
+    // name. Sweep anything old enough that its writer must be dead.
+    std::chrono::seconds ttl{3600};
+    if (const char *env = std::getenv("REDSOC_CACHE_TMP_TTL_S")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env)
+            ttl = std::chrono::seconds(v);
+    }
+    const unsigned removed = sweepStaleTmpFiles(dir_, ttl);
+    if (const char *tmp_dir = std::getenv("REDSOC_CACHE_TMP_DIR")) {
+        if (*tmp_dir != '\0' && tmp_dir != dir_)
+            sweepStaleTmpFiles(tmp_dir, ttl);
+    }
+    if (removed > 0) {
+        inform("run cache: swept ", removed,
+               " stale staging file(s) from '", dir_, "'");
+    }
+}
+
+unsigned
+RunCache::sweepStaleTmpFiles(const std::string &dir,
+                             std::chrono::seconds max_age)
+{
+    unsigned removed = 0;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(".tmp-", 0) != 0)
+            continue;
+        std::error_code fec;
+        const auto mtime = fs::last_write_time(entry.path(), fec);
+        if (fec)
+            continue; // raced with its writer's own rename/remove
+        if (now - mtime < max_age)
+            continue; // plausibly still being written
+        if (fs::remove(entry.path(), fec) && !fec)
+            ++removed;
+    }
+    return removed;
 }
 
 std::optional<RunCache>
@@ -401,8 +445,15 @@ RunCache::storeText(const std::string &final_path,
     tmp_name << ".tmp-" << ::getpid() << '-'
              << std::this_thread::get_id() << '-'
              << (hashKey(final_path) & 0xffff);
-    const fs::path tmp_path = fs::path(dir_) / tmp_name.str();
+    fs::path tmp_dir(dir_);
+    if (const char *env = std::getenv("REDSOC_CACHE_TMP_DIR")) {
+        if (*env != '\0')
+            tmp_dir = env;
+    }
+    const fs::path tmp_path = tmp_dir / tmp_name.str();
 
+    std::error_code ec;
+    bool wrote = false;
     {
         std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
         if (!out) {
@@ -410,19 +461,48 @@ RunCache::storeText(const std::string &final_path,
             return;
         }
         out << text;
-        if (!out.good()) {
-            warn("run cache: short write to '", tmp_path.string(), "'");
-            return;
-        }
+        out.flush();
+        wrote = out.good();
     }
+    if (!wrote) {
+        // Short write (disk full, quota): the entry is dropped, but
+        // the staging file must not leak — it would otherwise sit in
+        // the directory forever under its unique name.
+        warn("run cache: short write to '", tmp_path.string(),
+             "' (entry dropped)");
+        fs::remove(tmp_path, ec);
+        return;
+    }
+
     // Atomic publish: readers only ever see absent or complete files,
     // and the last concurrent writer of an identical point wins.
-    std::error_code ec;
     fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-        warn("run cache: rename to '", final_path, "': ", ec.message());
+    if (!ec)
+        return;
+    if (ec == std::errc::cross_device_link) {
+        // REDSOC_CACHE_TMP_DIR on a different filesystem than the
+        // cache directory: rename(2) cannot cross devices. Bridge by
+        // copying into the cache directory under another unique
+        // ".tmp-*" name (covered by the stale sweep if we die here),
+        // then publish with a same-device — and therefore again
+        // atomic — rename.
+        const fs::path bridge =
+            fs::path(final_path).parent_path() / (tmp_name.str() + "-x");
+        std::error_code cec;
+        fs::copy_file(tmp_path, bridge,
+                      fs::copy_options::overwrite_existing, cec);
+        if (!cec)
+            fs::rename(bridge, final_path, cec);
+        if (cec) {
+            warn("run cache: cross-device publish of '", final_path,
+                 "': ", cec.message());
+            fs::remove(bridge, cec);
+        }
         fs::remove(tmp_path, ec);
+        return;
     }
+    warn("run cache: rename to '", final_path, "': ", ec.message());
+    fs::remove(tmp_path, ec);
 }
 
 RunCache::Totals

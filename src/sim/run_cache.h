@@ -14,6 +14,7 @@
 #ifndef REDSOC_SIM_RUN_CACHE_H
 #define REDSOC_SIM_RUN_CACHE_H
 
+#include <chrono>
 #include <optional>
 #include <string>
 
@@ -30,9 +31,19 @@ class RunCache
      *  semantics shift (v3: byte-accurate multi-store forwarding
      *  changed partial-overlap load timing; v4: run keys carry the
      *  full cache-hierarchy geometry and multi-core ProcStats entries
-     *  joined the cache). */
-    static constexpr unsigned kFormatVersion = 4;
+     *  joined the cache; v5: run keys carry the structural capacities
+     *  — ROB/RS/LSQ entries, widths, FU counts, predictor geometry —
+     *  so configs differing only structurally no longer alias). */
+    static constexpr unsigned kFormatVersion = 5;
 
+    /**
+     * Opens (and creates if missing) the cache directory. Opening
+     * also garbage-collects stale ".tmp-*" staging files left behind
+     * by killed processes (kill -9 mid-write): anything older than
+     * the conservative default of one hour — overridable in seconds
+     * via REDSOC_CACHE_TMP_TTL_S for tests — is removed, so a
+     * crashed sweep can never grow the directory without bound.
+     */
     explicit RunCache(std::string dir);
 
     /**
@@ -72,8 +83,27 @@ class RunCache
     };
     static Totals scan(const std::string &dir);
 
+    /**
+     * Remove ".tmp-*" staging files in @p dir older than @p max_age
+     * (the crash-recovery sweep the constructor runs; exposed for
+     * tests). Live writers are untouched: a healthy store() holds
+     * its staging file for milliseconds, orders of magnitude under
+     * any sane age threshold.
+     * @return number of files removed
+     */
+    static unsigned sweepStaleTmpFiles(const std::string &dir,
+                                       std::chrono::seconds max_age);
+
   private:
-    /** Write @p text then publish via atomic rename. */
+    /**
+     * Write @p text then publish via atomic rename. Staging files
+     * are created in REDSOC_CACHE_TMP_DIR when set (e.g. fast local
+     * disk in front of a network cache dir) and otherwise next to
+     * the entry; a cross-device rename (EXDEV) falls back to
+     * copy-into-cache-dir + same-device rename, so readers still
+     * only ever observe absent or complete entries. Every failure
+     * path removes its staging file(s).
+     */
     void storeText(const std::string &final_path,
                    const std::string &text) const;
 

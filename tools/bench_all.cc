@@ -11,7 +11,7 @@
  *
  *   bench_all [fast] [--bench-dir DIR] [--cache-dir DIR] [--no-cache]
  *             [--profile] [--trace-dir DIR] [--sched-baseline FILE]
- *             [--critpath]
+ *             [--critpath] [--server SOCKET]
  *
  * "fast" is forwarded to every harness. The cache directory defaults
  * to ".redsoc-cache" in the current directory (created on demand);
@@ -29,6 +29,14 @@
  * --critpath appends the analytic what-if engine benchmark
  * (tools/bench_critpath) to the combined report, forwarding "fast";
  * its exactness or speedup gate failing fails bench_all.
+ * --server SOCKET exports REDSOC_SWEEP_SERVER so every harness
+ * offloads cache-missing points to a running redsoc_sweepd (see
+ * DESIGN.md §15) instead of simulating in-process; results are
+ * bit-identical either way, so this is purely a placement choice.
+ *
+ * SIGINT/SIGTERM stops launching new harnesses after the current one
+ * exits (each harness installs its own graceful shutdown, so the
+ * in-flight one drains its cache writes atomically) and exits 130.
  */
 
 #include <cstdio>
@@ -40,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "common/shutdown.h"
 #include "common/table.h"
 #include "sim/run_cache.h"
 
@@ -118,16 +127,20 @@ main(int argc, char **argv)
             sched_baseline = argv[++i];
         } else if (arg == "--critpath") {
             critpath = true;
+        } else if (arg == "--server" && i + 1 < argc) {
+            ::setenv("REDSOC_SWEEP_SERVER", argv[++i], 1);
         } else {
             std::fprintf(stderr,
                          "usage: %s [fast] [--bench-dir DIR] "
                          "[--cache-dir DIR] [--no-cache] [--profile] "
                          "[--trace-dir DIR] [--sched-baseline FILE] "
-                         "[--critpath]\n",
+                         "[--critpath] [--server SOCKET]\n",
                          argv[0]);
             return 2;
         }
     }
+
+    installGracefulShutdown(1);
 
     if (use_cache) {
         // Don't override an explicit environment choice unless the
@@ -145,8 +158,13 @@ main(int argc, char **argv)
 
     Table summary({"harness", "status", "seconds"});
     int failures = 0;
+    bool interrupted = false;
     const auto t0 = std::chrono::steady_clock::now();
     for (const std::string &name : kHarnesses) {
+        if (shutdownRequested()) {
+            interrupted = true;
+            break;
+        }
         std::string cmd = "\"" + bench_dir + "/" + name + "\"";
         if (fast)
             cmd += " fast";
@@ -165,7 +183,7 @@ main(int argc, char **argv)
     // The scheduler-kernel microbenchmark is a tool, not a figure
     // harness: it lives next to bench_all itself and always runs so
     // the simulator-throughput trend is part of every bench report.
-    {
+    if (!interrupted) {
         std::string cmd = "\"" + exeDir() + "/bench_sched\"";
         if (fast)
             cmd += " fast";
@@ -188,7 +206,7 @@ main(int argc, char **argv)
     // bench_sched it is a tool, not a figure harness; its JSON feed
     // goes to stdout on its own, so discard it here and keep the
     // stderr tables.
-    if (critpath) {
+    if (critpath && !interrupted) {
         std::string cmd = "\"" + exeDir() + "/bench_critpath\"";
         if (fast)
             cmd += " fast";
@@ -226,6 +244,11 @@ main(int argc, char **argv)
                                   totals.sim_seconds / 1e6
                             : 0.0);
         }
+    }
+    if (interrupted) {
+        std::fprintf(stderr, "[bench_all] interrupted; remaining "
+                             "harnesses skipped\n");
+        return 130;
     }
     return failures == 0 ? 0 : 1;
 }

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/shutdown.h"
 #include "sim/driver.h"
 #include "sim/profile.h"
 #include "trace/exporters.h"
@@ -111,7 +112,12 @@ parseMode(const std::string &text)
 
 int
 main(int argc, char **argv)
-{
+try {
+    // SIGINT/SIGTERM abort the simulation cooperatively
+    // (ShutdownInterrupt below) so in-flight run-cache writes either
+    // complete their atomic rename or never start.
+    installGracefulShutdown(1);
+
     std::string workload = "crc";
     std::string core = "big";
     SchedMode mode = SchedMode::ReDSOC;
@@ -390,4 +396,7 @@ main(int argc, char **argv)
     }
     prof::report(std::cerr);
     return 0;
+} catch (const ShutdownInterrupt &) {
+    std::fprintf(stderr, "interrupted; partial results discarded\n");
+    return 130;
 }

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * redsoc_sweep_client: command-line client for redsoc_sweepd.
+ *
+ *   redsoc_sweep_client --socket PATH ping
+ *   redsoc_sweep_client --socket PATH stats
+ *   redsoc_sweep_client --socket PATH shutdown
+ *   redsoc_sweep_client --socket PATH run --workload NAME
+ *       [--core small|medium|big] [--mode baseline|redsoc|mos]
+ *       [--max-ops N] [--stats-text]
+ *
+ * "run" submits one point, waits, and prints the cycle count and IPC
+ * (or, with --stats-text, the raw run-cache serialization the server
+ * returned — the bit-exact wire payload, useful for diffing against
+ * a local run). Exit status: 0 ok, 1 failure, 2 usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/config_codec.h"
+#include "server/sweep_client.h"
+#include "sim/driver.h"
+#include "sim/run_cache.h"
+
+using namespace redsoc;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH ping|stats|shutdown\n"
+        "       %s --socket PATH run --workload NAME [--core NAME]\n"
+        "          [--mode baseline|redsoc|mos] [--max-ops N] "
+        "[--stats-text]\n",
+        argv0, argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string command;
+    std::string workload;
+    std::string core = "medium";
+    std::string mode = "redsoc";
+    SeqNum max_ops = 2'000'000;
+    bool stats_text = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket_path = next();
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--core") {
+            core = next();
+        } else if (arg == "--mode") {
+            mode = next();
+        } else if (arg == "--max-ops") {
+            max_ops = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--stats-text") {
+            stats_text = true;
+        } else if (arg == "ping" || arg == "stats" ||
+                   arg == "shutdown" || arg == "run") {
+            command = arg;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (socket_path.empty() || command.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    auto client = SweepClient::connect(socket_path);
+    if (!client) {
+        std::fprintf(stderr, "cannot connect to '%s'\n",
+                     socket_path.c_str());
+        return 1;
+    }
+
+    if (command == "ping") {
+        if (!client->ping()) {
+            std::fprintf(stderr, "ping failed\n");
+            return 1;
+        }
+        std::printf("ok\n");
+        return 0;
+    }
+    if (command == "stats") {
+        const std::string stats = client->statsJson();
+        if (stats.empty()) {
+            std::fprintf(stderr, "stats failed\n");
+            return 1;
+        }
+        std::printf("%s\n", stats.c_str());
+        return 0;
+    }
+    if (command == "shutdown") {
+        if (!client->requestShutdown()) {
+            std::fprintf(stderr, "shutdown request failed\n");
+            return 1;
+        }
+        std::printf("ok\n");
+        return 0;
+    }
+
+    // run
+    if (workload.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    CoreConfig config = coreByName(core);
+    if (mode == "baseline")
+        config.mode = SchedMode::Baseline;
+    else if (mode == "redsoc")
+        config.mode = SchedMode::ReDSOC;
+    else if (mode == "mos")
+        config.mode = SchedMode::MOS;
+    else {
+        usage(argv[0]);
+        return 2;
+    }
+
+    if (stats_text) {
+        SweepClient::PointRequest p;
+        p.workload = workload;
+        p.config_text = serializeCoreConfig(config);
+        p.max_ops = max_ops;
+        const auto results = client->runBatch({p});
+        if (!results || results->size() != 1 || !(*results)[0].ok) {
+            std::fprintf(stderr, "point failed%s%s\n",
+                         results && !results->empty() ? ": " : "",
+                         results && !results->empty()
+                             ? (*results)[0].error.c_str()
+                             : "");
+            return 1;
+        }
+        std::fputs((*results)[0].payload.c_str(), stdout);
+        return 0;
+    }
+
+    const auto stats = client->runPoint(workload, config, max_ops);
+    if (!stats) {
+        std::fprintf(stderr, "point failed\n");
+        return 1;
+    }
+    std::printf("%s/%s on %s: %llu cycles, IPC %.3f (server)\n",
+                core.c_str(), mode.c_str(), workload.c_str(),
+                static_cast<unsigned long long>(stats->cycles),
+                stats->ipc());
+    return 0;
+}

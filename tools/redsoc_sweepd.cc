@@ -1,0 +1,172 @@
+/**
+ * @file
+ * redsoc_sweepd: the sweep-server daemon. Serves simulation points
+ * over an AF_UNIX socket (newline-delimited JSON; see DESIGN.md §15)
+ * so many client processes share one hot cache of results.
+ *
+ *   redsoc_sweepd --socket PATH [--cache-dir DIR] [--shards N]
+ *                 [--shard-capacity N] [--queue-capacity N]
+ *                 [--workers N] [--retry-after-ms N]
+ *                 [--stats-json FILE] [--max-ops-default N]
+ *
+ * Shutdown protocol (installGracefulShutdown(2)):
+ *   1st SIGINT/SIGTERM  stop accepting submissions, drain the job
+ *                       queue (in-flight and queued points finish and
+ *                       publish/persist normally), then exit;
+ *   2nd signal          discard queued jobs (their tickets complete
+ *                       with an error) and abort in-flight
+ *                       simulations; nothing half-done is ever
+ *                       written — the run-cache publish is an atomic
+ *                       rename that aborted points never reach.
+ * A client "shutdown" op behaves like one SIGTERM.
+ *
+ * --stats-json dumps the final server counters to FILE on exit (the
+ * CI server job uploads it as an artifact).
+ */
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/shutdown.h"
+#include "server/sweep_server.h"
+
+using namespace redsoc;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--cache-dir DIR] [--shards N]\n"
+        "          [--shard-capacity N] [--queue-capacity N] "
+        "[--workers N]\n"
+        "          [--retry-after-ms N] [--stats-json FILE]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepServerOptions opts;
+    std::string stats_json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socket_path = next();
+        } else if (arg == "--cache-dir") {
+            opts.cache_dir = next();
+        } else if (arg == "--shards") {
+            opts.shards = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg == "--shard-capacity") {
+            opts.shard_capacity =
+                std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--queue-capacity") {
+            opts.queue_capacity =
+                std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--workers") {
+            opts.workers = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg == "--retry-after-ms") {
+            opts.retry_after_ms = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (opts.socket_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    // The daemon must never offload to a daemon — especially not to
+    // itself through an inherited environment.
+    ::unsetenv("REDSOC_SWEEP_SERVER");
+
+    // Two-stage shutdown: first signal drains, second aborts
+    // in-flight simulations (ShutdownInterrupt out of OooCore::run).
+    installGracefulShutdown(2);
+
+    SweepServer server(opts);
+    if (!server.start()) {
+        std::fprintf(stderr, "[redsoc_sweepd] cannot serve on '%s'\n",
+                     opts.socket_path.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "[redsoc_sweepd] serving on %s (%u shards, queue %zu"
+                 "%s%s)\n",
+                 opts.socket_path.c_str(),
+                 opts.shards == 0 ? 1 : opts.shards,
+                 opts.queue_capacity,
+                 opts.cache_dir.empty() ? "" : ", cache ",
+                 opts.cache_dir.c_str());
+
+    // Wait for a signal or a client shutdown op. The self-pipe makes
+    // a signal wake the poll immediately; the timeout covers the
+    // shutdown-op path (cheap flag check).
+    for (;;) {
+        if (shutdownRequested() || server.shutdownOpReceived())
+            break;
+        pollfd pfd = {};
+        pfd.fd = shutdownWakeFd();
+        pfd.events = POLLIN;
+        if (pfd.fd >= 0)
+            ::poll(&pfd, 1, 250);
+        else
+            ::usleep(250 * 1000);
+    }
+
+    // Drain stage: no new submissions; let the backlog finish unless
+    // a second signal asks us to discard it.
+    std::fprintf(stderr, "[redsoc_sweepd] draining job queue...\n");
+    server.closeQueue();
+    size_t discarded = 0;
+    while (!server.queueIdle()) {
+        if (shutdownSignalCount() >= 2) {
+            discarded = server.discardPendingJobs();
+            // In-flight simulations see simAbortRequested() and throw;
+            // their claims fail, their tickets complete with errors.
+            server.waitQueueIdleFor(10'000);
+            break;
+        }
+        server.waitQueueIdleFor(200);
+    }
+    if (discarded > 0)
+        std::fprintf(stderr,
+                     "[redsoc_sweepd] discarded %zu queued job(s)\n",
+                     discarded);
+
+    const std::string stats = server.statsJson();
+    server.stop();
+    if (!stats_json_path.empty()) {
+        std::ofstream out(stats_json_path,
+                          std::ios::binary | std::ios::trunc);
+        out << stats << '\n';
+    }
+    std::fprintf(stderr, "[redsoc_sweepd] exit: %s\n", stats.c_str());
+    return 0;
+}
